@@ -1,0 +1,43 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every binary:
+//   * sweeps the paper's settings (10x10-unit field of 100 m units,
+//     range 50 m, n = 100..500, averaged over seeded trials),
+//   * prints a paper-style aligned table to stdout,
+//   * writes the same series to results/<name>.csv,
+//   * accepts an optional first argument overriding the trial count
+//     (e.g. `fig08_broadcast_time 20` for tighter averages).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace dsn::bench {
+
+inline ExperimentConfig defaultConfig(int argc, char** argv) {
+  ExperimentConfig cfg;
+  cfg.trials = 5;
+  if (argc > 1) {
+    const int t = std::atoi(argv[1]);
+    if (t > 0) cfg.trials = t;
+  }
+  return cfg;
+}
+
+inline std::string csvPath(const std::string& name) {
+  return "results/" + name + ".csv";
+}
+
+inline void printHeader(const std::string& id, const std::string& what,
+                        const ExperimentConfig& cfg) {
+  std::cout << "# " << id << ": " << what << "\n"
+            << "# field " << cfg.fieldUnits << "x" << cfg.fieldUnits
+            << " units of " << cfg.unitMeters << " m, range " << cfg.range
+            << " m, " << cfg.trials << " trials per point\n";
+}
+
+}  // namespace dsn::bench

@@ -1,0 +1,40 @@
+// Figure 8 — time (number of rounds) to complete a broadcast:
+// collision-free flooding (CFF, Algorithm 2) vs depth-first-order (DFO)
+// on the 10x10-unit field, n = 100..500.
+//
+// Expected shape (paper): CFF far below DFO, gap widening with n (DFO
+// grows with the backbone size; CFF with δ·h + Δ).
+#include "bench/bench_common.hpp"
+#include "broadcast/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  const auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("Fig. 8", "broadcast completion rounds, CFF vs DFO",
+                     cfg);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t n : cfg.nodeCounts) {
+    const auto table = runTrials(
+        cfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+          const NodeId source = net.randomNode(rng);
+          const auto cff =
+              net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
+          const auto dfo = net.broadcast(BroadcastScheme::kDfo, source, 1);
+          t.add("cff_rounds", static_cast<double>(cff.sim.rounds));
+          t.add("dfo_rounds", static_cast<double>(dfo.sim.rounds));
+          t.add("cff_coverage", cff.coverage());
+          t.add("dfo_coverage", dfo.coverage());
+        });
+    rows.push_back({static_cast<double>(n), table.mean("cff_rounds"),
+                    table.mean("dfo_rounds"),
+                    table.mean("dfo_rounds") / table.mean("cff_rounds"),
+                    table.mean("cff_coverage"),
+                    table.mean("dfo_coverage")});
+  }
+  emitTable("Fig. 8 — broadcast time (rounds)",
+            {"n", "CFF rounds", "DFO rounds", "DFO/CFF", "CFF cov",
+             "DFO cov"},
+            rows, bench::csvPath("fig08_broadcast_time"), 2);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 10 — size and height of the backbone BT(G) as the network
+// grows.
+//
+// Expected shape: backbone size grows roughly linearly with n at a fixed
+// field; height grows much more slowly and flattens (it is bounded by
+// the field diameter in hops).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  const auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("Fig. 10", "backbone size and height vs n", cfg);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t n : cfg.nodeCounts) {
+    const auto table =
+        runTrials(cfg, n, [](SensorNetwork& net, Rng&, MetricTable& t) {
+          const auto s = net.stats();
+          t.add("bt_size", static_cast<double>(s.backboneSize));
+          t.add("bt_height", static_cast<double>(s.backboneHeight));
+          t.add("clusters", static_cast<double>(s.clusterCount));
+          t.add("cnet_height", static_cast<double>(s.cnetHeight));
+        });
+    rows.push_back({static_cast<double>(n), table.mean("bt_size"),
+                    table.mean("bt_height"), table.mean("clusters"),
+                    table.mean("cnet_height")});
+  }
+  emitTable("Fig. 10 — backbone size and height",
+            {"n", "|BT| size", "BT height", "clusters", "h (CNet)"}, rows,
+            bench::csvPath("fig10_backbone"), 1);
+  return 0;
+}

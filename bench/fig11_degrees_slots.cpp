@@ -1,0 +1,37 @@
+// Figure 11 — D, d, Δ, δ vs n: the maximum degree of G (D), of the
+// backbone-induced subgraph G(V_BT) (d), and the largest assigned
+// l-time-slot (Δ) and b-time-slot (δ).
+//
+// Expected shape (paper §6): d << D; measured Δ and δ below (even
+// "smaller than") D and d respectively, and far under the Lemma-3 bounds
+// D(D+1)/2+1 and d(d+1)/2+1.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  const auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("Fig. 11", "degrees (D, d) and slots (Delta, delta)",
+                     cfg);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t n : cfg.nodeCounts) {
+    const auto table =
+        runTrials(cfg, n, [](SensorNetwork& net, Rng&, MetricTable& t) {
+          const auto s = net.stats();
+          t.add("D", static_cast<double>(s.degreeG));
+          t.add("d", static_cast<double>(s.degreeBackbone));
+          t.add("Delta", static_cast<double>(s.maxLSlot));
+          t.add("delta", static_cast<double>(s.maxBSlot));
+          t.add("Delta_bound", static_cast<double>(s.lSlotBound()));
+          t.add("delta_bound", static_cast<double>(s.bSlotBound()));
+        });
+    rows.push_back({static_cast<double>(n), table.mean("D"),
+                    table.mean("d"), table.mean("Delta"),
+                    table.mean("delta"), table.mean("Delta_bound"),
+                    table.mean("delta_bound")});
+  }
+  emitTable("Fig. 11 — degrees and time-slots",
+            {"n", "D", "d", "Delta", "delta", "D(D+1)/2+1", "d(d+1)/2+1"},
+            rows, bench::csvPath("fig11_degrees_slots"), 1);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// M1 — micro-benchmarks (google-benchmark): wall-clock cost of the core
+// operations so regressions in the structural machinery are visible.
+#include <benchmark/benchmark.h>
+
+#include "broadcast/runner.hpp"
+#include "core/sensor_network.hpp"
+#include "graph/deploy.hpp"
+#include "graph/unit_disk.hpp"
+#include "util/rng.hpp"
+
+namespace dsn {
+namespace {
+
+std::vector<Point2D> paperPoints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return deployIncrementalAttach(
+      {Field::squareUnits(10), 50.0, n}, rng);
+}
+
+void BM_UnitDiskBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = paperPoints(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buildUnitDiskGraph(pts, 50.0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnitDiskBuild)->Arg(100)->Arg(500);
+
+void BM_ClusterNetConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = paperPoints(n, 2);
+  for (auto _ : state) {
+    Graph g = buildUnitDiskGraph(pts, 50.0);
+    ClusterNet net(g);
+    for (NodeId v = 0; v < pts.size(); ++v) net.moveIn(v);
+    benchmark::DoNotOptimize(net.netSize());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ClusterNetConstruction)->Arg(100)->Arg(500);
+
+void BM_MoveOutMoveIn(benchmark::State& state) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 300;
+  cfg.seed = 3;
+  SensorNetwork net(cfg);
+  Rng rng(4);
+  for (auto _ : state) {
+    const NodeId anchor = net.randomNode(rng);
+    const Point2D p{net.position(anchor).x + rng.uniformReal(-20, 20),
+                    net.position(anchor).y + rng.uniformReal(-20, 20)};
+    net.removeSensor(net.randomNode(rng));
+    net.addSensor(p);
+  }
+}
+BENCHMARK(BM_MoveOutMoveIn)->Iterations(200);
+
+void BM_IcffBroadcast(benchmark::State& state) {
+  NetworkConfig cfg;
+  cfg.nodeCount = static_cast<std::size_t>(state.range(0));
+  cfg.seed = 5;
+  SensorNetwork net(cfg);
+  Rng rng(6);
+  for (auto _ : state) {
+    const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                   net.randomNode(rng), 1);
+    benchmark::DoNotOptimize(run.delivered);
+  }
+}
+BENCHMARK(BM_IcffBroadcast)->Arg(100)->Arg(500);
+
+void BM_DfoBroadcast(benchmark::State& state) {
+  NetworkConfig cfg;
+  cfg.nodeCount = static_cast<std::size_t>(state.range(0));
+  cfg.seed = 7;
+  SensorNetwork net(cfg);
+  Rng rng(8);
+  for (auto _ : state) {
+    const auto run =
+        net.broadcast(BroadcastScheme::kDfo, net.randomNode(rng), 1);
+    benchmark::DoNotOptimize(run.delivered);
+  }
+}
+BENCHMARK(BM_DfoBroadcast)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace dsn

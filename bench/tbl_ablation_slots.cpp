@@ -1,0 +1,49 @@
+// T5 — slot-policy ablation (DESIGN.md §4(1)) and the §6 observation
+// that measured slots sit far below the Lemma-3 bounds.
+//
+// Compares SlotPolicy::kStrict (leaf interference = all backbone
+// neighbors; provably collision-free leaf hop) against kPaperLocal (the
+// literal Time-Slot Condition 2), reporting slot magnitudes and the
+// measured Algorithm-2 delivery under each. Expected: kPaperLocal slots
+// are slightly smaller, but its leaf hop can drop receivers when a
+// cross-depth backbone neighbor shares the provider's l-slot.
+#include "bench/bench_common.hpp"
+#include "broadcast/improved_cff.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("T5", "slot policy ablation: strict vs paper-local",
+                     cfg);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t n : cfg.nodeCounts) {
+    for (SlotPolicy policy :
+         {SlotPolicy::kStrict, SlotPolicy::kPaperLocal}) {
+      ExperimentConfig ecfg = cfg;
+      ecfg.cluster.slotPolicy = policy;
+      const auto table = runTrials(
+          ecfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+            const auto s = net.stats();
+            t.add("Delta", static_cast<double>(s.maxLSlot));
+            t.add("delta", static_cast<double>(s.maxBSlot));
+            t.add("Delta_bound", static_cast<double>(s.lSlotBound()));
+            const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                           net.randomNode(rng), 1);
+            t.add("coverage", run.coverage());
+            t.add("collisions", static_cast<double>(run.collisions));
+          });
+      rows.push_back({static_cast<double>(n),
+                      policy == SlotPolicy::kStrict ? 1.0 : 0.0,
+                      table.mean("Delta"), table.mean("delta"),
+                      table.mean("Delta_bound"), table.mean("coverage"),
+                      table.mean("collisions")});
+    }
+  }
+  emitTable(
+      "T5 — slot policy ablation (strict=1 / paper-local=0)",
+      {"n", "strict", "Delta", "delta", "Lemma3 bound", "coverage",
+       "collisions"},
+      rows, bench::csvPath("tbl_ablation_slots"), 3);
+  return 0;
+}

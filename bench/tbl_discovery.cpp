@@ -1,0 +1,38 @@
+// T10 (validation of Theorem 2(1)'s assumption) — the randomized attach
+// handshake of [19] executed on the radio: rounds to discover all
+// d_new neighbors, vs d_new. The paper (and our RoundCost meter) charge
+// O(d_new) expected rounds; this measures the hidden constant.
+#include "bench/bench_common.hpp"
+#include "broadcast/neighbor_discovery.hpp"
+#include "graph/deploy.hpp"
+#include "graph/unit_disk.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("T10", "neighbor-discovery handshake vs degree",
+                     cfg);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t degree : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    Samples rounds, complete;
+    for (int trial = 0; trial < cfg.trials * 4; ++trial) {
+      // Star of `degree` leaves: the joiner is the hub.
+      Graph g(degree + 1);
+      for (NodeId v = 1; v <= degree; ++v) g.addEdge(0, v);
+      DiscoveryConfig dc;
+      dc.seed = cfg.trialSeed(degree, trial);
+      const auto result = runNeighborDiscovery(g, 0, dc);
+      rounds.add(static_cast<double>(result.rounds));
+      complete.add(result.complete ? 1.0 : 0.0);
+    }
+    rows.push_back({static_cast<double>(degree), rounds.mean(),
+                    rounds.mean() / static_cast<double>(degree),
+                    rounds.max(), complete.mean()});
+  }
+  emitTable("T10 — randomized neighbor discovery (O(d) handshake)",
+            {"d_new", "rounds mean", "rounds/d", "rounds max",
+             "complete"},
+            rows, bench::csvPath("tbl_discovery"), 2);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// T9 (extension of paper §2) — multi-sink replication: coverage of a
+// single cluster-net vs failover across 2 and 3 replicas when the area
+// around the primary sink is destroyed.
+//
+// Expected shape: a single structure loses everything the moment its
+// root's neighborhood dies; replicas rooted far apart restore coverage
+// at the cost of extra maintained state.
+#include "bench/bench_common.hpp"
+#include "core/replicated_network.hpp"
+#include "graph/deploy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("T9", "multi-sink failover under sink-area loss",
+                     cfg);
+
+  const std::size_t n = 200;
+  std::vector<std::vector<double>> rows;
+  for (std::size_t replicas : {std::size_t{1}, std::size_t{2},
+                               std::size_t{3}}) {
+    Samples coverage, tried;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      Rng rng(cfg.trialSeed(n, trial));
+      const auto pts = deployIncrementalAttach(
+          {Field::squareUnits(cfg.fieldUnits, cfg.unitMeters), cfg.range,
+           n},
+          rng);
+      ReplicatedConfig rc;
+      rc.replicaCount = replicas;
+      ReplicatedNetwork net(pts, cfg.range, rc);
+
+      // Destroy the primary sink and its 1-hop neighborhood at round 0.
+      const NodeId root0 = net.replica(0).root();
+      ProtocolOptions opts;
+      opts.deaths.emplace_back(root0, 0);
+      for (NodeId u : net.graph().neighbors(root0))
+        opts.deaths.emplace_back(u, 0);
+
+      // Source: a node far from the blast (the last replica's root, or
+      // any distant node when only one replica exists).
+      NodeId source = net.replica(replicas - 1).root();
+      if (source == root0) source = net.replica(0).netNodes().back();
+
+      const auto failover = net.broadcastWithFailover(
+          BroadcastScheme::kImprovedCff, source, 1, opts, 0.9);
+      coverage.add(failover.run.coverage());
+      tried.add(static_cast<double>(failover.replicasTried));
+    }
+    rows.push_back({static_cast<double>(replicas), coverage.mean(),
+                    coverage.min(), tried.mean()});
+  }
+  emitTable("T9 — failover coverage after sink-area destruction (n=200)",
+            {"replicas", "coverage mean", "coverage min",
+             "replicas tried"},
+            rows, bench::csvPath("tbl_failover"), 3);
+  return 0;
+}

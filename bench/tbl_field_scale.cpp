@@ -1,0 +1,44 @@
+// T6 — field-scale sweep (§6: 8x8, 10x10 and 12x12 unit fields): the
+// Fig. 8 / Fig. 9 comparison across all three field sizes at n = 300.
+//
+// Expected shape: the CFF advantage holds at every density; sparser
+// fields (12x12) raise heights (more rounds for both) while denser
+// fields (8x8) raise degrees/slots.
+#include "bench/bench_common.hpp"
+#include "broadcast/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto base = bench::defaultConfig(argc, argv);
+  bench::printHeader("T6", "field scale sweep at n = 300", base);
+
+  const std::size_t n = 300;
+  std::vector<std::vector<double>> rows;
+  for (int units : {8, 10, 12}) {
+    ExperimentConfig cfg = base;
+    cfg.fieldUnits = units;
+    const auto table = runTrials(
+        cfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+          const NodeId source = net.randomNode(rng);
+          const auto cff =
+              net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
+          const auto dfo = net.broadcast(BroadcastScheme::kDfo, source, 1);
+          const auto s = net.stats();
+          t.add("cff_rounds", static_cast<double>(cff.sim.rounds));
+          t.add("dfo_rounds", static_cast<double>(dfo.sim.rounds));
+          t.add("cff_awake", static_cast<double>(cff.maxAwakeRounds));
+          t.add("dfo_awake", static_cast<double>(dfo.maxAwakeRounds));
+          t.add("height", static_cast<double>(s.cnetHeight));
+          t.add("D", static_cast<double>(s.degreeG));
+        });
+    rows.push_back({static_cast<double>(units), table.mean("cff_rounds"),
+                    table.mean("dfo_rounds"), table.mean("cff_awake"),
+                    table.mean("dfo_awake"), table.mean("height"),
+                    table.mean("D")});
+  }
+  emitTable("T6 — field scale (units per side, n = 300)",
+            {"field", "CFF rounds", "DFO rounds", "CFF awake",
+             "DFO awake", "height", "D"},
+            rows, bench::csvPath("tbl_field_scale"), 1);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// T7 (extension) — convergecast data gathering: rounds, awake-rounds and
+// transmissions per exact-sum wave vs n; the dual of Fig. 8/9.
+//
+// Expected shape: rounds grow with h·W (W stays small, so nearly with
+// the tree height alone); awake-rounds stay flat; exactly n-1 frames.
+#include "bench/bench_common.hpp"
+#include "broadcast/convergecast.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  const auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("T7", "convergecast gather wave vs n", cfg);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t n : cfg.nodeCounts) {
+    const auto table = runTrials(
+        cfg, n, [](SensorNetwork& net, Rng&, MetricTable& t) {
+          std::vector<std::uint64_t> values(net.graph().size(), 1);
+          const auto result = runConvergecast(net.clusterNet(), values);
+          t.add("rounds", static_cast<double>(result.sim.rounds));
+          t.add("awake", static_cast<double>(result.maxAwakeRounds));
+          t.add("tx", static_cast<double>(result.transmissions));
+          t.add("yield", result.yield());
+          t.add("W", static_cast<double>(net.clusterNet().rootMaxUpSlot()));
+        });
+    rows.push_back({static_cast<double>(n), table.mean("rounds"),
+                    table.mean("awake"), table.mean("tx"),
+                    table.mean("yield"), table.mean("W")});
+  }
+  emitTable("T7 — convergecast (exact sum to the sink)",
+            {"n", "rounds", "max awake", "tx", "yield", "W"}, rows,
+            bench::csvPath("tbl_gather"), 2);
+  return 0;
+}

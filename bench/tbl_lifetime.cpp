@@ -1,0 +1,96 @@
+// T11 (extension) — network lifetime: what the paper's "energy saving"
+// buys end-to-end. Every epoch one broadcast runs and its measured
+// per-node listen/transmit rounds drain finite batteries (no recharge);
+// exhausted nodes withdraw.
+//
+// Lifetime = epochs until the first battery death and until the net has
+// lost half its nodes.
+//
+// Expected shape: under DFO every node idle-listens for the whole tour,
+// so the entire network drains in lock-step and dies early; under
+// Algorithm 2 nodes sleep except for ~2δ+Δ rounds, stretching lifetime
+// by roughly the awake-round ratio (an order of magnitude, cf. Fig. 9).
+#include "bench/bench_common.hpp"
+#include "broadcast/runner.hpp"
+#include "core/battery.hpp"
+
+namespace {
+
+using namespace dsn;
+
+struct Lifetime {
+  int firstDeathEpochs = 0;  ///< first battery-driven withdrawal
+  int halfNetEpochs = 0;     ///< net size < half the deployment
+};
+
+Lifetime measure(BroadcastScheme scheme, std::size_t n,
+                 std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.nodeCount = n;
+  cfg.seed = seed;
+  SensorNetwork net(cfg);
+  Rng rng(seed ^ 0x11FE);
+
+  BatteryConfig bc;
+  bc.capacity = 3000.0;           // abstract units; same for both schemes
+  bc.withdrawThreshold = 10.0;
+  bc.rejoinThreshold = 1e9;       // no recharge: resting = dead for good
+  bc.rechargePerTick = 0.0;
+  bc.idleDrainPerTick = 1.0;
+  BatteryManager batteries(net, bc);
+
+  Lifetime life;
+  const std::size_t half = n / 2;
+  const int kMaxEpochs = 5000;
+  for (int epoch = 1; epoch <= kMaxEpochs; ++epoch) {
+    if (net.clusterNet().netSize() < 3) {
+      if (life.halfNetEpochs == 0) life.halfNetEpochs = epoch;
+      break;
+    }
+    const auto run = net.broadcast(scheme, net.randomNode(rng), 1);
+    batteries.drainFromRun(run);
+    const auto report = batteries.tick();
+
+    if (life.firstDeathEpochs == 0 && !report.withdrawn.empty())
+      life.firstDeathEpochs = epoch;
+    if (life.halfNetEpochs == 0 && net.clusterNet().netSize() < half)
+      life.halfNetEpochs = epoch;
+    if (life.firstDeathEpochs && life.halfNetEpochs) break;
+  }
+  if (life.firstDeathEpochs == 0) life.firstDeathEpochs = kMaxEpochs;
+  if (life.halfNetEpochs == 0) life.halfNetEpochs = kMaxEpochs;
+  return life;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader(
+      "T11", "network lifetime under a broadcast-per-epoch load (n=150)",
+      cfg);
+
+  const std::size_t n = 150;
+  std::vector<std::vector<double>> rows;
+  for (auto scheme :
+       {BroadcastScheme::kDfo, BroadcastScheme::kImprovedCff}) {
+    Samples firstDeath, halfLife;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      const auto life = measure(scheme, n, cfg.trialSeed(n, trial));
+      firstDeath.add(life.firstDeathEpochs);
+      halfLife.add(life.halfNetEpochs);
+    }
+    rows.push_back({scheme == BroadcastScheme::kDfo ? 0.0 : 1.0,
+                    firstDeath.mean(), halfLife.mean(),
+                    halfLife.min()});
+  }
+  // Lifetime ratio ICFF/DFO on the half-net metric.
+  if (rows.size() == 2 && rows[0][2] > 0)
+    for (auto& row : rows) row.push_back(row[2] / rows[0][2]);
+  emitTable("T11 — network lifetime (0 = DFO, 1 = Algorithm 2)",
+            {"scheme", "first death", "epochs to half net", "min",
+             "vs DFO"},
+            rows, bench::csvPath("tbl_lifetime"), 1);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// T2 — multicast vs broadcast (§3.4 "a multicast will be much faster
+// than a broadcast"): transmissions, rounds and delivery for group sizes
+// from one cluster up to half the network, pruned relay-lists vs full
+// flooding, n = 300.
+//
+// Expected shape: pruned multicast needs a small fraction of the
+// broadcast's transmissions for localized groups, converging toward the
+// broadcast cost as the group approaches the whole network. Pruned
+// delivery may dip fractionally below 1.0 — the relay-pruning soundness
+// gap documented in DESIGN.md §4.
+#include "bench/bench_common.hpp"
+#include "broadcast/improved_cff.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader(
+      "T2", "multicast (pruned vs flood) against broadcast (n = 300)",
+      cfg);
+
+  const std::size_t n = 300;
+  constexpr GroupId kGroup = 1;
+  std::vector<std::vector<double>> rows;
+  for (double fraction : {0.02, 0.05, 0.1, 0.25, 0.5}) {
+    const auto table = runTrials(
+        cfg, n,
+        [fraction](SensorNetwork& net, Rng& rng, MetricTable& t) {
+          // Localized group: grow membership outward from a random seed
+          // member so the group occupies one region of the field.
+          auto& cnet = net.clusterNet();
+          const auto nodes = cnet.netNodes();
+          const NodeId seed = nodes[rng.pickIndex(nodes)];
+          const auto want = static_cast<std::size_t>(
+              fraction * static_cast<double>(nodes.size()));
+          // BFS from the seed over the flat graph.
+          std::vector<NodeId> frontier{seed};
+          std::size_t joined = 0;
+          std::vector<bool> seen(net.graph().size(), false);
+          seen[seed] = true;
+          while (!frontier.empty() && joined < want) {
+            const NodeId v = frontier.front();
+            frontier.erase(frontier.begin());
+            cnet.joinGroup(v, kGroup);
+            ++joined;
+            for (NodeId u : net.graph().neighbors(v)) {
+              if (!seen[u] && cnet.contains(u)) {
+                seen[u] = true;
+                frontier.push_back(u);
+              }
+            }
+          }
+
+          const NodeId source = cnet.root();
+          const auto pruned = net.multicast(source, kGroup, 1,
+                                            MulticastMode::kPrunedRelay);
+          const auto flood = net.multicast(source, kGroup, 1,
+                                           MulticastMode::kFullFlood);
+          const auto bcast =
+              net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
+          t.add("group", static_cast<double>(joined));
+          t.add("pruned_tx", static_cast<double>(pruned.transmissions));
+          t.add("flood_tx", static_cast<double>(flood.transmissions));
+          t.add("bcast_tx", static_cast<double>(bcast.transmissions));
+          t.add("pruned_cov", pruned.coverage());
+          t.add("flood_cov", flood.coverage());
+          // Tear down group membership for the next trial (fresh nets
+          // per trial, so this is belt-and-braces).
+        });
+    rows.push_back({table.mean("group"), table.mean("pruned_tx"),
+                    table.mean("flood_tx"), table.mean("bcast_tx"),
+                    table.mean("pruned_cov"), table.mean("flood_cov")});
+  }
+  emitTable("T2 — multicast vs broadcast (n = 300)",
+            {"group size", "pruned tx", "flood tx", "bcast tx",
+             "pruned cov", "flood cov"},
+            rows, bench::csvPath("tbl_multicast"), 3);
+  return 0;
+}

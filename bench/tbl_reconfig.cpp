@@ -1,0 +1,65 @@
+// T4 — reconfiguration cost (Theorems 2 and 3): measured rounds per
+// node-move-in and node-move-out across network sizes, split into the
+// paper's cost components, against the theoretical envelopes
+// O(d_new + 2h + 2d + D) and O(h + |T| D^2).
+#include "bench/bench_common.hpp"
+#include "cluster/backbone.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("T4", "node-move-in / node-move-out round cost", cfg);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t n : cfg.nodeCounts) {
+    const auto table = runTrials(
+        cfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+          auto& cnet = net.clusterNet();
+          const auto statsBefore = net.stats();
+          t.add("bound_in",
+                static_cast<double>(statsBefore.degreeG) +
+                    2.0 * statsBefore.cnetHeight +
+                    2.0 * static_cast<double>(statsBefore.degreeBackbone) +
+                    static_cast<double>(statsBefore.degreeG));
+
+          // Ten joins near random survivors.
+          cnet.resetCosts();
+          std::int64_t joinRounds = 0;
+          int joins = 0;
+          for (int i = 0; i < 10; ++i) {
+            const NodeId anchor = net.randomNode(rng);
+            const auto before = cnet.costs();
+            bool joined = false;
+            net.addSensor({net.position(anchor).x + rng.uniformReal(-30, 30),
+                           net.position(anchor).y + rng.uniformReal(-30, 30)},
+                          &joined);
+            if (joined) {
+              joinRounds += (cnet.costs() - before).total();
+              ++joins;
+            }
+          }
+          if (joins > 0)
+            t.add("move_in",
+                  static_cast<double>(joinRounds) / joins);
+
+          // Ten departures.
+          std::int64_t outRounds = 0;
+          std::int64_t subtree = 0;
+          for (int i = 0; i < 10; ++i) {
+            const auto report = net.removeSensor(net.randomNode(rng));
+            outRounds += report.cost.total();
+            subtree += static_cast<std::int64_t>(report.subtreeSize);
+          }
+          t.add("move_out", static_cast<double>(outRounds) / 10.0);
+          t.add("avg_subtree", static_cast<double>(subtree) / 10.0);
+        });
+    rows.push_back({static_cast<double>(n), table.mean("move_in"),
+                    table.mean("bound_in"), table.mean("move_out"),
+                    table.mean("avg_subtree")});
+  }
+  emitTable("T4 — reconfiguration cost (rounds)",
+            {"n", "move-in avg", "Thm2 envelope", "move-out avg",
+             "avg |T|"},
+            rows, bench::csvPath("tbl_reconfig"), 1);
+  return 0;
+}

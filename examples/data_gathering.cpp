@@ -1,0 +1,70 @@
+// Data gathering: periodic sensor readings aggregated to the sink.
+//
+// Every epoch the sink triggers a convergecast wave: each node reports
+// its reading, parents aggregate sums and counts on the way up, and the
+// sink ends up with the exact field mean — in h·W rounds with every node
+// awake for at most ~2W rounds (W = largest up-slot). A mid-run node
+// failure shows the yield accounting: the dead subtree's readings are
+// missing and the sink knows exactly how many contributors it heard.
+//
+//   $ ./examples/data_gathering
+#include <iomanip>
+#include <iostream>
+
+#include "broadcast/convergecast.hpp"
+#include "core/sensor_network.hpp"
+
+int main() {
+  using namespace dsn;
+
+  NetworkConfig cfg;
+  cfg.nodeCount = 250;
+  cfg.seed = 314;
+  SensorNetwork net(cfg);
+  Rng rng(15);
+
+  std::cout << "Gather window W = " << net.clusterNet().rootMaxUpSlot()
+            << " slots, tree height h = " << net.clusterNet().height()
+            << "\n\n";
+
+  std::cout << "epoch  yield   mean-reading  rounds  max-awake\n";
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    // Synthetic readings: a field gradient plus noise.
+    std::vector<std::uint64_t> readings(net.graph().size(), 0);
+    for (NodeId v : net.clusterNet().netNodes()) {
+      const auto& p = net.position(v);
+      readings[v] = static_cast<std::uint64_t>(
+          20.0 + p.x / 50.0 + rng.uniformReal(0, 5));
+    }
+
+    ProtocolOptions opts;
+    if (epoch == 3) {
+      // A relay dies mid-epoch 3: part of the field goes dark.
+      for (NodeId v : net.clusterNet().backboneNodes()) {
+        if (net.clusterNet().depth(v) == 2 &&
+            !net.clusterNet().children(v).empty()) {
+          opts.deaths.emplace_back(v, 0);
+          break;
+        }
+      }
+    }
+
+    const auto result =
+        runConvergecast(net.clusterNet(), readings, opts);
+    const double mean =
+        result.contributors
+            ? static_cast<double>(result.aggregate) /
+                  static_cast<double>(result.contributors)
+            : 0.0;
+    std::cout << std::setw(5) << epoch << std::setw(7) << std::fixed
+              << std::setprecision(2) << result.yield() << std::setw(14)
+              << mean << std::setw(8) << result.sim.rounds
+              << std::setw(10) << result.maxAwakeRounds
+              << (epoch == 3 ? "   <- relay failure" : "") << "\n";
+  }
+
+  std::cout << "\nThe sink always knows its yield: sums and contributor\n"
+               "counts ride together, so partial waves never silently\n"
+               "skew the mean.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Dynamic sensor network: battery-driven churn.
+//
+// The paper's motivating lifecycle (§1): sensors drain their batteries
+// while relaying, withdraw from the network when the charge runs low
+// (node-move-out), recharge while resting, and rejoin when recovered
+// (node-move-in). The BatteryManager automates the whole cycle from the
+// *measured* per-node radio usage of each broadcast; the structure must
+// stay valid and every broadcast must keep covering the current net.
+//
+//   $ ./examples/dynamic_network [epochs]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/battery.hpp"
+#include "core/sensor_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  NetworkConfig netCfg;
+  netCfg.nodeCount = 200;
+  netCfg.seed = 77;
+  SensorNetwork net(netCfg);
+  Rng rng(1234);
+
+  BatteryConfig cfg;
+  cfg.withdrawThreshold = 55.0;
+  cfg.rejoinThreshold = 90.0;
+  cfg.rechargePerTick = 18.0;
+  cfg.idleDrainPerTick = 0.5;
+  BatteryManager batteries(net, cfg);
+
+  std::cout
+      << "epoch  net  resting  out  back  mean-charge  bcast-coverage\n";
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    // One broadcast per epoch; its real listen/transmit rounds drain the
+    // batteries (backbone relays pay the most and tire first).
+    const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                   net.randomNode(rng), 0xBEEF);
+    batteries.drainFromRun(run);
+    const auto report = batteries.tick();
+
+    const auto validation = net.validate();
+    if (!validation.ok()) {
+      std::cerr << "INVARIANT VIOLATION at epoch " << epoch << ":\n"
+                << validation.summary() << "\n";
+      return 1;
+    }
+
+    std::cout << std::setw(5) << epoch << std::setw(5)
+              << net.clusterNet().netSize() << std::setw(9)
+              << report.resting << std::setw(5)
+              << report.withdrawn.size() << std::setw(6)
+              << report.rejoined.size() + report.orphansRecovered.size()
+              << std::setw(13) << std::fixed << std::setprecision(1)
+              << report.meanCharge << std::setw(16)
+              << std::setprecision(3) << run.coverage() << "\n";
+  }
+
+  std::cout << "\nThe relay roles rotate as tired backbone nodes rest\n"
+               "and recovered ones rejoin — the architecture heals\n"
+               "itself through node-move-out / node-move-in.\n";
+  return 0;
+}

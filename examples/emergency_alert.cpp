@@ -1,0 +1,74 @@
+// Emergency alert under fire: robustness of CFF vs DFO.
+//
+// An alert must reach the whole field while sensors are failing —
+// transient radio faults (dropped transmissions) plus a spreading
+// blackout that permanently kills nodes near an ignition point. The DFO
+// token tour stalls at the first lost relay; collision-free flooding
+// keeps serving every branch it can still reach (paper §3.3
+// "Robustness").
+//
+//   $ ./examples/emergency_alert [drop-probability]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/sensor_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+
+  const double drop = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  NetworkConfig cfg;
+  cfg.nodeCount = 250;
+  cfg.seed = 1944;
+  SensorNetwork net(cfg);
+  Rng rng(7);
+
+  // Blackout: the node closest to the field centre and everything within
+  // 120 m of it dies at round 5 (mid-broadcast).
+  const Point2D ignition{cfg.field.width / 2, cfg.field.height / 2};
+  ProtocolOptions opts;
+  opts.dropProbability = drop;
+  std::size_t burned = 0;
+  for (NodeId v : net.clusterNet().netNodes()) {
+    if (distance(net.position(v), ignition) < 120.0) {
+      opts.deaths.emplace_back(v, 5);
+      ++burned;
+    }
+  }
+
+  std::cout << "Field 1 km x 1 km, " << net.size() << " sensors, "
+            << burned << " nodes burn out at round 5, transient drop "
+            << drop * 100 << "%\n\n";
+
+  const NodeId sink = net.clusterNet().root();
+  std::cout << "protocol   coverage   rounds   transmissions\n";
+  double cffCov = 0, dfoCov = 0;
+  const int repeats = 10;
+  for (int i = 0; i < repeats; ++i) {
+    opts.failureSeed = rng.next();
+    const auto cff =
+        net.broadcast(BroadcastScheme::kImprovedCff, sink, 0xA1E87, opts);
+    const auto dfo = net.broadcast(BroadcastScheme::kDfo, sink, 0xA1E87, opts);
+    cffCov += cff.coverage();
+    dfoCov += dfo.coverage();
+    if (i == 0) {
+      std::cout << "  CFF        " << std::fixed << std::setprecision(1)
+                << cff.coverage() * 100 << "%      " << cff.sim.rounds
+                << "       " << cff.transmissions << "\n"
+                << "  DFO        " << dfo.coverage() * 100 << "%      "
+                << dfo.sim.rounds << "       " << dfo.transmissions
+                << "\n";
+    }
+  }
+  std::cout << "\nAveraged over " << repeats
+            << " failure draws:  CFF " << std::setprecision(1)
+            << cffCov / repeats * 100 << "%   DFO "
+            << dfoCov / repeats * 100 << "%\n";
+
+  std::cout << "\nEvery CFF miss is a node whose only uniquely-slotted\n"
+               "provider failed; every DFO miss after the stall is the\n"
+               "rest of the Eulerian tour.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Multicast groups: zone-based sensing.
+//
+// The field is divided into four quadrant "zones"; each sensor joins the
+// group of its quadrant, and a fifth group collects every cluster-head
+// (a control-plane group). The sink multicasts zone-specific commands
+// and we compare the cost against a full broadcast — the paper's §3.4
+// claim that relay-list pruning excludes unrelated subtrees.
+//
+//   $ ./examples/multicast_groups
+#include <iostream>
+
+#include "core/sensor_network.hpp"
+
+int main() {
+  using namespace dsn;
+
+  NetworkConfig cfg;
+  cfg.nodeCount = 300;
+  cfg.seed = 99;
+  SensorNetwork net(cfg);
+
+  constexpr GroupId kZoneBase = 10;  // zones 10..13
+  constexpr GroupId kHeads = 42;
+
+  const double midX = cfg.field.width / 2;
+  const double midY = cfg.field.height / 2;
+  std::size_t zoneSizes[4] = {0, 0, 0, 0};
+  for (NodeId v : net.clusterNet().netNodes()) {
+    const auto& p = net.position(v);
+    const int zone = (p.x >= midX ? 1 : 0) + (p.y >= midY ? 2 : 0);
+    net.joinGroup(v, kZoneBase + static_cast<GroupId>(zone));
+    ++zoneSizes[zone];
+    if (net.clusterNet().status(v) == NodeStatus::kClusterHead)
+      net.joinGroup(v, kHeads);
+  }
+
+  const NodeId sink = net.clusterNet().root();
+  const auto broadcastRun =
+      net.broadcast(BroadcastScheme::kImprovedCff, sink, 0);
+  std::cout << "Full broadcast reference: " << broadcastRun.transmissions
+            << " transmissions, " << broadcastRun.sim.rounds
+            << " rounds.\n\n";
+
+  std::cout
+      << "group      members  tx(pruned)  tx(flood)  coverage  rounds\n";
+  for (int zone = 0; zone < 4; ++zone) {
+    const GroupId g = kZoneBase + static_cast<GroupId>(zone);
+    const auto pruned =
+        net.multicast(sink, g, 1, MulticastMode::kPrunedRelay);
+    const auto flood = net.multicast(sink, g, 1, MulticastMode::kFullFlood);
+    std::cout << "  zone-" << zone << "     " << zoneSizes[zone] << "\t"
+              << pruned.transmissions << "\t    " << flood.transmissions
+              << "\t  " << pruned.coverage() * 100 << "%\t"
+              << pruned.sim.rounds << "\n";
+  }
+  const auto headsRun =
+      net.multicast(sink, kHeads, 1, MulticastMode::kPrunedRelay);
+  std::cout << "  heads      " << net.clusterNet().clusterCount() << "\t"
+            << headsRun.transmissions << "\t    -\t  "
+            << headsRun.coverage() * 100 << "%\t" << headsRun.sim.rounds
+            << "\n";
+
+  std::cout << "\nZone multicasts prune the three unrelated quadrants'\n"
+               "subtrees; the heads-group multicast finishes within the\n"
+               "backbone flood (heads receive in step 1).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: deploy a paper-scale sensor network, inspect the
+// self-constructed cluster architecture, and run one broadcast with each
+// protocol.
+//
+//   $ ./examples/quickstart [nodes] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sensor_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+
+  NetworkConfig cfg;
+  cfg.nodeCount = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  cfg.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2007;
+  // Paper defaults: 10x10 field of 100 m units, 50 m radio range.
+
+  std::cout << "Deploying " << cfg.nodeCount
+            << " sensors on a 1 km x 1 km field (seed " << cfg.seed
+            << ")...\n";
+  SensorNetwork net(cfg);
+
+  const auto report = net.validate();
+  std::cout << "Structure valid: " << (report.ok() ? "yes" : "NO") << "\n";
+
+  const auto s = net.stats();
+  std::cout << "Cluster architecture:\n"
+            << "  clusters (heads) : " << s.clusterCount << "\n"
+            << "  backbone |BT(G)| : " << s.backboneSize << "\n"
+            << "  backbone height  : " << s.backboneHeight << "\n"
+            << "  CNet height h    : " << s.cnetHeight << "\n"
+            << "  max degree D     : " << s.degreeG << "\n"
+            << "  backbone degree d: " << s.degreeBackbone << "\n"
+            << "  largest l-slot Δ : " << s.maxLSlot
+            << "  (Lemma 3 bound " << s.lSlotBound() << ")\n"
+            << "  largest b-slot δ : " << s.maxBSlot
+            << "  (Lemma 3 bound " << s.bSlotBound() << ")\n\n";
+
+  Rng rng(cfg.seed);
+  const NodeId source = net.randomNode(rng);
+  std::cout << "Broadcasting from node " << source << " (depth "
+            << net.clusterNet().depth(source) << ")...\n\n";
+
+  std::cout << "protocol   rounds  max-awake  transmissions  coverage\n";
+  for (auto scheme : {BroadcastScheme::kDfo, BroadcastScheme::kCff,
+                      BroadcastScheme::kImprovedCff}) {
+    const auto run = net.broadcast(scheme, source, /*payload=*/0xDA7A);
+    std::cout << "  " << toString(scheme) << "\t     " << run.sim.rounds
+              << "\t  " << run.maxAwakeRounds << "\t       "
+              << run.transmissions << "\t     " << run.coverage() * 100
+              << "%\n";
+  }
+
+  std::cout << "\nThe paper's claim in one line: the collision-free\n"
+               "flooding schemes finish in a few TDM windows while the\n"
+               "depth-first token tour pays ~2 rounds per backbone node\n"
+               "and keeps every node listening until the token passes.\n";
+  return 0;
+}

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Render dsnet bench CSVs as standalone SVG line charts.
+
+Dependency-free (no matplotlib): reads every results/*.csv the bench
+binaries wrote, takes the first column as the x axis and each remaining
+column as a series, and emits one SVG per CSV.
+
+Usage:
+    python3 scripts/plot_results.py [results-dir] [output-dir]
+
+Defaults: build/results -> build/figures.
+"""
+
+import csv
+import pathlib
+import sys
+
+WIDTH, HEIGHT = 640, 420
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 24, 40, 48
+PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+    "#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+]
+
+
+def nice_ticks(lo, hi, count=5):
+    """Evenly spaced ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / max(count - 1, 1)
+    return [lo + i * step for i in range(count)]
+
+
+def fmt(v):
+    return f"{v:.0f}" if abs(v - round(v)) < 1e-9 else f"{v:.2f}"
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    if len(rows) < 2:
+        return None
+    header, data = rows[0], rows[1:]
+    try:
+        values = [[float(cell) for cell in row] for row in data]
+    except ValueError:
+        return None
+    return header, values
+
+
+def plot(path, out_dir):
+    parsed = read_csv(path)
+    if not parsed:
+        return None
+    header, values = parsed
+    if len(header) < 2:
+        return None
+
+    xs = [row[0] for row in values]
+    series = [(header[c], [row[c] for row in values])
+              for c in range(1, len(header))]
+
+    x_lo, x_hi = min(xs), max(xs)
+    all_y = [v for _, ys in series for v in ys]
+    y_lo, y_hi = min(all_y + [0.0]), max(all_y)
+
+    def sx(x):
+        span = (x_hi - x_lo) or 1.0
+        return MARGIN_L + (x - x_lo) / span * (WIDTH - MARGIN_L - MARGIN_R)
+
+    def sy(y):
+        span = (y_hi - y_lo) or 1.0
+        return (HEIGHT - MARGIN_B) - (y - y_lo) / span * (
+            HEIGHT - MARGIN_T - MARGIN_B)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="14">{path.stem}</text>',
+    ]
+
+    # Axes + grid.
+    for yt in nice_ticks(y_lo, y_hi):
+        y = sy(yt)
+        parts.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" x2="{WIDTH - MARGIN_R}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>')
+        parts.append(
+            f'<text x="{MARGIN_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{fmt(yt)}</text>')
+    for xt in nice_ticks(x_lo, x_hi):
+        x = sx(xt)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{MARGIN_T}" x2="{x:.1f}" '
+            f'y2="{HEIGHT - MARGIN_B}" stroke="#eeeeee"/>')
+        parts.append(
+            f'<text x="{x:.1f}" y="{HEIGHT - MARGIN_B + 18}" '
+            f'text-anchor="middle">{fmt(xt)}</text>')
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{HEIGHT - MARGIN_B}" '
+        f'x2="{WIDTH - MARGIN_R}" y2="{HEIGHT - MARGIN_B}" '
+        f'stroke="black"/>')
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" '
+        f'y2="{HEIGHT - MARGIN_B}" stroke="black"/>')
+    parts.append(
+        f'<text x="{WIDTH / 2}" y="{HEIGHT - 8}" '
+        f'text-anchor="middle">{header[0]}</text>')
+
+    # Series.
+    for i, (name, ys) in enumerate(series):
+        color = PALETTE[i % len(PALETTE)]
+        points = " ".join(
+            f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>')
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                f'fill="{color}"/>')
+        ly = MARGIN_T + 14 * i
+        parts.append(
+            f'<line x1="{WIDTH - MARGIN_R - 130}" y1="{ly}" '
+            f'x2="{WIDTH - MARGIN_R - 110}" y2="{ly}" stroke="{color}" '
+            f'stroke-width="2"/>')
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_R - 104}" y="{ly + 4}">'
+            f'{name}</text>')
+
+    parts.append("</svg>")
+
+    out = out_dir / (path.stem + ".svg")
+    out.write_text("\n".join(parts))
+    return out
+
+
+def main():
+    results = pathlib.Path(
+        sys.argv[1] if len(sys.argv) > 1 else "build/results")
+    out_dir = pathlib.Path(
+        sys.argv[2] if len(sys.argv) > 2 else "build/figures")
+    if not results.is_dir():
+        print(f"no results directory at {results}", file=sys.stderr)
+        return 1
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for path in sorted(results.glob("*.csv")):
+        out = plot(path, out_dir)
+        if out:
+            print(f"  {out}")
+            written += 1
+    print(f"{written} figures written to {out_dir}")
+    return 0 if written else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

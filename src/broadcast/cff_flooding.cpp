@@ -1,0 +1,158 @@
+#include "broadcast/cff_flooding.hpp"
+
+#include <memory>
+
+#include "broadcast/runner_detail.hpp"
+#include "graph/algorithms.hpp"
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+CffNodeProtocol::CffNodeProtocol(const CffNodeConfig& cfg)
+    : cfg_(cfg),
+      tdm_(cfg.window == 0 ? 1 : cfg.window, cfg.channels),
+      hasPayload_(cfg.isSource),
+      payloadRound_(cfg.isSource ? 0 : -1),
+      pathSent_(cfg.pathIndex < 0 || cfg.pathNext == kInvalidNode),
+      floodSent_(cfg.slot == kNoSlot) {}
+
+Round CffNodeProtocol::listenWindowStart() const {
+  return cfg_.floodStart +
+         static_cast<Round>(cfg_.depth - 1) * tdm_.windowLength();
+}
+
+Round CffNodeProtocol::listenWindowEnd() const {
+  if (cfg_.depth == 0) return cfg_.floodStart;  // root: end of path phase
+  return cfg_.floodStart +
+         static_cast<Round>(cfg_.depth) * tdm_.windowLength();
+}
+
+Round CffNodeProtocol::floodTransmitRound() const {
+  return cfg_.floodStart +
+         static_cast<Round>(cfg_.depth) * tdm_.windowLength() +
+         tdm_.roundOffset(cfg_.slot);
+}
+
+Action CffNodeProtocol::onRound(Round r) {
+  if (missed_) return Action::sleep();
+
+  if (!hasPayload_) {
+    // Path relays know their position: they wake for exactly the round
+    // their predecessor transmits the control frame.
+    if (cfg_.pathIndex > 0 && r == cfg_.pathIndex - 1)
+      return Action::listen();
+    if (r >= listenWindowEnd()) {
+      missed_ = true;  // our receive window passed in silence
+      return Action::sleep();
+    }
+    if (r >= listenWindowStart()) return Action::listen();
+    return Action::sleep();
+  }
+
+  // Payload in hand: source->root relay duty first (rounds 0..R0-1).
+  if (!pathSent_) {
+    if (r == cfg_.pathIndex) {
+      pathSent_ = true;
+      Message m;
+      m.kind = MsgKind::kControl;
+      m.sender = cfg_.self;
+      m.target = cfg_.pathNext;
+      m.origin = cfg_.self;
+      m.payload = cfg_.payload;
+      return Action::transmit(m, 0);
+    }
+    if (r < cfg_.pathIndex) return Action::sleep();
+    // Our path round passed before we got the payload upstream; the
+    // relay chain is broken — nothing more to do on the path.
+    pathSent_ = true;
+  }
+
+  // Flood duty: internal nodes relay once in their depth's window.
+  if (!floodSent_) {
+    const Round tx = floodTransmitRound();
+    if (r == tx) {
+      floodSent_ = true;
+      Message m;
+      m.kind = MsgKind::kData;
+      m.sender = cfg_.self;
+      m.slot = cfg_.slot;
+      m.windowSize = cfg_.window;
+      m.depth = cfg_.depth;
+      m.payload = cfg_.payload;
+      return Action::transmit(m, tdm_.channelOf(cfg_.slot));
+    }
+    if (r < tx) return Action::sleep();
+    floodSent_ = true;  // transmit round passed (late payload)
+  }
+  return Action::sleep();
+}
+
+void CffNodeProtocol::onReceive(const Message& m, Round r, Channel) {
+  if (m.kind != MsgKind::kData && m.kind != MsgKind::kControl) return;
+  if (!hasPayload_) {
+    hasPayload_ = true;
+    payloadRound_ = r;
+    cfg_.payload = m.payload;
+  }
+}
+
+bool CffNodeProtocol::isDone() const {
+  return missed_ || (hasPayload_ && pathSent_ && floodSent_);
+}
+
+BroadcastRun runCffBroadcast(const ClusterNet& net, NodeId source,
+                             std::uint64_t payload,
+                             const ProtocolOptions& options) {
+  DSN_REQUIRE(net.contains(source), "broadcast source must be in the net");
+  const Graph& g = net.graph();
+
+  // Source -> root tree path.
+  std::vector<NodeId> path;
+  for (NodeId v = source; v != kInvalidNode; v = net.parent(v))
+    path.push_back(v);
+  const Round floodStart = static_cast<Round>(path.size()) - 1;
+
+  const TimeSlot window = net.rootMaxUSlot();
+  const TdmMap tdm(window == 0 ? 1 : window, options.channels);
+  const Round schedule =
+      floodStart + static_cast<Round>(net.height() + 1) * tdm.windowLength();
+
+  SimConfig cfg;
+  cfg.channelCount = options.channels;
+  cfg.maxRounds = options.maxRounds > 0 ? options.maxRounds : schedule + 4;
+  cfg.traceCapacity = options.traceCapacity;
+
+  RadioSimulator sim(g, cfg);
+  detail::applyFailures(sim, options);
+
+  std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  for (NodeId v : net.netNodes()) {
+    CffNodeConfig nc;
+    nc.self = v;
+    nc.depth = net.depth(v);
+    nc.slot = net.isBackbone(v) ? net.uSlot(v) : kNoSlot;
+    nc.window = window;
+    nc.channels = options.channels;
+    nc.floodStart = floodStart;
+    nc.isSource = v == source;
+    nc.payload = payload;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (path[i] == v && i + 1 < path.size()) {
+        nc.pathIndex = static_cast<int>(i);
+        nc.pathNext = path[i + 1];
+      }
+    }
+    auto p = std::make_unique<CffNodeProtocol>(nc);
+    endpoints[v] = p.get();
+    sim.setProtocol(v, std::move(p));
+  }
+
+  BroadcastRun run;
+  run.scheduleLength = schedule;
+  run.sim = sim.run();
+  detail::collectDeliveryStats(sim, net.netNodes(), endpoints, run);
+  return run;
+}
+
+}  // namespace dsn

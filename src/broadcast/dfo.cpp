@@ -1,0 +1,169 @@
+#include "broadcast/dfo.hpp"
+
+#include <algorithm>
+
+#include "broadcast/runner_detail.hpp"
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+DfoBackboneProtocol::DfoBackboneProtocol(NodeId self,
+                                         std::vector<NodeId> btNeighbors,
+                                         bool isTourStart,
+                                         std::uint64_t payload)
+    : self_(self),
+      pending_(std::move(btNeighbors)),
+      // The tour start has no tour parent: a token returning to it must
+      // not be mistaken for a first delivery (it would otherwise emit a
+      // spurious final hand-back).
+      hadToken_(isTourStart),
+      holdsToken_(isTourStart),
+      hasPayload_(isTourStart),
+      payloadRound_(isTourStart ? 0 : -1),
+      payload_(payload) {}
+
+Message DfoBackboneProtocol::tokenFor(NodeId target) const {
+  Message m;
+  m.kind = MsgKind::kToken;
+  m.sender = self_;
+  m.target = target;
+  m.payload = payload_;
+  return m;
+}
+
+Action DfoBackboneProtocol::onRound(Round) {
+  if (closed_) return Action::sleep();
+  if (!holdsToken_) return Action::listen();
+
+  holdsToken_ = false;
+  if (!pending_.empty()) {
+    const NodeId next = pending_.front();
+    pending_.erase(pending_.begin());
+    if (pending_.empty() && tourParent_ == kInvalidNode) closed_ = true;
+    return Action::transmit(tokenFor(next));
+  }
+  if (tourParent_ != kInvalidNode) {
+    // Subtree finished: hand the token back where it came from.
+    const NodeId back = tourParent_;
+    tourParent_ = kInvalidNode;
+    closed_ = true;
+    return Action::transmit(tokenFor(back));
+  }
+  // Lone backbone node (single-cluster network): one transmission serves
+  // every member in range.
+  closed_ = true;
+  return Action::transmit(tokenFor(kInvalidNode));
+}
+
+void DfoBackboneProtocol::onReceive(const Message& m, Round r, Channel) {
+  if (m.kind != MsgKind::kToken) return;
+  if (!hasPayload_) {
+    hasPayload_ = true;
+    payloadRound_ = r;
+    payload_ = m.payload;
+  }
+  if (m.target == self_ && !closed_) {
+    if (!hadToken_) {
+      // First time the token reaches us: remember who to return it to.
+      hadToken_ = true;
+      tourParent_ = m.sender;
+    }
+    // The sender is implicitly "sent to" — the Eulerian edge back to it
+    // is covered by the final hand-back, so drop it from pending.
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), m.sender),
+                   pending_.end());
+    holdsToken_ = true;
+  }
+}
+
+DfoMemberProtocol::DfoMemberProtocol(NodeId self, NodeId head,
+                                     bool isSource, std::uint64_t payload)
+    : self_(self),
+      head_(head),
+      isSource_(isSource),
+      hasPayload_(isSource),
+      payloadRound_(isSource ? 0 : -1),
+      payload_(payload) {}
+
+Action DfoMemberProtocol::onRound(Round r) {
+  if (isSource_ && !sentToHead_) {
+    DSN_CHECK(r == 0, "source member transmits in the first round");
+    sentToHead_ = true;
+    Message m;
+    m.kind = MsgKind::kToken;
+    m.sender = self_;
+    m.target = head_;
+    m.payload = payload_;
+    return Action::transmit(m);
+  }
+  if (hasPayload_) return Action::sleep();
+  return Action::listen();
+}
+
+void DfoMemberProtocol::onReceive(const Message& m, Round r, Channel) {
+  if (m.kind != MsgKind::kToken) return;
+  if (!hasPayload_) {
+    hasPayload_ = true;
+    payloadRound_ = r;
+    payload_ = m.payload;
+  }
+}
+
+bool DfoMemberProtocol::isDone() const {
+  return hasPayload_ && (!isSource_ || sentToHead_);
+}
+
+BroadcastRun runDfoBroadcast(const ClusterNet& net, NodeId source,
+                             std::uint64_t payload,
+                             const ProtocolOptions& options) {
+  DSN_REQUIRE(net.contains(source), "broadcast source must be in the net");
+  const Graph& g = net.graph();
+
+  const auto backbone = net.backboneNodes();
+  const bool sourceIsMember =
+      net.status(source) == NodeStatus::kPureMember;
+  const NodeId tourStart = sourceIsMember ? net.parent(source) : source;
+
+  SimConfig cfg;
+  cfg.channelCount = 1;  // the DFO baseline is single-channel
+  cfg.maxRounds = options.maxRounds > 0
+                      ? options.maxRounds
+                      : static_cast<Round>(4 * backbone.size() + 16);
+  cfg.traceCapacity = options.traceCapacity;
+
+  RadioSimulator sim(g, cfg);
+  detail::applyFailures(sim, options);
+
+  std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  for (NodeId v : net.netNodes()) {
+    if (net.isBackbone(v)) {
+      std::vector<NodeId> btNeighbors;
+      if (v != net.root()) btNeighbors.push_back(net.parent(v));
+      for (NodeId c : net.children(v))
+        if (net.isBackbone(c)) btNeighbors.push_back(c);
+      // With a member source the tour start (its head) must wait for the
+      // member's round-0 hand-off rather than transmit immediately.
+      const bool startsWithToken = v == tourStart && !sourceIsMember;
+      auto p = std::make_unique<DfoBackboneProtocol>(
+          v, std::move(btNeighbors), startsWithToken, payload);
+      endpoints[v] = p.get();
+      sim.setProtocol(v, std::move(p));
+    } else {
+      auto p = std::make_unique<DfoMemberProtocol>(
+          v, net.parent(v), v == source, payload);
+      endpoints[v] = p.get();
+      sim.setProtocol(v, std::move(p));
+    }
+  }
+
+  BroadcastRun run;
+  run.scheduleLength =
+      static_cast<Round>(2 * (backbone.empty() ? 0 : backbone.size() - 1) +
+                         (sourceIsMember ? 1 : 0) + 1);
+  run.sim = sim.run();
+  detail::collectDeliveryStats(sim, net.netNodes(), endpoints, run);
+  return run;
+}
+
+}  // namespace dsn

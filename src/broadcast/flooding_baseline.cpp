@@ -1,0 +1,99 @@
+#include "broadcast/flooding_baseline.hpp"
+
+#include <memory>
+
+#include "broadcast/runner_detail.hpp"
+#include "graph/algorithms.hpp"
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+FloodingNodeProtocol::FloodingNodeProtocol(NodeId self, bool isSource,
+                                           const FloodingConfig& cfg,
+                                           std::uint64_t payload,
+                                           Round maxListenRounds)
+    : self_(self),
+      cfg_(cfg),
+      rng_(cfg.seed ^ (static_cast<std::uint64_t>(self) * 0x9E37ull)),
+      hasPayload_(isSource),
+      payloadRound_(isSource ? 0 : -1),
+      maxListenRounds_(maxListenRounds),
+      payload_(payload) {
+  DSN_REQUIRE(cfg.contentionWindow >= 1, "contention window must be >= 1");
+  if (isSource) relayRound_ = 0;  // the source transmits immediately
+}
+
+Action FloodingNodeProtocol::onRound(Round r) {
+  if (relayRound_ >= 0 && r == relayRound_ && !relayed_) {
+    relayed_ = true;
+    Message m;
+    m.kind = MsgKind::kData;
+    m.sender = self_;
+    m.payload = payload_;
+    return Action::transmit(m);
+  }
+  if (isDone()) return Action::sleep();
+  // Not served yet, or waiting out the backoff: keep listening (naive
+  // flooding has no schedule knowledge to sleep on).
+  if (!hasPayload_ && r >= maxListenRounds_) return Action::sleep();
+  if (!hasPayload_) return Action::listen();
+  return Action::sleep();  // served, no relay duty pending
+}
+
+void FloodingNodeProtocol::onReceive(const Message& m, Round r, Channel) {
+  if (m.kind != MsgKind::kData) return;
+  if (hasPayload_) return;  // duplicate: already served/decided
+  hasPayload_ = true;
+  payloadRound_ = r;
+  payload_ = m.payload;
+  if (rng_.chance(cfg_.gossipProbability)) {
+    relayRound_ =
+        r + 1 + static_cast<Round>(rng_.uniform(
+                    static_cast<std::uint64_t>(cfg_.contentionWindow)));
+  }
+}
+
+bool FloodingNodeProtocol::isDone() const {
+  if (!hasPayload_) return false;
+  return relayRound_ < 0 || relayed_;
+}
+
+BroadcastRun runFloodingBroadcast(const Graph& g, NodeId source,
+                                  std::uint64_t payload,
+                                  const FloodingConfig& config,
+                                  const ProtocolOptions& options) {
+  DSN_REQUIRE(g.isAlive(source), "flood source must be live");
+
+  const auto intended = reachableFrom(g, source);
+  const Round maxListen =
+      options.maxRounds > 0
+          ? options.maxRounds
+          : static_cast<Round>(g.liveCount()) *
+                    (config.contentionWindow + 1) +
+                16;
+
+  SimConfig cfg;
+  cfg.channelCount = 1;
+  cfg.maxRounds = maxListen + 4;
+  cfg.traceCapacity = options.traceCapacity;
+
+  RadioSimulator sim(g, cfg);
+  detail::applyFailures(sim, options);
+
+  std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  for (NodeId v : intended) {
+    auto p = std::make_unique<FloodingNodeProtocol>(
+        v, v == source, config, payload, maxListen);
+    endpoints[v] = p.get();
+    sim.setProtocol(v, std::move(p));
+  }
+
+  BroadcastRun run;
+  run.scheduleLength = maxListen;
+  run.sim = sim.run();
+  detail::collectDeliveryStats(sim, intended, endpoints, run);
+  return run;
+}
+
+}  // namespace dsn

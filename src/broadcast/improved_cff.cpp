@@ -1,0 +1,235 @@
+#include "broadcast/improved_cff.hpp"
+
+#include <memory>
+
+#include "broadcast/runner_detail.hpp"
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+IcffNodeProtocol::IcffNodeProtocol(const IcffNodeConfig& cfg)
+    : cfg_(cfg),
+      bTdm_(cfg.bWindow == 0 ? 1 : cfg.bWindow, cfg.channels),
+      lTdm_(cfg.lWindow == 0 ? 1 : cfg.lWindow, cfg.channels),
+      hasPayload_(cfg.isSource),
+      payloadRound_(cfg.isSource ? 0 : -1),
+      pathSent_(cfg.pathIndex < 0 || cfg.pathNext == kInvalidNode),
+      bSent_(!cfg.backbone || cfg.bSlot == kNoSlot || !cfg.relays),
+      lSent_(!cfg.backbone || cfg.lSlot == kNoSlot || !cfg.relays),
+      idle_(!cfg.wantsPayload && !cfg.relays && cfg.pathIndex < 0 &&
+            !cfg.isSource) {}
+
+Round IcffNodeProtocol::leafWindowStart() const {
+  return cfg_.backboneStart +
+         static_cast<Round>(cfg_.backboneHeight + 1) * bTdm_.windowLength();
+}
+
+Round IcffNodeProtocol::bListenStart() const {
+  if (!cfg_.backbone) return leafWindowStart();
+  return cfg_.backboneStart +
+         static_cast<Round>(cfg_.depth - 1) * bTdm_.windowLength();
+}
+
+Round IcffNodeProtocol::bListenEnd() const {
+  if (!cfg_.backbone)
+    return leafWindowStart() + lTdm_.windowLength();  // the leaf window
+  if (cfg_.depth == 0) return cfg_.backboneStart;     // root: path phase
+  return cfg_.backboneStart +
+         static_cast<Round>(cfg_.depth) * bTdm_.windowLength();
+}
+
+Round IcffNodeProtocol::bTransmitRound() const {
+  return cfg_.backboneStart +
+         static_cast<Round>(cfg_.depth) * bTdm_.windowLength() +
+         bTdm_.roundOffset(cfg_.bSlot);
+}
+
+Round IcffNodeProtocol::lTransmitRound() const {
+  return leafWindowStart() + lTdm_.roundOffset(cfg_.lSlot);
+}
+
+Action IcffNodeProtocol::onRound(Round r) {
+  if (idle_ || missed_) return Action::sleep();
+
+  if (!hasPayload_) {
+    // Nodes that only relay (multicast: backbone on the relay tree that
+    // is not itself a member) still need the payload to do their job;
+    // pure members that don't want it are idle and never reach here.
+    // Path relays wake exactly when their predecessor transmits.
+    if (cfg_.pathIndex > 0 && r == cfg_.pathIndex - 1)
+      return Action::listen();
+    if (r >= bListenEnd()) {
+      missed_ = true;
+      return Action::sleep();
+    }
+    if (r >= bListenStart()) return Action::listen();
+    return Action::sleep();
+  }
+
+  if (!pathSent_) {
+    if (r == cfg_.pathIndex) {
+      pathSent_ = true;
+      Message m;
+      m.kind = MsgKind::kControl;
+      m.sender = cfg_.self;
+      m.target = cfg_.pathNext;
+      m.group = cfg_.group;
+      m.payload = cfg_.payload;
+      return Action::transmit(m, 0);
+    }
+    if (r < cfg_.pathIndex) return Action::sleep();
+    pathSent_ = true;  // upstream break; duty lapsed
+  }
+
+  if (!bSent_) {
+    const Round tx = bTransmitRound();
+    if (r == tx) {
+      bSent_ = true;
+      Message m;
+      m.kind = MsgKind::kData;
+      m.sender = cfg_.self;
+      m.slot = cfg_.bSlot;
+      m.windowSize = cfg_.bWindow;
+      m.depth = cfg_.depth;
+      m.height = cfg_.backboneHeight;
+      m.group = cfg_.group;
+      m.payload = cfg_.payload;
+      return Action::transmit(m, bTdm_.channelOf(cfg_.bSlot));
+    }
+    if (r < tx) return Action::sleep();
+    bSent_ = true;
+  }
+
+  if (!lSent_) {
+    const Round tx = lTransmitRound();
+    if (r == tx) {
+      lSent_ = true;
+      Message m;
+      m.kind = MsgKind::kData;
+      m.sender = cfg_.self;
+      m.slot = cfg_.lSlot;
+      m.windowSize = cfg_.lWindow;
+      m.depth = cfg_.depth;
+      m.group = cfg_.group;
+      m.payload = cfg_.payload;
+      return Action::transmit(m, lTdm_.channelOf(cfg_.lSlot));
+    }
+    if (r < tx) return Action::sleep();
+    lSent_ = true;
+  }
+  return Action::sleep();
+}
+
+void IcffNodeProtocol::onReceive(const Message& m, Round r, Channel) {
+  if (m.kind != MsgKind::kData && m.kind != MsgKind::kControl) return;
+  if (!hasPayload_) {
+    hasPayload_ = true;
+    payloadRound_ = r;
+    cfg_.payload = m.payload;
+  }
+}
+
+bool IcffNodeProtocol::isDone() const {
+  return idle_ || missed_ || (hasPayload_ && pathSent_ && bSent_ && lSent_);
+}
+
+namespace {
+
+BroadcastRun runIcff(const ClusterNet& net, NodeId source,
+                     std::optional<GroupId> group, std::uint64_t payload,
+                     MulticastMode mode, const ProtocolOptions& options) {
+  DSN_REQUIRE(net.contains(source), "broadcast source must be in the net");
+  const Graph& g = net.graph();
+
+  std::vector<NodeId> path;
+  for (NodeId v = source; v != kInvalidNode; v = net.parent(v))
+    path.push_back(v);
+  const Round backboneStart = static_cast<Round>(path.size()) - 1;
+
+  int backboneHeight = 0;
+  for (NodeId v : net.backboneNodes())
+    backboneHeight = std::max(backboneHeight,
+                              static_cast<int>(net.depth(v)));
+
+  const TimeSlot bWindow = net.rootMaxBSlot();
+  const TimeSlot lWindow = net.rootMaxLSlot();
+  const TdmMap bTdm(bWindow == 0 ? 1 : bWindow, options.channels);
+  const TdmMap lTdm(lWindow == 0 ? 1 : lWindow, options.channels);
+  const Round schedule =
+      backboneStart +
+      static_cast<Round>(backboneHeight + 1) * bTdm.windowLength() +
+      lTdm.windowLength();
+
+  SimConfig cfg;
+  cfg.channelCount = options.channels;
+  cfg.maxRounds = options.maxRounds > 0 ? options.maxRounds : schedule + 4;
+  cfg.traceCapacity = options.traceCapacity;
+
+  RadioSimulator sim(g, cfg);
+  detail::applyFailures(sim, options);
+
+  std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  std::vector<NodeId> intended;
+
+  for (NodeId v : net.netNodes()) {
+    IcffNodeConfig nc;
+    nc.self = v;
+    nc.depth = net.depth(v);
+    nc.backbone = net.isBackbone(v);
+    nc.bSlot = nc.backbone ? net.bSlot(v) : kNoSlot;
+    nc.lSlot = nc.backbone ? net.lSlot(v) : kNoSlot;
+    nc.bWindow = bWindow;
+    nc.lWindow = lWindow;
+    nc.channels = options.channels;
+    nc.backboneStart = backboneStart;
+    nc.backboneHeight = backboneHeight;
+    nc.isSource = v == source;
+    nc.payload = payload;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (path[i] == v && i + 1 < path.size()) {
+        nc.pathIndex = static_cast<int>(i);
+        nc.pathNext = path[i + 1];
+      }
+    }
+    if (group.has_value()) {
+      nc.group = *group;
+      nc.wantsPayload = net.inGroup(v, *group);
+      nc.relays = nc.backbone &&
+                  (mode == MulticastMode::kFullFlood ||
+                   net.relaysGroup(v, *group));
+      if (nc.wantsPayload) intended.push_back(v);
+    } else {
+      nc.wantsPayload = true;
+      nc.relays = nc.backbone;
+      intended.push_back(v);
+    }
+    auto p = std::make_unique<IcffNodeProtocol>(nc);
+    endpoints[v] = p.get();
+    sim.setProtocol(v, std::move(p));
+  }
+
+  BroadcastRun run;
+  run.scheduleLength = schedule;
+  run.sim = sim.run();
+  detail::collectDeliveryStats(sim, intended, endpoints, run);
+  return run;
+}
+
+}  // namespace
+
+BroadcastRun runImprovedCffBroadcast(const ClusterNet& net, NodeId source,
+                                     std::uint64_t payload,
+                                     const ProtocolOptions& options) {
+  return runIcff(net, source, std::nullopt, payload,
+                 MulticastMode::kFullFlood, options);
+}
+
+BroadcastRun runMulticast(const ClusterNet& net, NodeId source,
+                          GroupId group, std::uint64_t payload,
+                          MulticastMode mode,
+                          const ProtocolOptions& options) {
+  return runIcff(net, source, group, payload, mode, options);
+}
+
+}  // namespace dsn

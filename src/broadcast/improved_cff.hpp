@@ -1,0 +1,103 @@
+// Improved Collision-Free Flooding — Algorithm 2 (paper Section 3.3) and
+// the multicast variant built on it (Section 3.4).
+//
+// Two phases after the source->root relay:
+//   Step 1 — flood only the backbone BT(G) depth by depth using b-slots
+//            (window δ per depth, δ·(H+1) rounds, H = backbone height);
+//   Step 2 — ONE shared window of Δ rounds in which every backbone node
+//            transmits at its l-slot, delivering to all pure members.
+// Completion δ·h + Δ (+ source path); backbone awake <= 2δ + 1, members
+// awake <= Δ (Theorem 1). With k channels everything shrinks by 1/k.
+//
+// Multicast: nodes relay only when the group is in their relay-list
+// (kPrunedRelay) — the paper's scheme, which can starve a receiver whose
+// unique-slot provider was pruned (see DESIGN.md §4 and the T2 bench) —
+// or everywhere (kFullFlood), which degenerates to a broadcast that only
+// group members consume.
+#pragma once
+
+#include <optional>
+
+#include "broadcast/run_result.hpp"
+#include "broadcast/tdm.hpp"
+#include "cluster/cnet.hpp"
+#include "radio/protocol.hpp"
+
+namespace dsn {
+
+enum class MulticastMode : std::uint8_t {
+  kPrunedRelay,  ///< paper-literal relay-list pruning
+  kFullFlood,    ///< no pruning; group members just filter on receipt
+};
+
+/// Per-node static schedule knowledge for Algorithm 2.
+struct IcffNodeConfig {
+  NodeId self = kInvalidNode;
+  Depth depth = 0;
+  bool backbone = false;
+  TimeSlot bSlot = kNoSlot;
+  TimeSlot lSlot = kNoSlot;
+  /// δ and Δ as known at the root.
+  TimeSlot bWindow = 0;
+  TimeSlot lWindow = 0;
+  Channel channels = 1;
+  /// Step-1 start (= depth of the source).
+  Round backboneStart = 0;
+  /// Backbone height H: step 2 starts at backboneStart + (H+1)·win(δ).
+  int backboneHeight = 0;
+  int pathIndex = -1;
+  NodeId pathNext = kInvalidNode;
+  bool isSource = false;
+  /// Whether this node retransmits (multicast pruning: relay-list hit).
+  bool relays = true;
+  /// Whether this node wants the payload (broadcast: everyone; multicast:
+  /// group members). Non-wanting, non-relaying nodes sleep throughout.
+  bool wantsPayload = true;
+  GroupId group = kNoGroup;
+  std::uint64_t payload = 0;
+};
+
+/// The per-node state machine of Algorithm 2 (and multicast).
+class IcffNodeProtocol : public NodeProtocol, public BroadcastEndpoint {
+ public:
+  explicit IcffNodeProtocol(const IcffNodeConfig& cfg);
+
+  Action onRound(Round r) override;
+  void onReceive(const Message& m, Round r, Channel channel) override;
+  bool isDone() const override;
+
+  bool hasPayload() const override { return hasPayload_; }
+  Round payloadRound() const override { return payloadRound_; }
+
+ private:
+  IcffNodeConfig cfg_;
+  TdmMap bTdm_;
+  TdmMap lTdm_;
+  bool hasPayload_;
+  Round payloadRound_;
+  bool pathSent_;
+  bool bSent_;
+  bool lSent_;
+  bool missed_ = false;
+  bool idle_;  ///< neither wants nor relays nor serves the path
+
+  Round leafWindowStart() const;
+  Round bListenStart() const;
+  Round bListenEnd() const;
+  Round bTransmitRound() const;
+  Round lTransmitRound() const;
+};
+
+/// Algorithm-2 broadcast of `payload` from `source`.
+BroadcastRun runImprovedCffBroadcast(const ClusterNet& net, NodeId source,
+                                     std::uint64_t payload,
+                                     const ProtocolOptions& options = {});
+
+/// Multicast of `payload` to `group` from `source` (paper Section 3.4).
+/// Intended receivers are the group members; relay pruning per `mode`.
+BroadcastRun runMulticast(const ClusterNet& net, NodeId source,
+                          GroupId group, std::uint64_t payload,
+                          MulticastMode mode = MulticastMode::kPrunedRelay,
+                          const ProtocolOptions& options = {});
+
+}  // namespace dsn

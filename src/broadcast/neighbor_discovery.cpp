@@ -1,0 +1,205 @@
+#include "broadcast/neighbor_discovery.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+namespace {
+
+// Cycle layout (joiner-relative): round 0 = HELLO carrying the window
+// size W; then W slot pairs — round 1+2j: neighbors contend in slot j,
+// round 2+2j: the joiner ACKs the sender it heard (if any). Next cycle
+// starts right after with W doubled, until a whole cycle stays silent.
+
+class JoinerProtocol : public NodeProtocol {
+ public:
+  JoinerProtocol(NodeId self, const DiscoveryConfig& cfg)
+      : self_(self), cfg_(cfg), window_(cfg.initialWindow) {
+    DSN_REQUIRE(cfg.initialWindow >= 1, "window must be >= 1");
+  }
+
+  Action onRound(Round r) override {
+    const Round offset = r - cycleStart_;
+    if (offset == 0) {
+      heardThisCycle_ = false;
+      Message hello;
+      hello.kind = MsgKind::kControl;
+      hello.sender = self_;
+      hello.windowSize = static_cast<TimeSlot>(window_);
+      hello.sequence = 0;  // 0 = HELLO
+      return Action::transmit(hello);
+    }
+    const Round cycleLen = 1 + 2 * static_cast<Round>(window_);
+    if (offset < cycleLen) {
+      const bool ackRound = (offset % 2) == 0;  // offsets 2,4,...
+      if (ackRound) {
+        if (pendingAck_ != kInvalidNode) {
+          Message ack;
+          ack.kind = MsgKind::kControl;
+          ack.sender = self_;
+          ack.target = pendingAck_;
+          ack.sequence = 1;  // 1 = ACK
+          pendingAck_ = kInvalidNode;
+          return Action::transmit(ack);
+        }
+        return Action::sleep();
+      }
+      return Action::listen();
+    }
+    // Cycle finished. Without collision detection a fully-collided
+    // window is indistinguishable from real silence, so:
+    //  * while NOTHING has been discovered, silence never concludes —
+    //    the window doubles until a "no one out there" cutoff (a large
+    //    crowd cannot stay fully collided once W passes its size);
+    //  * once responders have been heard, the window is evidently
+    //    adequate: keep it on fruitful cycles, double it on silent ones,
+    //    and conclude after a short silent streak.
+    if (!heardThisCycle_) {
+      if (discovered_.empty()) {
+        if (window_ >= kEmptyCutoffWindow) {
+          done_ = true;
+          return Action::sleep();
+        }
+      } else if (window_ >= kConclusiveWindow &&
+                 ++silentStreak_ >= kSilentCyclesToStop) {
+        // Two all-collided cycles in a row at W >= 16 have probability
+        // <= (2/W)^2 even for two stragglers — safe to conclude.
+        done_ = true;
+        return Action::sleep();
+      }
+      window_ = std::min(window_ * 2, cfg_.maxWindow);
+    } else {
+      silentStreak_ = 0;  // fruitful window: keep its size
+    }
+    cycleStart_ = r;
+    return onRound(r);  // re-enter as the HELLO round of the new cycle
+  }
+
+  void onReceive(const Message& m, Round, Channel) override {
+    if (m.kind != MsgKind::kControl || m.sequence != 2) return;
+    heardThisCycle_ = true;
+    pendingAck_ = m.sender;
+    if (std::find(discovered_.begin(), discovered_.end(), m.sender) ==
+        discovered_.end())
+      discovered_.push_back(m.sender);
+  }
+
+  bool isDone() const override { return done_; }
+  const std::vector<NodeId>& discovered() const { return discovered_; }
+
+ private:
+  static constexpr int kSilentCyclesToStop = 2;
+  static constexpr int kEmptyCutoffWindow = 64;
+  static constexpr int kConclusiveWindow = 16;
+
+  NodeId self_;
+  DiscoveryConfig cfg_;
+  int window_;
+  Round cycleStart_ = 0;
+  int silentStreak_ = 0;
+  bool heardThisCycle_ = false;
+  NodeId pendingAck_ = kInvalidNode;
+  std::vector<NodeId> discovered_;
+  bool done_ = false;
+};
+
+class ResponderProtocol : public NodeProtocol {
+ public:
+  ResponderProtocol(NodeId self, NodeId joiner, std::uint64_t seed,
+                    Round helloTimeout)
+      : self_(self),
+        joiner_(joiner),
+        rng_(seed),
+        helloTimeout_(helloTimeout) {}
+
+  Action onRound(Round r) override {
+    if (acked_ || gaveUp_) return Action::sleep();
+    // The joiner concludes after one silent cycle; a responder it never
+    // heard must eventually stop burning energy too.
+    if (r - lastHello_ > helloTimeout_) {
+      gaveUp_ = true;
+      return Action::sleep();
+    }
+    if (replyRound_ >= 0 && r == replyRound_) {
+      Message reply;
+      reply.kind = MsgKind::kControl;
+      reply.sender = self_;
+      reply.target = joiner_;
+      reply.sequence = 2;  // 2 = neighbor reply
+      return Action::transmit(reply);
+    }
+    if (replyRound_ >= 0 && r == replyRound_ + 1) return Action::listen();
+    // Stay awake for HELLOs until acknowledged.
+    return Action::listen();
+  }
+
+  void onReceive(const Message& m, Round r, Channel) override {
+    if (m.kind != MsgKind::kControl) return;
+    if (m.sequence == 0 && m.sender == joiner_) {
+      // HELLO: contend in a uniform slot of this cycle's window.
+      const auto w = static_cast<std::uint64_t>(m.windowSize);
+      const Round slot = static_cast<Round>(rng_.uniform(w));
+      replyRound_ = r + 1 + 2 * slot;
+    } else if (m.sequence == 1 && m.target == self_) {
+      acked_ = true;
+    }
+    if (m.sequence == 0 && m.sender == joiner_) lastHello_ = r;
+  }
+
+  bool isDone() const override { return acked_ || gaveUp_; }
+  bool acked() const { return acked_; }
+
+ private:
+  NodeId self_;
+  NodeId joiner_;
+  Rng rng_;
+  Round helloTimeout_;
+  Round replyRound_ = -1;
+  Round lastHello_ = 0;
+  bool acked_ = false;
+  bool gaveUp_ = false;
+};
+
+}  // namespace
+
+DiscoveryResult runNeighborDiscovery(const Graph& g, NodeId joiner,
+                                     const DiscoveryConfig& config) {
+  DSN_REQUIRE(g.isAlive(joiner), "joiner must be live");
+
+  SimConfig cfg;
+  cfg.maxRounds = config.maxRounds;
+
+  RadioSimulator sim(g, cfg);
+  auto joinProto = std::make_unique<JoinerProtocol>(joiner, config);
+  auto* jp = joinProto.get();
+  sim.setProtocol(joiner, std::move(joinProto));
+
+  std::vector<ResponderProtocol*> responders;
+  for (NodeId u : g.neighbors(joiner)) {
+    const Round helloTimeout =
+        2 * (1 + 2 * static_cast<Round>(config.maxWindow)) + 8;
+    auto p = std::make_unique<ResponderProtocol>(
+        u, joiner,
+        config.seed ^ (static_cast<std::uint64_t>(u) * 0x9E3779B9ull),
+        helloTimeout);
+    responders.push_back(p.get());
+    sim.setProtocol(u, std::move(p));
+  }
+
+  const SimResult simResult = sim.run();
+
+  DiscoveryResult result;
+  result.discovered = jp->discovered();
+  result.rounds = simResult.rounds;
+  result.transmissions = simResult.totalTransmissions;
+  result.collisions = simResult.totalCollisions;
+  result.complete =
+      std::all_of(responders.begin(), responders.end(),
+                  [](const ResponderProtocol* r) { return r->acked(); });
+  return result;
+}
+
+}  // namespace dsn

@@ -1,0 +1,57 @@
+// Randomized neighbor discovery — the [19] attach handshake.
+//
+// node-move-in assumes the joining node can learn its neighborhood in
+// O(d_new) *expected* rounds using a randomized protocol (paper
+// Section 5.1 / Theorem 2(1), citing [19]). dsnet charges exactly d_new
+// rounds per attach (DESIGN.md §2); this module implements the actual
+// handshake on the radio simulator so that charge can be validated:
+//
+//   1. the joiner transmits HELLO;
+//   2. every neighbor picks a uniform slot in a contention window and
+//      replies, addressed to the joiner;
+//   3. replies that collide are not acknowledged (the joiner piggybacks
+//      the ids it heard on its next HELLO); unheard neighbors retry in
+//      the next window, whose size doubles (binary exponential backoff);
+//   4. the protocol ends when a HELLO round is followed by a window in
+//      which every remaining neighbor got through.
+//
+// Expected rounds grow linearly in the true neighbor count — the
+// `tbl_discovery` bench measures the constant.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+struct DiscoveryConfig {
+  /// Initial contention window (doubles after each incomplete round).
+  int initialWindow = 2;
+  /// Hard cap on the window growth.
+  int maxWindow = 1024;
+  /// RNG seed for the neighbors' slot draws.
+  std::uint64_t seed = 0xD15C0;
+  /// Safety stop.
+  Round maxRounds = 100000;
+};
+
+struct DiscoveryResult {
+  /// Neighbor ids the joiner learned, in discovery order.
+  std::vector<NodeId> discovered;
+  /// Total rounds until the handshake closed.
+  Round rounds = 0;
+  /// True when every live neighbor was discovered.
+  bool complete = false;
+  std::size_t transmissions = 0;
+  std::size_t collisions = 0;
+};
+
+/// Runs the discovery handshake for `joiner` on graph `g` (the joiner
+/// and its radio edges must already exist).
+DiscoveryResult runNeighborDiscovery(const Graph& g, NodeId joiner,
+                                     const DiscoveryConfig& config = {});
+
+}  // namespace dsn

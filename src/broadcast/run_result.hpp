@@ -1,0 +1,74 @@
+// Options and result records shared by every broadcast/multicast run.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "radio/simulator.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// Knobs of one protocol run (failure injection + radio configuration).
+struct ProtocolOptions {
+  /// Radio channels k (Theorem 1(3)).
+  Channel channels = 1;
+  /// 0 = derive a safe bound from the protocol's own schedule.
+  Round maxRounds = 0;
+  /// Transient relay-failure probability (each transmission silently
+  /// dropped with this probability).
+  double dropProbability = 0.0;
+  /// Scheduled node deaths (node, firstDeadRound).
+  std::vector<std::pair<NodeId, Round>> deaths;
+  /// Seed of the failure model's RNG (drop coin flips).
+  std::uint64_t failureSeed = 0xFA11FA11ull;
+  /// Event-trace capacity (0 = off).
+  std::size_t traceCapacity = 0;
+};
+
+/// Measured outcome of one run.
+struct BroadcastRun {
+  SimResult sim;
+  /// Nodes that were supposed to end up with the payload.
+  std::size_t intended = 0;
+  /// Nodes that actually did (the source counts when it is intended).
+  std::size_t delivered = 0;
+  /// Round of the last first-delivery (-1 when nothing was delivered);
+  /// the "time needed for the broadcast" of Fig. 8 is lastDelivery + 1.
+  Round lastDeliveryRound = -1;
+  /// The protocol's nominal schedule span in rounds.
+  Round scheduleLength = 0;
+  /// Fig. 9 metric: most rounds any single node spent awake.
+  std::size_t maxAwakeRounds = 0;
+  double meanAwakeRounds = 0.0;
+  std::size_t transmissions = 0;
+  std::size_t collisions = 0;
+  /// Per-node first-delivery round, indexed by node id (-1 = never got
+  /// the payload or had no endpoint). The source reports round 0.
+  std::vector<Round> deliveryRound;
+  /// Per-node radio usage, indexed by node id (energy accounting for
+  /// battery models; zero for nodes without a protocol).
+  std::vector<std::uint32_t> listenRounds;
+  std::vector<std::uint32_t> transmitRounds;
+
+  bool allDelivered() const { return delivered == intended; }
+  double coverage() const {
+    return intended == 0
+               ? 1.0
+               : static_cast<double>(delivered) /
+                     static_cast<double>(intended);
+  }
+  Round completionRounds() const { return lastDeliveryRound + 1; }
+};
+
+/// Interface runner uses to ask a protocol whether its node got the
+/// payload (and when).
+class BroadcastEndpoint {
+ public:
+  virtual ~BroadcastEndpoint() = default;
+  virtual bool hasPayload() const = 0;
+  virtual Round payloadRound() const = 0;
+};
+
+}  // namespace dsn

@@ -1,0 +1,22 @@
+#include "broadcast/runner.hpp"
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+BroadcastRun runBroadcast(BroadcastScheme scheme, const ClusterNet& net,
+                          NodeId source, std::uint64_t payload,
+                          const ProtocolOptions& options) {
+  switch (scheme) {
+    case BroadcastScheme::kDfo:
+      return runDfoBroadcast(net, source, payload, options);
+    case BroadcastScheme::kCff:
+      return runCffBroadcast(net, source, payload, options);
+    case BroadcastScheme::kImprovedCff:
+      return runImprovedCffBroadcast(net, source, payload, options);
+  }
+  DSN_CHECK(false, "unknown broadcast scheme");
+  return {};
+}
+
+}  // namespace dsn

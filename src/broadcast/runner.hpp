@@ -1,0 +1,37 @@
+// Umbrella header + protocol dispatch for the broadcast family.
+#pragma once
+
+#include <string_view>
+
+#include "broadcast/cff_flooding.hpp"
+#include "broadcast/dfo.hpp"
+#include "broadcast/improved_cff.hpp"
+#include "broadcast/run_result.hpp"
+
+namespace dsn {
+
+/// The three broadcast schemes the paper evaluates against each other.
+enum class BroadcastScheme : std::uint8_t {
+  kDfo,          ///< depth-first-order Eulerian tour ([19], baseline)
+  kCff,          ///< Algorithm 1: flood the whole CNet
+  kImprovedCff,  ///< Algorithm 2: backbone flood + leaf window
+};
+
+constexpr std::string_view toString(BroadcastScheme s) {
+  switch (s) {
+    case BroadcastScheme::kDfo:
+      return "DFO";
+    case BroadcastScheme::kCff:
+      return "CFF";
+    case BroadcastScheme::kImprovedCff:
+      return "ICFF";
+  }
+  return "?";
+}
+
+/// Uniform entry point used by benches and examples.
+BroadcastRun runBroadcast(BroadcastScheme scheme, const ClusterNet& net,
+                          NodeId source, std::uint64_t payload,
+                          const ProtocolOptions& options = {});
+
+}  // namespace dsn

@@ -1,0 +1,40 @@
+// TDM slot-to-(round, channel) mapping.
+//
+// Single channel: slot s transmits at in-window offset s-1.
+// k channels (paper §3.3 "Multi-Channels"): slots i+1..i+k share one round
+// on k different channels, so slot s maps to round offset (s-1)/k and
+// channel (s-1)%k, and a window of Δ slots shrinks to ceil(Δ/k) rounds.
+#pragma once
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+struct TdmMap {
+  TimeSlot maxSlot = 0;   ///< Δ (or δ): largest slot in the window
+  Channel channels = 1;   ///< k
+
+  TdmMap(TimeSlot max, Channel k) : maxSlot(max), channels(k) {
+    DSN_REQUIRE(k >= 1, "TDM needs at least one channel");
+  }
+
+  /// Rounds one window occupies: ceil(maxSlot / k). A window of zero
+  /// slots (empty level) still takes zero rounds.
+  Round windowLength() const {
+    return (static_cast<Round>(maxSlot) + channels - 1) / channels;
+  }
+
+  /// In-window round offset of a slot (0-based). Slot must be assigned.
+  Round roundOffset(TimeSlot s) const {
+    DSN_REQUIRE(s != kNoSlot, "unassigned slot has no TDM position");
+    return static_cast<Round>((s - 1) / channels);
+  }
+
+  Channel channelOf(TimeSlot s) const {
+    DSN_REQUIRE(s != kNoSlot, "unassigned slot has no TDM channel");
+    return (s - 1) % channels;
+  }
+};
+
+}  // namespace dsn

@@ -1,0 +1,38 @@
+#include "cluster/backbone.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace dsn {
+
+Graph backboneInducedSubgraph(const ClusterNet& net) {
+  return inducedSubgraph(net.graph(), net.backboneNodes());
+}
+
+BackboneStats computeBackboneStats(const ClusterNet& net) {
+  BackboneStats s;
+  s.networkSize = net.netSize();
+  const auto backbone = net.backboneNodes();
+  s.backboneSize = backbone.size();
+  s.clusterCount = net.clusterCount();
+  if (net.netSize() > 0) s.cnetHeight = net.height();
+
+  for (NodeId v : backbone) {
+    s.backboneHeight = std::max(s.backboneHeight,
+                                static_cast<int>(net.depth(v)));
+    s.maxBSlot = std::max(s.maxBSlot, net.bSlot(v));
+    s.maxLSlot = std::max(s.maxLSlot, net.lSlot(v));
+    s.maxUSlot = std::max(s.maxUSlot, net.uSlot(v));
+  }
+
+  // D over net nodes only (orphaned graph nodes are not part of the WSN).
+  for (NodeId v : net.netNodes())
+    s.degreeG = std::max(s.degreeG, net.graph().degree(v));
+
+  const Graph induced = backboneInducedSubgraph(net);
+  s.degreeBackbone = degreeStats(induced).maxDegree;
+  return s;
+}
+
+}  // namespace dsn

@@ -1,0 +1,45 @@
+// Backbone BT(G) views and the metrics of the paper's Figures 10 and 11.
+//
+// BT(G) = the sub-tree of CNet(G) formed by cluster-heads and gateways
+// (Definition 2). `G(V_BT)` is the subgraph of G induced by the backbone
+// node set; its maximum degree is the paper's `d`, while `D` is the
+// maximum degree of G itself.
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/cnet.hpp"
+#include "graph/graph.hpp"
+
+namespace dsn {
+
+/// The quantities the paper's evaluation plots per network.
+struct BackboneStats {
+  std::size_t networkSize = 0;    ///< |V| of the flat WSN (net nodes)
+  std::size_t backboneSize = 0;   ///< |BT(G)| (Fig. 10)
+  int backboneHeight = 0;         ///< max depth of a backbone node (Fig. 10)
+  int cnetHeight = 0;             ///< h — height of CNet(G) (Theorem 1)
+  std::size_t clusterCount = 0;   ///< number of cluster heads
+  std::size_t degreeG = 0;        ///< D — max degree of G (Fig. 11)
+  std::size_t degreeBackbone = 0; ///< d — max degree of G(V_BT) (Fig. 11)
+  TimeSlot maxBSlot = 0;          ///< δ — largest assigned b-slot (Fig. 11)
+  TimeSlot maxLSlot = 0;          ///< Δ — largest assigned l-slot (Fig. 11)
+  TimeSlot maxUSlot = 0;          ///< largest Algorithm-1 unified slot
+
+  /// Lemma 3 theoretical bounds for the measured d and D.
+  std::size_t bSlotBound() const {
+    return degreeBackbone * (degreeBackbone + 1) / 2 + 1;
+  }
+  std::size_t lSlotBound() const {
+    return degreeG * (degreeG + 1) / 2 + 1;
+  }
+};
+
+/// G(V_BT): the subgraph of G induced by the backbone nodes, in the same
+/// id space as `net.graph()`.
+Graph backboneInducedSubgraph(const ClusterNet& net);
+
+/// Computes every Fig. 10 / Fig. 11 quantity for the current structure.
+BackboneStats computeBackboneStats(const ClusterNet& net);
+
+}  // namespace dsn

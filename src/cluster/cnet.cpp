@@ -1,0 +1,304 @@
+#include "cluster/cnet.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+ClusterNet::ClusterNet(Graph& graph, ClusterNetConfig config)
+    : graph_(graph),
+      config_(std::move(config)),
+      attachRng_(config_.attachSeed) {
+  if (config_.attachPreference == AttachPreference::kBestScore) {
+    DSN_REQUIRE(static_cast<bool>(config_.score),
+                "kBestScore attach preference needs a score callback");
+  }
+  ensureKnowledgeSize();
+}
+
+void ClusterNet::ensureKnowledgeSize() {
+  if (know_.size() < graph_.size()) know_.resize(graph_.size());
+}
+
+NodeKnowledge& ClusterNet::mutableKnowledge(NodeId v) {
+  ensureKnowledgeSize();
+  DSN_REQUIRE(v < know_.size(), "node id out of range");
+  return know_[v];
+}
+
+void ClusterNet::requireInNet(NodeId v, const char* what) const {
+  DSN_REQUIRE(v < know_.size() && know_[v].inNet,
+              std::string(what) + ": node is not in the cluster net");
+}
+
+const NodeKnowledge& ClusterNet::knowledge(NodeId v) const {
+  requireInNet(v, "knowledge");
+  return know_[v];
+}
+
+bool ClusterNet::contains(NodeId v) const {
+  return v < know_.size() && know_[v].inNet;
+}
+
+NodeStatus ClusterNet::status(NodeId v) const {
+  requireInNet(v, "status");
+  return know_[v].status;
+}
+
+NodeId ClusterNet::parent(NodeId v) const {
+  requireInNet(v, "parent");
+  return know_[v].parent;
+}
+
+const std::vector<NodeId>& ClusterNet::children(NodeId v) const {
+  requireInNet(v, "children");
+  return know_[v].children;
+}
+
+Depth ClusterNet::depth(NodeId v) const {
+  requireInNet(v, "depth");
+  return know_[v].depth;
+}
+
+int ClusterNet::heightOf(NodeId v) const {
+  requireInNet(v, "heightOf");
+  return know_[v].height;
+}
+
+int ClusterNet::height() const {
+  DSN_REQUIRE(root_ != kInvalidNode, "height: empty cluster net");
+  return know_[root_].height;
+}
+
+bool ClusterNet::isBackbone(NodeId v) const {
+  requireInNet(v, "isBackbone");
+  return isBackboneStatus(know_[v].status);
+}
+
+std::vector<NodeId> ClusterNet::backboneNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < know_.size(); ++v)
+    if (know_[v].inNet && isBackboneStatus(know_[v].status))
+      out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> ClusterNet::pureMembers() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < know_.size(); ++v)
+    if (know_[v].inNet && know_[v].status == NodeStatus::kPureMember)
+      out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> ClusterNet::clusterHeads() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < know_.size(); ++v)
+    if (know_[v].inNet && know_[v].status == NodeStatus::kClusterHead)
+      out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> ClusterNet::netNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(netSize_);
+  for (NodeId v = 0; v < know_.size(); ++v)
+    if (know_[v].inNet) out.push_back(v);
+  return out;
+}
+
+std::size_t ClusterNet::clusterCount() const {
+  return clusterHeads().size();
+}
+
+std::vector<NodeId> ClusterNet::clusterMembers(NodeId head) const {
+  requireInNet(head, "clusterMembers");
+  DSN_REQUIRE(know_[head].status == NodeStatus::kClusterHead,
+              "clusterMembers: node is not a cluster head");
+  // A cluster = the head plus its CNet children that are members or
+  // gateways (a gateway belongs to the cluster of its head parent;
+  // the gateway's own child is the head of the *next* cluster).
+  std::vector<NodeId> out;
+  for (NodeId c : know_[head].children)
+    if (know_[c].status != NodeStatus::kClusterHead) out.push_back(c);
+  return out;
+}
+
+TimeSlot ClusterNet::bSlot(NodeId v) const {
+  requireInNet(v, "bSlot");
+  return know_[v].bSlot;
+}
+
+TimeSlot ClusterNet::lSlot(NodeId v) const {
+  requireInNet(v, "lSlot");
+  return know_[v].lSlot;
+}
+
+TimeSlot ClusterNet::uSlot(NodeId v) const {
+  requireInNet(v, "uSlot");
+  return know_[v].uSlot;
+}
+
+TimeSlot ClusterNet::trueMaxBSlot() const {
+  TimeSlot best = 0;
+  for (NodeId v = 0; v < know_.size(); ++v)
+    if (know_[v].inNet) best = std::max(best, know_[v].bSlot);
+  return best;
+}
+
+TimeSlot ClusterNet::trueMaxLSlot() const {
+  TimeSlot best = 0;
+  for (NodeId v = 0; v < know_.size(); ++v)
+    if (know_[v].inNet) best = std::max(best, know_[v].lSlot);
+  return best;
+}
+
+TimeSlot ClusterNet::trueMaxUSlot() const {
+  TimeSlot best = 0;
+  for (NodeId v = 0; v < know_.size(); ++v)
+    if (know_[v].inNet) best = std::max(best, know_[v].uSlot);
+  return best;
+}
+
+TimeSlot ClusterNet::upSlot(NodeId v) const {
+  requireInNet(v, "upSlot");
+  return know_[v].upSlot;
+}
+
+TimeSlot ClusterNet::trueMaxUpSlot() const {
+  TimeSlot best = 0;
+  for (NodeId v = 0; v < know_.size(); ++v)
+    if (know_[v].inNet) best = std::max(best, know_[v].upSlot);
+  return best;
+}
+
+NodeId ClusterNet::selectCandidate(const std::vector<NodeId>& candidates) {
+  DSN_CHECK(!candidates.empty(), "selectCandidate with no candidates");
+  switch (config_.attachPreference) {
+    case AttachPreference::kLowestId:
+      return *std::min_element(candidates.begin(), candidates.end());
+    case AttachPreference::kRandom:
+      return candidates[attachRng_.pickIndex(candidates)];
+    case AttachPreference::kBestScore: {
+      NodeId best = candidates.front();
+      double bestScore = config_.score(best);
+      for (NodeId c : candidates) {
+        const double s = config_.score(c);
+        if (s > bestScore || (s == bestScore && c < best)) {
+          best = c;
+          bestScore = s;
+        }
+      }
+      return best;
+    }
+  }
+  DSN_CHECK(false, "unreachable attach preference");
+  return candidates.front();
+}
+
+std::vector<NodeId> ClusterNet::netNeighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  for (NodeId u : graph_.neighbors(v))
+    if (contains(u)) out.push_back(u);
+  return out;
+}
+
+void ClusterNet::refreshHeightsFrom(NodeId start) {
+  // Bottom-up exact recompute along the root path; each hop is one
+  // "updating your height" message (paper Section 5.1, step 2).
+  NodeId v = start;
+  std::int64_t hops = 0;
+  while (v != kInvalidNode) {
+    NodeKnowledge& k = know_[v];
+    int h = 0;
+    for (NodeId c : k.children) h = std::max(h, know_[c].height + 1);
+    k.height = h;
+    v = k.parent;
+    ++hops;
+  }
+  costs_.rootPath += hops;
+}
+
+void ClusterNet::reportSlotToRoot(TimeSlot b, TimeSlot l, TimeSlot u) {
+  // Carrying the revised maxima to the root costs one message per hop on
+  // the root path; we meter the worst-case h (the paper's accounting).
+  if (b > rootMaxB_ || l > rootMaxL_ || u > rootMaxU_) {
+    rootMaxB_ = std::max(rootMaxB_, b);
+    rootMaxL_ = std::max(rootMaxL_, l);
+    rootMaxU_ = std::max(rootMaxU_, u);
+    costs_.rootPath += root_ != kInvalidNode ? know_[root_].height : 0;
+  }
+}
+
+void ClusterNet::buildAll(const std::vector<NodeId>& order) {
+  for (NodeId v : order) moveIn(v);
+}
+
+// ---- Multicast (paper Section 3.4) ----
+
+void ClusterNet::adjustRelayOnPath(NodeId from, GroupId g, int delta) {
+  NodeId v = from;
+  std::int64_t hops = 0;
+  while (v != kInvalidNode) {
+    auto& counts = know_[v].relayCount;
+    const auto it = counts.find(g);
+    const int next = (it == counts.end() ? 0 : it->second) + delta;
+    DSN_CHECK(next >= 0, "relay count went negative");
+    if (next == 0) {
+      if (it != counts.end()) counts.erase(it);
+    } else {
+      counts[g] = next;
+    }
+    v = know_[v].parent;
+    ++hops;
+  }
+  costs_.groupMaintenance += hops;
+}
+
+void ClusterNet::joinGroup(NodeId v, GroupId g) {
+  requireInNet(v, "joinGroup");
+  auto& groups = mutableKnowledge(v).groups;
+  if (std::find(groups.begin(), groups.end(), g) != groups.end()) return;
+  groups.push_back(g);
+  if (know_[v].parent != kInvalidNode)
+    adjustRelayOnPath(know_[v].parent, g, +1);
+}
+
+void ClusterNet::leaveGroup(NodeId v, GroupId g) {
+  requireInNet(v, "leaveGroup");
+  auto& groups = mutableKnowledge(v).groups;
+  const auto it = std::find(groups.begin(), groups.end(), g);
+  if (it == groups.end()) return;
+  groups.erase(it);
+  if (know_[v].parent != kInvalidNode)
+    adjustRelayOnPath(know_[v].parent, g, -1);
+}
+
+bool ClusterNet::inGroup(NodeId v, GroupId g) const {
+  requireInNet(v, "inGroup");
+  const auto& groups = know_[v].groups;
+  return std::find(groups.begin(), groups.end(), g) != groups.end();
+}
+
+const std::vector<GroupId>& ClusterNet::groupsOf(NodeId v) const {
+  requireInNet(v, "groupsOf");
+  return know_[v].groups;
+}
+
+bool ClusterNet::relaysGroup(NodeId v, GroupId g) const {
+  requireInNet(v, "relaysGroup");
+  const auto& counts = know_[v].relayCount;
+  const auto it = counts.find(g);
+  return it != counts.end() && it->second > 0;
+}
+
+std::vector<GroupId> ClusterNet::relayListOf(NodeId v) const {
+  requireInNet(v, "relayListOf");
+  std::vector<GroupId> out;
+  for (const auto& [g, count] : know_[v].relayCount)
+    if (count > 0) out.push_back(g);
+  return out;
+}
+
+}  // namespace dsn

@@ -1,0 +1,67 @@
+#include "cluster/construction.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+std::vector<NodeId> bfsConstructionOrder(const Graph& g, NodeId root) {
+  DSN_REQUIRE(g.isAlive(root), "construction root must be live");
+  std::vector<bool> seen(g.size(), false);
+  std::vector<NodeId> order;
+  std::queue<NodeId> q;
+  seen[root] = true;
+  q.push(root);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    order.push_back(v);
+    // Deterministic: visit neighbors in ascending id order.
+    std::vector<NodeId> nbrs = g.neighbors(v);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (NodeId u : nbrs) {
+      if (!seen[u]) {
+        seen[u] = true;
+        q.push(u);
+      }
+    }
+  }
+  return order;
+}
+
+std::int64_t gossipRounds(const Graph& g) {
+  return static_cast<std::int64_t>(g.liveCount());
+}
+
+std::vector<NodeId> selectSpreadRoots(const Graph& g, NodeId seed,
+                                      std::size_t count) {
+  DSN_REQUIRE(g.isAlive(seed), "seed root must be live");
+  DSN_REQUIRE(count >= 1, "need at least one root");
+  std::vector<NodeId> roots{seed};
+
+  // minDist[v] = hop distance from v to the nearest chosen root.
+  std::vector<int> minDist = bfsDistances(g, seed);
+  while (roots.size() < count) {
+    NodeId best = kInvalidNode;
+    int bestDist = -1;
+    for (NodeId v : g.liveNodes()) {
+      if (minDist[v] > bestDist &&
+          std::find(roots.begin(), roots.end(), v) == roots.end()) {
+        bestDist = minDist[v];
+        best = v;
+      }
+    }
+    if (best == kInvalidNode || bestDist <= 0) break;  // graph exhausted
+    roots.push_back(best);
+    const auto d = bfsDistances(g, best);
+    for (NodeId v = 0; v < minDist.size(); ++v) {
+      if (d[v] >= 0) minDist[v] = std::min(minDist[v], d[v]);
+    }
+  }
+  return roots;
+}
+
+}  // namespace dsn

@@ -1,0 +1,37 @@
+// Construction orders for CNet(G) (paper Section 5).
+//
+// The paper names two ways to build the structure: (a) insert nodes one
+// by one with node-move-in (any order where each node can already reach
+// the net), and (b) run a gossip so every node learns the whole topology
+// in O(n) rounds and then build the structure locally, deterministically.
+// Both reduce to choosing an insertion order; this header provides the
+// canonical ones plus helpers to pick well-separated roots for the
+// multi-sink replication of Section 2.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// Breadth-first insertion order from `root` — the order the gossip
+/// construction (Section 5, option b) realizes: every prefix is
+/// connected, so buildAll() accepts it. Only nodes reachable from root
+/// are included.
+std::vector<NodeId> bfsConstructionOrder(const Graph& g, NodeId root);
+
+/// Round cost of the gossip that precedes a local construction:
+/// O(n) — we charge exactly n (one flooding slot per node's knowledge).
+std::int64_t gossipRounds(const Graph& g);
+
+/// Greedy farthest-point root selection for k replicated cluster-nets
+/// (Section 2: "more than one cluster-net may be selected ... from
+/// different roots (sinks) so that if one fails others can be used").
+/// The first root is the given seed; each next root maximizes the
+/// minimum hop distance to the already-chosen roots.
+std::vector<NodeId> selectSpreadRoots(const Graph& g, NodeId seed,
+                                      std::size_t count);
+
+}  // namespace dsn

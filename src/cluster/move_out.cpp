@@ -1,0 +1,200 @@
+// node-move-out (paper Section 5.2 + DESIGN.md §4(3)(4)).
+//
+// Removing node `lev` splits CNet(G_old) into the subtree T rooted at lev
+// and the remainder H (H is parent-closed, so it stays a valid cluster
+// net). The operation:
+//   Step 0  — height refresh along the root path; relay-list decrements
+//             for every departing group membership; Eulerian "delete me"
+//             tour over T (metered).
+//   Step 1/2— the nodes of T \ {lev} re-join H one by one via
+//             node-move-in, in an order where each has a neighbor already
+//             inside the net (BFS from the H boundary). Nodes that lost
+//             all connection to H are orphaned (left out of the net).
+//   Repair  — boundary H receivers whose unique-slot provider departed
+//             are re-validated and fixed via the Algorithm-3 repair; this
+//             pass is required for Condition 1/2 to survive a departure
+//             and is the step the paper omits (DESIGN.md §4).
+// Root departure re-seeds the structure from the lowest surviving id.
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "cluster/cnet.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+std::vector<NodeId> ClusterNet::collectSubtree(NodeId top) const {
+  requireInNet(top, "collectSubtree");
+  std::vector<NodeId> order{top};
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (NodeId c : know_[order[i]].children) order.push_back(c);
+  }
+  return order;
+}
+
+void ClusterNet::detachNode(NodeId v) {
+  NodeKnowledge& k = know_[v];
+  DSN_CHECK(k.inNet, "detachNode: node not in net");
+  if (k.parent != kInvalidNode && know_[k.parent].inNet) {
+    auto& siblings = know_[k.parent].children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), v),
+                   siblings.end());
+  }
+  k.inNet = false;
+  k.parent = kInvalidNode;
+  k.children.clear();
+  k.depth = kNoDepth;
+  k.height = 0;
+  k.bSlot = kNoSlot;
+  k.lSlot = kNoSlot;
+  k.uSlot = kNoSlot;
+  k.upSlot = kNoSlot;
+  k.status = NodeStatus::kPureMember;
+  k.relayCount.clear();
+  // k.groups survives: a re-inserted node keeps its memberships.
+  --netSize_;
+}
+
+namespace {
+
+/// Eulerian-tour transmissions over a tree with `nodes` nodes.
+std::int64_t eulerRounds(std::size_t nodes) {
+  return nodes > 1 ? 2 * (static_cast<std::int64_t>(nodes) - 1) : 0;
+}
+
+}  // namespace
+
+MoveOutReport ClusterNet::moveOut(NodeId lev) {
+  requireInNet(lev, "moveOut");
+  const MoveOutReport report = withdrawInner(lev);
+  graph_.removeNode(lev);
+  return report;
+}
+
+MoveOutReport ClusterNet::withdraw(NodeId lev) {
+  requireInNet(lev, "withdraw");
+  return withdrawInner(lev);
+}
+
+MoveOutReport ClusterNet::withdrawInner(NodeId lev) {
+  if (lev == root_) return withdrawRoot();
+
+  MoveOutReport report;
+  const std::vector<NodeId> subtree = collectSubtree(lev);
+  report.subtreeSize = subtree.size() - 1;  // T \ {lev}
+
+  const RoundCost before = costs_;
+
+  // Step 0(i): "I will leave" + height updates travel the root path.
+  costs_.rootPath += know_[lev].depth;
+
+  // Relay-list decrements for every group held inside the departing
+  // subtree. The decrement path starts at lev's parent and stays inside H
+  // (H is parent-closed), so a plain root-path walk is correct.
+  const NodeId hParent = know_[lev].parent;
+  for (NodeId t : subtree) {
+    for (GroupId g : know_[t].groups) adjustRelayOnPath(hParent, g, -1);
+  }
+
+  // Step 0(ii): the "delete me and recalculate" Eulerian tour over T.
+  costs_.eulerTour += eulerRounds(subtree.size());
+
+  // Boundary H receivers that may have lost their unique-slot provider.
+  std::unordered_set<NodeId> inT(subtree.begin(), subtree.end());
+  std::vector<NodeId> boundary;
+  for (NodeId t : subtree) {
+    for (NodeId u : graph_.neighbors(t)) {
+      if (!inT.count(u) && contains(u)) boundary.push_back(u);
+    }
+  }
+  std::sort(boundary.begin(), boundary.end());
+  boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                 boundary.end());
+
+  // Detach T top-down. The leaver stays in the graph (the caller decides
+  // whether to remove it); re-insertion ignores it because it is no
+  // longer inNet.
+  for (NodeId t : subtree) detachNode(t);
+  refreshHeightsFrom(hParent);
+
+  // Steps 1 & 2: re-insert T \ {lev} via node-move-in, each node attaching
+  // once it has a neighbor inside the net (the paper's tour visits them in
+  // an order with the same property). The withdrawn node itself never
+  // re-attaches here: it is excluded from `pending`.
+  std::vector<NodeId> pending(subtree.begin() + 1, subtree.end());
+  costs_.eulerTour += eulerRounds(pending.size() + 1);
+  bool progress = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    std::vector<NodeId> still;
+    for (NodeId t : pending) {
+      if (!netNeighbors(t).empty()) {
+        moveIn(t);
+        progress = true;
+      } else {
+        still.push_back(t);
+      }
+    }
+    pending.swap(still);
+  }
+  report.orphaned = pending.size();
+
+  // Repair pass: re-validate every boundary receiver (plus re-inserted
+  // nodes are already validated inside moveIn).
+  for (NodeId v : boundary) {
+    if (!contains(v)) continue;
+    if (v == root_) continue;
+    if (repairReceiver(v)) ++report.conditionRepairs;
+  }
+
+  report.cost = costs_ - before;
+  return report;
+}
+
+MoveOutReport ClusterNet::withdrawRoot() {
+  // The paper defers the root case to a full paper that never appeared;
+  // we re-seed from the lowest surviving id and rebuild incrementally
+  // (DESIGN.md §4(3)).
+  MoveOutReport report;
+  const RoundCost before = costs_;
+  const NodeId oldRoot = root_;
+
+  const std::vector<NodeId> subtree = collectSubtree(oldRoot);
+  report.subtreeSize = subtree.size() - 1;
+  costs_.eulerTour += eulerRounds(subtree.size());
+
+  for (NodeId t : subtree) detachNode(t);
+  root_ = kInvalidNode;
+  rootMaxB_ = 0;
+  rootMaxL_ = 0;
+  rootMaxU_ = 0;
+  rootMaxUp_ = 0;
+
+  std::vector<NodeId> pending(subtree.begin() + 1, subtree.end());
+  if (!pending.empty()) {
+    // Seed a fresh root, then grow as in the non-root case.
+    const NodeId seed = *std::min_element(pending.begin(), pending.end());
+    moveIn(seed);
+    pending.erase(std::find(pending.begin(), pending.end(), seed));
+    bool progress = true;
+    while (progress && !pending.empty()) {
+      progress = false;
+      std::vector<NodeId> still;
+      for (NodeId t : pending) {
+        if (!netNeighbors(t).empty()) {
+          moveIn(t);
+          progress = true;
+        } else {
+          still.push_back(t);
+        }
+      }
+      pending.swap(still);
+    }
+  }
+  report.orphaned = pending.size();
+  report.cost = costs_ - before;
+  return report;
+}
+
+}  // namespace dsn

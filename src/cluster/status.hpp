@@ -1,0 +1,34 @@
+// Node roles in the cluster-based architecture (paper Definition 1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dsn {
+
+/// Role of a node inside CNet(G). The only legal transition after
+/// insertion is kPureMember -> kGateway (Definition 1, rule (c)).
+enum class NodeStatus : std::uint8_t {
+  kClusterHead,  ///< owns a cluster; connected to all its members
+  kGateway,      ///< relay between two adjacent clusters; backbone node
+  kPureMember,   ///< ordinary member; always a leaf of CNet(G)
+};
+
+/// Heads and gateways form the backbone BT(G) (paper Definition 2).
+constexpr bool isBackboneStatus(NodeStatus s) {
+  return s == NodeStatus::kClusterHead || s == NodeStatus::kGateway;
+}
+
+constexpr std::string_view toString(NodeStatus s) {
+  switch (s) {
+    case NodeStatus::kClusterHead:
+      return "head";
+    case NodeStatus::kGateway:
+      return "gateway";
+    case NodeStatus::kPureMember:
+      return "member";
+  }
+  return "?";
+}
+
+}  // namespace dsn

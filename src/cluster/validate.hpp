@@ -1,0 +1,43 @@
+// Whole-structure invariant validation.
+//
+// Every property the paper states (or that the implementation relies on)
+// is checked here against the raw knowledge records. The property-based
+// tests run this after construction and after every reconfiguration; the
+// examples can run it in debug sessions. A violation report names each
+// broken invariant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cnet.hpp"
+
+namespace dsn {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+  /// All errors joined with newlines ("" when ok).
+  std::string summary() const;
+};
+
+class ClusterNetValidator {
+ public:
+  /// Checks, over the current structure:
+  ///  * tree well-formedness: single root, symmetric parent/child links,
+  ///    depth = parent depth + 1, all net nodes reachable, tree edges are
+  ///    graph edges, exact subtree heights;
+  ///  * Definition-1 statuses: members/gateways hang off heads, gateways'
+  ///    children are heads, members are leaves, root is a head, backbone
+  ///    alternation head/gateway by even/odd depth;
+  ///  * Property 1(2): no G-edge between two cluster heads; heads
+  ///    dominate the net nodes;
+  ///  * Time-Slot Conditions (per the active SlotPolicy) for every
+  ///    backbone non-root (b) and every pure member (l);
+  ///  * Lemma 2(3)/Lemma 3 slot bounds: b <= d(d+1)/2+1, l <= D(D+1)/2+1;
+  ///  * root knowledge: rootMaxB/LSlot >= the true maxima;
+  ///  * multicast relay counts == exact descendant-in-group counts.
+  static ValidationReport validate(const ClusterNet& net);
+};
+
+}  // namespace dsn

@@ -1,0 +1,55 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+void MetricTable::add(const std::string& name, double value) {
+  for (auto& [key, samples] : metrics_) {
+    if (key == name) {
+      samples.add(value);
+      return;
+    }
+  }
+  metrics_.emplace_back(name, Samples{});
+  metrics_.back().second.add(value);
+}
+
+const Samples& MetricTable::samples(const std::string& name) const {
+  for (const auto& [key, samples] : metrics_) {
+    if (key == name) return samples;
+  }
+  throw PreconditionError("unknown metric: " + name);
+}
+
+double MetricTable::mean(const std::string& name) const {
+  return samples(name).mean();
+}
+
+double MetricTable::max(const std::string& name) const {
+  return samples(name).max();
+}
+
+std::vector<std::string> MetricTable::names() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, samples] : metrics_) out.push_back(key);
+  return out;
+}
+
+MetricTable runTrials(
+    const ExperimentConfig& cfg, std::size_t nodeCount,
+    const std::function<void(SensorNetwork&, Rng&, MetricTable&)>& probe) {
+  DSN_REQUIRE(cfg.trials > 0, "need at least one trial");
+  MetricTable table;
+  for (int t = 0; t < cfg.trials; ++t) {
+    SensorNetwork net(cfg.networkFor(nodeCount, t));
+    Rng rng(cfg.trialSeed(nodeCount, t) ^ 0xABCDEF);
+    probe(net, rng, table);
+  }
+  return table;
+}
+
+}  // namespace dsn

@@ -1,0 +1,65 @@
+// Experiment harness: multi-trial averaging over seeded deployments.
+//
+// Every figure/table in the paper is an average over random WSNs of a
+// given size; this harness fixes the seeding discipline (base seed +
+// trial index) so each bench row is exactly reproducible.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sensor_network.hpp"
+#include "util/stats.hpp"
+
+namespace dsn {
+
+/// One experiment's sweep settings (paper Section 6 defaults).
+struct ExperimentConfig {
+  std::vector<std::size_t> nodeCounts{100, 200, 300, 400, 500};
+  int fieldUnits = 10;          ///< 10x10 units
+  double unitMeters = 100.0;
+  double range = 50.0;
+  int trials = 5;
+  std::uint64_t baseSeed = 0xD5AE;
+  ClusterNetConfig cluster;
+
+  NetworkConfig networkFor(std::size_t n, int trial) const {
+    NetworkConfig nc;
+    nc.field = Field::squareUnits(fieldUnits, unitMeters);
+    nc.range = range;
+    nc.nodeCount = n;
+    nc.seed = trialSeed(n, trial);
+    nc.cluster = cluster;
+    return nc;
+  }
+
+  std::uint64_t trialSeed(std::size_t n, int trial) const {
+    // Distinct streams per (n, trial) pair; stable across runs.
+    return baseSeed ^ (static_cast<std::uint64_t>(n) << 20) ^
+           (static_cast<std::uint64_t>(trial) *
+            std::uint64_t{0x9E3779B97F4A7C15ull});
+  }
+};
+
+/// Aggregated metric values keyed by name; each key holds the per-trial
+/// samples so benches can report mean and spread.
+class MetricTable {
+ public:
+  void add(const std::string& name, double value);
+  const Samples& samples(const std::string& name) const;
+  double mean(const std::string& name) const;
+  double max(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, Samples>> metrics_;
+};
+
+/// Builds a network per trial and feeds it to `probe`, which records
+/// whatever metrics it wants into the table.
+MetricTable runTrials(
+    const ExperimentConfig& cfg, std::size_t nodeCount,
+    const std::function<void(SensorNetwork&, Rng&, MetricTable&)>& probe);
+
+}  // namespace dsn

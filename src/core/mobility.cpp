@@ -1,0 +1,40 @@
+#include "core/mobility.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+RandomWaypointMobility::RandomWaypointMobility(Field field, double maxStep,
+                                               std::uint64_t seed)
+    : field_(field), maxStep_(maxStep), rng_(seed) {
+  DSN_REQUIRE(field.width > 0 && field.height > 0,
+              "mobility field must have positive area");
+  DSN_REQUIRE(maxStep > 0, "mobility step must be positive");
+}
+
+Point2D RandomWaypointMobility::drawWaypoint() {
+  return Point2D{rng_.uniformReal(0.0, field_.width),
+                 rng_.uniformReal(0.0, field_.height)};
+}
+
+Point2D RandomWaypointMobility::advance(NodeId v, const Point2D& current) {
+  auto it = waypoint_.find(v);
+  if (it == waypoint_.end())
+    it = waypoint_.emplace(v, drawWaypoint()).first;
+
+  const double dist = distance(current, it->second);
+  if (dist <= maxStep_) {
+    const Point2D arrived = it->second;
+    it->second = drawWaypoint();
+    return arrived;
+  }
+  const double f = maxStep_ / dist;
+  return Point2D{current.x + (it->second.x - current.x) * f,
+                 current.y + (it->second.y - current.y) * f};
+}
+
+void RandomWaypointMobility::forget(NodeId v) { waypoint_.erase(v); }
+
+}  // namespace dsn

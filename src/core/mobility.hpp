@@ -1,0 +1,41 @@
+// Node mobility models.
+//
+// The classic random-waypoint walker: every node drifts toward a private
+// waypoint at a bounded speed and draws a fresh waypoint on arrival.
+// Combined with SensorNetwork::moveSensor this produces exactly the
+// dynamics the paper's title promises: nodes wander, radio links appear
+// and disappear, and the architecture continuously reconfigures through
+// node-move-out / node-move-in.
+#pragma once
+
+#include <unordered_map>
+
+#include "graph/deploy.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+class RandomWaypointMobility {
+ public:
+  /// `maxStep` = distance a node covers per tick (same unit as field).
+  RandomWaypointMobility(Field field, double maxStep,
+                         std::uint64_t seed = 0x30B11E);
+
+  /// Next position of node `v` currently at `current`.
+  Point2D advance(NodeId v, const Point2D& current);
+
+  /// Drops per-node state (for departed nodes).
+  void forget(NodeId v);
+
+ private:
+  Field field_;
+  double maxStep_;
+  Rng rng_;
+  std::unordered_map<NodeId, Point2D> waypoint_;
+
+  Point2D drawWaypoint();
+};
+
+}  // namespace dsn

@@ -1,0 +1,38 @@
+#include "core/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+std::string writeCsv(const std::string& path,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows) {
+  namespace fs = std::filesystem;
+  const fs::path p = fs::absolute(path);
+  if (p.has_parent_path()) fs::create_directories(p.parent_path());
+  std::ofstream out(p);
+  DSN_REQUIRE(out.good(), "cannot open CSV output: " + p.string());
+  CsvWriter csv(out, header);
+  for (const auto& row : rows) csv.rowValues(row);
+  return p.string();
+}
+
+void emitTable(const std::string& title,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows,
+               const std::string& csvPath, int precision) {
+  TablePrinter table(title, header);
+  for (const auto& row : rows) table.addRowValues(row, precision);
+  table.print(std::cout);
+  if (!csvPath.empty()) {
+    const std::string written = writeCsv(csvPath, header, rows);
+    std::cout << "[csv] " << written << "\n";
+  }
+}
+
+}  // namespace dsn

@@ -1,0 +1,24 @@
+// Result reporting: paper-style console tables + CSV artifacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace dsn {
+
+/// Writes `rows` (with `header`) to a CSV file at `path`, creating parent
+/// directories as needed. Returns the absolute path written.
+std::string writeCsv(const std::string& path,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows);
+
+/// Prints a table to stdout and, when `csvPath` is non-empty, also writes
+/// the numeric rows as CSV.
+void emitTable(const std::string& title,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows,
+               const std::string& csvPath = "", int precision = 1);
+
+}  // namespace dsn

@@ -1,0 +1,237 @@
+#include "core/scenario.hpp"
+
+#include <sstream>
+
+#include "broadcast/convergecast.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+namespace {
+
+[[noreturn]] void parseFail(int line, const std::string& what) {
+  throw PreconditionError("scenario line " + std::to_string(line) + ": " +
+                          what);
+}
+
+BroadcastScheme parseScheme(int line, const std::string& word) {
+  if (word.empty() || word == "icff") return BroadcastScheme::kImprovedCff;
+  if (word == "cff") return BroadcastScheme::kCff;
+  if (word == "dfo") return BroadcastScheme::kDfo;
+  parseFail(line, "unknown scheme '" + word + "'");
+}
+
+MulticastMode parseMode(int line, const std::string& word) {
+  if (word.empty() || word == "pruned") return MulticastMode::kPrunedRelay;
+  if (word == "flood") return MulticastMode::kFullFlood;
+  parseFail(line, "unknown multicast mode '" + word + "'");
+}
+
+double parseNumber(int line, const std::string& word, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(word, &used);
+    if (used != word.size()) throw std::invalid_argument(word);
+    return v;
+  } catch (const std::exception&) {
+    parseFail(line, std::string("expected ") + what + ", got '" + word +
+                        "'");
+  }
+}
+
+NodeId parseNode(int line, const std::string& word) {
+  const double v = parseNumber(line, word, "a node id");
+  if (v < 0 || v != static_cast<double>(static_cast<NodeId>(v)))
+    parseFail(line, "invalid node id '" + word + "'");
+  return static_cast<NodeId>(v);
+}
+
+}  // namespace
+
+std::vector<ScenarioEvent> parseScenario(std::istream& in) {
+  std::vector<ScenarioEvent> events;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op)) continue;  // blank line
+
+    ScenarioEvent e;
+    e.sourceLine = lineNo;
+    std::string a, b, c;
+
+    if (op == "join") {
+      e.kind = ScenarioEvent::Kind::kJoin;
+      if (!(ls >> a >> b)) parseFail(lineNo, "join needs x y");
+      e.position = {parseNumber(lineNo, a, "x"),
+                    parseNumber(lineNo, b, "y")};
+    } else if (op == "leave") {
+      e.kind = ScenarioEvent::Kind::kLeave;
+      if (!(ls >> a)) parseFail(lineNo, "leave needs a node id");
+      e.node = parseNode(lineNo, a);
+    } else if (op == "move") {
+      e.kind = ScenarioEvent::Kind::kMove;
+      if (!(ls >> a >> b >> c)) parseFail(lineNo, "move needs id x y");
+      e.node = parseNode(lineNo, a);
+      e.position = {parseNumber(lineNo, b, "x"),
+                    parseNumber(lineNo, c, "y")};
+    } else if (op == "group" || op == "ungroup") {
+      e.kind = op == "group" ? ScenarioEvent::Kind::kJoinGroup
+                             : ScenarioEvent::Kind::kLeaveGroup;
+      if (!(ls >> a >> b)) parseFail(lineNo, op + " needs id group");
+      e.node = parseNode(lineNo, a);
+      e.group = static_cast<GroupId>(
+          parseNumber(lineNo, b, "a group id"));
+    } else if (op == "broadcast") {
+      e.kind = ScenarioEvent::Kind::kBroadcast;
+      if (!(ls >> a)) parseFail(lineNo, "broadcast needs a source");
+      e.node = a == "random" ? kInvalidNode : parseNode(lineNo, a);
+      ls >> b;
+      e.scheme = parseScheme(lineNo, b);
+    } else if (op == "multicast") {
+      e.kind = ScenarioEvent::Kind::kMulticast;
+      if (!(ls >> a >> b)) parseFail(lineNo, "multicast needs source group");
+      e.node = parseNode(lineNo, a);
+      e.group = static_cast<GroupId>(
+          parseNumber(lineNo, b, "a group id"));
+      ls >> c;
+      e.multicastMode = parseMode(lineNo, c);
+    } else if (op == "gather") {
+      e.kind = ScenarioEvent::Kind::kGather;
+    } else if (op == "compact") {
+      e.kind = ScenarioEvent::Kind::kCompact;
+    } else if (op == "validate") {
+      e.kind = ScenarioEvent::Kind::kValidate;
+    } else {
+      parseFail(lineNo, "unknown event '" + op + "'");
+    }
+
+    std::string extra;
+    if (ls >> extra)
+      parseFail(lineNo, "trailing input '" + extra + "'");
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<ScenarioEvent> parseScenario(const std::string& text) {
+  std::istringstream in(text);
+  return parseScenario(in);
+}
+
+ScenarioOutcome runScenario(SensorNetwork& net,
+                            const std::vector<ScenarioEvent>& events,
+                            const ScenarioOptions& options) {
+  ScenarioOutcome out;
+  Rng rng(options.seed);
+
+  auto note = [&out](std::ostringstream& os) {
+    out.log.push_back(os.str());
+  };
+  auto validateNow = [&]() {
+    const auto report = net.validate();
+    if (!report.ok() && out.valid) {
+      out.valid = false;
+      out.firstViolation = report.summary();
+    }
+    return report.ok();
+  };
+
+  for (const auto& e : events) {
+    std::ostringstream os;
+    os << "L" << e.sourceLine << " ";
+    switch (e.kind) {
+      case ScenarioEvent::Kind::kJoin: {
+        bool joined = false;
+        const NodeId id = net.addSensor(e.position, &joined);
+        os << "join -> node " << id
+           << (joined ? " (in net)" : " (out of range)");
+        break;
+      }
+      case ScenarioEvent::Kind::kLeave: {
+        DSN_REQUIRE(net.clusterNet().contains(e.node),
+                    "scenario: leave of node not in net");
+        const auto report = net.removeSensor(e.node);
+        os << "leave " << e.node << " -> |T|=" << report.subtreeSize
+           << " orphans=" << report.orphaned << " rounds="
+           << report.cost.total();
+        break;
+      }
+      case ScenarioEvent::Kind::kMove: {
+        const bool inNet = net.moveSensor(e.node, e.position);
+        os << "move " << e.node << " -> "
+           << (inNet ? "in net" : "out of range");
+        break;
+      }
+      case ScenarioEvent::Kind::kJoinGroup:
+        net.joinGroup(e.node, e.group);
+        os << "group " << e.node << " += " << e.group;
+        break;
+      case ScenarioEvent::Kind::kLeaveGroup:
+        net.leaveGroup(e.node, e.group);
+        os << "group " << e.node << " -= " << e.group;
+        break;
+      case ScenarioEvent::Kind::kBroadcast: {
+        const NodeId source =
+            e.node == kInvalidNode ? net.randomNode(rng) : e.node;
+        const auto run =
+            net.broadcast(e.scheme, source, 0xB0CA57, options.protocol);
+        ++out.broadcasts;
+        out.worstCoverage = std::min(out.worstCoverage, run.coverage());
+        os << "broadcast " << toString(e.scheme) << " from " << source
+           << " -> coverage " << run.coverage() << " in "
+           << run.sim.rounds << " rounds";
+        break;
+      }
+      case ScenarioEvent::Kind::kMulticast: {
+        const auto run = net.multicast(e.node, e.group, 0x0CA57,
+                                       e.multicastMode,
+                                       options.protocol);
+        ++out.multicasts;
+        out.worstCoverage = std::min(out.worstCoverage, run.coverage());
+        os << "multicast g" << e.group << " from " << e.node
+           << " -> coverage " << run.coverage() << " ("
+           << run.transmissions << " tx)";
+        break;
+      }
+      case ScenarioEvent::Kind::kGather: {
+        std::vector<std::uint64_t> values(net.graph().size(), 0);
+        for (NodeId v : net.clusterNet().netNodes()) values[v] = v;
+        const auto result =
+            runConvergecast(net.clusterNet(), values, options.protocol);
+        ++out.gathers;
+        out.worstYield = std::min(out.worstYield, result.yield());
+        os << "gather -> yield " << result.yield() << " sum "
+           << result.aggregate << " in " << result.sim.rounds
+           << " rounds";
+        break;
+      }
+      case ScenarioEvent::Kind::kCompact: {
+        const auto rounds = net.clusterNet().compactSlots();
+        os << "compact -> " << rounds << " rounds, windows b/l now "
+           << net.clusterNet().rootMaxBSlot() << "/"
+           << net.clusterNet().rootMaxLSlot();
+        break;
+      }
+      case ScenarioEvent::Kind::kValidate: {
+        os << "validate -> " << (validateNow() ? "ok" : "VIOLATION");
+        break;
+      }
+    }
+    note(os);
+    ++out.eventsExecuted;
+    if (options.validateEachStep &&
+        e.kind != ScenarioEvent::Kind::kValidate) {
+      validateNow();
+    }
+  }
+  return out;
+}
+
+}  // namespace dsn

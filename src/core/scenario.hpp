@@ -1,0 +1,91 @@
+// Scenario engine: scripted network workloads.
+//
+// A scenario is a list of timed events — joins, departures, moves, group
+// changes, broadcasts, multicasts, gather waves, compactions — executed
+// against one SensorNetwork with continuous validation. The text format
+// (one event per line) drives the `wsn_sim` command-line tool and the
+// scenario regression tests:
+//
+//   # comments and blank lines are ignored
+//   join 120.5 480.0            # deploy + move-in at (x, y)
+//   leave 42                    # node-move-out
+//   move 17 300 250             # relocate node 17
+//   group 17 3                  # node 17 joins multicast group 3
+//   ungroup 17 3
+//   broadcast 0 icff            # source 0; schemes: dfo | cff | icff
+//   broadcast random dfo        # uniformly random source
+//   multicast 0 3 pruned        # source, group, pruned | flood
+//   gather                      # convergecast wave (value = node id)
+//   compact                     # slot compaction sweep
+//   validate                    # explicit invariant check
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sensor_network.hpp"
+
+namespace dsn {
+
+struct ScenarioEvent {
+  enum class Kind {
+    kJoin,
+    kLeave,
+    kMove,
+    kJoinGroup,
+    kLeaveGroup,
+    kBroadcast,
+    kMulticast,
+    kGather,
+    kCompact,
+    kValidate,
+  };
+
+  Kind kind{};
+  NodeId node = kInvalidNode;  ///< kInvalidNode on broadcast = random
+  Point2D position{};
+  GroupId group = kNoGroup;
+  BroadcastScheme scheme = BroadcastScheme::kImprovedCff;
+  MulticastMode multicastMode = MulticastMode::kPrunedRelay;
+  int sourceLine = 0;  ///< for error reporting
+};
+
+/// Parses the text format. Throws PreconditionError with the offending
+/// line number on malformed input.
+std::vector<ScenarioEvent> parseScenario(std::istream& in);
+std::vector<ScenarioEvent> parseScenario(const std::string& text);
+
+/// Aggregate outcome of a scenario run.
+struct ScenarioOutcome {
+  /// One line per executed event (human-readable).
+  std::vector<std::string> log;
+  std::size_t eventsExecuted = 0;
+  std::size_t broadcasts = 0;
+  std::size_t multicasts = 0;
+  std::size_t gathers = 0;
+  double worstCoverage = 1.0;
+  double worstYield = 1.0;
+  /// False when any (implicit or explicit) validation failed; the first
+  /// failure message is kept.
+  bool valid = true;
+  std::string firstViolation;
+};
+
+struct ScenarioOptions {
+  /// Validate invariants after every event (in addition to explicit
+  /// `validate` lines).
+  bool validateEachStep = true;
+  /// Seed for `broadcast random` source draws.
+  std::uint64_t seed = 0x5CEA;
+  /// Radio options applied to every communication event.
+  ProtocolOptions protocol;
+};
+
+/// Executes `events` against `net` in order.
+ScenarioOutcome runScenario(SensorNetwork& net,
+                            const std::vector<ScenarioEvent>& events,
+                            const ScenarioOptions& options = {});
+
+}  // namespace dsn

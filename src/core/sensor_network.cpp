@@ -1,0 +1,175 @@
+#include "core/sensor_network.hpp"
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+namespace {
+
+std::vector<Point2D> makePoints(const NetworkConfig& cfg) {
+  Rng rng(cfg.seed);
+  const DeployConfig dc{cfg.field, cfg.range, cfg.nodeCount};
+  switch (cfg.deployment) {
+    case DeploymentKind::kIncrementalAttach:
+      return deployIncrementalAttach(dc, rng);
+    case DeploymentKind::kUniform:
+      return deployUniform(dc, rng);
+    case DeploymentKind::kGrid:
+      return deployGrid(dc);
+    case DeploymentKind::kLine:
+      return deployLine(cfg.nodeCount, cfg.range);
+    case DeploymentKind::kStar:
+      return deployStar(cfg.nodeCount, cfg.range);
+  }
+  DSN_CHECK(false, "unknown deployment kind");
+  return {};
+}
+
+}  // namespace
+
+SensorNetwork::SensorNetwork(const NetworkConfig& config)
+    : points_(makePoints(config)),
+      range_(config.range),
+      index_(config.range) {
+  buildFromPoints(config.cluster);
+}
+
+SensorNetwork::SensorNetwork(std::vector<Point2D> points, double range,
+                             ClusterNetConfig clusterConfig)
+    : points_(std::move(points)), range_(range), index_(range) {
+  buildFromPoints(clusterConfig);
+}
+
+void SensorNetwork::buildFromPoints(const ClusterNetConfig& clusterConfig) {
+  DSN_REQUIRE(range_ > 0.0, "communication range must be positive");
+  graph_ = std::make_unique<Graph>(buildUnitDiskGraph(points_, range_));
+  net_ = std::make_unique<ClusterNet>(*graph_, clusterConfig);
+  for (NodeId v = 0; v < points_.size(); ++v) index_.insert(v, points_[v]);
+
+  // Self-construction: move nodes in one by one; a node is insertable
+  // once it has a neighbor inside the net. Deployment order works for
+  // incremental-attach layouts; for arbitrary layouts keep sweeping until
+  // no progress (covers exactly the component of the first node).
+  std::vector<NodeId> pending;
+  for (NodeId v = 0; v < points_.size(); ++v) pending.push_back(v);
+  bool progress = true;
+  bool first = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    std::vector<NodeId> still;
+    for (NodeId v : pending) {
+      bool attachable = first;
+      first = false;
+      if (!attachable) {
+        for (NodeId u : graph_->neighbors(v)) {
+          if (net_->contains(u)) {
+            attachable = true;
+            break;
+          }
+        }
+      }
+      if (attachable) {
+        net_->moveIn(v);
+        progress = true;
+      } else {
+        still.push_back(v);
+      }
+    }
+    pending.swap(still);
+  }
+}
+
+NodeId SensorNetwork::addSensor(const Point2D& p, bool* joined) {
+  const NodeId v = graph_->addNode();
+  for (NodeId u : index_.queryNeighbors(p)) {
+    if (graph_->isAlive(u)) graph_->addEdge(v, u);
+  }
+  index_.insert(v, p);
+
+  bool canJoin = net_->netSize() == 0;
+  for (NodeId u : graph_->neighbors(v)) {
+    if (net_->contains(u)) {
+      canJoin = true;
+      break;
+    }
+  }
+  if (canJoin) net_->moveIn(v);
+  if (joined) *joined = canJoin;
+  return v;
+}
+
+bool SensorNetwork::moveSensor(NodeId v, const Point2D& newPosition) {
+  DSN_REQUIRE(graph_->isAlive(v), "moveSensor: node not deployed");
+
+  // 1. Leave the structure (if inside); the subtree re-homes through the
+  //    regular node-move-out machinery, but the node stays deployed.
+  if (net_->contains(v)) net_->withdraw(v);
+
+  // 2. Re-wire the radio neighborhood. The node currently carries no
+  //    slots (withdraw cleared them), so edge changes cannot invalidate
+  //    anyone's TDM conditions.
+  for (NodeId u : std::vector<NodeId>(graph_->neighbors(v)))
+    graph_->removeEdge(v, u);
+  index_.remove(v);
+  for (NodeId u : index_.queryNeighbors(newPosition)) {
+    if (graph_->isAlive(u)) graph_->addEdge(v, u);
+  }
+  index_.insert(v, newPosition);
+
+  // 3. Re-join at the new spot when the net is reachable.
+  bool canJoin = net_->netSize() == 0;
+  for (NodeId u : graph_->neighbors(v)) {
+    if (net_->contains(u)) {
+      canJoin = true;
+      break;
+    }
+  }
+  if (canJoin) net_->moveIn(v);
+  return canJoin;
+}
+
+MoveOutReport SensorNetwork::removeSensor(NodeId v) {
+  DSN_REQUIRE(net_->contains(v), "removeSensor: node not in the net");
+  index_.remove(v);
+  return net_->moveOut(v);  // also removes v from the graph
+}
+
+MoveOutReport SensorNetwork::withdrawSensor(NodeId v) {
+  DSN_REQUIRE(net_->contains(v), "withdrawSensor: node not in the net");
+  return net_->withdraw(v);
+}
+
+bool SensorNetwork::rejoinSensor(NodeId v) {
+  DSN_REQUIRE(graph_->isAlive(v), "rejoinSensor: node not deployed");
+  DSN_REQUIRE(!net_->contains(v), "rejoinSensor: node already in net");
+  bool canJoin = net_->netSize() == 0;
+  for (NodeId u : graph_->neighbors(v)) {
+    if (net_->contains(u)) {
+      canJoin = true;
+      break;
+    }
+  }
+  if (canJoin) net_->moveIn(v);
+  return canJoin;
+}
+
+BroadcastRun SensorNetwork::broadcast(BroadcastScheme scheme, NodeId source,
+                                      std::uint64_t payload,
+                                      const ProtocolOptions& options) const {
+  return runBroadcast(scheme, *net_, source, payload, options);
+}
+
+BroadcastRun SensorNetwork::multicast(NodeId source, GroupId group,
+                                      std::uint64_t payload,
+                                      MulticastMode mode,
+                                      const ProtocolOptions& options) const {
+  return runMulticast(*net_, source, group, payload, mode, options);
+}
+
+NodeId SensorNetwork::randomNode(Rng& rng) const {
+  const auto nodes = net_->netNodes();
+  DSN_REQUIRE(!nodes.empty(), "randomNode: empty network");
+  return nodes[rng.pickIndex(nodes)];
+}
+
+}  // namespace dsn

@@ -1,0 +1,120 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+std::vector<int> bfsDistances(const Graph& g, NodeId source) {
+  DSN_REQUIRE(g.isAlive(source), "bfsDistances: source must be live");
+  std::vector<int> dist(g.size(), -1);
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool isConnected(const Graph& g) {
+  const auto live = g.liveNodes();
+  if (live.size() <= 1) return true;
+  const auto dist = bfsDistances(g, live.front());
+  return std::all_of(live.begin(), live.end(),
+                     [&](NodeId v) { return dist[v] >= 0; });
+}
+
+std::vector<int> connectedComponents(const Graph& g, int* componentCount) {
+  std::vector<int> comp(g.size(), -1);
+  int next = 0;
+  for (NodeId start : g.liveNodes()) {
+    if (comp[start] >= 0) continue;
+    comp[start] = next;
+    std::queue<NodeId> q;
+    q.push(start);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (NodeId u : g.neighbors(v)) {
+        if (comp[u] < 0) {
+          comp[u] = next;
+          q.push(u);
+        }
+      }
+    }
+    ++next;
+  }
+  if (componentCount) *componentCount = next;
+  return comp;
+}
+
+std::vector<NodeId> reachableFrom(const Graph& g, NodeId source) {
+  const auto dist = bfsDistances(g, source);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < dist.size(); ++v)
+    if (dist[v] >= 0) out.push_back(v);
+  return out;
+}
+
+int eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfsDistances(g, source);
+  int ecc = 0;
+  for (int d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+int diameter(const Graph& g) {
+  DSN_REQUIRE(isConnected(g), "diameter requires a connected graph");
+  int best = 0;
+  for (NodeId v : g.liveNodes()) best = std::max(best, eccentricity(g, v));
+  return best;
+}
+
+DegreeStats degreeStats(const Graph& g) {
+  DegreeStats s;
+  const auto live = g.liveNodes();
+  if (live.empty()) return s;
+  s.minDegree = g.degree(live.front());
+  double sum = 0.0;
+  for (NodeId v : live) {
+    const std::size_t d = g.degree(v);
+    s.maxDegree = std::max(s.maxDegree, d);
+    s.minDegree = std::min(s.minDegree, d);
+    sum += static_cast<double>(d);
+  }
+  s.meanDegree = sum / static_cast<double>(live.size());
+  return s;
+}
+
+Graph inducedSubgraph(const Graph& g, const std::vector<NodeId>& keep) {
+  std::vector<bool> keepMask(g.size(), false);
+  for (NodeId v : keep) {
+    DSN_REQUIRE(g.isAlive(v), "inducedSubgraph: keep node must be live");
+    keepMask[v] = true;
+  }
+  // Start from a copy of the id space with all live nodes, then drop the
+  // complement so ids stay aligned with `g`.
+  Graph sub(g.size());
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (!g.isAlive(v) || !keepMask[v]) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (u > v && keepMask[u]) sub.addEdge(v, u);
+    }
+  }
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (!g.isAlive(v) || !keepMask[v]) sub.removeNode(v);
+  }
+  return sub;
+}
+
+}  // namespace dsn

@@ -1,0 +1,46 @@
+// Classic graph algorithms used for validation and metrics: traversal,
+// connectivity, distance/diameter, and degree statistics.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// BFS distances (hop counts) from `source` over live nodes. Unreachable
+/// or dead nodes get -1. Index is node id.
+std::vector<int> bfsDistances(const Graph& g, NodeId source);
+
+/// True when all live nodes are mutually reachable (vacuously true for
+/// zero or one live node).
+bool isConnected(const Graph& g);
+
+/// Connected components over live nodes: component id per node (-1 for
+/// dead nodes), ids dense from 0.
+std::vector<int> connectedComponents(const Graph& g, int* componentCount);
+
+/// Live node ids reachable from `source` (including itself).
+std::vector<NodeId> reachableFrom(const Graph& g, NodeId source);
+
+/// Eccentricity of `source`: max BFS distance to a reachable node.
+int eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter (max pairwise hop distance) over live nodes; requires a
+/// connected graph. O(n · (n + m)) — fine at bench scales.
+int diameter(const Graph& g);
+
+/// Degree summary over live nodes.
+struct DegreeStats {
+  std::size_t maxDegree = 0;
+  double meanDegree = 0.0;
+  std::size_t minDegree = 0;
+};
+DegreeStats degreeStats(const Graph& g);
+
+/// Induced subgraph over `keep` (live ids): result has the same id space
+/// as `g`, with nodes outside `keep` removed. Handy for G(V_BT).
+Graph inducedSubgraph(const Graph& g, const std::vector<NodeId>& keep);
+
+}  // namespace dsn

@@ -1,0 +1,66 @@
+// Deployment generators: node placements that define the flat WSN.
+//
+// The paper evaluates on square fields of 8x8, 10x10 and 12x12 "units"
+// (1 unit = 100 m) with a 50 m communication range, growing the network
+// incrementally via node-move-in. See DESIGN.md §4(6) for why the default
+// generator attaches each node within range of the existing network:
+// a fully uniform scatter at those densities is almost surely
+// disconnected, and the architecture itself is defined by incremental
+// insertion of connected nodes.
+#pragma once
+
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace dsn {
+
+/// A rectangular deployment field [0,width] x [0,height].
+struct Field {
+  double width = 0.0;
+  double height = 0.0;
+
+  /// Paper-style field of `units` x `units` squares of `unitMeters` each.
+  static Field squareUnits(int units, double unitMeters = 100.0);
+};
+
+/// Parameters of a deployment.
+struct DeployConfig {
+  Field field;
+  /// Communication range in the field's length unit (paper: 50 m).
+  double range = 50.0;
+  /// Number of nodes to place.
+  std::size_t nodeCount = 0;
+};
+
+/// Uniform i.i.d. placement over the field. May yield a disconnected
+/// unit-disk graph at low density.
+std::vector<Point2D> deployUniform(const DeployConfig& cfg, Rng& rng);
+
+/// Incremental-attach placement (default for paper experiments): the
+/// first node is uniform; each later node is re-sampled uniformly until it
+/// lands within `range` of an already-placed node, so the unit-disk graph
+/// is connected by construction and the sequence is a valid node-move-in
+/// order. To keep the expected number of rejections bounded on sparse
+/// fields, after `maxRejects` misses the candidate is drawn from an
+/// annulus around a random placed node instead (still uniform in area).
+std::vector<Point2D> deployIncrementalAttach(const DeployConfig& cfg,
+                                             Rng& rng,
+                                             int maxRejects = 64);
+
+/// Evenly spaced grid clipped to `nodeCount` nodes (row-major), spacing
+/// chosen so horizontal/vertical neighbors are within range. Deterministic;
+/// used by tests for predictable topologies.
+std::vector<Point2D> deployGrid(const DeployConfig& cfg);
+
+/// A straight line of nodes spaced `0.9 * range` apart starting at the
+/// origin. Produces a path graph; used by tests and worst-case benches.
+std::vector<Point2D> deployLine(std::size_t nodeCount, double range);
+
+/// A star: one hub at the origin with `nodeCount - 1` leaves placed on a
+/// circle of radius `0.9 * range` (leaves are pairwise out of range when
+/// few enough; with many leaves adjacent ones may connect).
+std::vector<Point2D> deployStar(std::size_t nodeCount, double range);
+
+}  // namespace dsn

@@ -1,0 +1,97 @@
+#include "graph/domination.hpp"
+
+#include <algorithm>
+
+namespace dsn {
+
+std::vector<NodeId> greedyDominatingSet(const Graph& g) {
+  const auto live = g.liveNodes();
+  std::vector<bool> covered(g.size(), false);
+  std::size_t uncovered = live.size();
+  std::vector<NodeId> ds;
+
+  while (uncovered > 0) {
+    NodeId best = kInvalidNode;
+    std::size_t bestGain = 0;
+    for (NodeId v : live) {
+      std::size_t gain = covered[v] ? 0u : 1u;
+      for (NodeId u : g.neighbors(v))
+        if (!covered[u]) ++gain;
+      if (gain > bestGain) {
+        bestGain = gain;
+        best = v;
+      }
+    }
+    DSN_CHECK(best != kInvalidNode, "greedy DS: no progress possible");
+    ds.push_back(best);
+    if (!covered[best]) {
+      covered[best] = true;
+      --uncovered;
+    }
+    for (NodeId u : g.neighbors(best)) {
+      if (!covered[u]) {
+        covered[u] = true;
+        --uncovered;
+      }
+    }
+  }
+  std::sort(ds.begin(), ds.end());
+  return ds;
+}
+
+std::vector<NodeId> greedyMaximalIndependentSet(const Graph& g) {
+  std::vector<bool> blocked(g.size(), false);
+  std::vector<NodeId> mis;
+  for (NodeId v : g.liveNodes()) {
+    if (blocked[v]) continue;
+    mis.push_back(v);
+    blocked[v] = true;
+    for (NodeId u : g.neighbors(v)) blocked[u] = true;
+  }
+  return mis;
+}
+
+std::vector<std::vector<NodeId>> greedyCliqueCover(const Graph& g) {
+  std::vector<bool> covered(g.size(), false);
+  std::vector<std::vector<NodeId>> cliques;
+  for (NodeId seed : g.liveNodes()) {
+    if (covered[seed]) continue;
+    std::vector<NodeId> clique{seed};
+    covered[seed] = true;
+    // Grow by candidates adjacent to every current member.
+    for (NodeId cand : g.neighbors(seed)) {
+      if (covered[cand]) continue;
+      const bool adjacentToAll =
+          std::all_of(clique.begin(), clique.end(), [&](NodeId m) {
+            return g.hasEdge(cand, m);
+          });
+      if (adjacentToAll) {
+        clique.push_back(cand);
+        covered[cand] = true;
+      }
+    }
+    cliques.push_back(std::move(clique));
+  }
+  return cliques;
+}
+
+bool isDominatingSet(const Graph& g, const std::vector<NodeId>& set) {
+  std::vector<bool> dominated(g.size(), false);
+  for (NodeId v : set) {
+    if (!g.isAlive(v)) return false;
+    dominated[v] = true;
+    for (NodeId u : g.neighbors(v)) dominated[u] = true;
+  }
+  for (NodeId v : g.liveNodes())
+    if (!dominated[v]) return false;
+  return true;
+}
+
+bool isIndependentSet(const Graph& g, const std::vector<NodeId>& set) {
+  for (std::size_t i = 0; i < set.size(); ++i)
+    for (std::size_t j = i + 1; j < set.size(); ++j)
+      if (g.hasEdge(set[i], set[j])) return false;
+  return true;
+}
+
+}  // namespace dsn

@@ -1,0 +1,38 @@
+// Dominating sets, independent sets and clique covers.
+//
+// Used to check the paper's Property 1 empirically: the cluster-heads of
+// CNet(G) form an independent dominating set, the number of clusters is at
+// most p (the smallest clique-cover size — approximated here by a greedy
+// cover, which upper-bounds p... and therefore also upper-bounds the
+// cluster count when the property holds), and on unit-disk graphs the
+// cluster count is within a constant factor of a minimum dominating set
+// (approximated by the greedy O(log n) algorithm).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// Greedy minimum-dominating-set approximation (classic O(log n)-factor
+/// greedy: repeatedly pick the node covering the most uncovered nodes).
+std::vector<NodeId> greedyDominatingSet(const Graph& g);
+
+/// Greedy maximal independent set in ascending id order.
+std::vector<NodeId> greedyMaximalIndependentSet(const Graph& g);
+
+/// Greedy clique cover: repeatedly grows a clique from the lowest
+/// uncovered id. Returns the cliques; their count upper-bounds p, the
+/// minimum number of complete subgraphs covering G (paper Property 1).
+std::vector<std::vector<NodeId>> greedyCliqueCover(const Graph& g);
+
+/// True when `set` dominates all live nodes of `g` (every live node is in
+/// the set or adjacent to a member).
+bool isDominatingSet(const Graph& g, const std::vector<NodeId>& set);
+
+/// True when no two members of `set` are adjacent in `g`.
+bool isIndependentSet(const Graph& g, const std::vector<NodeId>& set);
+
+}  // namespace dsn

@@ -1,0 +1,138 @@
+#include "graph/exact.hpp"
+
+#include <algorithm>
+
+#include "graph/domination.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+namespace {
+
+using Mask = std::uint64_t;
+
+struct DsSearch {
+  const std::vector<NodeId>* nodes;
+  std::vector<Mask> closedNeighborhood;  // per index
+  Mask all = 0;
+  std::size_t best = 0;
+  std::vector<std::size_t> current;
+  std::vector<std::size_t> bestSet;
+  bool found = false;
+
+  // Choose `remaining` more dominators starting from index `from`,
+  // given `covered` so far.
+  void search(std::size_t from, std::size_t remaining, Mask covered) {
+    if (covered == all) {
+      bestSet = current;
+      found = true;
+      return;
+    }
+    if (found || remaining == 0 || from >= nodes->size()) return;
+    // Prune: even covering maximal neighborhoods can't finish in time.
+    // (cheap bound: each pick covers at most maxCover bits)
+    for (std::size_t i = from; i < nodes->size(); ++i) {
+      if (found) return;
+      // Skip picks that add nothing.
+      if ((closedNeighborhood[i] & ~covered) == 0) continue;
+      current.push_back(i);
+      search(i + 1, remaining - 1, covered | closedNeighborhood[i]);
+      current.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<NodeId> exactMinimumDominatingSet(const Graph& g,
+                                              std::size_t maxNodes) {
+  const auto live = g.liveNodes();
+  DSN_REQUIRE(live.size() <= maxNodes && live.size() <= 64,
+              "exact MDS: graph too large for exhaustive search");
+  if (live.empty()) return {};
+
+  std::vector<std::size_t> indexOf(g.size(), 0);
+  for (std::size_t i = 0; i < live.size(); ++i) indexOf[live[i]] = i;
+
+  DsSearch s;
+  s.nodes = &live;
+  s.closedNeighborhood.resize(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Mask m = Mask{1} << i;
+    for (NodeId u : g.neighbors(live[i]))
+      m |= Mask{1} << indexOf[u];
+    s.closedNeighborhood[i] = m;
+    s.all |= Mask{1} << i;
+  }
+
+  const std::size_t upper = greedyDominatingSet(g).size();
+  for (std::size_t k = 1; k <= upper; ++k) {
+    s.found = false;
+    s.current.clear();
+    s.search(0, k, 0);
+    if (s.found) {
+      std::vector<NodeId> out;
+      for (std::size_t i : s.bestSet) out.push_back(live[i]);
+      return out;
+    }
+  }
+  DSN_CHECK(false, "greedy DS was not dominating?");
+  return {};
+}
+
+namespace {
+
+struct CoverSearch {
+  const Graph* g;
+  const std::vector<NodeId>* nodes;
+  std::size_t best;
+  std::vector<std::vector<NodeId>> classes;
+  std::vector<std::vector<NodeId>> bestClasses;
+
+  bool fitsClass(NodeId v, const std::vector<NodeId>& clique) const {
+    return std::all_of(clique.begin(), clique.end(),
+                       [&](NodeId u) { return g->hasEdge(u, v); });
+  }
+
+  void search(std::size_t idx) {
+    if (classes.size() >= best) return;  // bound
+    if (idx == nodes->size()) {
+      best = classes.size();
+      bestClasses = classes;
+      return;
+    }
+    const NodeId v = (*nodes)[idx];
+    // Index-based iteration: the recursive call may push a new class and
+    // reallocate `classes`, which would dangle a range-for reference.
+    const std::size_t openClasses = classes.size();
+    for (std::size_t ci = 0; ci < openClasses; ++ci) {
+      if (fitsClass(v, classes[ci])) {
+        classes[ci].push_back(v);
+        search(idx + 1);
+        classes[ci].pop_back();
+      }
+    }
+    classes.push_back({v});
+    search(idx + 1);
+    classes.pop_back();
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> exactMinimumCliqueCover(
+    const Graph& g, std::size_t maxNodes) {
+  const auto live = g.liveNodes();
+  DSN_REQUIRE(live.size() <= maxNodes,
+              "exact clique cover: graph too large for exhaustive search");
+  if (live.empty()) return {};
+
+  CoverSearch s;
+  s.g = &g;
+  s.nodes = &live;
+  s.best = greedyCliqueCover(g).size() + 1;  // strict upper bound
+  s.search(0);
+  DSN_CHECK(!s.bestClasses.empty(), "cover search found nothing");
+  return s.bestClasses;
+}
+
+}  // namespace dsn

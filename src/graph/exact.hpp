@@ -1,0 +1,35 @@
+// Exact solvers for small graphs.
+//
+// Property 1 of the paper bounds the cluster structure against two
+// NP-hard quantities: p, the minimum number of complete subgraphs
+// covering G (Property 1(1): #clusters ≤ p, |BT| ≤ 2p−1), and |MDS|,
+// the minimum dominating set (Property 1(3), unit-disk case:
+// #clusters ≤ 5·|MDS|). The greedy approximations in domination.hpp can
+// only sanity-check orders of magnitude; these exact solvers make the
+// inequalities testable as stated — for the small n where exhaustive
+// search is feasible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// Exact minimum dominating set via bounded subset search (iterates
+/// cardinality upward, pruned by the greedy upper bound). Feasible for
+/// ~25 live nodes and the small optima typical of connected unit-disk
+/// graphs. Throws PreconditionError above `maxNodes`.
+std::vector<NodeId> exactMinimumDominatingSet(const Graph& g,
+                                              std::size_t maxNodes = 26);
+
+/// Exact minimum clique cover (= chromatic number of the complement)
+/// via branch-and-bound: nodes are assigned to existing clique classes
+/// or open a new one, pruned against the best cover found. Feasible for
+/// ~16 live nodes. Throws PreconditionError above `maxNodes`.
+std::vector<std::vector<NodeId>> exactMinimumCliqueCover(
+    const Graph& g, std::size_t maxNodes = 16);
+
+}  // namespace dsn

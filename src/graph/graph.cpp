@@ -1,0 +1,89 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace dsn {
+
+namespace {
+const std::vector<NodeId> kEmptyAdjacency;
+}
+
+Graph::Graph(std::size_t n)
+    : adjacency_(n), alive_(n, true), liveCount_(n) {}
+
+NodeId Graph::addNode() {
+  adjacency_.emplace_back();
+  alive_.push_back(true);
+  ++liveCount_;
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::requireLive(NodeId v, const char* what) const {
+  DSN_REQUIRE(isValidId(v), std::string(what) + ": node id out of range");
+  DSN_REQUIRE(alive_[v], std::string(what) + ": node is not alive");
+}
+
+void Graph::removeNode(NodeId v) {
+  requireLive(v, "removeNode");
+  for (NodeId u : adjacency_[v]) {
+    auto& nu = adjacency_[u];
+    nu.erase(std::remove(nu.begin(), nu.end(), v), nu.end());
+    --edgeCount_;
+  }
+  adjacency_[v].clear();
+  alive_[v] = false;
+  --liveCount_;
+}
+
+void Graph::addEdge(NodeId u, NodeId v) {
+  requireLive(u, "addEdge");
+  requireLive(v, "addEdge");
+  DSN_REQUIRE(u != v, "addEdge: self loops not allowed");
+  if (hasEdge(u, v)) return;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edgeCount_;
+}
+
+void Graph::removeEdge(NodeId u, NodeId v) {
+  requireLive(u, "removeEdge");
+  requireLive(v, "removeEdge");
+  auto& nu = adjacency_[u];
+  const auto it = std::find(nu.begin(), nu.end(), v);
+  if (it == nu.end()) return;
+  nu.erase(it);
+  auto& nv = adjacency_[v];
+  nv.erase(std::remove(nv.begin(), nv.end(), u), nv.end());
+  --edgeCount_;
+}
+
+bool Graph::hasEdge(NodeId u, NodeId v) const {
+  if (!isValidId(u) || !isValidId(v) || !alive_[u] || !alive_[v])
+    return false;
+  // Scan the smaller adjacency list.
+  const auto& a = adjacency_[u].size() <= adjacency_[v].size()
+                      ? adjacency_[u]
+                      : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  DSN_REQUIRE(isValidId(v), "neighbors: node id out of range");
+  if (!alive_[v]) return kEmptyAdjacency;
+  return adjacency_[v];
+}
+
+bool Graph::isAlive(NodeId v) const {
+  return isValidId(v) && alive_[v];
+}
+
+std::vector<NodeId> Graph::liveNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(liveCount_);
+  for (NodeId v = 0; v < adjacency_.size(); ++v)
+    if (alive_[v]) out.push_back(v);
+  return out;
+}
+
+}  // namespace dsn

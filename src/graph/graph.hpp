@@ -1,0 +1,76 @@
+// Undirected graph over dense node ids 0..n-1.
+//
+// This is the flat WSN `G = (V, E)` of the paper: an edge exists iff two
+// nodes are within transmission range of each other. The structure is
+// mutable (nodes/edges can be added and removed) because the paper's
+// architecture is defined by incremental node-move-in / node-move-out.
+//
+// Removed nodes keep their id (ids are never recycled) but become
+// `!isAlive`; adjacency queries on dead nodes return empty sets. This
+// keeps external id maps stable across reconfigurations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// Mutable undirected graph with stable node ids.
+class Graph {
+ public:
+  Graph() = default;
+  /// Creates `n` live, isolated nodes with ids 0..n-1.
+  explicit Graph(std::size_t n);
+
+  /// Adds a new live node; returns its id (== previous size()).
+  NodeId addNode();
+
+  /// Removes a node: drops all incident edges and marks it dead.
+  /// The id stays allocated and must not be re-added.
+  void removeNode(NodeId v);
+
+  /// Adds an undirected edge {u, v}. Both ends must be live and distinct.
+  /// Adding an existing edge is a no-op.
+  void addEdge(NodeId u, NodeId v);
+
+  /// Removes edge {u, v} if present.
+  void removeEdge(NodeId u, NodeId v);
+
+  bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Neighbors of a live node, in insertion order. Empty for dead nodes.
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  bool isAlive(NodeId v) const;
+
+  /// Total ids ever allocated (live + dead).
+  std::size_t size() const { return adjacency_.size(); }
+  /// Number of live nodes.
+  std::size_t liveCount() const { return liveCount_; }
+  /// Number of undirected edges among live nodes.
+  std::size_t edgeCount() const { return edgeCount_; }
+
+  /// Degree of a node (0 for dead nodes).
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  /// All live node ids, ascending.
+  std::vector<NodeId> liveNodes() const;
+
+  /// Bounds-checks an id (live or dead).
+  bool isValidId(NodeId v) const {
+    return v < adjacency_.size();
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<bool> alive_;
+  std::size_t liveCount_ = 0;
+  std::size_t edgeCount_ = 0;
+
+  void requireLive(NodeId v, const char* what) const;
+};
+
+}  // namespace dsn

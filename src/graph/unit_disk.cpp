@@ -1,0 +1,81 @@
+#include "graph/unit_disk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+Graph buildUnitDiskGraph(const std::vector<Point2D>& points, double range) {
+  DSN_REQUIRE(range > 0.0, "communication range must be positive");
+  Graph g(points.size());
+  UnitDiskIndex index(range);
+  for (NodeId i = 0; i < points.size(); ++i) {
+    for (NodeId j : index.queryNeighbors(points[i])) g.addEdge(i, j);
+    index.insert(i, points[i]);
+  }
+  return g;
+}
+
+UnitDiskIndex::UnitDiskIndex(double range) : range_(range) {
+  DSN_REQUIRE(range > 0.0, "communication range must be positive");
+}
+
+UnitDiskIndex::CellKey UnitDiskIndex::cellOf(const Point2D& p) const {
+  // Cell size equals the range, so all neighbors of a point lie in the
+  // 3x3 block of cells around it. Coordinates are offset into positive
+  // space before packing two 32-bit cell indices into one key.
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / range_));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / range_));
+  const auto ux = static_cast<std::uint64_t>(cx + (1ll << 31));
+  const auto uy = static_cast<std::uint64_t>(cy + (1ll << 31));
+  return (ux << 32) | (uy & 0xFFFFFFFFull);
+}
+
+std::vector<NodeId> UnitDiskIndex::queryNeighbors(const Point2D& p) const {
+  std::vector<NodeId> out;
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / range_));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / range_));
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const Point2D probe{static_cast<double>(cx + dx) * range_ +
+                              range_ * 0.5,
+                          static_cast<double>(cy + dy) * range_ +
+                              range_ * 0.5};
+      const auto it = cells_.find(cellOf(probe));
+      if (it == cells_.end()) continue;
+      for (NodeId id : it->second) {
+        if (inRange(positions_.at(id), p, range_)) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void UnitDiskIndex::insert(NodeId id, const Point2D& p) {
+  DSN_REQUIRE(!contains(id), "UnitDiskIndex::insert: duplicate id");
+  positions_.emplace(id, p);
+  cells_[cellOf(p)].push_back(id);
+}
+
+void UnitDiskIndex::remove(NodeId id) {
+  const auto it = positions_.find(id);
+  DSN_REQUIRE(it != positions_.end(), "UnitDiskIndex::remove: unknown id");
+  auto& bucket = cells_[cellOf(it->second)];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  positions_.erase(it);
+}
+
+const Point2D& UnitDiskIndex::position(NodeId id) const {
+  const auto it = positions_.find(id);
+  DSN_REQUIRE(it != positions_.end(), "UnitDiskIndex::position: unknown id");
+  return it->second;
+}
+
+bool UnitDiskIndex::contains(NodeId id) const {
+  return positions_.count(id) != 0;
+}
+
+}  // namespace dsn

@@ -1,0 +1,48 @@
+// Per-round radio action of one node.
+//
+// Paper Section 3.1: "In each round, a node acts as either a transmitter
+// or a receiver". We add explicit Sleep, which is how the energy claims
+// (awake-round counts) are measured. With k channels a transmitter picks
+// one channel; a listener is modeled as wide-band (hears every channel,
+// collisions resolved per channel) — see DESIGN.md §4(5).
+#pragma once
+
+#include "radio/message.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// Listen on all channels (wide-band receiver model).
+inline constexpr Channel kAllChannels = std::numeric_limits<Channel>::max();
+
+/// What one node does in one round.
+struct Action {
+  enum class Type : std::uint8_t { kSleep, kListen, kTransmit };
+
+  Type type = Type::kSleep;
+  /// Transmit: channel used. Listen: channel tuned (kAllChannels = all).
+  Channel channel = 0;
+  /// Valid only for kTransmit.
+  Message message{};
+
+  static Action sleep() { return Action{}; }
+
+  static Action listen(Channel c = kAllChannels) {
+    Action a;
+    a.type = Type::kListen;
+    a.channel = c;
+    return a;
+  }
+
+  static Action transmit(const Message& m, Channel c = 0) {
+    Action a;
+    a.type = Type::kTransmit;
+    a.channel = c;
+    a.message = m;
+    return a;
+  }
+
+  bool isAwake() const { return type != Type::kSleep; }
+};
+
+}  // namespace dsn

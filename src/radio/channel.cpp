@@ -1,0 +1,56 @@
+#include "radio/channel.hpp"
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+ChannelOutcome resolveRound(const Graph& g,
+                            const std::vector<Action>& actions,
+                            Channel channelCount) {
+  DSN_REQUIRE(channelCount >= 1, "at least one radio channel required");
+  DSN_REQUIRE(actions.size() == g.size(),
+              "one action required per node id");
+
+  ChannelOutcome out;
+  for (NodeId v = 0; v < actions.size(); ++v) {
+    if (actions[v].type == Action::Type::kTransmit) {
+      DSN_REQUIRE(g.isAlive(v), "dead node cannot transmit");
+      DSN_REQUIRE(actions[v].channel < channelCount,
+                  "transmit channel out of range");
+      ++out.transmissions;
+    }
+  }
+
+  for (NodeId v = 0; v < actions.size(); ++v) {
+    const Action& act = actions[v];
+    if (act.type != Action::Type::kListen) continue;
+    DSN_REQUIRE(g.isAlive(v), "dead node cannot listen");
+
+    const Channel lo = act.channel == kAllChannels ? 0 : act.channel;
+    const Channel hi =
+        act.channel == kAllChannels ? channelCount : act.channel + 1;
+    DSN_REQUIRE(act.channel == kAllChannels || act.channel < channelCount,
+                "listen channel out of range");
+
+    for (Channel c = lo; c < hi; ++c) {
+      NodeId uniqueTransmitter = kInvalidNode;
+      std::size_t transmitterCount = 0;
+      for (NodeId u : g.neighbors(v)) {
+        const Action& other = actions[u];
+        if (other.type == Action::Type::kTransmit && other.channel == c) {
+          ++transmitterCount;
+          uniqueTransmitter = u;
+          if (transmitterCount > 1) break;
+        }
+      }
+      if (transmitterCount == 1) {
+        out.deliveries.push_back(Delivery{v, uniqueTransmitter, c});
+      } else if (transmitterCount > 1) {
+        out.collisionSites.push_back(CollisionSite{v, c});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dsn

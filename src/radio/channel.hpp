@@ -1,0 +1,53 @@
+// Collision-resolution core of the radio model.
+//
+// Paper Section 3.1(4): nodes have no collision detection; a receiver
+// gets a message in a round iff exactly one of its neighbors transmits in
+// that round (per channel when k channels exist). This function is the
+// single place that rule lives; the whole simulator and all protocol
+// claims rest on it, so it is kept pure and exhaustively unit-tested.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/action.hpp"
+
+namespace dsn {
+
+/// One successful reception.
+struct Delivery {
+  NodeId receiver = kInvalidNode;
+  NodeId transmitter = kInvalidNode;
+  Channel channel = 0;
+};
+
+/// A (listener, channel) pair where >= 2 neighbors transmitted — the
+/// listener hears noise and (no collision detection) cannot tell.
+struct CollisionSite {
+  NodeId listener = kInvalidNode;
+  Channel channel = 0;
+};
+
+/// Outcome of resolving one round.
+struct ChannelOutcome {
+  std::vector<Delivery> deliveries;
+  std::vector<CollisionSite> collisionSites;
+  /// Number of transmissions that actually went on air this round.
+  std::size_t transmissions = 0;
+
+  std::size_t collisions() const { return collisionSites.size(); }
+};
+
+/// Resolves one synchronous round.
+///
+/// `actions[v]` is node v's action (index = node id; dead/absent nodes
+/// must be kSleep). `channelCount` is k >= 1; a transmit action's channel
+/// must be < k. Listeners tuned to kAllChannels are wide-band: they
+/// resolve each channel independently and may receive up to k frames in
+/// one round. A transmitting node never receives in the same round.
+ChannelOutcome resolveRound(const Graph& g,
+                            const std::vector<Action>& actions,
+                            Channel channelCount);
+
+}  // namespace dsn

@@ -1,0 +1,33 @@
+#include "radio/energy.hpp"
+
+#include <algorithm>
+
+namespace dsn {
+
+std::size_t EnergyMeter::maxAwakeRounds() const {
+  std::size_t best = 0;
+  for (const auto& n : nodes_) best = std::max(best, n.awakeRounds());
+  return best;
+}
+
+double EnergyMeter::meanAwakeRounds() const {
+  if (nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += static_cast<double>(n.awakeRounds());
+  return sum / static_cast<double>(nodes_.size());
+}
+
+std::size_t EnergyMeter::totalTransmissions() const {
+  std::size_t sum = 0;
+  for (const auto& n : nodes_) sum += n.transmitRounds;
+  return sum;
+}
+
+double EnergyMeter::totalEnergy(const EnergyModel& model,
+                                Round totalRounds) const {
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += n.energy(model, totalRounds);
+  return sum;
+}
+
+}  // namespace dsn

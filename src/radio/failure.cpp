@@ -1,0 +1,27 @@
+#include "radio/failure.hpp"
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+void FailureModel::killAt(NodeId v, Round r) {
+  DSN_REQUIRE(r >= 0, "death round must be non-negative");
+  const auto it = deathRound_.find(v);
+  if (it == deathRound_.end() || it->second > r) deathRound_[v] = r;
+}
+
+void FailureModel::setDropProbability(double p) {
+  DSN_REQUIRE(p >= 0.0 && p <= 1.0, "drop probability must be in [0,1]");
+  dropProb_ = p;
+}
+
+bool FailureModel::isDead(NodeId v, Round r) const {
+  const auto it = deathRound_.find(v);
+  return it != deathRound_.end() && r >= it->second;
+}
+
+bool FailureModel::dropsTransmission() {
+  return rng_.chance(dropProb_);
+}
+
+}  // namespace dsn

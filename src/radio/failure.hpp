@@ -1,0 +1,46 @@
+// Failure injection for robustness experiments (paper §3.3 "Robustness").
+//
+// Two orthogonal mechanisms:
+//   * scheduled death — a node stops participating entirely from a given
+//     round (battery exhaustion / crash);
+//   * relay-drop probability — each transmission independently fails to
+//     go on air with probability p (transient radio fault). The node
+//     still spends the energy (it believes it transmitted).
+#pragma once
+
+#include <unordered_map>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// Deterministic-given-seed failure model shared by a simulation run.
+class FailureModel {
+ public:
+  FailureModel() = default;
+  explicit FailureModel(std::uint64_t seed) : rng_(seed) {}
+
+  /// Node `v` is dead from round `r` (inclusive) onward.
+  void killAt(NodeId v, Round r);
+
+  /// Every transmission is silently dropped with probability `p` in
+  /// [0, 1].
+  void setDropProbability(double p);
+  double dropProbability() const { return dropProb_; }
+
+  bool isDead(NodeId v, Round r) const;
+
+  /// Draws the transient-fault coin for one transmission. Stateful (each
+  /// call advances the RNG); call exactly once per transmission attempt.
+  bool dropsTransmission();
+
+  bool hasScheduledDeaths() const { return !deathRound_.empty(); }
+
+ private:
+  std::unordered_map<NodeId, Round> deathRound_;
+  double dropProb_ = 0.0;
+  Rng rng_{0xFA11FA11u};
+};
+
+}  // namespace dsn

@@ -1,0 +1,51 @@
+// The over-the-air message format.
+//
+// The paper's packages are tuples like (m, t, Δ, i) — a payload plus the
+// transmitter's time-slot, the largest slot, and the current depth
+// (Algorithm 1/2), or a payload plus a target id (the DFO token tour).
+// `Message` is the superset of those fields; protocols fill the parts they
+// use. Fixed size, trivially copyable — one radio frame.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// No multicast group / plain broadcast.
+inline constexpr GroupId kNoGroup = std::numeric_limits<GroupId>::max();
+
+/// What a frame means to the receiving protocol.
+enum class MsgKind : std::uint8_t {
+  kData,     ///< broadcast/multicast payload being flooded
+  kToken,    ///< DFO Eulerian token (payload rides along)
+  kControl,  ///< structure/bookkeeping traffic (source-to-root relays)
+};
+
+/// One radio frame.
+struct Message {
+  MsgKind kind = MsgKind::kData;
+  /// Transmitting node (filled by the transmitter; receivers may use it).
+  NodeId sender = kInvalidNode;
+  /// Addressed node for token passing; kInvalidNode = everyone.
+  NodeId target = kInvalidNode;
+  /// Original broadcast source.
+  NodeId origin = kInvalidNode;
+  /// Sequence number distinguishing independent broadcasts.
+  std::uint32_t sequence = 0;
+  /// Transmitter's time-slot `t` within the current TDM window.
+  TimeSlot slot = kNoSlot;
+  /// Largest slot in use (Δ or δ) — defines the TDM window length.
+  TimeSlot windowSize = 0;
+  /// Depth index `i` the frame was transmitted from.
+  Depth depth = kNoDepth;
+  /// Height of CNet(G), carried by Algorithm 2's backbone flood.
+  std::int32_t height = 0;
+  /// Multicast group (kNoGroup for plain broadcast).
+  GroupId group = kNoGroup;
+  /// Opaque application payload (examples put sensor readings here).
+  std::uint64_t payload = 0;
+};
+
+}  // namespace dsn

@@ -1,0 +1,36 @@
+// Interface every per-node protocol state machine implements.
+//
+// The simulator drives all nodes in lock-step rounds:
+//   1. every live node's `onRound(r)` returns its Action for round r;
+//   2. the channel resolves which transmissions are received where;
+//   3. every successful reception is delivered via `onReceive`.
+// A protocol signals local completion via `isDone()`; the simulator stops
+// when every live node is done (or the round budget runs out).
+#pragma once
+
+#include "radio/action.hpp"
+#include "radio/message.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// One node's protocol logic. Implementations keep only *local* state —
+/// the per-node knowledge the paper grants (Section 5, knowledge I/II).
+class NodeProtocol {
+ public:
+  virtual ~NodeProtocol() = default;
+
+  /// Decide this node's action for round `r`. Called exactly once per
+  /// round while the node is alive.
+  virtual Action onRound(Round r) = 0;
+
+  /// A frame was received (exactly one neighbor transmitted on `channel`
+  /// in a round where this node was listening).
+  virtual void onReceive(const Message& m, Round r, Channel channel) = 0;
+
+  /// True once this node will never transmit again and its protocol role
+  /// is complete (it may still be reachable as a listener).
+  virtual bool isDone() const = 0;
+};
+
+}  // namespace dsn

@@ -1,0 +1,113 @@
+#include "radio/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+RadioSimulator::RadioSimulator(const Graph& graph, SimConfig config)
+    : graph_(graph),
+      config_(config),
+      protocols_(graph.size()),
+      energy_(graph.size()),
+      trace_(config.traceCapacity) {
+  DSN_REQUIRE(config_.channelCount >= 1, "need at least one channel");
+  DSN_REQUIRE(config_.maxRounds > 0, "maxRounds must be positive");
+}
+
+void RadioSimulator::setProtocol(NodeId v,
+                                 std::unique_ptr<NodeProtocol> protocol) {
+  DSN_REQUIRE(graph_.isAlive(v), "protocol target node must be live");
+  DSN_REQUIRE(!ran_, "cannot install protocols after run()");
+  protocols_[v] = std::move(protocol);
+}
+
+NodeProtocol* RadioSimulator::protocol(NodeId v) {
+  DSN_REQUIRE(v < protocols_.size(), "protocol: node id out of range");
+  return protocols_[v].get();
+}
+
+const NodeProtocol* RadioSimulator::protocol(NodeId v) const {
+  DSN_REQUIRE(v < protocols_.size(), "protocol: node id out of range");
+  return protocols_[v].get();
+}
+
+bool RadioSimulator::allDone(Round r) const {
+  for (NodeId v = 0; v < protocols_.size(); ++v) {
+    if (!protocols_[v]) continue;
+    if (!graph_.isAlive(v) || failures_.isDead(v, r)) continue;
+    if (!protocols_[v]->isDone()) return false;
+  }
+  return true;
+}
+
+SimResult RadioSimulator::run() {
+  DSN_REQUIRE(!ran_, "run() may be called only once");
+  ran_ = true;
+
+  SimResult result;
+  std::vector<Action> actions(graph_.size());
+
+  for (Round r = 0; r < config_.maxRounds; ++r) {
+    if (allDone(r)) {
+      result.completed = true;
+      result.rounds = r;
+      return result;
+    }
+
+    // Phase 1: collect actions from live, non-failed protocol nodes.
+    for (NodeId v = 0; v < protocols_.size(); ++v) {
+      actions[v] = Action::sleep();
+      if (!protocols_[v] || !graph_.isAlive(v)) continue;
+      if (failures_.isDead(v, r)) continue;
+      actions[v] = protocols_[v]->onRound(r);
+
+      if (actions[v].type == Action::Type::kTransmit) {
+        energy_.recordTransmit(v);
+        if (failures_.dropProbability() > 0.0 &&
+            failures_.dropsTransmission()) {
+          // Energy spent, nothing on air.
+          ++result.droppedTransmissions;
+          trace_.record(TraceEvent{TraceEventType::kDroppedTransmit, r, v,
+                                   kInvalidNode, actions[v].channel,
+                                   actions[v].message.kind});
+          actions[v] = Action::sleep();
+          continue;
+        }
+        trace_.record(TraceEvent{TraceEventType::kTransmit, r, v,
+                                 kInvalidNode, actions[v].channel,
+                                 actions[v].message.kind});
+      } else if (actions[v].type == Action::Type::kListen) {
+        energy_.recordListen(v);
+      }
+    }
+
+    // Phase 2: resolve the channel.
+    const ChannelOutcome outcome =
+        resolveRound(graph_, actions, config_.channelCount);
+    result.totalTransmissions += outcome.transmissions;
+    result.totalDeliveries += outcome.deliveries.size();
+    result.totalCollisions += outcome.collisions();
+
+    for (const auto& site : outcome.collisionSites) {
+      trace_.record(TraceEvent{TraceEventType::kCollision, r, site.listener,
+                               kInvalidNode, site.channel, MsgKind::kData});
+    }
+
+    // Phase 3: deliver.
+    for (const auto& d : outcome.deliveries) {
+      if (failures_.isDead(d.receiver, r)) continue;
+      energy_.recordReceive(d.receiver);
+      const Message& m = actions[d.transmitter].message;
+      trace_.record(TraceEvent{TraceEventType::kReceive, r, d.receiver,
+                               d.transmitter, d.channel, m.kind});
+      protocols_[d.receiver]->onReceive(m, r, d.channel);
+    }
+
+    result.rounds = r + 1;
+  }
+
+  result.completed = allDone(config_.maxRounds);
+  return result;
+}
+
+}  // namespace dsn

@@ -1,0 +1,82 @@
+// The synchronous round-based radio simulator.
+//
+// Drives one NodeProtocol per node over the flat WSN graph until every
+// live node reports done (or a round budget is exhausted), resolving
+// collisions per the paper's model each round and metering energy.
+//
+// Failure injection happens here: dead nodes neither act nor receive;
+// dropped transmissions consume energy but never reach the air.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/channel.hpp"
+#include "radio/energy.hpp"
+#include "radio/failure.hpp"
+#include "radio/protocol.hpp"
+#include "radio/trace.hpp"
+
+namespace dsn {
+
+/// Static configuration of one simulation run.
+struct SimConfig {
+  /// Number of radio channels k (paper: 1 unless the k-channel variant).
+  Channel channelCount = 1;
+  /// Hard stop; a protocol bug cannot hang a test or bench.
+  Round maxRounds = 1'000'000;
+  /// Capacity of the event trace (0 = tracing off).
+  std::size_t traceCapacity = 0;
+};
+
+/// Aggregate result of a run.
+struct SimResult {
+  /// Rounds executed (index of the first round after the last activity).
+  Round rounds = 0;
+  /// True when the run ended because every live node was done (as opposed
+  /// to hitting maxRounds).
+  bool completed = false;
+  std::size_t totalTransmissions = 0;
+  std::size_t totalDeliveries = 0;
+  std::size_t totalCollisions = 0;
+  std::size_t droppedTransmissions = 0;
+};
+
+/// Owns the protocols and runs the round loop.
+class RadioSimulator {
+ public:
+  /// The graph is borrowed and must outlive the simulator.
+  RadioSimulator(const Graph& graph, SimConfig config);
+
+  /// Installs node `v`'s protocol. Every live node that should act needs
+  /// one; nodes without a protocol sleep forever (and count as done).
+  void setProtocol(NodeId v, std::unique_ptr<NodeProtocol> protocol);
+
+  NodeProtocol* protocol(NodeId v);
+  const NodeProtocol* protocol(NodeId v) const;
+
+  FailureModel& failures() { return failures_; }
+  const FailureModel& failures() const { return failures_; }
+
+  /// Runs rounds until all live protocols are done or maxRounds is hit.
+  /// Callable once per simulator instance.
+  SimResult run();
+
+  const EnergyMeter& energy() const { return energy_; }
+  const Trace& trace() const { return trace_; }
+  const SimConfig& config() const { return config_; }
+
+ private:
+  const Graph& graph_;
+  SimConfig config_;
+  std::vector<std::unique_ptr<NodeProtocol>> protocols_;
+  FailureModel failures_;
+  EnergyMeter energy_;
+  Trace trace_;
+  bool ran_ = false;
+
+  bool allDone(Round r) const;
+};
+
+}  // namespace dsn

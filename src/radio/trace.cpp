@@ -1,0 +1,47 @@
+#include "radio/trace.hpp"
+
+#include <sstream>
+
+namespace dsn {
+
+void Trace::record(const TraceEvent& e) {
+  if (!enabled()) return;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+std::size_t Trace::countOf(TraceEventType t) const {
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.type == t) ++n;
+  return n;
+}
+
+std::string Trace::describe(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "r" << e.round << " ";
+  switch (e.type) {
+    case TraceEventType::kTransmit:
+      os << "TX   node=" << e.node << " ch=" << e.channel;
+      break;
+    case TraceEventType::kReceive:
+      os << "RX   node=" << e.node << " from=" << e.peer
+         << " ch=" << e.channel;
+      break;
+    case TraceEventType::kCollision:
+      os << "COLL node=" << e.node << " ch=" << e.channel;
+      break;
+    case TraceEventType::kNodeDeath:
+      os << "DIE  node=" << e.node;
+      break;
+    case TraceEventType::kDroppedTransmit:
+      os << "DROP node=" << e.node << " ch=" << e.channel;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace dsn

@@ -1,0 +1,59 @@
+// Optional per-round event trace.
+//
+// Tests assert on traces ("no collision ever happened", "node X slept
+// after round Y"); examples print them to show protocol behaviour. The
+// trace is off by default and bounded so benches are unaffected.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "radio/message.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+enum class TraceEventType : std::uint8_t {
+  kTransmit,
+  kReceive,
+  kCollision,
+  kNodeDeath,
+  kDroppedTransmit,
+};
+
+struct TraceEvent {
+  TraceEventType type{};
+  Round round = 0;
+  NodeId node = kInvalidNode;  ///< acting node (receiver for kReceive)
+  NodeId peer = kInvalidNode;  ///< transmitter for kReceive, else unused
+  Channel channel = 0;
+  MsgKind msgKind = MsgKind::kData;
+};
+
+/// Bounded event recorder.
+class Trace {
+ public:
+  /// `capacity` caps stored events; further events are counted but not
+  /// stored. 0 disables recording entirely.
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  void record(const TraceEvent& e);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t droppedEvents() const { return dropped_; }
+
+  std::size_t countOf(TraceEventType t) const;
+
+  /// Human-readable one-line rendering of an event.
+  static std::string describe(const TraceEvent& e);
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dsn

@@ -1,0 +1,61 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), width_(header.size()) {
+  DSN_REQUIRE(width_ > 0, "CSV header must have at least one column");
+  writeRow(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  DSN_REQUIRE(fields.size() == width_, "CSV row width mismatch");
+  writeRow(fields);
+  ++rows_;
+}
+
+void CsvWriter::rowValues(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(formatNumber(v));
+  row(fields);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needsQuote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::formatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace dsn

@@ -1,0 +1,43 @@
+// Minimal CSV writer for experiment output. Quotes fields per RFC 4180
+// only when needed; numeric columns are written with full precision so
+// downstream plotting reproduces the series exactly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsn {
+
+/// Streams rows of a CSV file. Not thread-safe; one writer per stream.
+class CsvWriter {
+ public:
+  /// Binds to an output stream the caller keeps alive. Writes the header
+  /// row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Appends one row. The number of fields must match the header width.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: format doubles/ints into a row.
+  void rowValues(const std::vector<double>& values);
+
+  std::size_t width() const { return width_; }
+  std::size_t rowsWritten() const { return rows_; }
+
+  /// Escapes a single field per RFC 4180 (quote when it contains comma,
+  /// quote, or newline).
+  static std::string escape(const std::string& field);
+
+  /// Full-precision, round-trippable formatting of a double (drops the
+  /// fraction entirely for integral values).
+  static std::string formatNumber(double v);
+
+ private:
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+  void writeRow(const std::vector<std::string>& fields);
+};
+
+}  // namespace dsn

@@ -1,0 +1,33 @@
+// Plane geometry for node deployments. Distances are in the same unit as
+// the deployment field (meters in the paper's setup).
+#pragma once
+
+#include <cmath>
+
+namespace dsn {
+
+/// A point in the deployment plane.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+inline double squaredDistance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point2D& a, const Point2D& b) {
+  return std::sqrt(squaredDistance(a, b));
+}
+
+/// True when two nodes with communication radius `range` can hear each
+/// other (unit-disk rule: distance <= range).
+inline bool inRange(const Point2D& a, const Point2D& b, double range) {
+  return squaredDistance(a, b) <= range * range;
+}
+
+}  // namespace dsn

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace dsn {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel logLevel() { return g_level.load(); }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (logLevel() < level) return;
+  std::cerr << "[dsn " << levelName(level) << "] " << message << '\n';
+}
+
+}  // namespace dsn

@@ -1,0 +1,50 @@
+// Lightweight leveled logger. dsnet libraries are silent by default;
+// examples and debugging sessions can raise the level. Not a tracing
+// system — per-round radio traces live in radio/trace.hpp.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dsn {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide minimum level. Messages below it are dropped cheaply.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits one line to stderr with a level prefix.
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace dsn
+
+#define DSN_LOG(level)                          \
+  if (::dsn::logLevel() < (level)) {            \
+  } else                                        \
+    ::dsn::detail::LogLine(level)
+
+#define DSN_LOG_INFO DSN_LOG(::dsn::LogLevel::kInfo)
+#define DSN_LOG_WARN DSN_LOG(::dsn::LogLevel::kWarn)
+#define DSN_LOG_DEBUG DSN_LOG(::dsn::LogLevel::kDebug)

@@ -1,0 +1,117 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+
+void Samples::ensureSorted() const {
+  if (sortedValid_ && sorted_.size() == values_.size()) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sortedValid_ = true;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  ensureSorted();
+  DSN_REQUIRE(!sorted_.empty(), "min of empty sample set");
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensureSorted();
+  DSN_REQUIRE(!sorted_.empty(), "max of empty sample set");
+  return sorted_.back();
+}
+
+double Samples::quantile(double q) const {
+  ensureSorted();
+  DSN_REQUIRE(!sorted_.empty(), "quantile of empty sample set");
+  DSN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double linearSlope(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  DSN_REQUIRE(x.size() == y.size(), "linearSlope: size mismatch");
+  DSN_REQUIRE(x.size() >= 2, "linearSlope: need at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  DSN_REQUIRE(denom != 0.0, "linearSlope: degenerate x values");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace dsn

@@ -1,0 +1,63 @@
+// Small statistics toolkit used by the experiment harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsn {
+
+/// Online accumulator for count/mean/variance/min/max (Welford's method).
+/// Numerically stable; O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A batch of samples with quantile access. Keeps all values (meant for
+/// per-trial experiment metrics, not high-volume telemetry).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolation quantile, q in [0,1]. Requires non-empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;  // lazily maintained cache
+  mutable bool sortedValid_ = false;
+  void ensureSorted() const;
+};
+
+/// Least-squares slope of y over x. Used by benches to report growth rates
+/// (e.g. backbone size vs n). Requires at least two points.
+double linearSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace dsn

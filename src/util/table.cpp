@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  DSN_REQUIRE(!header_.empty(), "table must have at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> fields) {
+  DSN_REQUIRE(fields.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(fields));
+}
+
+void TablePrinter::addRowValues(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(formatValue(v, precision));
+  addRow(std::move(fields));
+}
+
+std::string TablePrinter::formatValue(double v, int precision) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  }
+  return buf;
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "  " : "");
+      // Right-align all columns for numeric readability.
+      const std::size_t pad = widths[c] - row[c].size();
+      for (std::size_t i = 0; i < pad; ++i) out << ' ';
+      out << row[c];
+    }
+    out << '\n';
+  };
+
+  std::size_t total = header_.size() >= 1 ? 2 * (header_.size() - 1) : 0;
+  for (auto w : widths) total += w;
+
+  out << "\n== " << title_ << " ==\n";
+  printRow(header_);
+  for (std::size_t i = 0; i < total; ++i) out << '-';
+  out << '\n';
+  for (const auto& row : rows_) printRow(row);
+  out.flush();
+}
+
+}  // namespace dsn

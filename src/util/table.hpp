@@ -1,0 +1,35 @@
+// Fixed-width console table printer for paper-style result rows.
+//
+// Bench binaries use this to print each reproduced figure/table as an
+// aligned text table, which is the artifact EXPERIMENTS.md quotes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsn {
+
+/// Collects rows, then prints an aligned table with a title and header.
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> fields);
+  /// Formats numbers with `precision` decimals (integers without any).
+  void addRowValues(const std::vector<double>& values, int precision = 1);
+
+  /// Renders the whole table.
+  void print(std::ostream& out) const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  static std::string formatValue(double v, int precision);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsn

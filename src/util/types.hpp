@@ -1,0 +1,37 @@
+// Core identifier and unit types shared across the dsnet libraries.
+//
+// Every quantity in the round-based radio model gets a distinct vocabulary
+// type so that a time-slot cannot be silently passed where a round or a
+// node id is expected.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsn {
+
+/// Identifier of a sensor node. Node ids are dense indices `0..n-1` inside
+/// a single network instance; `kInvalidNode` marks "no node".
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// One synchronous communication round (paper Section 3.1). Rounds start
+/// at 0 when a protocol run begins.
+using Round = std::int64_t;
+
+/// A TDM transmission time-slot, numbered from 1 (paper Section 3.3).
+/// 0 means "unassigned".
+using TimeSlot = std::uint32_t;
+inline constexpr TimeSlot kNoSlot = 0;
+
+/// Multicast group identifier (paper Section 3.4).
+using GroupId = std::uint32_t;
+
+/// Radio channel index, `0..k-1` when k channels are available.
+using Channel = std::uint32_t;
+
+/// Depth of a node in CNet(G); the root has depth 0.
+using Depth = std::int32_t;
+inline constexpr Depth kNoDepth = -1;
+
+}  // namespace dsn

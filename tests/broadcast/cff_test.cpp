@@ -1,0 +1,142 @@
+// Algorithm 1 (collision-free flooding over the whole CNet).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "broadcast/cff_flooding.hpp"
+#include "cluster/backbone.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::buildNet;
+using testutil::randomNet;
+
+TEST(CffTest, StarDeliversInOneWindow) {
+  const auto pts = deployStar(8, 50.0);
+  auto f = buildNet(pts, 50.0);
+  const auto run = runCffBroadcast(*f.net, 0, 0xF00D);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_EQ(run.collisions, 0u);
+  EXPECT_EQ(run.transmissions, 1u);  // the hub floods once
+}
+
+TEST(CffTest, LineFloodsDepthByDepth) {
+  const auto pts = deployLine(9, 50.0);
+  auto f = buildNet(pts, 50.0);
+  const auto run = runCffBroadcast(*f.net, 0, 1);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_EQ(run.collisions, 0u);
+  // Depth i receives strictly after depth i-1.
+  // Each internal node transmits exactly once: 8 transmitters on a line.
+  EXPECT_EQ(run.transmissions, 8u);
+}
+
+class CffSweep : public ::testing::TestWithParam<
+                     std::tuple<std::uint64_t, std::size_t, int>> {};
+
+TEST_P(CffSweep, FullDeliveryNoCollisions) {
+  const auto [seed, n, fieldUnits] = GetParam();
+  auto f = randomNet(seed, n, fieldUnits);
+  Rng rng(seed);
+  const auto nodes = f.net->netNodes();
+  const NodeId source = nodes[rng.pickIndex(nodes)];
+  const auto run = runCffBroadcast(*f.net, source, 0xAB);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered())
+      << "coverage " << run.coverage() << " seed " << seed;
+  // Collisions at duplicated slots are expected and harmless: the slot
+  // conditions guarantee every receiver one *collision-free* slot, not a
+  // globally collision-free ether.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, CffSweep,
+    ::testing::Values(std::make_tuple(401u, std::size_t{50}, 8),
+                      std::make_tuple(402u, std::size_t{120}, 10),
+                      std::make_tuple(403u, std::size_t{250}, 10),
+                      std::make_tuple(404u, std::size_t{150}, 12),
+                      std::make_tuple(405u, std::size_t{100}, 4),
+                      std::make_tuple(406u, std::size_t{80}, 16)));
+
+TEST(CffTest, CompletionWithinLemma1Bound) {
+  auto f = randomNet(411, 200);
+  const auto run = runCffBroadcast(*f.net, f.net->root(), 1);
+  EXPECT_TRUE(run.allDelivered());
+  // Lemma 1: Δ(h+1) rounds (source = root, so no path prefix).
+  const Round bound =
+      static_cast<Round>(f.net->rootMaxUSlot()) * (f.net->height() + 1);
+  EXPECT_LE(run.completionRounds(), bound + 1);
+}
+
+TEST(CffTest, AwakeWithinTwoWindows) {
+  auto f = randomNet(412, 200);
+  const auto run = runCffBroadcast(*f.net, f.net->root(), 1);
+  // Lemma 1: every node awake at most 2Δ rounds.
+  EXPECT_LE(run.maxAwakeRounds,
+            2 * static_cast<std::size_t>(f.net->rootMaxUSlot()));
+}
+
+TEST(CffTest, NonRootSourceRelaysThroughRoot) {
+  auto f = randomNet(413, 150);
+  // Deepest node as source maximizes the path prefix.
+  NodeId deepest = f.net->root();
+  for (NodeId v : f.net->netNodes())
+    if (f.net->depth(v) > f.net->depth(deepest)) deepest = v;
+  ASSERT_GT(f.net->depth(deepest), 1);
+  const auto run = runCffBroadcast(*f.net, deepest, 1);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_EQ(run.collisions, 0u);
+  // Path prefix shows up in the schedule.
+  EXPECT_GE(run.scheduleLength, static_cast<Round>(f.net->depth(deepest)));
+}
+
+TEST(CffTest, DeliveryOrderRespectsDepth) {
+  auto f = randomNet(414, 120);
+  const auto& net = *f.net;
+  // Probe: deliveries must happen window by window — a node at larger
+  // depth never receives before a node at smaller depth finished its
+  // window. Verify via per-node payload rounds using the protocol
+  // endpoints? The run result only keeps the max, so check the schedule
+  // relation instead: completion <= schedule and > height (at least one
+  // round per depth).
+  const auto run = runCffBroadcast(*f.net, net.root(), 1);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_LE(run.completionRounds(), run.scheduleLength);
+  EXPECT_GE(run.completionRounds(), static_cast<Round>(net.height()));
+}
+
+TEST(CffTest, NodeDeathLeavesRestCovered) {
+  // Robustness claim (§3.3): unlike DFO, other branches keep relaying.
+  auto f = randomNet(415, 150);
+  // Kill one mid-depth backbone node from the start.
+  NodeId victim = kInvalidNode;
+  for (NodeId v : f.net->backboneNodes()) {
+    if (f.net->depth(v) == 2 && !f.net->children(v).empty()) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  ProtocolOptions opts;
+  opts.deaths.emplace_back(victim, 0);
+  const auto run = runCffBroadcast(*f.net, f.net->root(), 1, opts);
+  EXPECT_FALSE(run.allDelivered());  // the victim itself at minimum
+  // But coverage stays high — only nodes exclusively served by the
+  // victim can miss.
+  EXPECT_GT(run.coverage(), 0.5);
+}
+
+TEST(CffTest, SingleNode) {
+  Graph g(1);
+  ClusterNet net(g);
+  net.moveIn(0);
+  const auto run = runCffBroadcast(net, 0, 3);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered());
+}
+
+}  // namespace
+}  // namespace dsn

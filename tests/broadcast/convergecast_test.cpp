@@ -1,0 +1,156 @@
+// Convergecast data gathering: exact aggregation, scheduling, failures.
+#include <gtest/gtest.h>
+
+#include "broadcast/convergecast.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::buildNet;
+using testutil::randomNet;
+
+std::vector<std::uint64_t> sequentialValues(std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i + 1;
+  return v;
+}
+
+std::uint64_t exactSum(const ClusterNet& net,
+                       const std::vector<std::uint64_t>& values) {
+  std::uint64_t s = 0;
+  for (NodeId v : net.netNodes()) s += v < values.size() ? values[v] : 0;
+  return s;
+}
+
+TEST(ConvergecastTest, SingleNodeAggregatesItself) {
+  Graph g(1);
+  ClusterNet net(g);
+  net.moveIn(0);
+  const auto result = runConvergecast(net, {42});
+  EXPECT_TRUE(result.sim.completed);
+  EXPECT_EQ(result.aggregate, 42u);
+  EXPECT_EQ(result.contributors, 1u);
+  EXPECT_TRUE(result.complete());
+}
+
+TEST(ConvergecastTest, StarSumsAllLeaves) {
+  auto f = buildNet(deployStar(7, 50.0), 50.0);
+  const auto values = sequentialValues(7);
+  const auto result = runConvergecast(*f.net, values);
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.aggregate, exactSum(*f.net, values));
+  EXPECT_EQ(result.contributors, 7u);
+}
+
+TEST(ConvergecastTest, LineAggregatesHopByHop) {
+  auto f = buildNet(deployLine(10, 50.0), 50.0);
+  const auto values = sequentialValues(10);
+  const auto result = runConvergecast(*f.net, values);
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.aggregate, 55u);
+  // One transmission per non-root node.
+  EXPECT_EQ(result.transmissions, 9u);
+}
+
+class ConvergecastSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ConvergecastSweep, ExactSumOnRandomNetworks) {
+  const auto seed = GetParam();
+  auto f = randomNet(seed, 180);
+  const auto values = sequentialValues(180);
+  const auto result = runConvergecast(*f.net, values);
+  EXPECT_TRUE(result.sim.completed) << "seed " << seed;
+  EXPECT_TRUE(result.complete())
+      << "yield " << result.yield() << " seed " << seed;
+  EXPECT_EQ(result.aggregate, exactSum(*f.net, values));
+  // Every non-root transmits exactly once.
+  EXPECT_EQ(result.transmissions, f.net->netSize() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergecastSweep,
+                         ::testing::Values(1001u, 1002u, 1003u, 1004u,
+                                           1005u, 1006u));
+
+TEST(ConvergecastTest, ScheduleWithinGatherBound) {
+  auto f = randomNet(1011, 200);
+  const auto result =
+      runConvergecast(*f.net, sequentialValues(200));
+  EXPECT_TRUE(result.complete());
+  const Round bound = static_cast<Round>(f.net->rootMaxUpSlot()) *
+                      (f.net->height() + 1);
+  EXPECT_LE(result.sim.rounds, bound + 1);
+}
+
+TEST(ConvergecastTest, AwakeBounded) {
+  auto f = randomNet(1012, 200);
+  const auto result =
+      runConvergecast(*f.net, sequentialValues(200));
+  // Listen one window + transmit once.
+  EXPECT_LE(result.maxAwakeRounds,
+            2 * static_cast<std::size_t>(f.net->rootMaxUpSlot()) + 1);
+}
+
+TEST(ConvergecastTest, MultiChannelStillExact) {
+  auto f = randomNet(1013, 150);
+  const auto values = sequentialValues(150);
+  for (Channel k : {2u, 4u}) {
+    ProtocolOptions opts;
+    opts.channels = k;
+    const auto result = runConvergecast(*f.net, values, opts);
+    EXPECT_TRUE(result.complete()) << "k=" << k;
+    EXPECT_EQ(result.aggregate, exactSum(*f.net, values));
+  }
+}
+
+TEST(ConvergecastTest, DeadSubtreeIsMissingFromSum) {
+  auto f = randomNet(1014, 150);
+  // Kill one internal backbone node from the start: its whole subtree's
+  // contribution is lost, everything else must arrive.
+  NodeId victim = kInvalidNode;
+  for (NodeId v : f.net->backboneNodes()) {
+    if (v != f.net->root() && f.net->children(v).size() >= 2) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  std::size_t subtreeSize = 0;
+  std::vector<NodeId> stack{victim};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    ++subtreeSize;
+    for (NodeId c : f.net->children(x)) stack.push_back(c);
+  }
+
+  ProtocolOptions opts;
+  opts.deaths.emplace_back(victim, 0);
+  const auto result =
+      runConvergecast(*f.net, sequentialValues(150), opts);
+  EXPECT_EQ(result.contributors, 150u - subtreeSize);
+  EXPECT_FALSE(result.complete());
+}
+
+TEST(ConvergecastTest, SurvivesChurnedStructure) {
+  auto f = randomNet(1015, 120);
+  Rng rng(1015);
+  for (int i = 0; i < 15; ++i) {
+    const auto nodes = f.net->netNodes();
+    f.net->moveOut(nodes[rng.pickIndex(nodes)]);
+  }
+  std::vector<std::uint64_t> values(f.graph->size(), 3);
+  const auto result = runConvergecast(*f.net, values);
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.aggregate, 3u * f.net->netSize());
+}
+
+TEST(ConvergecastTest, EmptyNetRejected) {
+  Graph g(1);
+  ClusterNet net(g);
+  EXPECT_THROW(runConvergecast(net, {1}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

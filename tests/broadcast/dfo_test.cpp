@@ -1,0 +1,128 @@
+// DFO baseline broadcast: correctness, round counts, awake behaviour.
+#include <gtest/gtest.h>
+
+#include "broadcast/dfo.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::buildNet;
+using testutil::randomNet;
+
+TEST(DfoTest, SingleClusterFromHead) {
+  const auto pts = deployStar(6, 50.0);
+  auto f = buildNet(pts, 50.0);
+  const auto run = runDfoBroadcast(*f.net, 0, 0xBEEF);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_EQ(run.collisions, 0u);
+  EXPECT_EQ(run.transmissions, 1u);  // lone head transmits once
+}
+
+TEST(DfoTest, SingleClusterFromMember) {
+  const auto pts = deployStar(6, 50.0);
+  auto f = buildNet(pts, 50.0);
+  const auto run = runDfoBroadcast(*f.net, 3, 0xBEEF);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered());
+  // Member hands to head (1), head passes back to the member (1);
+  // the hand-back transmission is what serves the other members.
+  EXPECT_EQ(run.transmissions, 2u);
+}
+
+TEST(DfoTest, LineNetworkTourLength) {
+  // Line of 7: backbone is the whole line (4 heads, 3 gateways).
+  const auto pts = deployLine(7, 50.0);
+  auto f = buildNet(pts, 50.0);
+  const auto run = runDfoBroadcast(*f.net, 0, 1);
+  EXPECT_TRUE(run.allDelivered());
+  // Eulerian tour over a 7-node path: 2*(7-1) = 12 transmissions.
+  EXPECT_EQ(run.transmissions, 12u);
+  EXPECT_EQ(run.collisions, 0u);
+}
+
+TEST(DfoTest, ExactlyOneTransmitterPerRound) {
+  auto f = randomNet(301, 120);
+  ProtocolOptions opts;
+  opts.traceCapacity = 100000;
+  const auto run = runDfoBroadcast(*f.net, f.net->root(), 5, opts);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_EQ(run.collisions, 0u);
+  // One transmission per round implies transmissions == busy rounds and
+  // the tour length bounds: <= 2(|BT|-1)+1.
+  const std::size_t bt = f.net->backboneNodes().size();
+  EXPECT_LE(run.transmissions, 2 * bt);
+}
+
+TEST(DfoTest, AllNodesReceiveOnRandomNetworks) {
+  for (std::uint64_t seed : {311u, 312u, 313u}) {
+    auto f = randomNet(seed, 150);
+    Rng rng(seed);
+    const NodeId source = f.net->netNodes()[rng.pickIndex(
+        f.net->netNodes())];
+    const auto run = runDfoBroadcast(*f.net, source, 99);
+    EXPECT_TRUE(run.sim.completed) << "seed " << seed;
+    EXPECT_TRUE(run.allDelivered()) << "seed " << seed;
+    EXPECT_EQ(run.collisions, 0u);
+  }
+}
+
+TEST(DfoTest, RoundsScaleWithBackboneSize) {
+  auto small = randomNet(321, 60);
+  auto large = randomNet(322, 300);
+  const auto runSmall = runDfoBroadcast(*small.net, small.net->root(), 1);
+  const auto runLarge = runDfoBroadcast(*large.net, large.net->root(), 1);
+  EXPECT_TRUE(runSmall.allDelivered());
+  EXPECT_TRUE(runLarge.allDelivered());
+  EXPECT_GT(runLarge.sim.rounds, runSmall.sim.rounds);
+}
+
+TEST(DfoTest, TokenLossStallsTheTour) {
+  auto f = randomNet(331, 100);
+  // Kill a backbone node near the root mid-tour: the token dies with it.
+  NodeId victim = kInvalidNode;
+  for (NodeId v : f.net->backboneNodes()) {
+    if (v != f.net->root() && !f.net->children(v).empty()) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  ProtocolOptions opts;
+  opts.deaths.emplace_back(victim, 3);
+  const auto run = runDfoBroadcast(*f.net, f.net->root(), 1, opts);
+  EXPECT_FALSE(run.allDelivered());
+  EXPECT_LT(run.coverage(), 1.0);
+}
+
+TEST(DfoTest, SourceMustBeInNet) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  ClusterNet net(g);
+  net.moveIn(0);
+  EXPECT_THROW(runDfoBroadcast(net, 1, 0), PreconditionError);
+}
+
+TEST(DfoTest, MembersSleepAfterReceiving) {
+  auto f = randomNet(341, 120);
+  const auto run = runDfoBroadcast(*f.net, f.net->root(), 1);
+  EXPECT_TRUE(run.allDelivered());
+  // A member's awake time is its first-receipt time; the max awake over
+  // all nodes is bounded by the total tour length.
+  EXPECT_LE(run.maxAwakeRounds, static_cast<std::size_t>(run.sim.rounds));
+  EXPECT_GT(run.maxAwakeRounds, 0u);
+}
+
+TEST(DfoTest, SingleNodeNetwork) {
+  Graph g(1);
+  ClusterNet net(g);
+  net.moveIn(0);
+  const auto run = runDfoBroadcast(net, 0, 7);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_EQ(run.intended, 1u);
+}
+
+}  // namespace
+}  // namespace dsn

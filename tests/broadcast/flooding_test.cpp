@@ -1,0 +1,96 @@
+// Probabilistic flooding baseline: behaviour and the broadcast-storm
+// failure mode the paper's structured protocols avoid.
+#include <gtest/gtest.h>
+
+#include "broadcast/flooding_baseline.hpp"
+#include "broadcast/improved_cff.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::randomNet;
+
+TEST(FloodingTest, PairDelivers) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  const auto run = runFloodingBroadcast(g, 0, 7);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_EQ(run.deliveryRound[1], 0);
+}
+
+TEST(FloodingTest, LargeWindowUsuallyCovers) {
+  auto f = randomNet(3001, 120);
+  FloodingConfig cfg;
+  cfg.contentionWindow = 64;  // plenty of dispersion
+  const auto run = runFloodingBroadcast(*f.graph, 0, 1, cfg);
+  EXPECT_GT(run.coverage(), 0.9);
+}
+
+TEST(FloodingTest, TinyWindowStormsItself) {
+  // Contention window 1: every served node retransmits in the very next
+  // round — synchronized relays collide and coverage craters on dense
+  // graphs (the classic broadcast storm).
+  auto f = randomNet(3002, 200, 5, 60.0);  // dense
+  FloodingConfig tiny;
+  tiny.contentionWindow = 1;
+  const auto storm = runFloodingBroadcast(*f.graph, 0, 1, tiny);
+  FloodingConfig wide;
+  wide.contentionWindow = 64;
+  const auto calm = runFloodingBroadcast(*f.graph, 0, 1, wide);
+  EXPECT_GT(calm.coverage(), storm.coverage());
+  EXPECT_GT(storm.collisions, 0u);
+}
+
+TEST(FloodingTest, GossipZeroNeverRelays) {
+  auto f = randomNet(3003, 60);
+  FloodingConfig cfg;
+  cfg.gossipProbability = 0.0;
+  const auto run = runFloodingBroadcast(*f.graph, 0, 1, cfg);
+  // Only the source transmits; only its direct neighbors are served.
+  EXPECT_EQ(run.transmissions, 1u);
+  EXPECT_LE(run.delivered, f.graph->degree(0) + 1);
+}
+
+TEST(FloodingTest, DeterministicGivenSeed) {
+  auto f = randomNet(3004, 100);
+  FloodingConfig cfg;
+  cfg.seed = 99;
+  const auto a = runFloodingBroadcast(*f.graph, 0, 1, cfg);
+  const auto b = runFloodingBroadcast(*f.graph, 0, 1, cfg);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.collisions, b.collisions);
+}
+
+TEST(FloodingTest, DisconnectedIntendedOnlyComponent) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  const auto run = runFloodingBroadcast(g, 0, 1);
+  EXPECT_EQ(run.intended, 2u);
+  EXPECT_TRUE(run.allDelivered());
+}
+
+TEST(FloodingTest, StructuredProtocolBeatsStormOnEnergy) {
+  // CFF transmits once per backbone node; flooding transmits once per
+  // served node — the structured protocol sends far fewer frames.
+  auto f = randomNet(3005, 200);
+  const auto cff = runImprovedCffBroadcast(*f.net, f.net->root(), 1);
+  FloodingConfig cfg;
+  cfg.contentionWindow = 32;
+  const auto storm = runFloodingBroadcast(*f.graph, f.net->root(), 1, cfg);
+  EXPECT_TRUE(cff.allDelivered());
+  EXPECT_LT(cff.transmissions, storm.transmissions);
+}
+
+TEST(FloodingTest, InvalidWindowRejected) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  FloodingConfig cfg;
+  cfg.contentionWindow = 0;
+  EXPECT_THROW(runFloodingBroadcast(g, 0, 1, cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

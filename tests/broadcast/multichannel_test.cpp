@@ -1,0 +1,85 @@
+// k-channel variants (Theorem 1(3) / §3.3 "Multi-Channels").
+#include <gtest/gtest.h>
+
+#include "broadcast/cff_flooding.hpp"
+#include "broadcast/improved_cff.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::randomNet;
+
+class MultiChannelSweep : public ::testing::TestWithParam<Channel> {};
+
+TEST_P(MultiChannelSweep, CffDeliversOnKChannels) {
+  const Channel k = GetParam();
+  auto f = randomNet(701, 200);
+  ProtocolOptions opts;
+  opts.channels = k;
+  const auto run = runCffBroadcast(*f.net, f.net->root(), 1, opts);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered()) << "k=" << k;
+}
+
+TEST_P(MultiChannelSweep, IcffDeliversOnKChannels) {
+  const Channel k = GetParam();
+  auto f = randomNet(702, 200);
+  ProtocolOptions opts;
+  opts.channels = k;
+  const auto run = runImprovedCffBroadcast(*f.net, f.net->root(), 1, opts);
+  EXPECT_TRUE(run.sim.completed);
+  EXPECT_TRUE(run.allDelivered()) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, MultiChannelSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(MultiChannelTest, RoundsShrinkRoughlyByK) {
+  auto f = randomNet(703, 300, 6, 60.0);  // dense: big windows
+  ProtocolOptions one;
+  one.channels = 1;
+  const auto run1 = runCffBroadcast(*f.net, f.net->root(), 1, one);
+  ProtocolOptions four;
+  four.channels = 4;
+  const auto run4 = runCffBroadcast(*f.net, f.net->root(), 1, four);
+  EXPECT_TRUE(run1.allDelivered());
+  EXPECT_TRUE(run4.allDelivered());
+  // Theorem 1(3): schedule ≈ /k. Window rounding gives ceil(Δ/k) per
+  // depth, so allow generous slack around the ideal quarter.
+  EXPECT_LT(run4.scheduleLength, run1.scheduleLength);
+  EXPECT_LE(run4.scheduleLength,
+            run1.scheduleLength / 2);  // at least a 2x win for k=4
+}
+
+TEST(MultiChannelTest, AwakeShrinksWithK) {
+  auto f = randomNet(704, 300, 6, 60.0);
+  ProtocolOptions one;
+  one.channels = 1;
+  ProtocolOptions four;
+  four.channels = 4;
+  const auto run1 = runImprovedCffBroadcast(*f.net, f.net->root(), 1, one);
+  const auto run4 = runImprovedCffBroadcast(*f.net, f.net->root(), 1, four);
+  EXPECT_TRUE(run1.allDelivered());
+  EXPECT_TRUE(run4.allDelivered());
+  EXPECT_LE(run4.maxAwakeRounds, run1.maxAwakeRounds);
+}
+
+TEST(MultiChannelTest, SameSlotSameChannelStillOrthogonal) {
+  // Two nodes with slots s and s+1 share a round when k>=2 but use
+  // different channels; wide-band receivers get the uniquely-slotted one.
+  // This is implicitly exercised above; here we check determinism: the
+  // same run twice gives identical results.
+  auto f = randomNet(705, 150);
+  ProtocolOptions opts;
+  opts.channels = 2;
+  const auto a = runCffBroadcast(*f.net, f.net->root(), 1, opts);
+  const auto b = runCffBroadcast(*f.net, f.net->root(), 1, opts);
+  EXPECT_EQ(a.sim.rounds, b.sim.rounds);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.maxAwakeRounds, b.maxAwakeRounds);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,90 @@
+// Robustness comparison (§3.3 "Robustness"): CFF degrades gracefully
+// under failures; the DFO tour collapses.
+#include <gtest/gtest.h>
+
+#include "broadcast/runner.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::randomNet;
+
+TEST(RobustnessTest, DropProbabilityHurtsDfoMoreThanCff) {
+  double dfoCoverage = 0.0;
+  double cffCoverage = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    auto f = randomNet(801 + static_cast<std::uint64_t>(t), 150);
+    ProtocolOptions opts;
+    opts.dropProbability = 0.05;
+    opts.failureSeed = 900 + static_cast<std::uint64_t>(t);
+    dfoCoverage += runBroadcast(BroadcastScheme::kDfo, *f.net,
+                                f.net->root(), 1, opts)
+                       .coverage();
+    cffCoverage += runBroadcast(BroadcastScheme::kImprovedCff, *f.net,
+                                f.net->root(), 1, opts)
+                       .coverage();
+  }
+  dfoCoverage /= trials;
+  cffCoverage /= trials;
+  // With ~60+ backbone transmissions at 5% drop, a DFO tour almost surely
+  // loses its token part-way; CFF only loses isolated branches.
+  EXPECT_GT(cffCoverage, dfoCoverage + 0.05);
+  EXPECT_GT(cffCoverage, 0.6);
+}
+
+TEST(RobustnessTest, SingleDeathNeverStopsCffRoot) {
+  auto f = randomNet(811, 200);
+  // Kill any one pure member: broadcast must reach everyone else.
+  const auto members = f.net->pureMembers();
+  ASSERT_FALSE(members.empty());
+  ProtocolOptions opts;
+  opts.deaths.emplace_back(members.front(), 0);
+  const auto run = runBroadcast(BroadcastScheme::kImprovedCff, *f.net,
+                                f.net->root(), 1, opts);
+  EXPECT_EQ(run.delivered, run.intended - 1);  // only the dead one misses
+}
+
+TEST(RobustnessTest, CffCoverageMonotoneInDropRate) {
+  auto f = randomNet(821, 200);
+  double last = 1.1;
+  for (double p : {0.0, 0.1, 0.4}) {
+    ProtocolOptions opts;
+    opts.dropProbability = p;
+    opts.failureSeed = 7;
+    const double cov = runBroadcast(BroadcastScheme::kImprovedCff, *f.net,
+                                    f.net->root(), 1, opts)
+                           .coverage();
+    EXPECT_LE(cov, last + 0.02) << "p=" << p;  // allow tiny RNG noise
+    last = cov;
+  }
+}
+
+TEST(RobustnessTest, ZeroDropEqualsFailureFreeRun) {
+  auto f = randomNet(831, 150);
+  ProtocolOptions opts;
+  opts.dropProbability = 0.0;
+  const auto a = runBroadcast(BroadcastScheme::kCff, *f.net,
+                              f.net->root(), 1, opts);
+  EXPECT_TRUE(a.allDelivered());
+  EXPECT_EQ(a.sim.droppedTransmissions, 0u);
+}
+
+TEST(RobustnessTest, DfoSurvivesLeafMemberDeaths) {
+  // Deaths of pure members never break the tour (they are not relays).
+  auto f = randomNet(841, 150);
+  ProtocolOptions opts;
+  int killed = 0;
+  for (NodeId v : f.net->pureMembers()) {
+    opts.deaths.emplace_back(v, 0);
+    if (++killed == 5) break;
+  }
+  ASSERT_EQ(killed, 5);
+  const auto run = runBroadcast(BroadcastScheme::kDfo, *f.net,
+                                f.net->root(), 1, opts);
+  EXPECT_EQ(run.delivered, run.intended - 5);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,59 @@
+// BroadcastRun accounting helpers.
+#include <gtest/gtest.h>
+
+#include "broadcast/run_result.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(BroadcastRunTest, CoverageEdgeCases) {
+  BroadcastRun r;
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);  // nothing intended = vacuous
+  r.intended = 10;
+  r.delivered = 7;
+  EXPECT_DOUBLE_EQ(r.coverage(), 0.7);
+  EXPECT_FALSE(r.allDelivered());
+  r.delivered = 10;
+  EXPECT_TRUE(r.allDelivered());
+}
+
+TEST(BroadcastRunTest, CompletionRounds) {
+  BroadcastRun r;
+  EXPECT_EQ(r.completionRounds(), 0);  // nothing delivered
+  r.lastDeliveryRound = 14;
+  EXPECT_EQ(r.completionRounds(), 15);
+}
+
+TEST(MessageTest, DefaultsAreInert) {
+  Message m;
+  EXPECT_EQ(m.kind, MsgKind::kData);
+  EXPECT_EQ(m.sender, kInvalidNode);
+  EXPECT_EQ(m.target, kInvalidNode);
+  EXPECT_EQ(m.slot, kNoSlot);
+  EXPECT_EQ(m.group, kNoGroup);
+}
+
+TEST(ActionTest, Factories) {
+  const Action s = Action::sleep();
+  EXPECT_EQ(s.type, Action::Type::kSleep);
+  EXPECT_FALSE(s.isAwake());
+
+  const Action l = Action::listen();
+  EXPECT_EQ(l.type, Action::Type::kListen);
+  EXPECT_EQ(l.channel, kAllChannels);
+  EXPECT_TRUE(l.isAwake());
+
+  const Action l2 = Action::listen(3);
+  EXPECT_EQ(l2.channel, 3u);
+
+  Message m;
+  m.payload = 9;
+  const Action t = Action::transmit(m, 2);
+  EXPECT_EQ(t.type, Action::Type::kTransmit);
+  EXPECT_EQ(t.channel, 2u);
+  EXPECT_EQ(t.message.payload, 9u);
+  EXPECT_TRUE(t.isAwake());
+}
+
+}  // namespace
+}  // namespace dsn

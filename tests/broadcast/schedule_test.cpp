@@ -1,0 +1,124 @@
+// Schedule-level properties checked with the per-node instrumentation:
+// delivery ordering by depth, per-role radio usage, and the paper's
+// "members sleep through the backbone flood" design goal.
+#include <gtest/gtest.h>
+
+#include "broadcast/cff_flooding.hpp"
+#include "broadcast/dfo.hpp"
+#include "broadcast/improved_cff.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::randomNet;
+
+TEST(ScheduleTest, CffDeliversStrictlyByDepthWindows) {
+  auto f = randomNet(7001, 150);
+  const auto& net = *f.net;
+  const auto run = runCffBroadcast(net, net.root(), 1);
+  ASSERT_TRUE(run.allDelivered());
+  // A node at depth j receives within window j-1: its delivery round is
+  // strictly smaller than that of any node at depth j+2 (windows are
+  // disjoint).
+  for (NodeId a : net.netNodes()) {
+    for (NodeId b : net.netNodes()) {
+      if (net.depth(b) >= net.depth(a) + 2) {
+        EXPECT_LT(run.deliveryRound[a], run.deliveryRound[b])
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(ScheduleTest, IcffMembersReceiveAfterEveryBackboneNode) {
+  auto f = randomNet(7002, 150);
+  const auto& net = *f.net;
+  const auto run = runImprovedCffBroadcast(net, net.root(), 1);
+  ASSERT_TRUE(run.allDelivered());
+  Round lastBackbone = -1;
+  Round firstMember = std::numeric_limits<Round>::max();
+  for (NodeId v : net.netNodes()) {
+    if (net.isBackbone(v))
+      lastBackbone = std::max(lastBackbone, run.deliveryRound[v]);
+    else
+      firstMember = std::min(firstMember, run.deliveryRound[v]);
+  }
+  EXPECT_LT(lastBackbone, firstMember);
+}
+
+TEST(ScheduleTest, IcffRadioUsagePerRole) {
+  auto f = randomNet(7003, 200);
+  const auto& net = *f.net;
+  const auto run = runImprovedCffBroadcast(net, net.root(), 1);
+  ASSERT_TRUE(run.allDelivered());
+  const auto bWin = static_cast<std::uint32_t>(net.rootMaxBSlot());
+  const auto lWin = static_cast<std::uint32_t>(net.rootMaxLSlot());
+  for (NodeId v : net.netNodes()) {
+    if (net.status(v) == NodeStatus::kPureMember) {
+      // Members never transmit and listen only inside the leaf window.
+      EXPECT_EQ(run.transmitRounds[v], 0u) << v;
+      EXPECT_LE(run.listenRounds[v], lWin) << v;
+    } else {
+      // Backbone: at most one b- and one l-transmission; listening
+      // bounded by its backbone receive window.
+      EXPECT_LE(run.transmitRounds[v], 2u) << v;
+      EXPECT_LE(run.listenRounds[v], std::max(bWin, 1u)) << v;
+    }
+  }
+}
+
+TEST(ScheduleTest, DfoEveryoneListensUntilServed) {
+  auto f = randomNet(7004, 120);
+  const auto& net = *f.net;
+  const auto run = runDfoBroadcast(net, net.root(), 1);
+  ASSERT_TRUE(run.allDelivered());
+  for (NodeId v : net.netNodes()) {
+    if (net.status(v) != NodeStatus::kPureMember) continue;
+    if (v == net.root()) continue;
+    // A member listens exactly until its first delivery round.
+    EXPECT_EQ(static_cast<Round>(run.listenRounds[v]),
+              run.deliveryRound[v] + 1)
+        << v;
+  }
+}
+
+TEST(ScheduleTest, DfoTransmissionsMatchTourDegrees) {
+  auto f = randomNet(7005, 100);
+  const auto& net = *f.net;
+  const auto run = runDfoBroadcast(net, net.root(), 1);
+  ASSERT_TRUE(run.allDelivered());
+  // Each backbone node transmits once per BT tree edge it owns (the
+  // Eulerian property): degree-in-BT times, except the start which
+  // skips the final hand-back.
+  for (NodeId v : net.backboneNodes()) {
+    std::uint32_t btDegree = v == net.root() ? 0u : 1u;
+    for (NodeId c : net.children(v))
+      if (net.isBackbone(c)) ++btDegree;
+    if (v == net.root()) {
+      EXPECT_EQ(run.transmitRounds[v], std::max(btDegree, 1u)) << v;
+    } else {
+      EXPECT_EQ(run.transmitRounds[v], btDegree) << v;
+    }
+  }
+  // Total = 2 * (|BT| - 1) for a tour from the root.
+  const std::size_t bt = net.backboneNodes().size();
+  EXPECT_EQ(run.transmissions, 2 * (bt - 1));
+}
+
+TEST(ScheduleTest, SourcePathPrefixShiftsEverything) {
+  auto f = randomNet(7006, 120);
+  const auto& net = *f.net;
+  NodeId deep = net.root();
+  for (NodeId v : net.netNodes())
+    if (net.depth(v) > net.depth(deep)) deep = v;
+  const auto fromRoot = runImprovedCffBroadcast(net, net.root(), 1);
+  const auto fromDeep = runImprovedCffBroadcast(net, deep, 1);
+  ASSERT_TRUE(fromRoot.allDelivered());
+  ASSERT_TRUE(fromDeep.allDelivered());
+  EXPECT_EQ(fromDeep.scheduleLength,
+            fromRoot.scheduleLength + net.depth(deep));
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,70 @@
+// TDM slot-to-(round, channel) mapping (Theorem 1(3) mechanics).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "broadcast/tdm.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(TdmTest, SingleChannelIdentity) {
+  TdmMap tdm(5, 1);
+  EXPECT_EQ(tdm.windowLength(), 5);
+  for (TimeSlot s = 1; s <= 5; ++s) {
+    EXPECT_EQ(tdm.roundOffset(s), static_cast<Round>(s - 1));
+    EXPECT_EQ(tdm.channelOf(s), 0u);
+  }
+}
+
+TEST(TdmTest, TwoChannelsPairSlots) {
+  TdmMap tdm(5, 2);
+  EXPECT_EQ(tdm.windowLength(), 3);  // ceil(5/2)
+  EXPECT_EQ(tdm.roundOffset(1), 0);
+  EXPECT_EQ(tdm.channelOf(1), 0u);
+  EXPECT_EQ(tdm.roundOffset(2), 0);
+  EXPECT_EQ(tdm.channelOf(2), 1u);
+  EXPECT_EQ(tdm.roundOffset(3), 1);
+  EXPECT_EQ(tdm.channelOf(3), 0u);
+  EXPECT_EQ(tdm.roundOffset(5), 2);
+  EXPECT_EQ(tdm.channelOf(5), 0u);
+}
+
+TEST(TdmTest, DistinctSlotsNeverShareRoundAndChannel) {
+  for (Channel k : {1u, 2u, 3u, 4u, 7u}) {
+    TdmMap tdm(23, k);
+    std::set<std::pair<Round, Channel>> seen;
+    for (TimeSlot s = 1; s <= 23; ++s) {
+      const auto key = std::make_pair(tdm.roundOffset(s), tdm.channelOf(s));
+      EXPECT_TRUE(seen.insert(key).second)
+          << "slot " << s << " collides at k=" << k;
+      EXPECT_LT(tdm.roundOffset(s), tdm.windowLength());
+      EXPECT_LT(tdm.channelOf(s), k);
+    }
+  }
+}
+
+TEST(TdmTest, WindowShrinksByK) {
+  for (Channel k : {1u, 2u, 4u, 8u}) {
+    TdmMap tdm(16, k);
+    EXPECT_EQ(tdm.windowLength(), static_cast<Round>(16 / k));
+  }
+}
+
+TEST(TdmTest, UnassignedSlotRejected) {
+  TdmMap tdm(4, 2);
+  EXPECT_THROW(tdm.roundOffset(kNoSlot), PreconditionError);
+  EXPECT_THROW(tdm.channelOf(kNoSlot), PreconditionError);
+}
+
+TEST(TdmTest, ZeroChannelsRejected) {
+  EXPECT_THROW(TdmMap(4, 0), PreconditionError);
+}
+
+TEST(TdmTest, EmptyWindowIsZeroRounds) {
+  TdmMap tdm(0, 3);
+  EXPECT_EQ(tdm.windowLength(), 0);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,114 @@
+// Backbone BT(G) structure and the Property-1 size relations.
+#include <gtest/gtest.h>
+
+#include "cluster/backbone.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/domination.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::buildNet;
+using testutil::randomNet;
+
+TEST(BackboneTest, InducedSubgraphContainsOnlyBackbone) {
+  auto f = randomNet(81, 150);
+  const Graph induced = backboneInducedSubgraph(*f.net);
+  const auto backbone = f.net->backboneNodes();
+  EXPECT_EQ(induced.liveCount(), backbone.size());
+  for (NodeId v : backbone) EXPECT_TRUE(induced.isAlive(v));
+  for (NodeId v : f.net->pureMembers()) EXPECT_FALSE(induced.isAlive(v));
+}
+
+TEST(BackboneTest, InducedSubgraphIsConnected) {
+  // BT(G) is a subtree, so G(V_BT) (a supergraph of it) is connected.
+  auto f = randomNet(82, 200);
+  EXPECT_TRUE(isConnected(backboneInducedSubgraph(*f.net)));
+}
+
+TEST(BackboneTest, BackboneTreeEdgesPresent) {
+  auto f = randomNet(83, 120);
+  for (NodeId v : f.net->backboneNodes()) {
+    if (v == f.net->root()) continue;
+    EXPECT_TRUE(f.net->isBackbone(f.net->parent(v)))
+        << "backbone node " << v << " parent is not backbone";
+  }
+}
+
+TEST(BackboneTest, Property1SizeRelation) {
+  // |BT| <= 2p - 1 where p = smallest clique cover of G; the greedy
+  // clique cover upper-bounds... it upper-bounds the optimum from above,
+  // so it cannot certify the paper bound directly. What we CAN check:
+  // #clusters = #heads, |BT| = #heads + #gateways <= 2*#heads - 1
+  // (every gateway has a head child below it and the root is a head).
+  auto f = randomNet(84, 250);
+  const std::size_t heads = f.net->clusterHeads().size();
+  const std::size_t bt = f.net->backboneNodes().size();
+  EXPECT_LE(bt, 2 * heads - 1);
+}
+
+TEST(BackboneTest, HeadsFormIndependentDominatingSet) {
+  auto f = randomNet(85, 200);
+  const auto heads = f.net->clusterHeads();
+  EXPECT_TRUE(isIndependentSet(*f.graph, heads));
+  EXPECT_TRUE(isDominatingSet(*f.graph, heads));
+}
+
+TEST(BackboneTest, UnitDiskClusterCountWithinConstantOfGreedyMds) {
+  // Property 1(3): on unit-disk graphs #clusters <= 5 |MDS|. The greedy
+  // DS is within O(log D) of optimal, so a generous constant applies to
+  // it; this is a smoke check of the right order of magnitude, not a
+  // certificate.
+  auto f = randomNet(86, 300);
+  const auto greedy = greedyDominatingSet(*f.graph);
+  EXPECT_LE(f.net->clusterCount(), 5 * greedy.size() * 3);
+  EXPECT_GE(f.net->clusterCount(), greedy.size() / 5);
+}
+
+TEST(BackboneTest, StatsAreInternallyConsistent) {
+  auto f = randomNet(87, 180);
+  const auto s = computeBackboneStats(*f.net);
+  EXPECT_EQ(s.networkSize, f.net->netSize());
+  EXPECT_EQ(s.backboneSize, f.net->backboneNodes().size());
+  EXPECT_EQ(s.clusterCount, f.net->clusterCount());
+  EXPECT_LE(s.backboneHeight, s.cnetHeight);
+  EXPECT_LE(s.cnetHeight, s.backboneHeight + 1);  // leaves add <= 1 level
+  EXPECT_LE(s.degreeBackbone, s.degreeG);
+  EXPECT_EQ(s.cnetHeight, f.net->height());
+  EXPECT_GE(s.bSlotBound(), s.maxBSlot);
+  EXPECT_GE(s.lSlotBound(), s.maxLSlot);
+}
+
+TEST(BackboneTest, DegreeDMuchSmallerThanDOnDenseFields) {
+  // Fig. 11's qualitative claim: d << D when the network is dense.
+  auto f = randomNet(88, 300, 6, 60.0);
+  const auto s = computeBackboneStats(*f.net);
+  EXPECT_LT(s.degreeBackbone, s.degreeG);
+}
+
+TEST(BackboneTest, HeightMuchSmallerThanSize) {
+  // Fig. 10's qualitative claim.
+  auto f = randomNet(89, 300);
+  const auto s = computeBackboneStats(*f.net);
+  EXPECT_LT(static_cast<std::size_t>(s.backboneHeight),
+            s.backboneSize / 2);
+}
+
+TEST(BackboneTest, EmptyAndSingletonStats) {
+  Graph g(1);
+  ClusterNet net(g);
+  const auto s0 = computeBackboneStats(net);
+  EXPECT_EQ(s0.networkSize, 0u);
+  EXPECT_EQ(s0.backboneSize, 0u);
+
+  net.moveIn(0);
+  const auto s1 = computeBackboneStats(net);
+  EXPECT_EQ(s1.networkSize, 1u);
+  EXPECT_EQ(s1.backboneSize, 1u);
+  EXPECT_EQ(s1.cnetHeight, 0);
+  EXPECT_EQ(s1.clusterCount, 1u);
+}
+
+}  // namespace
+}  // namespace dsn

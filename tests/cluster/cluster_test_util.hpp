@@ -1,0 +1,48 @@
+// Shared helpers for cluster-net tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cnet.hpp"
+#include "cluster/validate.hpp"
+#include "graph/deploy.hpp"
+#include "graph/unit_disk.hpp"
+#include "util/rng.hpp"
+
+namespace dsn::testutil {
+
+/// A graph + cluster-net pair with shared lifetime for tests.
+struct NetFixture {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<ClusterNet> net;
+  std::vector<Point2D> points;
+};
+
+/// Builds the unit-disk graph over `pts` and move-ins nodes 0..n-1 in
+/// order (deployIncrementalAttach guarantees that order is insertable).
+inline NetFixture buildNet(std::vector<Point2D> pts, double range,
+                           ClusterNetConfig cfg = {}) {
+  NetFixture f;
+  f.points = std::move(pts);
+  f.graph = std::make_unique<Graph>(buildUnitDiskGraph(f.points, range));
+  f.net = std::make_unique<ClusterNet>(*f.graph, cfg);
+  for (NodeId v = 0; v < f.points.size(); ++v) f.net->moveIn(v);
+  return f;
+}
+
+/// Paper-style random connected deployment.
+inline NetFixture randomNet(std::uint64_t seed, std::size_t n,
+                            int fieldUnits = 10, double range = 50.0,
+                            ClusterNetConfig cfg = {}) {
+  Rng rng(seed);
+  const DeployConfig dc{Field::squareUnits(fieldUnits), range, n};
+  return buildNet(deployIncrementalAttach(dc, rng), range, cfg);
+}
+
+/// gtest-friendly validation: empty string when the structure is sound.
+inline std::string validationErrors(const ClusterNet& net) {
+  return ClusterNetValidator::validate(net).summary();
+}
+
+}  // namespace dsn::testutil

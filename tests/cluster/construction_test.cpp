@@ -1,0 +1,102 @@
+// Construction orders (gossip/BFS, paper Section 5) and multi-sink root
+// selection (Section 2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/construction.hpp"
+#include "cluster/validate.hpp"
+#include "graph/algorithms.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(ConstructionTest, BfsOrderCoversComponentOnce) {
+  Graph g(6);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 3);
+  g.addEdge(4, 5);  // separate component
+  const auto order = bfsConstructionOrder(g, 0);
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0u);
+  const std::set<NodeId> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), order.size());
+  EXPECT_FALSE(unique.count(4));
+}
+
+TEST(ConstructionTest, EveryPrefixIsAttachable) {
+  Rng rng(42);
+  const DeployConfig dc{Field::squareUnits(8), 50.0, 120};
+  const auto pts = deployIncrementalAttach(dc, rng);
+  const Graph g = buildUnitDiskGraph(pts, dc.range);
+  const auto order = bfsConstructionOrder(g, 7);
+  ASSERT_EQ(order.size(), 120u);
+  // Each node after the first is adjacent to an earlier one.
+  std::set<NodeId> placed{order.front()};
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    bool attachable = false;
+    for (NodeId u : g.neighbors(order[i]))
+      attachable |= placed.count(u) != 0;
+    EXPECT_TRUE(attachable) << "position " << i;
+    placed.insert(order[i]);
+  }
+}
+
+TEST(ConstructionTest, GossipOrderBuildsValidNet) {
+  Rng rng(43);
+  const DeployConfig dc{Field::squareUnits(10), 50.0, 200};
+  const auto pts = deployIncrementalAttach(dc, rng);
+  Graph g = buildUnitDiskGraph(pts, dc.range);
+  ClusterNet net(g);
+  net.buildAll(bfsConstructionOrder(g, 55));
+  EXPECT_EQ(net.netSize(), 200u);
+  EXPECT_EQ(net.root(), 55u);
+  const auto report = ClusterNetValidator::validate(net);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ConstructionTest, GossipRoundsIsLinear) {
+  Graph g(37);
+  EXPECT_EQ(gossipRounds(g), 37);
+  g.removeNode(0);
+  EXPECT_EQ(gossipRounds(g), 36);
+}
+
+TEST(ConstructionTest, DeadRootRejected) {
+  Graph g(2);
+  g.removeNode(0);
+  EXPECT_THROW(bfsConstructionOrder(g, 0), PreconditionError);
+}
+
+TEST(SpreadRootsTest, RootsAreDistinctAndSpread) {
+  auto f = testutil::randomNet(44, 150);
+  const auto roots = selectSpreadRoots(*f.graph, 0, 3);
+  ASSERT_EQ(roots.size(), 3u);
+  const std::set<NodeId> unique(roots.begin(), roots.end());
+  EXPECT_EQ(unique.size(), 3u);
+  // The second root is a farthest node from the first.
+  const auto d0 = bfsDistances(*f.graph, roots[0]);
+  int maxDist = 0;
+  for (int d : d0) maxDist = std::max(maxDist, d);
+  EXPECT_EQ(d0[roots[1]], maxDist);
+}
+
+TEST(SpreadRootsTest, RequestMoreThanNodesSaturates) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  const auto roots = selectSpreadRoots(g, 0, 10);
+  EXPECT_LE(roots.size(), 3u);
+  EXPECT_GE(roots.size(), 2u);
+}
+
+TEST(SpreadRootsTest, SingleRoot) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  EXPECT_EQ(selectSpreadRoots(g, 1, 1), std::vector<NodeId>{1});
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,78 @@
+// DOT/summary export.
+#include <gtest/gtest.h>
+
+#include "cluster/export.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(ExportTest, DotContainsAllNodesAndTreeEdges) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  g.addEdge(0, 2);
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2, 3});
+
+  const std::string dot = toDot(net);
+  EXPECT_NE(dot.find("graph cnet {"), std::string::npos);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_NE(dot.find("n" + std::to_string(v) + " ["), std::string::npos)
+        << "node " << v;
+  }
+  // Every non-root contributes one tree edge line "nP -- nC;".
+  std::size_t treeEdges = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++treeEdges;
+    pos += 4;
+  }
+  EXPECT_GE(treeEdges, 3u);  // 3 tree edges (+ maybe dotted radio edges)
+}
+
+TEST(ExportTest, DotMarksStatusesAndRoot) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2});  // head, gateway, head
+  const std::string dot = toDot(net);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+}
+
+TEST(ExportTest, RadioEdgesToggle) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(1, 2);  // non-tree radio edge after construction
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2});
+  DotOptions with;
+  DotOptions without;
+  without.includeRadioEdges = false;
+  EXPECT_NE(toDot(net, with).find("style=dotted"), std::string::npos);
+  EXPECT_EQ(toDot(net, without).find("style=dotted"), std::string::npos);
+}
+
+TEST(ExportTest, SummaryMentionsKeyQuantities) {
+  auto f = testutil::randomNet(4711, 80);
+  const std::string s = toSummary(*f.net);
+  EXPECT_NE(s.find("80 nodes"), std::string::npos);
+  EXPECT_NE(s.find("backbone"), std::string::npos);
+  EXPECT_NE(s.find("Delta="), std::string::npos);
+}
+
+TEST(ExportTest, DotParsesBalancedBraces) {
+  auto f = testutil::randomNet(4712, 60);
+  const std::string dot = toDot(*f.net);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+}  // namespace
+}  // namespace dsn

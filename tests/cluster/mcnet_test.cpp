@@ -1,0 +1,157 @@
+// MCNet(G): multicast group-lists and relay-lists (paper Section 3.4)
+// and their maintenance across reconfigurations (Section 5).
+#include <gtest/gtest.h>
+
+#include "cluster/validate.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::randomNet;
+using testutil::validationErrors;
+
+TEST(McnetTest, JoinPropagatesRelayToAncestors) {
+  // Line 0-1-2-3-4: deep chain; joining a group at the end marks every
+  // ancestor as relay.
+  Graph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.addEdge(v, v + 1);
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2, 3, 4});
+  net.joinGroup(4, 7);
+  EXPECT_TRUE(net.inGroup(4, 7));
+  EXPECT_FALSE(net.relaysGroup(4, 7));  // relay = strict descendants only
+  for (NodeId v : {0u, 1u, 2u, 3u}) {
+    EXPECT_TRUE(net.relaysGroup(v, 7)) << "ancestor " << v;
+    EXPECT_FALSE(net.inGroup(v, 7));
+  }
+  EXPECT_EQ(validationErrors(net), "");
+}
+
+TEST(McnetTest, LeaveWithdrawsRelay) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2});
+  net.joinGroup(2, 1);
+  ASSERT_TRUE(net.relaysGroup(0, 1));
+  net.leaveGroup(2, 1);
+  EXPECT_FALSE(net.relaysGroup(0, 1));
+  EXPECT_FALSE(net.inGroup(2, 1));
+  EXPECT_EQ(validationErrors(net), "");
+}
+
+TEST(McnetTest, DuplicateJoinAndLeaveAreIdempotent) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  ClusterNet net(g);
+  net.buildAll({0, 1});
+  net.joinGroup(1, 3);
+  net.joinGroup(1, 3);
+  EXPECT_EQ(net.knowledge(0).relayCount.at(3), 1);
+  net.leaveGroup(1, 3);
+  net.leaveGroup(1, 3);
+  EXPECT_FALSE(net.relaysGroup(0, 3));
+  EXPECT_EQ(validationErrors(net), "");
+}
+
+TEST(McnetTest, MultipleGroupsCoexist) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(2, 3);
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2, 3});
+  net.joinGroup(1, 10);
+  net.joinGroup(3, 20);
+  net.joinGroup(3, 10);
+  EXPECT_TRUE(net.relaysGroup(0, 10));
+  EXPECT_TRUE(net.relaysGroup(0, 20));
+  EXPECT_TRUE(net.relaysGroup(2, 10));
+  EXPECT_TRUE(net.relaysGroup(2, 20));
+  EXPECT_FALSE(net.relaysGroup(1, 20));
+  const auto relays = net.relayListOf(0);
+  EXPECT_EQ(relays, (std::vector<GroupId>{10, 20}));
+  EXPECT_EQ(validationErrors(net), "");
+}
+
+TEST(McnetTest, RelayCountsSurviveMoveOut) {
+  Graph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.addEdge(v, v + 1);
+  g.addEdge(1, 3);  // alternate route around node 2
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2, 3, 4});
+  net.joinGroup(4, 5);
+  ASSERT_TRUE(net.relaysGroup(0, 5));
+  net.moveOut(2);
+  // Node 4 keeps its membership and is re-homed; ancestors on the NEW
+  // path must relay.
+  ASSERT_TRUE(net.contains(4));
+  EXPECT_TRUE(net.inGroup(4, 5));
+  NodeId a = net.parent(4);
+  while (a != kInvalidNode) {
+    EXPECT_TRUE(net.relaysGroup(a, 5)) << "ancestor " << a;
+    a = net.parent(a);
+  }
+  EXPECT_EQ(validationErrors(net), "");
+}
+
+TEST(McnetTest, DepartingMemberRemovesItsContribution) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2});
+  net.joinGroup(1, 9);
+  net.joinGroup(2, 9);
+  ASSERT_EQ(net.knowledge(0).relayCount.at(9), 2);
+  net.moveOut(1);
+  EXPECT_EQ(net.knowledge(0).relayCount.at(9), 1);
+  EXPECT_EQ(validationErrors(net), "");
+}
+
+TEST(McnetTest, RandomChurnKeepsRelayCountsExact) {
+  auto f = randomNet(91, 100);
+  Rng rng(91);
+  // Scatter three groups over the network.
+  for (NodeId v : f.net->netNodes()) {
+    if (rng.chance(0.3)) f.net->joinGroup(v, 1);
+    if (rng.chance(0.2)) f.net->joinGroup(v, 2);
+    if (rng.chance(0.1)) f.net->joinGroup(v, 3);
+  }
+  ASSERT_EQ(validationErrors(*f.net), "");
+  for (int step = 0; step < 15; ++step) {
+    const auto nodes = f.net->netNodes();
+    if (nodes.size() <= 2) break;
+    f.net->moveOut(nodes[rng.pickIndex(nodes)]);
+    // validate() brute-force recomputes descendant counts.
+    ASSERT_EQ(validationErrors(*f.net), "") << "step " << step;
+  }
+}
+
+TEST(McnetTest, GroupOpsOnOutsiderRejected) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  ClusterNet net(g);
+  net.moveIn(0);
+  EXPECT_THROW(net.joinGroup(1, 0), PreconditionError);
+  EXPECT_THROW(net.relaysGroup(1, 0), PreconditionError);
+}
+
+TEST(McnetTest, RootDepartureKeepsMemberships) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 2);
+  ClusterNet net(g);
+  net.buildAll({0, 1, 2});
+  net.joinGroup(2, 4);
+  net.moveOut(net.root());
+  ASSERT_TRUE(net.contains(2));
+  EXPECT_TRUE(net.inGroup(2, 4));
+  EXPECT_EQ(validationErrors(net), "");
+}
+
+}  // namespace
+}  // namespace dsn

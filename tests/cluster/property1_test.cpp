@@ -1,0 +1,68 @@
+// Property 1 verified EXACTLY against its NP-hard quantities on small
+// unit-disk graphs:
+//   (1) #clusters ≤ p and |BT(G)| ≤ 2p−1, p = minimum clique cover;
+//   (3) #clusters ≤ 5·|MDS| on unit-disk graphs.
+#include <gtest/gtest.h>
+
+#include "cluster/backbone.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/exact.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+class Property1Exact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Property1Exact, CliqueCoverBoundHolds) {
+  const auto seed = GetParam();
+  Rng rng(seed);
+  const DeployConfig dc{Field::squareUnits(3), 80.0, 14};
+  const auto pts = deployIncrementalAttach(dc, rng);
+  auto f = testutil::buildNet(pts, dc.range);
+
+  const auto p = exactMinimumCliqueCover(*f.graph).size();
+  const std::size_t clusters = f.net->clusterCount();
+  const std::size_t bt = f.net->backboneNodes().size();
+  EXPECT_LE(clusters, p) << "seed " << seed;
+  EXPECT_LE(bt, 2 * p - 1) << "seed " << seed;
+}
+
+TEST_P(Property1Exact, UnitDiskMdsBoundHolds) {
+  const auto seed = GetParam();
+  Rng rng(seed ^ 0xFEED);
+  const DeployConfig dc{Field::squareUnits(4), 70.0, 20};
+  const auto pts = deployIncrementalAttach(dc, rng);
+  auto f = testutil::buildNet(pts, dc.range);
+
+  const auto mds = exactMinimumDominatingSet(*f.graph).size();
+  EXPECT_LE(f.net->clusterCount(), 5 * mds) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Property1Exact,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u, 9u, 10u));
+
+TEST(Property1ExactTest, BoundHoldsUnderChurnToo) {
+  Rng rng(99);
+  const DeployConfig dc{Field::squareUnits(3), 80.0, 14};
+  const auto pts = deployIncrementalAttach(dc, rng);
+  auto f = testutil::buildNet(pts, dc.range);
+  // Remove a few nodes; the structure reconfigures; Property 1 must
+  // hold for the surviving graph.
+  for (int i = 0; i < 4; ++i) {
+    const auto nodes = f.net->netNodes();
+    if (nodes.size() <= 5) break;
+    f.net->moveOut(nodes[rng.pickIndex(nodes)]);
+  }
+  // Restrict the graph view to nodes still in the net (orphans are not
+  // part of the structure's claim).
+  const auto netNodes = f.net->netNodes();
+  const Graph induced = inducedSubgraph(*f.graph, netNodes);
+  const auto p = exactMinimumCliqueCover(induced).size();
+  EXPECT_LE(f.net->clusterCount(), p);
+  EXPECT_LE(f.net->backboneNodes().size(), 2 * p - 1);
+}
+
+}  // namespace
+}  // namespace dsn

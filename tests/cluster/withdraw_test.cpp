@@ -1,0 +1,90 @@
+// withdraw() vs moveOut(): structure-only departures and re-entry.
+#include <gtest/gtest.h>
+
+#include "cluster/validate.hpp"
+#include "tests/cluster/cluster_test_util.hpp"
+
+namespace dsn {
+namespace {
+
+using testutil::randomNet;
+using testutil::validationErrors;
+
+TEST(WithdrawTest, NodeStaysInGraph) {
+  auto f = randomNet(6001, 80);
+  const auto nodes = f.net->netNodes();
+  const NodeId v = nodes[nodes.size() / 2];
+  f.net->withdraw(v);
+  EXPECT_FALSE(f.net->contains(v));
+  EXPECT_TRUE(f.graph->isAlive(v));  // the difference to moveOut
+  EXPECT_EQ(validationErrors(*f.net), "");
+}
+
+TEST(WithdrawTest, WithdrawnNodeCanRejoin) {
+  auto f = randomNet(6002, 80);
+  const auto nodes = f.net->netNodes();
+  const NodeId v = nodes[nodes.size() / 3];
+  const std::size_t before = f.net->netSize();
+  const auto report = f.net->withdraw(v);
+  EXPECT_EQ(f.net->netSize(), before - 1 - report.orphaned);
+  f.net->moveIn(v);
+  EXPECT_TRUE(f.net->contains(v));
+  EXPECT_EQ(validationErrors(*f.net), "");
+}
+
+TEST(WithdrawTest, GroupsSurviveTheRoundTrip) {
+  auto f = randomNet(6003, 60);
+  const NodeId v = f.net->pureMembers().front();
+  f.net->joinGroup(v, 9);
+  f.net->withdraw(v);
+  f.net->moveIn(v);
+  EXPECT_TRUE(f.net->inGroup(v, 9));
+  // Relay lists on the (possibly new) root path are consistent.
+  EXPECT_EQ(validationErrors(*f.net), "");
+}
+
+TEST(WithdrawTest, RootWithdrawalReseeds) {
+  auto f = randomNet(6004, 70);
+  const NodeId oldRoot = f.net->root();
+  f.net->withdraw(oldRoot);
+  EXPECT_TRUE(f.graph->isAlive(oldRoot));
+  EXPECT_NE(f.net->root(), oldRoot);
+  EXPECT_EQ(validationErrors(*f.net), "");
+  // The old root can come back — as an ordinary node.
+  f.net->moveIn(oldRoot);
+  EXPECT_TRUE(f.net->contains(oldRoot));
+  EXPECT_NE(f.net->root(), oldRoot);
+  EXPECT_EQ(validationErrors(*f.net), "");
+}
+
+TEST(WithdrawTest, MoveOutAlsoRemovesFromGraph) {
+  auto f = randomNet(6005, 50);
+  const auto nodes = f.net->netNodes();
+  const NodeId v = nodes[5] == f.net->root() ? nodes[6] : nodes[5];
+  f.net->moveOut(v);
+  EXPECT_FALSE(f.net->contains(v));
+  EXPECT_FALSE(f.graph->isAlive(v));
+  EXPECT_THROW(f.net->moveIn(v), PreconditionError);  // gone for good
+}
+
+TEST(WithdrawTest, RepeatedCycleIsStable) {
+  auto f = randomNet(6006, 90);
+  Rng rng(6006);
+  for (int i = 0; i < 20; ++i) {
+    const auto nodes = f.net->netNodes();
+    const NodeId v = nodes[rng.pickIndex(nodes)];
+    f.net->withdraw(v);
+    ASSERT_EQ(validationErrors(*f.net), "") << "after withdraw " << v;
+    // Rejoin immediately when reachable.
+    bool reachable = false;
+    for (NodeId u : f.graph->neighbors(v))
+      reachable |= f.net->contains(u);
+    if (reachable) {
+      f.net->moveIn(v);
+      ASSERT_EQ(validationErrors(*f.net), "") << "after rejoin " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,150 @@
+// Battery lifecycle: drain from measured radio usage, automatic
+// withdraw and rejoin (paper §1's motivating scenario).
+#include <gtest/gtest.h>
+
+#include "core/battery.hpp"
+
+namespace dsn {
+namespace {
+
+SensorNetwork makeNet(std::size_t n = 100, std::uint64_t seed = 6) {
+  NetworkConfig cfg;
+  cfg.nodeCount = n;
+  cfg.seed = seed;
+  return SensorNetwork(cfg);
+}
+
+TEST(BatteryTest, StartsFullForEveryNetNode) {
+  auto net = makeNet(50);
+  BatteryManager bm(net);
+  EXPECT_EQ(bm.managedCount(), 50u);
+  for (NodeId v : net.clusterNet().netNodes()) {
+    EXPECT_DOUBLE_EQ(bm.charge(v), 100.0);
+    EXPECT_FALSE(bm.isResting(v));
+  }
+}
+
+TEST(BatteryTest, DrainMatchesMeasuredUsage) {
+  auto net = makeNet(60);
+  BatteryManager bm(net);
+  const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                 net.clusterNet().root(), 1);
+  bm.drainFromRun(run);
+  const EnergyModel model;
+  for (NodeId v : net.clusterNet().netNodes()) {
+    const double expected =
+        100.0 - model.listenCost * run.listenRounds[v] -
+        model.transmitCost * run.transmitRounds[v];
+    EXPECT_DOUBLE_EQ(bm.charge(v), expected) << "node " << v;
+  }
+}
+
+TEST(BatteryTest, IdleDrainAndRechargeOnTick) {
+  auto net = makeNet(30);
+  BatteryConfig cfg;
+  cfg.idleDrainPerTick = 1.5;
+  BatteryManager bm(net, cfg);
+  bm.tick();
+  EXPECT_DOUBLE_EQ(bm.charge(net.clusterNet().root()), 98.5);
+}
+
+TEST(BatteryTest, ExhaustedNodeWithdrawsAndComesBack) {
+  auto net = makeNet(80);
+  BatteryConfig cfg;
+  cfg.withdrawThreshold = 15.0;
+  cfg.rejoinThreshold = 80.0;
+  cfg.rechargePerTick = 40.0;
+  cfg.idleDrainPerTick = 0.0;  // only manual drain matters here
+  BatteryManager bm(net, cfg);
+
+  // Exhaust exactly one well-connected member node.
+  NodeId victim = kInvalidNode;
+  for (NodeId v : net.clusterNet().pureMembers()) {
+    if (net.graph().degree(v) >= 2) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  bm.drain(victim, 95.0);  // charge 5 <= threshold
+
+  const auto first = bm.tick();
+  ASSERT_EQ(first.withdrawn, std::vector<NodeId>{victim});
+  EXPECT_TRUE(bm.isResting(victim));
+  EXPECT_FALSE(net.clusterNet().contains(victim));
+  EXPECT_TRUE(net.graph().isAlive(victim));  // still deployed
+  EXPECT_TRUE(net.validate().ok()) << net.validate().summary();
+
+  // 5 -> 45 -> 85 >= rejoin threshold: back after two recharge ticks.
+  const auto second = bm.tick();
+  EXPECT_TRUE(second.rejoined.empty());
+  const auto third = bm.tick();
+  ASSERT_EQ(third.rejoined, std::vector<NodeId>{victim});
+  EXPECT_FALSE(bm.isResting(victim));
+  EXPECT_TRUE(net.clusterNet().contains(victim));
+  EXPECT_TRUE(net.validate().ok()) << net.validate().summary();
+}
+
+TEST(BatteryTest, NetSurvivesEveryoneExhausted) {
+  auto net = makeNet(20);
+  BatteryConfig cfg;
+  cfg.withdrawThreshold = 150.0;  // everyone always "exhausted"
+  cfg.rejoinThreshold = 200.0;    // never recovers enough
+  cfg.capacity = 100.0;
+  BatteryManager bm(net, cfg);
+  for (int i = 0; i < 10; ++i) bm.tick();
+  // The withdraw floor keeps a seed structure alive (withdrawals may
+  // orphan bystanders, but orphan recovery pulls reachable ones back).
+  EXPECT_GE(net.clusterNet().netSize(), 1u);
+  EXPECT_EQ(net.graph().liveCount(), 20u);  // nobody left the field
+  EXPECT_TRUE(net.validate().ok());
+}
+
+TEST(BatteryTest, FullLifecycleUnderWorkload) {
+  auto net = makeNet(120);
+  BatteryConfig cfg;
+  cfg.withdrawThreshold = 60.0;
+  cfg.rejoinThreshold = 90.0;
+  cfg.rechargePerTick = 20.0;
+  cfg.idleDrainPerTick = 1.0;
+  BatteryManager bm(net, cfg);
+  Rng rng(9);
+
+  bool sawWithdraw = false;
+  bool sawRejoin = false;
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                   net.randomNode(rng), 1);
+    EXPECT_TRUE(run.allDelivered()) << "epoch " << epoch;
+    bm.drainFromRun(run);
+    const auto report = bm.tick();
+    sawWithdraw |= !report.withdrawn.empty();
+    sawRejoin |= !report.rejoined.empty();
+    ASSERT_TRUE(net.validate().ok())
+        << "epoch " << epoch << ": " << net.validate().summary();
+  }
+  EXPECT_TRUE(sawWithdraw);
+  EXPECT_TRUE(sawRejoin);
+}
+
+TEST(BatteryTest, AdoptAndForget) {
+  auto net = makeNet(40);
+  BatteryManager bm(net);
+  const Point2D p = net.position(0);
+  const NodeId fresh = net.addSensor({p.x + 3, p.y + 3});
+  bm.adopt(fresh);
+  EXPECT_DOUBLE_EQ(bm.charge(fresh), 100.0);
+  bm.forget(fresh);
+  EXPECT_THROW(bm.charge(fresh), PreconditionError);
+}
+
+TEST(BatteryTest, InvalidConfigRejected) {
+  auto net = makeNet(10);
+  BatteryConfig cfg;
+  cfg.withdrawThreshold = 90;
+  cfg.rejoinThreshold = 50;  // below withdraw: nonsense
+  EXPECT_THROW(BatteryManager(net, cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,75 @@
+// Experiment harness: seeding discipline, metric aggregation.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(MetricTableTest, AddAndAggregate) {
+  MetricTable t;
+  t.add("rounds", 10);
+  t.add("rounds", 20);
+  t.add("awake", 5);
+  EXPECT_DOUBLE_EQ(t.mean("rounds"), 15.0);
+  EXPECT_DOUBLE_EQ(t.max("rounds"), 20.0);
+  EXPECT_EQ(t.samples("rounds").count(), 2u);
+  EXPECT_EQ(t.names(), (std::vector<std::string>{"rounds", "awake"}));
+}
+
+TEST(MetricTableTest, UnknownMetricThrows) {
+  MetricTable t;
+  EXPECT_THROW(t.samples("nope"), PreconditionError);
+}
+
+TEST(ExperimentTest, TrialSeedsAreDistinctAndStable) {
+  ExperimentConfig cfg;
+  EXPECT_EQ(cfg.trialSeed(100, 0), cfg.trialSeed(100, 0));
+  EXPECT_NE(cfg.trialSeed(100, 0), cfg.trialSeed(100, 1));
+  EXPECT_NE(cfg.trialSeed(100, 0), cfg.trialSeed(200, 0));
+}
+
+TEST(ExperimentTest, NetworkForUsesPaperGeometry) {
+  ExperimentConfig cfg;
+  const auto nc = cfg.networkFor(300, 2);
+  EXPECT_DOUBLE_EQ(nc.field.width, 1000.0);
+  EXPECT_DOUBLE_EQ(nc.range, 50.0);
+  EXPECT_EQ(nc.nodeCount, 300u);
+}
+
+TEST(ExperimentTest, RunTrialsCollectsPerTrialMetrics) {
+  ExperimentConfig cfg;
+  cfg.trials = 3;
+  const auto table =
+      runTrials(cfg, 60, [](SensorNetwork& net, Rng&, MetricTable& t) {
+        t.add("n", static_cast<double>(net.size()));
+        t.add("backbone", static_cast<double>(net.stats().backboneSize));
+      });
+  EXPECT_EQ(table.samples("n").count(), 3u);
+  EXPECT_DOUBLE_EQ(table.mean("n"), 60.0);
+  EXPECT_GT(table.mean("backbone"), 0.0);
+}
+
+TEST(ExperimentTest, RunTrialsIsReproducible) {
+  ExperimentConfig cfg;
+  cfg.trials = 2;
+  auto probe = [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+    const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                   net.randomNode(rng), 1);
+    t.add("rounds", static_cast<double>(run.sim.rounds));
+  };
+  const auto a = runTrials(cfg, 80, probe);
+  const auto b = runTrials(cfg, 80, probe);
+  EXPECT_EQ(a.samples("rounds").values(), b.samples("rounds").values());
+}
+
+TEST(ExperimentTest, ZeroTrialsRejected) {
+  ExperimentConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(
+      runTrials(cfg, 10, [](SensorNetwork&, Rng&, MetricTable&) {}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

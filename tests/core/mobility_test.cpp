@@ -1,0 +1,138 @@
+// Mobility: moveSensor semantics and random-waypoint dynamics under
+// continuous validation.
+#include <gtest/gtest.h>
+
+#include "core/mobility.hpp"
+#include "core/sensor_network.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(MobilityModelTest, StaysInsideField) {
+  RandomWaypointMobility m(Field{100, 50}, 10.0, 1);
+  Point2D p{50, 25};
+  for (int i = 0; i < 500; ++i) {
+    p = m.advance(0, p);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 50.0);
+  }
+}
+
+TEST(MobilityModelTest, StepBounded) {
+  RandomWaypointMobility m(Field{1000, 1000}, 15.0, 2);
+  Point2D p{500, 500};
+  for (int i = 0; i < 200; ++i) {
+    const Point2D next = m.advance(7, p);
+    EXPECT_LE(distance(p, next), 15.0 + 1e-9);
+    p = next;
+  }
+}
+
+TEST(MobilityModelTest, NodesAreIndependent) {
+  RandomWaypointMobility m(Field{100, 100}, 5.0, 3);
+  const Point2D a = m.advance(1, {50, 50});
+  const Point2D b = m.advance(2, {50, 50});
+  // Different private waypoints almost surely move them differently.
+  EXPECT_NE(a, b);
+}
+
+TEST(MobilityModelTest, InvalidConfigRejected) {
+  EXPECT_THROW(RandomWaypointMobility(Field{0, 10}, 5.0),
+               PreconditionError);
+  EXPECT_THROW(RandomWaypointMobility(Field{10, 10}, 0.0),
+               PreconditionError);
+}
+
+TEST(MoveSensorTest, ShortHopKeepsNodeInNet) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 100;
+  cfg.seed = 21;
+  SensorNetwork net(cfg);
+  const NodeId v = 50;
+  const Point2D p = net.position(v);
+  EXPECT_TRUE(net.moveSensor(v, {p.x + 1.0, p.y + 1.0}));
+  EXPECT_TRUE(net.clusterNet().contains(v));
+  EXPECT_TRUE(net.validate().ok()) << net.validate().summary();
+}
+
+TEST(MoveSensorTest, FarJumpLeavesNet) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 60;
+  cfg.seed = 22;
+  cfg.field = Field::squareUnits(6);
+  SensorNetwork net(cfg);
+  const NodeId v = 30;
+  EXPECT_FALSE(net.moveSensor(v, {99999.0, 99999.0}));
+  EXPECT_FALSE(net.clusterNet().contains(v));
+  EXPECT_TRUE(net.graph().isAlive(v));
+  EXPECT_TRUE(net.validate().ok()) << net.validate().summary();
+
+  // ...and coming back re-joins.
+  const NodeId anchor = net.clusterNet().root();
+  EXPECT_TRUE(net.moveSensor(
+      v, {net.position(anchor).x + 10, net.position(anchor).y}));
+  EXPECT_TRUE(net.clusterNet().contains(v));
+  EXPECT_TRUE(net.validate().ok());
+}
+
+TEST(MoveSensorTest, EdgesMatchNewPosition) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 80;
+  cfg.seed = 23;
+  SensorNetwork net(cfg);
+  const NodeId v = 10;
+  const NodeId anchor = 40;
+  net.moveSensor(v, {net.position(anchor).x + 20.0,
+                     net.position(anchor).y});
+  // Unit-disk consistency around v.
+  for (NodeId u : net.graph().liveNodes()) {
+    if (u == v) continue;
+    EXPECT_EQ(net.graph().hasEdge(v, u),
+              inRange(net.position(v), net.position(u), 50.0))
+        << "node " << u;
+  }
+}
+
+TEST(MoveSensorTest, RandomWaypointChurnStaysValid) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 120;
+  cfg.seed = 24;
+  SensorNetwork net(cfg);
+  RandomWaypointMobility walker(cfg.field, 40.0, 25);
+  Rng rng(26);
+
+  std::vector<NodeId> mobile;
+  for (NodeId v : net.clusterNet().netNodes())
+    if (rng.chance(0.25)) mobile.push_back(v);
+
+  for (int tick = 0; tick < 12; ++tick) {
+    for (NodeId v : mobile)
+      net.moveSensor(v, walker.advance(v, net.position(v)));
+    const auto report = net.validate();
+    ASSERT_TRUE(report.ok()) << "tick " << tick << ":\n"
+                             << report.summary();
+    // The live net must still carry a full broadcast.
+    const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                   net.clusterNet().root(), 1);
+    EXPECT_TRUE(run.allDelivered()) << "tick " << tick;
+  }
+}
+
+TEST(MoveSensorTest, MovingTheRootReseats) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 60;
+  cfg.seed = 27;
+  SensorNetwork net(cfg);
+  const NodeId root = net.clusterNet().root();
+  const NodeId other = net.clusterNet().netNodes().back();
+  EXPECT_TRUE(net.moveSensor(
+      root, {net.position(other).x + 5, net.position(other).y}));
+  EXPECT_TRUE(net.validate().ok()) << net.validate().summary();
+  EXPECT_NE(net.clusterNet().root(), root);  // someone else took over
+  EXPECT_TRUE(net.clusterNet().contains(root));
+}
+
+}  // namespace
+}  // namespace dsn

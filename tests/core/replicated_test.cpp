@@ -1,0 +1,123 @@
+// Multi-sink replication (paper Section 2): several cluster-nets over
+// one deployment, with broadcast failover between them.
+#include <gtest/gtest.h>
+
+#include "core/replicated_network.hpp"
+#include "graph/deploy.hpp"
+#include "util/rng.hpp"
+
+namespace dsn {
+namespace {
+
+std::vector<Point2D> paperPoints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return deployIncrementalAttach({Field::squareUnits(10), 50.0, n}, rng);
+}
+
+TEST(ReplicatedTest, BuildsDistinctValidReplicas) {
+  ReplicatedConfig cfg;
+  cfg.replicaCount = 3;
+  ReplicatedNetwork net(paperPoints(150, 1), 50.0, cfg);
+  ASSERT_EQ(net.replicaCount(), 3u);
+  EXPECT_EQ(net.validateAll(), "");
+  // Distinct roots.
+  EXPECT_NE(net.replica(0).root(), net.replica(1).root());
+  EXPECT_NE(net.replica(1).root(), net.replica(2).root());
+  // All replicas cover the whole deployment.
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(net.replica(i).netSize(), 150u);
+}
+
+TEST(ReplicatedTest, BroadcastViaEachReplicaDelivers) {
+  ReplicatedNetwork net(paperPoints(120, 2), 50.0, {});
+  Rng rng(3);
+  for (std::size_t i = 0; i < net.replicaCount(); ++i) {
+    const auto nodes = net.replica(i).netNodes();
+    const NodeId source = nodes[rng.pickIndex(nodes)];
+    const auto run = net.broadcastVia(i, BroadcastScheme::kImprovedCff,
+                                      source, 1);
+    EXPECT_TRUE(run.allDelivered()) << "replica " << i;
+  }
+}
+
+TEST(ReplicatedTest, DynamicsApplyToAllReplicas) {
+  ReplicatedConfig cfg;
+  cfg.replicaCount = 2;
+  ReplicatedNetwork net(paperPoints(100, 4), 50.0, cfg);
+  Rng rng(5);
+
+  // Remove a few random non-root nodes and add fresh sensors.
+  for (int step = 0; step < 8; ++step) {
+    const auto nodes = net.replica(0).netNodes();
+    NodeId victim;
+    do {
+      victim = nodes[rng.pickIndex(nodes)];
+    } while (victim == net.replica(0).root() ||
+             victim == net.replica(1).root());
+    net.removeSensor(victim);
+    ASSERT_EQ(net.validateAll(), "") << "step " << step;
+    EXPECT_FALSE(net.replica(0).contains(victim));
+    EXPECT_FALSE(net.replica(1).contains(victim));
+  }
+}
+
+TEST(ReplicatedTest, FailoverSwitchesReplicaWhenRootArealDies) {
+  ReplicatedConfig cfg;
+  cfg.replicaCount = 2;
+  ReplicatedNetwork net(paperPoints(150, 6), 50.0, cfg);
+
+  const NodeId root0 = net.replica(0).root();
+  const NodeId source = net.replica(1).root() == root0
+                            ? net.replica(0).netNodes().back()
+                            : net.replica(1).root();
+
+  // Kill replica 0's root (and its immediate backbone children) at round
+  // zero: a broadcast routed via replica 0 cannot flood past the root's
+  // level, while replica 1's structure is unaffected.
+  ProtocolOptions opts;
+  opts.deaths.emplace_back(root0, 0);
+  const auto failover = net.broadcastWithFailover(
+      BroadcastScheme::kImprovedCff, source, 1, opts, 0.9);
+  EXPECT_GE(failover.run.coverage(), 0.9);
+  // Source is replica-1's root; via replica 0 it would first have to
+  // relay through root0.
+  EXPECT_GT(failover.replicasTried, 0u);
+}
+
+TEST(ReplicatedTest, FailoverReportsBestWhenAllDegraded) {
+  ReplicatedConfig cfg;
+  cfg.replicaCount = 2;
+  ReplicatedNetwork net(paperPoints(100, 7), 50.0, cfg);
+  ProtocolOptions opts;
+  opts.dropProbability = 0.9;  // everything is bad
+  const auto failover = net.broadcastWithFailover(
+      BroadcastScheme::kImprovedCff, net.replica(0).root(), 1, opts);
+  EXPECT_LT(failover.run.coverage(), 1.0);
+  EXPECT_EQ(failover.replicasTried, 2u);  // tried them all
+}
+
+TEST(ReplicatedTest, UnknownSourceRejected) {
+  ReplicatedNetwork net(paperPoints(30, 8), 50.0, {});
+  bool threw = false;
+  try {
+    net.broadcastWithFailover(BroadcastScheme::kImprovedCff, 9999, 1);
+  } catch (const PreconditionError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(ReplicatedTest, AddSensorJoinsEveryReplica) {
+  ReplicatedConfig cfg;
+  cfg.replicaCount = 2;
+  auto pts = paperPoints(60, 9);
+  const Point2D near{pts[0].x + 5, pts[0].y + 5};
+  ReplicatedNetwork net(std::move(pts), 50.0, cfg);
+  const NodeId fresh = net.addSensor(near);
+  EXPECT_TRUE(net.replica(0).contains(fresh));
+  EXPECT_TRUE(net.replica(1).contains(fresh));
+  EXPECT_EQ(net.validateAll(), "");
+}
+
+}  // namespace
+}  // namespace dsn

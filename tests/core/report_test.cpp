@@ -1,0 +1,70 @@
+// CSV/table reporting with real file IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "util/log.hpp"
+
+namespace dsn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dsn_report_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(ReportTest, WriteCsvCreatesParentsAndContent) {
+  const auto path = dir_ / "nested" / "out.csv";
+  const std::string written =
+      writeCsv(path.string(), {"n", "rounds"}, {{100, 27}, {200, 35.5}});
+  EXPECT_TRUE(fs::exists(written));
+
+  std::ifstream in(written);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "n,rounds\n100,27\n200,35.5\n");
+}
+
+TEST_F(ReportTest, WriteCsvOverwrites) {
+  const auto path = (dir_ / "o.csv").string();
+  writeCsv(path, {"a"}, {{1}});
+  writeCsv(path, {"a"}, {{2}});
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a\n2\n");
+}
+
+TEST_F(ReportTest, UnwritablePathThrows) {
+  EXPECT_THROW(writeCsv((dir_ / "x").string() + "/", {"a"}, {{1}}),
+               std::exception);
+}
+
+TEST(LogTest, LevelGateWorks) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kError);
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+  // These must be cheap no-ops (no assertion possible on stderr here,
+  // but at least exercise the macros at every level).
+  DSN_LOG_INFO << "suppressed";
+  DSN_LOG_WARN << "suppressed";
+  DSN_LOG_DEBUG << "suppressed";
+  setLogLevel(LogLevel::kDebug);
+  DSN_LOG_DEBUG << "emitted";
+  setLogLevel(before);
+}
+
+}  // namespace
+}  // namespace dsn

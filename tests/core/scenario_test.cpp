@@ -1,0 +1,142 @@
+// Scenario engine: parser and executor.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.hpp"
+
+namespace dsn {
+namespace {
+
+SensorNetwork makeNet(std::size_t n = 100, std::uint64_t seed = 5) {
+  NetworkConfig cfg;
+  cfg.nodeCount = n;
+  cfg.seed = seed;
+  return SensorNetwork(cfg);
+}
+
+// ---- parser ----
+
+TEST(ScenarioParserTest, ParsesEveryEventKind) {
+  const auto events = parseScenario(
+      "join 1.5 2.5\n"
+      "leave 7\n"
+      "move 7 10 20\n"
+      "group 3 9\n"
+      "ungroup 3 9\n"
+      "broadcast 0 dfo\n"
+      "broadcast random\n"
+      "multicast 0 9 flood\n"
+      "gather\n"
+      "compact\n"
+      "validate\n");
+  ASSERT_EQ(events.size(), 11u);
+  EXPECT_EQ(events[0].kind, ScenarioEvent::Kind::kJoin);
+  EXPECT_DOUBLE_EQ(events[0].position.x, 1.5);
+  EXPECT_EQ(events[1].kind, ScenarioEvent::Kind::kLeave);
+  EXPECT_EQ(events[1].node, 7u);
+  EXPECT_EQ(events[2].kind, ScenarioEvent::Kind::kMove);
+  EXPECT_EQ(events[3].kind, ScenarioEvent::Kind::kJoinGroup);
+  EXPECT_EQ(events[3].group, 9u);
+  EXPECT_EQ(events[4].kind, ScenarioEvent::Kind::kLeaveGroup);
+  EXPECT_EQ(events[5].scheme, BroadcastScheme::kDfo);
+  EXPECT_EQ(events[6].node, kInvalidNode);  // random source
+  EXPECT_EQ(events[6].scheme, BroadcastScheme::kImprovedCff);
+  EXPECT_EQ(events[7].multicastMode, MulticastMode::kFullFlood);
+  EXPECT_EQ(events[8].kind, ScenarioEvent::Kind::kGather);
+  EXPECT_EQ(events[9].kind, ScenarioEvent::Kind::kCompact);
+  EXPECT_EQ(events[10].kind, ScenarioEvent::Kind::kValidate);
+}
+
+TEST(ScenarioParserTest, CommentsAndBlanksIgnored) {
+  const auto events = parseScenario(
+      "# a comment\n"
+      "\n"
+      "gather  # trailing comment\n"
+      "   \n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].sourceLine, 3);
+}
+
+TEST(ScenarioParserTest, ErrorsCarryLineNumbers) {
+  try {
+    parseScenario("gather\nbogus 1 2\n");
+    FAIL() << "expected parse error";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioParserTest, MalformedArgumentsRejected) {
+  EXPECT_THROW(parseScenario("join 1\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("join x y\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("leave -3\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("broadcast 0 warp\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("multicast 0 1 maybe\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("gather extra\n"), PreconditionError);
+}
+
+// ---- executor ----
+
+TEST(ScenarioRunnerTest, DemoWorkloadRunsClean) {
+  auto net = makeNet();
+  const auto events = parseScenario(
+      "broadcast random icff\n"
+      "gather\n"
+      "leave 3\n"
+      "group 5 1\n"
+      "multicast 0 1 pruned\n"
+      "compact\n"
+      "broadcast 0 dfo\n");
+  const auto outcome = runScenario(net, events);
+  EXPECT_TRUE(outcome.valid) << outcome.firstViolation;
+  EXPECT_EQ(outcome.eventsExecuted, 7u);
+  EXPECT_EQ(outcome.broadcasts, 2u);
+  EXPECT_EQ(outcome.multicasts, 1u);
+  EXPECT_EQ(outcome.gathers, 1u);
+  EXPECT_DOUBLE_EQ(outcome.worstCoverage, 1.0);
+  EXPECT_EQ(outcome.log.size(), 7u);
+}
+
+TEST(ScenarioRunnerTest, JoinAtPositionEntersNet) {
+  auto net = makeNet();
+  const std::size_t before = net.size();
+  const Point2D p = net.position(0);
+  std::ostringstream script;
+  script << "join " << p.x + 5 << " " << p.y + 5 << "\n";
+  const auto outcome =
+      runScenario(net, parseScenario(script.str()));
+  EXPECT_TRUE(outcome.valid);
+  EXPECT_EQ(net.size(), before + 1);
+  EXPECT_NE(outcome.log[0].find("in net"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, FailureOptionsPropagate) {
+  auto net = makeNet();
+  ScenarioOptions opts;
+  opts.protocol.dropProbability = 1.0;  // nothing ever goes on air
+  const auto outcome =
+      runScenario(net, parseScenario("broadcast 0 icff\n"), opts);
+  EXPECT_LT(outcome.worstCoverage, 0.1);
+  EXPECT_TRUE(outcome.valid);  // structure untouched by radio loss
+}
+
+TEST(ScenarioRunnerTest, RandomSourceIsSeedStable) {
+  auto netA = makeNet();
+  auto netB = makeNet();
+  const auto events = parseScenario("broadcast random icff\n");
+  ScenarioOptions opts;
+  opts.seed = 77;
+  const auto a = runScenario(netA, events, opts);
+  const auto b = runScenario(netB, events, opts);
+  EXPECT_EQ(a.log, b.log);
+}
+
+TEST(ScenarioRunnerTest, LeaveOfOutsiderThrows) {
+  auto net = makeNet();
+  EXPECT_THROW(runScenario(net, parseScenario("leave 9999\n")),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,155 @@
+// SensorNetwork facade: deployment, dynamics, communication end-to-end.
+#include <gtest/gtest.h>
+
+#include "core/sensor_network.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(SensorNetworkTest, BuildsPaperScaleNetwork) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 200;
+  cfg.seed = 42;
+  SensorNetwork net(cfg);
+  EXPECT_EQ(net.size(), 200u);
+  EXPECT_TRUE(net.validate().ok()) << net.validate().summary();
+  const auto stats = net.stats();
+  EXPECT_EQ(stats.networkSize, 200u);
+  EXPECT_GT(stats.backboneSize, 0u);
+}
+
+TEST(SensorNetworkTest, DeterministicForSameSeed) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 80;
+  cfg.seed = 7;
+  SensorNetwork a(cfg), b(cfg);
+  EXPECT_EQ(a.initialPoints(), b.initialPoints());
+  EXPECT_EQ(a.stats().backboneSize, b.stats().backboneSize);
+  EXPECT_EQ(a.stats().maxBSlot, b.stats().maxBSlot);
+}
+
+TEST(SensorNetworkTest, BroadcastThroughFacade) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 120;
+  cfg.seed = 9;
+  SensorNetwork net(cfg);
+  Rng rng(1);
+  const NodeId source = net.randomNode(rng);
+  for (auto scheme : {BroadcastScheme::kDfo, BroadcastScheme::kCff,
+                      BroadcastScheme::kImprovedCff}) {
+    const auto run = net.broadcast(scheme, source, 0xCAFE);
+    EXPECT_TRUE(run.allDelivered()) << toString(scheme);
+  }
+}
+
+TEST(SensorNetworkTest, MulticastThroughFacade) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 120;
+  cfg.seed = 10;
+  SensorNetwork net(cfg);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) net.joinGroup(net.randomNode(rng), 4);
+  const auto run = net.multicast(net.clusterNet().root(), 4, 0xCAFE,
+                                 MulticastMode::kFullFlood);
+  EXPECT_TRUE(run.allDelivered());
+}
+
+TEST(SensorNetworkTest, AddSensorJoinsWhenInRange) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 50;
+  cfg.seed = 11;
+  SensorNetwork net(cfg);
+  const Point2D nearExisting{net.position(0).x + 10.0,
+                             net.position(0).y};
+  bool joined = false;
+  const NodeId v = net.addSensor(nearExisting, &joined);
+  EXPECT_TRUE(joined);
+  EXPECT_TRUE(net.clusterNet().contains(v));
+  EXPECT_TRUE(net.validate().ok()) << net.validate().summary();
+  EXPECT_EQ(net.size(), 51u);
+}
+
+TEST(SensorNetworkTest, AddSensorOutOfRangeStaysOutside) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 30;
+  cfg.seed = 12;
+  cfg.field = Field::squareUnits(4);
+  SensorNetwork net(cfg);
+  bool joined = true;
+  const NodeId v = net.addSensor({9999.0, 9999.0}, &joined);
+  EXPECT_FALSE(joined);
+  EXPECT_FALSE(net.clusterNet().contains(v));
+  EXPECT_TRUE(net.graph().isAlive(v));
+}
+
+TEST(SensorNetworkTest, RemoveSensorReconfigures) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 100;
+  cfg.seed = 13;
+  SensorNetwork net(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const NodeId victim = net.randomNode(rng);
+    net.removeSensor(victim);
+    ASSERT_TRUE(net.validate().ok())
+        << "after removing " << victim << ": "
+        << net.validate().summary();
+  }
+  EXPECT_LE(net.size(), 90u);  // 10 removed; orphans may add to the loss
+}
+
+TEST(SensorNetworkTest, LifecycleChurnKeepsWorking) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 80;
+  cfg.seed = 14;
+  SensorNetwork net(cfg);
+  Rng rng(4);
+  for (int step = 0; step < 10; ++step) {
+    // Remove one, add one near a random survivor, broadcast.
+    net.removeSensor(net.randomNode(rng));
+    const NodeId anchor = net.randomNode(rng);
+    net.addSensor({net.position(anchor).x + rng.uniformReal(-20, 20),
+                   net.position(anchor).y + rng.uniformReal(-20, 20)});
+    ASSERT_TRUE(net.validate().ok()) << net.validate().summary();
+    const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                   net.randomNode(rng), 1);
+    EXPECT_TRUE(run.allDelivered()) << "step " << step;
+  }
+}
+
+TEST(SensorNetworkTest, UniformDeploymentCoversComponentOfFirstNode) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 150;
+  cfg.seed = 15;
+  cfg.deployment = DeploymentKind::kUniform;
+  cfg.field = Field::squareUnits(12);  // sparse: will fragment
+  SensorNetwork net(cfg);
+  // The net covers a (possibly small) component; everything in it valid.
+  EXPECT_TRUE(net.validate().ok()) << net.validate().summary();
+  EXPECT_GE(net.size(), 1u);
+  EXPECT_LE(net.size(), 150u);
+}
+
+TEST(SensorNetworkTest, ExplicitPointsConstructor) {
+  std::vector<Point2D> pts{{0, 0}, {30, 0}, {60, 0}, {90, 0}};
+  SensorNetwork net(pts, 40.0);
+  EXPECT_EQ(net.size(), 4u);
+  EXPECT_TRUE(net.validate().ok());
+  const auto run = net.broadcast(BroadcastScheme::kCff, 0, 1);
+  EXPECT_TRUE(run.allDelivered());
+}
+
+TEST(SensorNetworkTest, GridLineStarDeployments) {
+  for (auto kind : {DeploymentKind::kGrid, DeploymentKind::kLine,
+                    DeploymentKind::kStar}) {
+    NetworkConfig cfg;
+    cfg.nodeCount = 25;
+    cfg.deployment = kind;
+    SensorNetwork net(cfg);
+    EXPECT_EQ(net.size(), 25u);
+    EXPECT_TRUE(net.validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace dsn

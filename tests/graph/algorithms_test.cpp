@@ -1,0 +1,143 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsn {
+namespace {
+
+Graph pathGraph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.addEdge(v, v + 1);
+  return g;
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  const Graph g = pathGraph(5);
+  const auto d = bfsDistances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsTest, UnreachableIsMinusOne) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  const auto d = bfsDistances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(BfsTest, DeadSourceThrows) {
+  Graph g(2);
+  g.removeNode(0);
+  EXPECT_THROW(bfsDistances(g, 0), PreconditionError);
+}
+
+TEST(ConnectivityTest, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(isConnected(Graph{}));
+  EXPECT_TRUE(isConnected(Graph{1}));
+}
+
+TEST(ConnectivityTest, DetectsDisconnection) {
+  Graph g = pathGraph(6);
+  EXPECT_TRUE(isConnected(g));
+  g.removeEdge(2, 3);
+  EXPECT_FALSE(isConnected(g));
+}
+
+TEST(ConnectivityTest, DeadNodesIgnored) {
+  Graph g = pathGraph(4);
+  g.removeEdge(1, 2);
+  EXPECT_FALSE(isConnected(g));
+  g.removeNode(2);
+  g.removeNode(3);
+  EXPECT_TRUE(isConnected(g));  // only {0,1} remain
+}
+
+TEST(ComponentsTest, CountsAndLabels) {
+  Graph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(3, 4);
+  int count = 0;
+  const auto comp = connectedComponents(g, &count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(ComponentsTest, DeadNodesGetMinusOne) {
+  Graph g(3);
+  g.removeNode(1);
+  int count = 0;
+  const auto comp = connectedComponents(g, &count);
+  EXPECT_EQ(comp[1], -1);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ReachabilityTest, ReturnsComponentMembers) {
+  Graph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(3, 4);
+  EXPECT_EQ(reachableFrom(g, 0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(reachableFrom(g, 4), (std::vector<NodeId>{3, 4}));
+}
+
+TEST(DiameterTest, PathAndCycle) {
+  EXPECT_EQ(diameter(pathGraph(7)), 6);
+  Graph cycle(6);
+  for (NodeId v = 0; v < 6; ++v) cycle.addEdge(v, (v + 1) % 6);
+  EXPECT_EQ(diameter(cycle), 3);
+}
+
+TEST(DiameterTest, RequiresConnected) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  EXPECT_THROW(diameter(g), PreconditionError);
+}
+
+TEST(EccentricityTest, CenterVsEnd) {
+  const Graph g = pathGraph(5);
+  EXPECT_EQ(eccentricity(g, 2), 2);
+  EXPECT_EQ(eccentricity(g, 0), 4);
+}
+
+TEST(DegreeStatsTest, Values) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(0, 3);
+  const auto s = degreeStats(g);
+  EXPECT_EQ(s.maxDegree, 3u);
+  EXPECT_EQ(s.minDegree, 1u);
+  EXPECT_DOUBLE_EQ(s.meanDegree, 1.5);
+}
+
+TEST(InducedSubgraphTest, KeepsOnlySelectedNodesAndEdges) {
+  Graph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  g.addEdge(3, 4);
+  g.addEdge(1, 3);
+  const Graph sub = inducedSubgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.size(), g.size());  // same id space
+  EXPECT_FALSE(sub.isAlive(0));
+  EXPECT_FALSE(sub.isAlive(4));
+  EXPECT_TRUE(sub.hasEdge(1, 2));
+  EXPECT_TRUE(sub.hasEdge(2, 3));
+  EXPECT_TRUE(sub.hasEdge(1, 3));
+  EXPECT_FALSE(sub.hasEdge(0, 1));
+  EXPECT_EQ(sub.edgeCount(), 3u);
+}
+
+TEST(InducedSubgraphTest, RejectsDeadKeepNodes) {
+  Graph g(3);
+  g.removeNode(1);
+  EXPECT_THROW(inducedSubgraph(g, {1}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,112 @@
+#include "graph/domination.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/deploy.hpp"
+#include "graph/unit_disk.hpp"
+#include "util/rng.hpp"
+
+namespace dsn {
+namespace {
+
+Graph starGraph(std::size_t leaves) {
+  Graph g(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) g.addEdge(0, v);
+  return g;
+}
+
+TEST(DominatingSetTest, StarNeedsOnlyHub) {
+  const Graph g = starGraph(6);
+  const auto ds = greedyDominatingSet(g);
+  EXPECT_EQ(ds, std::vector<NodeId>{0});
+  EXPECT_TRUE(isDominatingSet(g, ds));
+}
+
+TEST(DominatingSetTest, IsolatedNodesIncluded) {
+  Graph g(3);  // no edges
+  const auto ds = greedyDominatingSet(g);
+  EXPECT_EQ(ds.size(), 3u);
+}
+
+TEST(DominatingSetTest, GreedyIsAlwaysDominating) {
+  Rng rng(55);
+  const DeployConfig cfg{Field::squareUnits(6), 60.0, 120};
+  const auto pts = deployIncrementalAttach(cfg, rng);
+  const Graph g = buildUnitDiskGraph(pts, cfg.range);
+  EXPECT_TRUE(isDominatingSet(g, greedyDominatingSet(g)));
+}
+
+TEST(IsDominatingSetTest, DetectsNonDominating) {
+  const Graph g = starGraph(3);
+  EXPECT_FALSE(isDominatingSet(g, {1}));     // leaf misses other leaves
+  EXPECT_TRUE(isDominatingSet(g, {1, 0}));
+}
+
+TEST(IsDominatingSetTest, DeadMemberInvalidates) {
+  Graph g = starGraph(3);
+  g.removeNode(0);
+  EXPECT_FALSE(isDominatingSet(g, {0}));
+}
+
+TEST(MisTest, PathGraphAlternates) {
+  Graph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.addEdge(v, v + 1);
+  const auto mis = greedyMaximalIndependentSet(g);
+  EXPECT_EQ(mis, (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_TRUE(isIndependentSet(g, mis));
+}
+
+TEST(MisTest, IndependentAndMaximalOnRandomUdg) {
+  Rng rng(66);
+  const DeployConfig cfg{Field::squareUnits(6), 60.0, 100};
+  const auto pts = deployIncrementalAttach(cfg, rng);
+  const Graph g = buildUnitDiskGraph(pts, cfg.range);
+  const auto mis = greedyMaximalIndependentSet(g);
+  EXPECT_TRUE(isIndependentSet(g, mis));
+  // Maximal: MIS is also a dominating set.
+  EXPECT_TRUE(isDominatingSet(g, mis));
+}
+
+TEST(IsIndependentSetTest, DetectsAdjacency) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  EXPECT_FALSE(isIndependentSet(g, {0, 1}));
+  EXPECT_TRUE(isIndependentSet(g, {0, 2}));
+}
+
+TEST(CliqueCoverTest, TriangleIsOneClique) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 2);
+  const auto cover = greedyCliqueCover(g);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].size(), 3u);
+}
+
+TEST(CliqueCoverTest, CoversEveryNodeExactlyOnce) {
+  Rng rng(77);
+  const DeployConfig cfg{Field::squareUnits(5), 70.0, 80};
+  const auto pts = deployIncrementalAttach(cfg, rng);
+  const Graph g = buildUnitDiskGraph(pts, cfg.range);
+  const auto cover = greedyCliqueCover(g);
+  std::vector<int> seen(g.size(), 0);
+  for (const auto& clique : cover) {
+    // Clique property.
+    for (std::size_t i = 0; i < clique.size(); ++i)
+      for (std::size_t j = i + 1; j < clique.size(); ++j)
+        EXPECT_TRUE(g.hasEdge(clique[i], clique[j]));
+    for (NodeId v : clique) ++seen[v];
+  }
+  for (NodeId v : g.liveNodes()) EXPECT_EQ(seen[v], 1) << "node " << v;
+}
+
+TEST(CliqueCoverTest, PathNeedsAboutHalf) {
+  Graph g(6);
+  for (NodeId v = 0; v + 1 < 6; ++v) g.addEdge(v, v + 1);
+  const auto cover = greedyCliqueCover(g);
+  EXPECT_EQ(cover.size(), 3u);  // {0,1},{2,3},{4,5}
+}
+
+}  // namespace
+}  // namespace dsn

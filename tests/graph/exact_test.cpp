@@ -1,0 +1,97 @@
+// Exact small-graph solvers.
+#include <gtest/gtest.h>
+
+#include "graph/deploy.hpp"
+#include "graph/domination.hpp"
+#include "graph/exact.hpp"
+#include "graph/unit_disk.hpp"
+#include "util/rng.hpp"
+
+namespace dsn {
+namespace {
+
+Graph pathGraph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.addEdge(v, v + 1);
+  return g;
+}
+
+TEST(ExactMdsTest, KnownOptimaOnPaths) {
+  // Path P_n has domination number ceil(n/3).
+  for (std::size_t n : {1u, 2u, 3u, 4u, 6u, 7u, 9u, 10u}) {
+    const Graph g = pathGraph(n);
+    const auto mds = exactMinimumDominatingSet(g);
+    EXPECT_EQ(mds.size(), (n + 2) / 3) << "P_" << n;
+    EXPECT_TRUE(isDominatingSet(g, mds));
+  }
+}
+
+TEST(ExactMdsTest, StarIsOne) {
+  Graph g(7);
+  for (NodeId v = 1; v < 7; ++v) g.addEdge(0, v);
+  EXPECT_EQ(exactMinimumDominatingSet(g).size(), 1u);
+}
+
+TEST(ExactMdsTest, NeverWorseThanGreedy) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = deployIncrementalAttach(
+        {Field::squareUnits(3), 70.0, 18}, rng);
+    const Graph g = buildUnitDiskGraph(pts, 70.0);
+    const auto exact = exactMinimumDominatingSet(g);
+    const auto greedy = greedyDominatingSet(g);
+    EXPECT_TRUE(isDominatingSet(g, exact));
+    EXPECT_LE(exact.size(), greedy.size());
+  }
+}
+
+TEST(ExactMdsTest, TooLargeRejected) {
+  Graph g(30);
+  EXPECT_THROW(exactMinimumDominatingSet(g, 26), PreconditionError);
+}
+
+TEST(ExactCliqueCoverTest, KnownOptima) {
+  // Triangle: one clique. P_4: two cliques. C_5: three.
+  Graph tri(3);
+  tri.addEdge(0, 1);
+  tri.addEdge(1, 2);
+  tri.addEdge(0, 2);
+  EXPECT_EQ(exactMinimumCliqueCover(tri).size(), 1u);
+
+  EXPECT_EQ(exactMinimumCliqueCover(pathGraph(4)).size(), 2u);
+
+  Graph c5(5);
+  for (NodeId v = 0; v < 5; ++v) c5.addEdge(v, (v + 1) % 5);
+  EXPECT_EQ(exactMinimumCliqueCover(c5).size(), 3u);
+}
+
+TEST(ExactCliqueCoverTest, CoverIsValidAndNeverWorseThanGreedy) {
+  Rng rng(777);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto pts = deployIncrementalAttach(
+        {Field::squareUnits(2), 80.0, 13}, rng);
+    const Graph g = buildUnitDiskGraph(pts, 80.0);
+    const auto cover = exactMinimumCliqueCover(g);
+    const auto greedy = greedyCliqueCover(g);
+    EXPECT_LE(cover.size(), greedy.size());
+    // Every class is a clique; every node covered exactly once.
+    std::vector<int> seen(g.size(), 0);
+    for (const auto& clique : cover) {
+      for (std::size_t i = 0; i < clique.size(); ++i)
+        for (std::size_t j = i + 1; j < clique.size(); ++j)
+          EXPECT_TRUE(g.hasEdge(clique[i], clique[j]));
+      for (NodeId v : clique) ++seen[v];
+    }
+    for (NodeId v : g.liveNodes()) EXPECT_EQ(seen[v], 1);
+  }
+}
+
+TEST(ExactCliqueCoverTest, EmptyAndSingleton) {
+  Graph g0;
+  EXPECT_TRUE(exactMinimumCliqueCover(g0).empty());
+  Graph g1(1);
+  EXPECT_EQ(exactMinimumCliqueCover(g1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,124 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dsn {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.liveCount(), 0u);
+  EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(GraphTest, InitialNodesAreIsolatedAndLive) {
+  Graph g(4);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.liveCount(), 4u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(g.isAlive(v));
+    EXPECT_EQ(g.degree(v), 0u);
+  }
+}
+
+TEST(GraphTest, AddNodeReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.addNode(), 0u);
+  EXPECT_EQ(g.addNode(), 1u);
+  EXPECT_EQ(g.addNode(), 2u);
+  EXPECT_EQ(g.liveCount(), 3u);
+}
+
+TEST(GraphTest, EdgesAreSymmetric) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(GraphTest, DuplicateEdgeIsNoOp) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  g.addEdge(1, 0);
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.addEdge(1, 1), PreconditionError);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.removeEdge(0, 1);
+  EXPECT_FALSE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_EQ(g.edgeCount(), 1u);
+  // Removing an absent edge is a no-op.
+  g.removeEdge(0, 1);
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(GraphTest, RemoveNodeDropsIncidentEdges) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(1, 3);
+  g.removeNode(1);
+  EXPECT_FALSE(g.isAlive(1));
+  EXPECT_EQ(g.liveCount(), 3u);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(1).empty());
+  EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(GraphTest, DeadNodeIdStaysAllocated) {
+  Graph g(3);
+  g.removeNode(2);
+  EXPECT_EQ(g.size(), 3u);
+  const NodeId fresh = g.addNode();
+  EXPECT_EQ(fresh, 3u);  // ids are never recycled
+}
+
+TEST(GraphTest, OperationsOnDeadNodeThrow) {
+  Graph g(2);
+  g.removeNode(0);
+  EXPECT_THROW(g.addEdge(0, 1), PreconditionError);
+  EXPECT_THROW(g.removeNode(0), PreconditionError);
+}
+
+TEST(GraphTest, OutOfRangeIdsThrow) {
+  Graph g(2);
+  EXPECT_THROW(g.addEdge(0, 5), PreconditionError);
+  EXPECT_THROW(g.neighbors(9), PreconditionError);
+}
+
+TEST(GraphTest, LiveNodesAscending) {
+  Graph g(5);
+  g.removeNode(1);
+  g.removeNode(3);
+  EXPECT_EQ(g.liveNodes(), (std::vector<NodeId>{0, 2, 4}));
+}
+
+TEST(GraphTest, NeighborsReflectRemovals) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(0, 3);
+  g.removeNode(2);
+  const auto& n = g.neighbors(0);
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_TRUE(std::find(n.begin(), n.end(), 2u) == n.end());
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,101 @@
+#include "graph/unit_disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(UnitDiskTest, EdgeIffWithinRange) {
+  const std::vector<Point2D> pts{{0, 0}, {30, 0}, {100, 0}};
+  const Graph g = buildUnitDiskGraph(pts, 50.0);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_FALSE(g.hasEdge(1, 2));  // distance 70 > 50
+}
+
+TEST(UnitDiskTest, BoundaryDistanceIsConnected) {
+  const std::vector<Point2D> pts{{0, 0}, {50, 0}};
+  const Graph g = buildUnitDiskGraph(pts, 50.0);
+  EXPECT_TRUE(g.hasEdge(0, 1));  // <= range, not <
+}
+
+TEST(UnitDiskTest, MatchesBruteForceOnRandomPoints) {
+  Rng rng(123);
+  std::vector<Point2D> pts;
+  for (int i = 0; i < 200; ++i)
+    pts.push_back({rng.uniformReal(0, 500), rng.uniformReal(0, 500)});
+  const double range = 60.0;
+  const Graph g = buildUnitDiskGraph(pts, range);
+  for (NodeId i = 0; i < pts.size(); ++i) {
+    for (NodeId j = i + 1; j < pts.size(); ++j) {
+      EXPECT_EQ(g.hasEdge(i, j), inRange(pts[i], pts[j], range))
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(UnitDiskTest, NegativeCoordinatesSupported) {
+  const std::vector<Point2D> pts{{-100, -100}, {-70, -100}, {100, 100}};
+  const Graph g = buildUnitDiskGraph(pts, 50.0);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+}
+
+TEST(UnitDiskTest, ZeroRangeRejected) {
+  EXPECT_THROW(buildUnitDiskGraph({}, 0.0), PreconditionError);
+}
+
+TEST(UnitDiskIndexTest, QueryFindsOnlyInRange) {
+  UnitDiskIndex idx(50.0);
+  idx.insert(0, {0, 0});
+  idx.insert(1, {40, 0});
+  idx.insert(2, {200, 200});
+  const auto near = idx.queryNeighbors({10, 0});
+  EXPECT_EQ(near, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(UnitDiskIndexTest, RemoveForgetsPoint) {
+  UnitDiskIndex idx(50.0);
+  idx.insert(7, {0, 0});
+  EXPECT_TRUE(idx.contains(7));
+  idx.remove(7);
+  EXPECT_FALSE(idx.contains(7));
+  EXPECT_TRUE(idx.queryNeighbors({0, 0}).empty());
+  EXPECT_THROW(idx.remove(7), PreconditionError);
+}
+
+TEST(UnitDiskIndexTest, DuplicateIdRejected) {
+  UnitDiskIndex idx(10.0);
+  idx.insert(1, {0, 0});
+  EXPECT_THROW(idx.insert(1, {5, 5}), PreconditionError);
+}
+
+TEST(UnitDiskIndexTest, PositionRoundTrips) {
+  UnitDiskIndex idx(10.0);
+  idx.insert(3, {1.5, -2.5});
+  EXPECT_EQ(idx.position(3), (Point2D{1.5, -2.5}));
+  EXPECT_THROW(idx.position(4), PreconditionError);
+}
+
+TEST(UnitDiskIndexTest, MatchesBruteForceAcrossCells) {
+  Rng rng(77);
+  UnitDiskIndex idx(35.0);
+  std::vector<Point2D> pts;
+  for (NodeId i = 0; i < 150; ++i) {
+    const Point2D p{rng.uniformReal(-200, 200), rng.uniformReal(-200, 200)};
+    pts.push_back(p);
+    idx.insert(i, p);
+  }
+  for (int probe = 0; probe < 50; ++probe) {
+    const Point2D q{rng.uniformReal(-200, 200), rng.uniformReal(-200, 200)};
+    std::vector<NodeId> expected;
+    for (NodeId i = 0; i < pts.size(); ++i)
+      if (inRange(pts[i], q, 35.0)) expected.push_back(i);
+    EXPECT_EQ(idx.queryNeighbors(q), expected);
+  }
+}
+
+}  // namespace
+}  // namespace dsn

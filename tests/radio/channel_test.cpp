@@ -1,0 +1,156 @@
+#include "radio/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsn {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 2);
+  return g;
+}
+
+Message msg(NodeId sender) {
+  Message m;
+  m.sender = sender;
+  m.payload = 0xABCD;
+  return m;
+}
+
+TEST(ChannelTest, SingleTransmitterDelivers) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0));
+  acts[1] = Action::listen();
+  acts[2] = Action::listen();
+  const auto out = resolveRound(g, acts, 1);
+  ASSERT_EQ(out.deliveries.size(), 2u);
+  EXPECT_EQ(out.transmissions, 1u);
+  EXPECT_EQ(out.collisions(), 0u);
+  for (const auto& d : out.deliveries) EXPECT_EQ(d.transmitter, 0u);
+}
+
+TEST(ChannelTest, TwoTransmittersCollideAtCommonListener) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0));
+  acts[1] = Action::transmit(msg(1));
+  acts[2] = Action::listen();
+  const auto out = resolveRound(g, acts, 1);
+  EXPECT_TRUE(out.deliveries.empty());
+  ASSERT_EQ(out.collisions(), 1u);
+  EXPECT_EQ(out.collisionSites[0].listener, 2u);
+}
+
+TEST(ChannelTest, NoTransmitterMeansSilence) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::listen());
+  const auto out = resolveRound(g, acts, 1);
+  EXPECT_TRUE(out.deliveries.empty());
+  EXPECT_EQ(out.collisions(), 0u);
+}
+
+TEST(ChannelTest, TransmitterDoesNotReceive) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0));
+  acts[1] = Action::transmit(msg(1));
+  // 0 and 1 are neighbors but both transmit; neither receives.
+  const auto out = resolveRound(g, acts, 1);
+  EXPECT_TRUE(out.deliveries.empty());
+}
+
+TEST(ChannelTest, SleeperReceivesNothing) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0));
+  const auto out = resolveRound(g, acts, 1);
+  EXPECT_TRUE(out.deliveries.empty());
+}
+
+TEST(ChannelTest, NonNeighborDoesNotHear) {
+  Graph g(3);
+  g.addEdge(0, 1);  // 2 isolated
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0));
+  acts[2] = Action::listen();
+  const auto out = resolveRound(g, acts, 1);
+  EXPECT_TRUE(out.deliveries.empty());
+}
+
+TEST(ChannelTest, SeparateChannelsDoNotInterfere) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0), 0);
+  acts[1] = Action::transmit(msg(1), 1);
+  acts[2] = Action::listen(kAllChannels);
+  const auto out = resolveRound(g, acts, 2);
+  ASSERT_EQ(out.deliveries.size(), 2u);  // wide-band hears both
+  EXPECT_EQ(out.collisions(), 0u);
+}
+
+TEST(ChannelTest, SameChannelStillCollidesWithMultipleChannels) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0), 1);
+  acts[1] = Action::transmit(msg(1), 1);
+  acts[2] = Action::listen(kAllChannels);
+  const auto out = resolveRound(g, acts, 2);
+  EXPECT_TRUE(out.deliveries.empty());
+  EXPECT_EQ(out.collisions(), 1u);
+}
+
+TEST(ChannelTest, NarrowBandListenerMissesOtherChannel) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0), 1);
+  acts[2] = Action::listen(0);
+  const auto out = resolveRound(g, acts, 2);
+  EXPECT_TRUE(out.deliveries.empty());
+  acts[2] = Action::listen(1);
+  const auto out2 = resolveRound(g, acts, 2);
+  EXPECT_EQ(out2.deliveries.size(), 1u);
+}
+
+TEST(ChannelTest, ChannelOutOfRangeRejected) {
+  const Graph g = triangle();
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0), 3);
+  EXPECT_THROW(resolveRound(g, acts, 2), PreconditionError);
+}
+
+TEST(ChannelTest, DeadTransmitterRejected) {
+  Graph g = triangle();
+  g.removeNode(0);
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0));
+  EXPECT_THROW(resolveRound(g, acts, 1), PreconditionError);
+}
+
+TEST(ChannelTest, ActionVectorSizeMustMatch) {
+  const Graph g = triangle();
+  std::vector<Action> acts(2, Action::sleep());
+  EXPECT_THROW(resolveRound(g, acts, 1), PreconditionError);
+}
+
+TEST(ChannelTest, HiddenTerminalScenario) {
+  // Classic: 0 - 1 - 2 with 0,2 out of range; both transmit; 1 hears
+  // noise (collision), neither transmitter knows.
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  std::vector<Action> acts(3, Action::sleep());
+  acts[0] = Action::transmit(msg(0));
+  acts[2] = Action::transmit(msg(2));
+  acts[1] = Action::listen();
+  const auto out = resolveRound(g, acts, 1);
+  EXPECT_TRUE(out.deliveries.empty());
+  EXPECT_EQ(out.collisions(), 1u);
+  EXPECT_EQ(out.transmissions, 2u);
+}
+
+}  // namespace
+}  // namespace dsn

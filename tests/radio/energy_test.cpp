@@ -1,0 +1,53 @@
+#include "radio/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsn {
+namespace {
+
+TEST(EnergyMeterTest, CountsPerNode) {
+  EnergyMeter m(3);
+  m.recordListen(0);
+  m.recordListen(0);
+  m.recordTransmit(0);
+  m.recordReceive(0);
+  m.recordTransmit(2);
+
+  EXPECT_EQ(m.node(0).listenRounds, 2u);
+  EXPECT_EQ(m.node(0).transmitRounds, 1u);
+  EXPECT_EQ(m.node(0).framesReceived, 1u);
+  EXPECT_EQ(m.node(0).awakeRounds(), 3u);
+  EXPECT_EQ(m.node(1).awakeRounds(), 0u);
+  EXPECT_EQ(m.node(2).awakeRounds(), 1u);
+}
+
+TEST(EnergyMeterTest, Aggregates) {
+  EnergyMeter m(4);
+  for (int i = 0; i < 5; ++i) m.recordListen(1);
+  m.recordTransmit(2);
+  EXPECT_EQ(m.maxAwakeRounds(), 5u);
+  EXPECT_DOUBLE_EQ(m.meanAwakeRounds(), 6.0 / 4.0);
+  EXPECT_EQ(m.totalTransmissions(), 1u);
+}
+
+TEST(EnergyMeterTest, LinearEnergyModel) {
+  EnergyMeter m(2);
+  m.recordTransmit(0);   // 1.5
+  m.recordListen(0);     // 1.0
+  const EnergyModel model;  // tx 1.5, listen 1.0, sleep 0
+  // Node 0: 1.5 + 1.0; node 1 sleeps 10 rounds at cost 0.
+  EXPECT_DOUBLE_EQ(m.totalEnergy(model, 10), 2.5);
+
+  EnergyModel withSleep;
+  withSleep.sleepCost = 0.1;
+  // Node 0: 2.5 + 8 sleeping rounds * 0.1; node 1: 10 * 0.1.
+  EXPECT_DOUBLE_EQ(m.totalEnergy(withSleep, 10), 2.5 + 0.8 + 1.0);
+}
+
+TEST(EnergyMeterTest, OutOfRangeThrows) {
+  EnergyMeter m(1);
+  EXPECT_THROW(m.recordListen(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,67 @@
+#include "radio/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsn {
+namespace {
+
+TEST(FailureModelTest, NoFailuresByDefault) {
+  FailureModel f;
+  EXPECT_FALSE(f.isDead(0, 0));
+  EXPECT_FALSE(f.isDead(42, 1000000));
+  EXPECT_FALSE(f.hasScheduledDeaths());
+  EXPECT_DOUBLE_EQ(f.dropProbability(), 0.0);
+}
+
+TEST(FailureModelTest, KillAtBoundary) {
+  FailureModel f;
+  f.killAt(3, 10);
+  EXPECT_FALSE(f.isDead(3, 9));
+  EXPECT_TRUE(f.isDead(3, 10));
+  EXPECT_TRUE(f.isDead(3, 11));
+  EXPECT_FALSE(f.isDead(4, 10));
+  EXPECT_TRUE(f.hasScheduledDeaths());
+}
+
+TEST(FailureModelTest, EarlierKillWins) {
+  FailureModel f;
+  f.killAt(1, 10);
+  f.killAt(1, 5);
+  EXPECT_TRUE(f.isDead(1, 5));
+  f.killAt(1, 20);  // later schedule cannot resurrect
+  EXPECT_TRUE(f.isDead(1, 5));
+}
+
+TEST(FailureModelTest, NegativeDeathRoundRejected) {
+  FailureModel f;
+  EXPECT_THROW(f.killAt(0, -1), PreconditionError);
+}
+
+TEST(FailureModelTest, DropProbabilityValidation) {
+  FailureModel f;
+  EXPECT_THROW(f.setDropProbability(-0.1), PreconditionError);
+  EXPECT_THROW(f.setDropProbability(1.1), PreconditionError);
+  f.setDropProbability(0.5);
+  EXPECT_DOUBLE_EQ(f.dropProbability(), 0.5);
+}
+
+TEST(FailureModelTest, DropFrequencyMatchesProbability) {
+  FailureModel f(1234);
+  f.setDropProbability(0.25);
+  int drops = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i)
+    if (f.dropsTransmission()) ++drops;
+  EXPECT_NEAR(static_cast<double>(drops) / trials, 0.25, 0.02);
+}
+
+TEST(FailureModelTest, DeterministicGivenSeed) {
+  FailureModel a(7), b(7);
+  a.setDropProbability(0.5);
+  b.setDropProbability(0.5);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.dropsTransmission(), b.dropsTransmission());
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,68 @@
+// Event trace recorder.
+#include <gtest/gtest.h>
+
+#include "radio/trace.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(TraceTest, DisabledByDefault) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.record(TraceEvent{TraceEventType::kTransmit, 0, 1, kInvalidNode, 0,
+                      MsgKind::kData});
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.droppedEvents(), 0u);
+}
+
+TEST(TraceTest, RecordsUpToCapacity) {
+  Trace t(3);
+  for (Round r = 0; r < 5; ++r)
+    t.record(TraceEvent{TraceEventType::kReceive, r, 1, 2, 0,
+                        MsgKind::kToken});
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.droppedEvents(), 2u);
+  EXPECT_EQ(t.events()[2].round, 2);
+}
+
+TEST(TraceTest, CountOfFiltersByType) {
+  Trace t(10);
+  t.record(TraceEvent{TraceEventType::kTransmit, 0, 1, kInvalidNode, 0,
+                      MsgKind::kData});
+  t.record(TraceEvent{TraceEventType::kCollision, 1, 2, kInvalidNode, 0,
+                      MsgKind::kData});
+  t.record(TraceEvent{TraceEventType::kTransmit, 2, 3, kInvalidNode, 0,
+                      MsgKind::kData});
+  EXPECT_EQ(t.countOf(TraceEventType::kTransmit), 2u);
+  EXPECT_EQ(t.countOf(TraceEventType::kCollision), 1u);
+  EXPECT_EQ(t.countOf(TraceEventType::kNodeDeath), 0u);
+}
+
+TEST(TraceTest, DescribeMentionsFields) {
+  const TraceEvent tx{TraceEventType::kTransmit, 7, 3, kInvalidNode, 1,
+                      MsgKind::kData};
+  const std::string s = Trace::describe(tx);
+  EXPECT_NE(s.find("r7"), std::string::npos);
+  EXPECT_NE(s.find("TX"), std::string::npos);
+  EXPECT_NE(s.find("node=3"), std::string::npos);
+  EXPECT_NE(s.find("ch=1"), std::string::npos);
+
+  const TraceEvent rx{TraceEventType::kReceive, 2, 4, 9, 0,
+                      MsgKind::kData};
+  EXPECT_NE(Trace::describe(rx).find("from=9"), std::string::npos);
+
+  const TraceEvent die{TraceEventType::kNodeDeath, 5, 6, kInvalidNode, 0,
+                       MsgKind::kData};
+  EXPECT_NE(Trace::describe(die).find("DIE"), std::string::npos);
+
+  const TraceEvent drop{TraceEventType::kDroppedTransmit, 5, 6,
+                        kInvalidNode, 0, MsgKind::kData};
+  EXPECT_NE(Trace::describe(drop).find("DROP"), std::string::npos);
+
+  const TraceEvent coll{TraceEventType::kCollision, 5, 6, kInvalidNode, 0,
+                        MsgKind::kData};
+  EXPECT_NE(Trace::describe(coll).find("COLL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsn

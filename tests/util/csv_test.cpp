@@ -1,0 +1,61 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(CsvTest, HeaderWrittenImmediately) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_EQ(os.str(), "a,b\n");
+}
+
+TEST(CsvTest, RowsAppendInOrder) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x", "y"});
+  w.row({"1", "2"});
+  w.row({"3", "4"});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(w.rowsWritten(), 2u);
+}
+
+TEST(CsvTest, WidthMismatchThrows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), PreconditionError);
+}
+
+TEST(CsvTest, EmptyHeaderThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(CsvWriter(os, {}), PreconditionError);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, NumberFormatting) {
+  EXPECT_EQ(CsvWriter::formatNumber(3), "3");
+  EXPECT_EQ(CsvWriter::formatNumber(-17), "-17");
+  EXPECT_EQ(CsvWriter::formatNumber(2.5), "2.5");
+  // round-trippable
+  EXPECT_EQ(std::stod(CsvWriter::formatNumber(0.1)), 0.1);
+}
+
+TEST(CsvTest, RowValues) {
+  std::ostringstream os;
+  CsvWriter w(os, {"n", "v"});
+  w.rowValues({100, 2.5});
+  EXPECT_EQ(os.str(), "n,v\n100,2.5\n");
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,144 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dsn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  std::map<std::uint64_t, int> counts;
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.uniform(8)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, trials / 8, trials / 8 / 5) << "value " << value;
+  }
+}
+
+TEST(RngTest, UniformRejectsZeroBound) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(0), PreconditionError);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRealRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniformReal(2.5, 7.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto shuffled = v;
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyMoves) {
+  Rng rng(31);
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) v[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(v);
+  int moved = 0;
+  for (int i = 0; i < 64; ++i)
+    if (v[static_cast<std::size_t>(i)] != i) ++moved;
+  EXPECT_GT(moved, 32);
+}
+
+TEST(RngTest, PickIndexInRange) {
+  Rng rng(37);
+  std::vector<int> v(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.pickIndex(v), 10u);
+}
+
+TEST(RngTest, PickIndexEmptyThrows) {
+  Rng rng(41);
+  std::vector<int> v;
+  EXPECT_THROW(rng.pickIndex(v), PreconditionError);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next() == child.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3;
+    a.add(v);
+    all.add(v);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const double v = i * 1.3 + 11;
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SamplesTest, QuantilesOfKnownData) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-12);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-12);
+}
+
+TEST(SamplesTest, SingleElementQuantile) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(SamplesTest, EmptyQuantileThrows) {
+  Samples s;
+  EXPECT_THROW(s.quantile(0.5), PreconditionError);
+}
+
+TEST(SamplesTest, OutOfRangeQuantileThrows) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(1.5), PreconditionError);
+  EXPECT_THROW(s.quantile(-0.1), PreconditionError);
+}
+
+TEST(SamplesTest, QuantileAfterLaterAdds) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);  // cache must invalidate
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SamplesTest, MeanAndStddev) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev() * s.stddev(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(LinearSlopeTest, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // slope 2
+  EXPECT_NEAR(linearSlope(x, y), 2.0, 1e-12);
+}
+
+TEST(LinearSlopeTest, RejectsDegenerateInputs) {
+  EXPECT_THROW(linearSlope({1}, {2}), PreconditionError);
+  EXPECT_THROW(linearSlope({1, 2}, {1}), PreconditionError);
+  EXPECT_THROW(linearSlope({3, 3}, {1, 2}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dsn {
+namespace {
+
+TEST(TableTest, PrintsTitleHeaderAndRows) {
+  TablePrinter t("Demo", {"n", "rounds"});
+  t.addRowValues({100, 42});
+  t.addRowValues({200, 84.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("rounds"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("84.5"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  TablePrinter t("Demo", {"a", "b"});
+  EXPECT_THROW(t.addRow({"1"}), PreconditionError);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter("x", {}), PreconditionError);
+}
+
+TEST(TableTest, FormatValueIntegersHaveNoDecimals) {
+  EXPECT_EQ(TablePrinter::formatValue(7, 2), "7");
+  EXPECT_EQ(TablePrinter::formatValue(7.25, 2), "7.25");
+  EXPECT_EQ(TablePrinter::formatValue(7.26, 1), "7.3");
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  TablePrinter t("Align", {"col", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  // Header and every data row render right-aligned to the same width.
+  std::istringstream in(os.str());
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.rfind("==", 0) == 0 ||
+        line.rfind("--", 0) == 0)
+      continue;
+    rows.push_back(line);
+  }
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 data rows
+  for (const auto& r : rows)
+    EXPECT_EQ(r.size(), rows.front().size()) << "line: '" << r << "'";
+}
+
+}  // namespace
+}  // namespace dsn

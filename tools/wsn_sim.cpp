@@ -1,0 +1,188 @@
+// wsn_sim — command-line driver for the dsnet simulator.
+//
+// Builds a paper-style deployment and executes a scenario script (file
+// or stdin). With no scenario a small demo workload runs.
+//
+//   wsn_sim [--nodes N] [--seed S] [--field UNITS] [--range METERS]
+//           [--drop P] [--channels K] [--scenario FILE | -]
+//           [--quiet]
+//
+// Exit status: 0 on success with all invariants intact, 1 on any
+// invariant violation, 2 on usage/parse errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "cluster/export.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::size_t nodes = 200;
+  std::uint64_t seed = 2007;
+  int fieldUnits = 10;
+  double range = 50.0;
+  double drop = 0.0;
+  dsn::Channel channels = 1;
+  std::string scenarioPath;
+  std::string dotPath;
+  bool quiet = false;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: wsn_sim [--nodes N] [--seed S] [--field UNITS]\n"
+        "               [--range METERS] [--drop P] [--channels K]\n"
+        "               [--scenario FILE|-] [--dot FILE] [--quiet]\n";
+}
+
+bool parseArgs(int argc, char** argv, CliOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      const char* v = next();
+      if (!v) return false;
+      opt.nodes = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--field") {
+      const char* v = next();
+      if (!v) return false;
+      opt.fieldUnits = std::atoi(v);
+    } else if (arg == "--range") {
+      const char* v = next();
+      if (!v) return false;
+      opt.range = std::atof(v);
+    } else if (arg == "--drop") {
+      const char* v = next();
+      if (!v) return false;
+      opt.drop = std::atof(v);
+    } else if (arg == "--channels") {
+      const char* v = next();
+      if (!v) return false;
+      opt.channels = static_cast<dsn::Channel>(std::atoi(v));
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return false;
+      opt.scenarioPath = v;
+    } else if (arg == "--dot") {
+      const char* v = next();
+      if (!v) return false;
+      opt.dotPath = v;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr const char* kDemoScenario = R"(
+# demo: churn + every communication primitive
+broadcast random icff
+broadcast random dfo
+gather
+leave 3
+leave 17
+join 480 510
+group 5 1
+group 9 1
+multicast 0 1 pruned
+compact
+validate
+broadcast random icff
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+
+  CliOptions opt;
+  if (!parseArgs(argc, argv, opt)) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  NetworkConfig cfg;
+  cfg.nodeCount = opt.nodes;
+  cfg.seed = opt.seed;
+  cfg.field = Field::squareUnits(opt.fieldUnits);
+  cfg.range = opt.range;
+
+  SensorNetwork net(cfg);
+  if (!opt.quiet) {
+    std::cout << toSummary(net.clusterNet()) << "\n";
+  }
+
+  std::vector<ScenarioEvent> events;
+  try {
+    if (opt.scenarioPath.empty()) {
+      events = parseScenario(std::string(kDemoScenario));
+    } else if (opt.scenarioPath == "-") {
+      events = parseScenario(std::cin);
+    } else {
+      std::ifstream in(opt.scenarioPath);
+      if (!in) {
+        std::cerr << "cannot open scenario: " << opt.scenarioPath << "\n";
+        return 2;
+      }
+      events = parseScenario(in);
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "scenario parse error: " << ex.what() << "\n";
+    return 2;
+  }
+
+  ScenarioOptions sopt;
+  sopt.seed = opt.seed ^ 0xCAFE;
+  sopt.protocol.dropProbability = opt.drop;
+  sopt.protocol.channels = opt.channels;
+
+  ScenarioOutcome outcome;
+  try {
+    outcome = runScenario(net, events, sopt);
+  } catch (const std::exception& ex) {
+    std::cerr << "scenario execution error: " << ex.what() << "\n";
+    return 2;
+  }
+
+  if (!opt.quiet) {
+    for (const auto& line : outcome.log) std::cout << "  " << line << "\n";
+  }
+  if (!opt.dotPath.empty()) {
+    std::ofstream dot(opt.dotPath);
+    if (!dot) {
+      std::cerr << "cannot write dot file: " << opt.dotPath << "\n";
+      return 2;
+    }
+    dot << toDot(net.clusterNet());
+    if (!opt.quiet)
+      std::cout << "[dot] final topology written to " << opt.dotPath
+                << "\n";
+  }
+  std::cout << "events=" << outcome.eventsExecuted
+            << " broadcasts=" << outcome.broadcasts
+            << " multicasts=" << outcome.multicasts
+            << " gathers=" << outcome.gathers
+            << " worst-coverage=" << outcome.worstCoverage
+            << " worst-yield=" << outcome.worstYield
+            << " valid=" << (outcome.valid ? "yes" : "NO") << "\n";
+  if (!outcome.valid) {
+    std::cerr << "first violation:\n" << outcome.firstViolation << "\n";
+    return 1;
+  }
+  return 0;
+}
