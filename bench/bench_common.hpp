@@ -5,16 +5,22 @@
 //     range 50 m, n = 100..500, averaged over seeded trials),
 //   * prints a paper-style aligned table to stdout,
 //   * writes the same series to results/<name>.csv,
+//   * writes a machine-readable results/BENCH_<name>.json record
+//     (dsnet-bench-v1: config + columns/rows + telemetry snapshot) that
+//     scripts/plot_results.py and perf trackers can ingest,
 //   * accepts an optional first argument overriding the trial count
 //     (e.g. `fig08_broadcast_time 20` for tighter averages).
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
 
 namespace dsn::bench {
 
@@ -25,11 +31,81 @@ inline ExperimentConfig defaultConfig(int argc, char** argv) {
     const int t = std::atoi(argv[1]);
     if (t > 0) cfg.trials = t;
   }
+  // Benches measure protocol rounds, not wall-clock, so keeping the
+  // telemetry layer on costs them nothing observable and makes every
+  // BENCH_*.json carry the sim/cluster/broadcast registry snapshot.
+  // (micro_ops does not use defaultConfig and stays uninstrumented.)
+  obs::setEnabled(true);
   return cfg;
 }
 
 inline std::string csvPath(const std::string& name) {
   return "results/" + name + ".csv";
+}
+
+inline std::string benchJsonPath(const std::string& name) {
+  return "results/BENCH_" + name + ".json";
+}
+
+/// Writes the dsnet-bench-v1 record: sweep configuration, the table as
+/// columns/rows, and a snapshot of the global metrics registry and phase
+/// timings accumulated while the bench ran.
+inline void writeBenchJson(const std::string& name,
+                           const std::string& title,
+                           const ExperimentConfig& cfg,
+                           const std::vector<std::string>& header,
+                           const std::vector<std::vector<double>>& rows) {
+  namespace fs = std::filesystem;
+  const fs::path p = fs::absolute(benchJsonPath(name));
+  if (p.has_parent_path()) fs::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) {
+    std::cerr << "cannot write bench record: " << p.string() << "\n";
+    return;
+  }
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "dsnet-bench-v1");
+  w.kv("bench", name);
+  w.kv("title", title);
+  w.key("config").beginObject();
+  w.kv("field_units", cfg.fieldUnits);
+  w.kv("unit_meters", cfg.unitMeters);
+  w.kv("range", cfg.range);
+  w.kv("trials", cfg.trials);
+  w.kv("base_seed", static_cast<std::uint64_t>(cfg.baseSeed));
+  w.key("node_counts").beginArray();
+  for (const std::size_t n : cfg.nodeCounts)
+    w.value(static_cast<std::uint64_t>(n));
+  w.endArray();
+  w.endObject();
+  w.key("columns").beginArray();
+  for (const auto& h : header) w.value(h);
+  w.endArray();
+  w.key("rows").beginArray();
+  for (const auto& row : rows) {
+    w.beginArray();
+    for (const double v : row) w.value(v);
+    w.endArray();
+  }
+  w.endArray();
+  w.key("metrics");
+  obs::writeRegistryJson(w, obs::globalMetrics());
+  w.key("timing");
+  obs::writeTimingJson(w, obs::globalTiming());
+  w.endObject();
+  out << w.str() << "\n";
+  std::cout << "[json] " << p.string() << "\n";
+}
+
+/// The standard bench epilogue: paper-style table + results/<name>.csv +
+/// results/BENCH_<name>.json.
+inline void emitBench(const std::string& name, const std::string& title,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows,
+                      const ExperimentConfig& cfg, int precision = 1) {
+  emitTable(title, header, rows, csvPath(name), precision);
+  writeBenchJson(name, title, cfg, header, rows);
 }
 
 inline void printHeader(const std::string& id, const std::string& what,

@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
                     table.mean("cff_coverage"),
                     table.mean("dfo_coverage")});
   }
-  emitTable("Fig. 8 — broadcast time (rounds)",
+  bench::emitBench("fig08_broadcast_time", "Fig. 8 — broadcast time (rounds)",
             {"n", "CFF rounds", "DFO rounds", "DFO/CFF", "CFF cov",
              "DFO cov"},
-            rows, bench::csvPath("fig08_broadcast_time"), 2);
+            rows, cfg, 2);
   return 0;
 }

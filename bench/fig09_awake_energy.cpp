@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
                     table.mean("cff_mean_awake"),
                     table.mean("dfo_mean_awake")});
   }
-  emitTable("Fig. 9 — awake rounds per node",
-            {"n", "CFF max", "DFO max", "CFF mean", "DFO mean"}, rows,
-            bench::csvPath("fig09_awake_energy"), 2);
+  bench::emitBench("fig09_awake_energy", "Fig. 9 — awake rounds per node",
+            {"n", "CFF max", "DFO max", "CFF mean", "DFO mean"},
+            rows, cfg, 2);
   return 0;
 }

@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
                     table.mean("bt_height"), table.mean("clusters"),
                     table.mean("cnet_height")});
   }
-  emitTable("Fig. 10 — backbone size and height",
-            {"n", "|BT| size", "BT height", "clusters", "h (CNet)"}, rows,
-            bench::csvPath("fig10_backbone"), 1);
+  bench::emitBench("fig10_backbone", "Fig. 10 — backbone size and height",
+            {"n", "|BT| size", "BT height", "clusters", "h (CNet)"},
+            rows, cfg, 1);
   return 0;
 }

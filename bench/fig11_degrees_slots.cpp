@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
                     table.mean("delta"), table.mean("Delta_bound"),
                     table.mean("delta_bound")});
   }
-  emitTable("Fig. 11 — degrees and time-slots",
+  bench::emitBench("fig11_degrees_slots", "Fig. 11 — degrees and time-slots",
             {"n", "D", "d", "Delta", "delta", "D(D+1)/2+1", "d(d+1)/2+1"},
-            rows, bench::csvPath("fig11_degrees_slots"), 1);
+            rows, cfg, 1);
   return 0;
 }

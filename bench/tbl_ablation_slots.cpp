@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
                       table.mean("collisions")});
     }
   }
-  emitTable(
+  bench::emitBench("tbl_ablation_slots",
       "T5 — slot policy ablation (strict=1 / paper-local=0)",
       {"n", "strict", "Delta", "delta", "Lemma3 bound", "coverage",
        "collisions"},
-      rows, bench::csvPath("tbl_ablation_slots"), 3);
+            rows, cfg, 3);
   return 0;
 }

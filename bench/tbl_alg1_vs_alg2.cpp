@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
                     table.mean("a2_awake"), table.mean("a1_tx"),
                     table.mean("a2_tx")});
   }
-  emitTable("A1 — Algorithm 1 vs Algorithm 2",
+  bench::emitBench("tbl_alg1_vs_alg2", "A1 — Algorithm 1 vs Algorithm 2",
             {"n", "A1 rounds", "A2 rounds", "A1 awake", "A2 awake",
              "A1 tx", "A2 tx"},
-            rows, bench::csvPath("tbl_alg1_vs_alg2"), 1);
+            rows, cfg, 1);
   return 0;
 }

@@ -39,9 +39,9 @@ int main(int argc, char** argv) {
          table.mean("sched_up"), table.mean("after_up"),
          table.mean("compact_rounds")});
   }
-  emitTable("C1 — window drift and compaction (n = 250)",
+  bench::emitBench("tbl_compaction", "C1 — window drift and compaction (n = 250)",
             {"removals", "sched Delta", "true Delta", "Delta after",
              "sched W_up", "W_up after", "compact rounds"},
-            rows, bench::csvPath("tbl_compaction"), 2);
+            rows, cfg, 2);
   return 0;
 }

@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
                     rounds.mean() / static_cast<double>(degree),
                     rounds.max(), complete.mean()});
   }
-  emitTable("T10 — randomized neighbor discovery (O(d) handshake)",
+  bench::emitBench("tbl_discovery", "T10 — randomized neighbor discovery (O(d) handshake)",
             {"d_new", "rounds mean", "rounds/d", "rounds max",
              "complete"},
-            rows, bench::csvPath("tbl_discovery"), 2);
+            rows, cfg, 2);
   return 0;
 }

@@ -50,9 +50,9 @@ int main(int argc, char** argv) {
     rows.push_back({static_cast<double>(replicas), coverage.mean(),
                     coverage.min(), tried.mean()});
   }
-  emitTable("T9 — failover coverage after sink-area destruction (n=200)",
+  bench::emitBench("tbl_failover", "T9 — failover coverage after sink-area destruction (n=200)",
             {"replicas", "coverage mean", "coverage min",
              "replicas tried"},
-            rows, bench::csvPath("tbl_failover"), 3);
+            rows, cfg, 3);
   return 0;
 }

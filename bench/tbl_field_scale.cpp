@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
                     table.mean("dfo_awake"), table.mean("height"),
                     table.mean("D")});
   }
-  emitTable("T6 — field scale (units per side, n = 300)",
+  bench::emitBench("tbl_field_scale", "T6 — field scale (units per side, n = 300)",
             {"field", "CFF rounds", "DFO rounds", "CFF awake",
              "DFO awake", "height", "D"},
-            rows, bench::csvPath("tbl_field_scale"), 1);
+            rows, base, 1);
   return 0;
 }

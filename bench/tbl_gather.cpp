@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
                     table.mean("awake"), table.mean("tx"),
                     table.mean("yield"), table.mean("W")});
   }
-  emitTable("T7 — convergecast (exact sum to the sink)",
-            {"n", "rounds", "max awake", "tx", "yield", "W"}, rows,
-            bench::csvPath("tbl_gather"), 2);
+  bench::emitBench("tbl_gather", "T7 — convergecast (exact sum to the sink)",
+            {"n", "rounds", "max awake", "tx", "yield", "W"},
+            rows, cfg, 2);
   return 0;
 }

@@ -88,9 +88,9 @@ int main(int argc, char** argv) {
   // Lifetime ratio ICFF/DFO on the half-net metric.
   if (rows.size() == 2 && rows[0][2] > 0)
     for (auto& row : rows) row.push_back(row[2] / rows[0][2]);
-  emitTable("T11 — network lifetime (0 = DFO, 1 = Algorithm 2)",
+  bench::emitBench("tbl_lifetime", "T11 — network lifetime (0 = DFO, 1 = Algorithm 2)",
             {"scheme", "first death", "epochs to half net", "min",
              "vs DFO"},
-            rows, bench::csvPath("tbl_lifetime"), 1);
+            rows, cfg, 1);
   return 0;
 }

@@ -70,9 +70,9 @@ int main(int argc, char** argv) {
                     table.mean("flood_tx"), table.mean("bcast_tx"),
                     table.mean("pruned_cov"), table.mean("flood_cov")});
   }
-  emitTable("T2 — multicast vs broadcast (n = 300)",
+  bench::emitBench("tbl_multicast", "T2 — multicast vs broadcast (n = 300)",
             {"group size", "pruned tx", "flood tx", "bcast tx",
              "pruned cov", "flood cov"},
-            rows, bench::csvPath("tbl_multicast"), 3);
+            rows, cfg, 3);
   return 0;
 }

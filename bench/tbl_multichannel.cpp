@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     rows[i].push_back(rows[0][1] / rows[i][0]);
   }
-  emitTable("T1 — multi-channel scaling (Theorem 1(3))",
+  bench::emitBench("tbl_multichannel", "T1 — multi-channel scaling (Theorem 1(3))",
             {"k", "rounds", "max awake", "coverage", "ideal rounds/k"},
-            rows, bench::csvPath("tbl_multichannel"), 2);
+            rows, cfg, 2);
   return 0;
 }

@@ -57,9 +57,9 @@ int main(int argc, char** argv) {
                     table.mean("bound_in"), table.mean("move_out"),
                     table.mean("avg_subtree")});
   }
-  emitTable("T4 — reconfiguration cost (rounds)",
+  bench::emitBench("tbl_reconfig", "T4 — reconfiguration cost (rounds)",
             {"n", "move-in avg", "Thm2 envelope", "move-out avg",
              "avg |T|"},
-            rows, bench::csvPath("tbl_reconfig"), 1);
+            rows, cfg, 1);
   return 0;
 }

@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
         {p, table.mean("cff_cov"), table.mean("dfo_cov"),
          table.mean("cff_cov") - table.mean("dfo_cov")});
   }
-  emitTable("T3 — robustness: coverage vs relay-drop probability",
-            {"drop p", "CFF coverage", "DFO coverage", "CFF - DFO"}, rows,
-            bench::csvPath("tbl_robustness"), 3);
+  bench::emitBench("tbl_robustness", "T3 — robustness: coverage vs relay-drop probability",
+            {"drop p", "CFF coverage", "DFO coverage", "CFF - DFO"},
+            rows, cfg, 3);
   return 0;
 }

@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
                     table.mean("storm_tx"), table.mean("storm_done"),
                     table.mean("cff_tx"), table.mean("cff_rounds")});
   }
-  emitTable("T8 — broadcast storm vs CFF (n = 250)",
+  bench::emitBench("tbl_storm", "T8 — broadcast storm vs CFF (n = 250)",
             {"window", "storm cov", "storm tx", "storm last-rx",
              "CFF tx", "CFF rounds"},
-            rows, bench::csvPath("tbl_storm"), 2);
+            rows, cfg, 2);
   return 0;
 }

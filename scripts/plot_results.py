@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Render dsnet bench CSVs as standalone SVG line charts.
+"""Render dsnet bench results as standalone SVG line charts.
 
-Dependency-free (no matplotlib): reads every results/*.csv the bench
-binaries wrote, takes the first column as the x axis and each remaining
-column as a series, and emits one SVG per CSV.
+Dependency-free (no matplotlib): reads every results/*.csv and every
+structured results/BENCH_*.json record (schema dsnet-bench-v1) the
+bench binaries wrote, takes the first column as the x axis and each
+remaining column as a series, and emits one SVG per result. When a
+bench produced both a CSV and a JSON record the JSON is skipped (same
+table, one figure).
 
 Usage:
     python3 scripts/plot_results.py [results-dir] [output-dir]
@@ -12,6 +15,7 @@ Defaults: build/results -> build/figures.
 """
 
 import csv
+import json
 import pathlib
 import sys
 
@@ -48,13 +52,36 @@ def read_csv(path):
     return header, values
 
 
-def plot(path, out_dir):
-    parsed = read_csv(path)
+def read_bench_json(path):
+    """Extract (header, rows) from a dsnet-bench-v1 record."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc.get("schema") != "dsnet-bench-v1":
+        return None
+    header = doc.get("columns")
+    rows = doc.get("rows")
+    if not isinstance(header, list) or not isinstance(rows, list):
+        return None
+    try:
+        values = [[float(cell) for cell in row] for row in rows]
+    except (TypeError, ValueError):
+        return None
+    if not values:
+        return None
+    return header, values
+
+
+def plot(path, out_dir, parsed=None, stem=None):
+    if parsed is None:
+        parsed = read_csv(path)
     if not parsed:
         return None
     header, values = parsed
     if len(header) < 2:
         return None
+    stem = stem or path.stem
 
     xs = [row[0] for row in values]
     series = [(header[c], [row[c] for row in values])
@@ -78,7 +105,7 @@ def plot(path, out_dir):
         f'height="{HEIGHT}" font-family="sans-serif" font-size="12">',
         f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
         f'<text x="{WIDTH / 2}" y="20" text-anchor="middle" '
-        f'font-size="14">{path.stem}</text>',
+        f'font-size="14">{stem}</text>',
     ]
 
     # Axes + grid.
@@ -132,7 +159,7 @@ def plot(path, out_dir):
 
     parts.append("</svg>")
 
-    out = out_dir / (path.stem + ".svg")
+    out = out_dir / (stem + ".svg")
     out.write_text("\n".join(parts))
     return out
 
@@ -147,8 +174,18 @@ def main():
         return 1
     out_dir.mkdir(parents=True, exist_ok=True)
     written = 0
+    csv_stems = set()
     for path in sorted(results.glob("*.csv")):
         out = plot(path, out_dir)
+        if out:
+            csv_stems.add(path.stem)
+            print(f"  {out}")
+            written += 1
+    for path in sorted(results.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        if name in csv_stems:
+            continue  # same table already rendered from the CSV
+        out = plot(path, out_dir, parsed=read_bench_json(path), stem=name)
         if out:
             print(f"  {out}")
             written += 1

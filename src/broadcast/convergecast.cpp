@@ -130,6 +130,7 @@ GatherResult runConvergecast(const ClusterNet& net,
   result.meanAwakeRounds = sim.energy().meanAwakeRounds();
   result.transmissions = result.sim.totalTransmissions;
   result.collisions = result.sim.totalCollisions;
+  if (sim.trace().enabled()) result.trace = sim.trace();
   return result;
 }
 

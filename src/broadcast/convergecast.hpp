@@ -37,6 +37,8 @@ struct GatherResult {
   double meanAwakeRounds = 0.0;
   std::size_t transmissions = 0;
   std::size_t collisions = 0;
+  /// Event trace copy (enabled only when options.traceCapacity > 0).
+  Trace trace;
 
   bool complete() const { return contributors == expected; }
   double yield() const {

@@ -51,6 +51,10 @@ struct BroadcastRun {
   /// battery models; zero for nodes without a protocol).
   std::vector<std::uint32_t> listenRounds;
   std::vector<std::uint32_t> transmitRounds;
+  /// Copy of the simulator's bounded event trace. Empty (disabled)
+  /// unless ProtocolOptions::traceCapacity was set; lets callers export
+  /// per-round event streams (JSONL) after the simulator is gone.
+  Trace trace;
 
   bool allDelivered() const { return delivered == intended; }
   double coverage() const {

@@ -1,22 +1,84 @@
 #include "broadcast/runner.hpp"
 
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace dsn {
+
+namespace {
+
+/// Per-protocol telemetry, flushed once per run. The delivery-latency
+/// histogram feeds Fig. 8-style completion-time distributions; the awake
+/// statistics (via RunningStats over per-node listen+transmit rounds)
+/// feed the Fig. 9 energy story.
+void flushBroadcastMetrics(BroadcastScheme scheme,
+                           const BroadcastRun& run) {
+  if (!obs::enabled()) return;
+  auto& m = obs::globalMetrics();
+  const std::string prefix = "broadcast.";
+  const std::string scheme_tag(toString(scheme));
+  m.counter(prefix + "runs").increment();
+  m.counter(prefix + "runs." + scheme_tag).increment();
+  m.counter(prefix + "intended").increment(run.intended);
+  m.counter(prefix + "delivered").increment(run.delivered);
+  if (!run.allDelivered()) m.counter(prefix + "incomplete").increment();
+
+  auto& latency = m.histogram(prefix + "delivery_latency",
+                              obs::Histogram::exponentialBounds(16));
+  for (const Round r : run.deliveryRound)
+    if (r >= 0) latency.observe(static_cast<double>(r) + 1.0);
+
+  RunningStats awake;
+  const std::size_t n =
+      std::min(run.listenRounds.size(), run.transmitRounds.size());
+  for (std::size_t v = 0; v < n; ++v)
+    awake.add(static_cast<double>(run.listenRounds[v]) +
+              static_cast<double>(run.transmitRounds[v]));
+  if (awake.count() > 0) {
+    m.gauge(prefix + "mean_awake_rounds").set(awake.mean());
+    m.gauge(prefix + "max_awake_rounds").set(awake.max());
+  }
+}
+
+constexpr std::string_view phaseName(BroadcastScheme s) {
+  switch (s) {
+    case BroadcastScheme::kDfo:
+      return "broadcast.DFO";
+    case BroadcastScheme::kCff:
+      return "broadcast.CFF";
+    case BroadcastScheme::kImprovedCff:
+      return "broadcast.ICFF";
+  }
+  return "broadcast.?";
+}
+
+}  // namespace
 
 BroadcastRun runBroadcast(BroadcastScheme scheme, const ClusterNet& net,
                           NodeId source, std::uint64_t payload,
                           const ProtocolOptions& options) {
+  DSN_TIMED_PHASE(phaseName(scheme));
+  BroadcastRun run;
   switch (scheme) {
     case BroadcastScheme::kDfo:
-      return runDfoBroadcast(net, source, payload, options);
+      run = runDfoBroadcast(net, source, payload, options);
+      break;
     case BroadcastScheme::kCff:
-      return runCffBroadcast(net, source, payload, options);
+      run = runCffBroadcast(net, source, payload, options);
+      break;
     case BroadcastScheme::kImprovedCff:
-      return runImprovedCffBroadcast(net, source, payload, options);
+      run = runImprovedCffBroadcast(net, source, payload, options);
+      break;
+    default:
+      DSN_CHECK(false, "unknown broadcast scheme");
   }
-  DSN_CHECK(false, "unknown broadcast scheme");
-  return {};
+  flushBroadcastMetrics(scheme, run);
+  return run;
 }
 
 }  // namespace dsn

@@ -40,6 +40,8 @@ inline void collectDeliveryStats(
   run.transmissions = run.sim.totalTransmissions;
   run.collisions = run.sim.totalCollisions;
 
+  if (sim.trace().enabled()) run.trace = sim.trace();
+
   run.deliveryRound.assign(endpoints.size(), -1);
   run.listenRounds.assign(endpoints.size(), 0);
   run.transmitRounds.assign(endpoints.size(), 0);

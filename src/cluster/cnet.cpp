@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
@@ -232,6 +233,7 @@ void ClusterNet::reportSlotToRoot(TimeSlot b, TimeSlot l, TimeSlot u) {
 }
 
 void ClusterNet::buildAll(const std::vector<NodeId>& order) {
+  DSN_TIMED_PHASE("cnet.build");
   for (NodeId v : order) moveIn(v);
 }
 

@@ -4,12 +4,17 @@
 #include <queue>
 
 #include "graph/algorithms.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
 
 std::vector<NodeId> bfsConstructionOrder(const Graph& g, NodeId root) {
   DSN_REQUIRE(g.isAlive(root), "construction root must be live");
+  DSN_TIMED_PHASE("cnet.order");
+  if (obs::enabled())
+    obs::globalMetrics().counter("cluster.construction_orders").increment();
   std::vector<bool> seen(g.size(), false);
   std::vector<NodeId> order;
   std::queue<NodeId> q;
@@ -40,6 +45,7 @@ std::vector<NodeId> selectSpreadRoots(const Graph& g, NodeId seed,
                                       std::size_t count) {
   DSN_REQUIRE(g.isAlive(seed), "seed root must be live");
   DSN_REQUIRE(count >= 1, "need at least one root");
+  DSN_TIMED_PHASE("cnet.spread_roots");
   std::vector<NodeId> roots{seed};
 
   // minDist[v] = hop distance from v to the nearest chosen root.

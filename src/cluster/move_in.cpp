@@ -12,6 +12,8 @@
 #include <algorithm>
 
 #include "cluster/cnet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
@@ -20,6 +22,9 @@ NodeId ClusterNet::moveIn(NodeId v) {
   ensureKnowledgeSize();
   DSN_REQUIRE(graph_.isAlive(v), "moveIn: node must be live in the graph");
   DSN_REQUIRE(!contains(v), "moveIn: node already in the cluster net");
+  DSN_TIMED_PHASE("cnet.move_in");
+  if (obs::enabled())
+    obs::globalMetrics().counter("cluster.move_in").increment();
 
   NodeKnowledge& kv = mutableKnowledge(v);
 
@@ -35,6 +40,8 @@ NodeId ClusterNet::moveIn(NodeId v) {
     kv.height = 0;
     root_ = v;
     ++netSize_;
+    if (obs::enabled())
+      obs::globalMetrics().gauge("cluster.backbone_size").set(1.0);
     return kInvalidNode;
   }
 
@@ -76,6 +83,8 @@ NodeId ClusterNet::moveIn(NodeId v) {
     // Promotion: the only status mutation Definition 1 permits.
     know_[w].status = NodeStatus::kGateway;
     kv.status = NodeStatus::kClusterHead;
+    if (obs::enabled())
+      obs::globalMetrics().counter("cluster.promotions").increment();
   }
 
   kv.inNet = true;
@@ -106,6 +115,10 @@ NodeId ClusterNet::moveIn(NodeId v) {
   // move-out), push them up the new root path.
   for (GroupId g : kv.groups) adjustRelayOnPath(w, g, +1);
 
+  if (obs::enabled())
+    obs::globalMetrics()
+        .gauge("cluster.backbone_size")
+        .set(static_cast<double>(backboneNodes().size()));
   return w;
 }
 

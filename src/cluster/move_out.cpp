@@ -20,6 +20,8 @@
 #include <unordered_set>
 
 #include "cluster/cnet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
@@ -65,16 +67,46 @@ std::int64_t eulerRounds(std::size_t nodes) {
 
 }  // namespace
 
+namespace {
+
+/// Shared telemetry for the two departure flavours.
+void flushMoveOutMetrics(const char* op, const MoveOutReport& report) {
+  if (!dsn::obs::enabled()) return;
+  auto& m = dsn::obs::globalMetrics();
+  m.counter(op).increment();
+  m.counter("cluster.orphaned").increment(report.orphaned);
+  m.counter("cluster.condition_repairs")
+      .increment(report.conditionRepairs);
+  m.histogram("cluster.move_out_subtree",
+              dsn::obs::Histogram::exponentialBounds(12))
+      .observe(static_cast<double>(report.subtreeSize));
+}
+
+}  // namespace
+
 MoveOutReport ClusterNet::moveOut(NodeId lev) {
   requireInNet(lev, "moveOut");
+  DSN_TIMED_PHASE("cnet.move_out");
   const MoveOutReport report = withdrawInner(lev);
   graph_.removeNode(lev);
+  flushMoveOutMetrics("cluster.move_out", report);
+  if (obs::enabled())
+    obs::globalMetrics()
+        .gauge("cluster.backbone_size")
+        .set(static_cast<double>(backboneNodes().size()));
   return report;
 }
 
 MoveOutReport ClusterNet::withdraw(NodeId lev) {
   requireInNet(lev, "withdraw");
-  return withdrawInner(lev);
+  DSN_TIMED_PHASE("cnet.withdraw");
+  const MoveOutReport report = withdrawInner(lev);
+  flushMoveOutMetrics("cluster.withdraw", report);
+  if (obs::enabled())
+    obs::globalMetrics()
+        .gauge("cluster.backbone_size")
+        .set(static_cast<double>(backboneNodes().size()));
+  return report;
 }
 
 MoveOutReport ClusterNet::withdrawInner(NodeId lev) {

@@ -134,6 +134,12 @@ ScenarioOutcome runScenario(SensorNetwork& net,
   auto note = [&out](std::ostringstream& os) {
     out.log.push_back(os.str());
   };
+  auto collectTrace = [&out](const Trace& t) {
+    if (!t.enabled()) return;
+    out.traceEvents.insert(out.traceEvents.end(), t.events().begin(),
+                           t.events().end());
+    out.traceDropped += t.droppedEvents();
+  };
   auto validateNow = [&]() {
     const auto report = net.validate();
     if (!report.ok() && out.valid) {
@@ -184,6 +190,7 @@ ScenarioOutcome runScenario(SensorNetwork& net,
             net.broadcast(e.scheme, source, 0xB0CA57, options.protocol);
         ++out.broadcasts;
         out.worstCoverage = std::min(out.worstCoverage, run.coverage());
+        collectTrace(run.trace);
         os << "broadcast " << toString(e.scheme) << " from " << source
            << " -> coverage " << run.coverage() << " in "
            << run.sim.rounds << " rounds";
@@ -195,6 +202,7 @@ ScenarioOutcome runScenario(SensorNetwork& net,
                                        options.protocol);
         ++out.multicasts;
         out.worstCoverage = std::min(out.worstCoverage, run.coverage());
+        collectTrace(run.trace);
         os << "multicast g" << e.group << " from " << e.node
            << " -> coverage " << run.coverage() << " ("
            << run.transmissions << " tx)";
@@ -207,6 +215,7 @@ ScenarioOutcome runScenario(SensorNetwork& net,
             runConvergecast(net.clusterNet(), values, options.protocol);
         ++out.gathers;
         out.worstYield = std::min(out.worstYield, result.yield());
+        collectTrace(result.trace);
         os << "gather -> yield " << result.yield() << " sum "
            << result.aggregate << " in " << result.sim.rounds
            << " rounds";

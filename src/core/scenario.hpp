@@ -71,6 +71,13 @@ struct ScenarioOutcome {
   /// failure message is kept.
   bool valid = true;
   std::string firstViolation;
+  /// Per-round event streams captured from every simulator run the
+  /// scenario executed (broadcasts, multicasts, gathers), concatenated
+  /// in execution order. Empty unless
+  /// ScenarioOptions::protocol.traceCapacity > 0.
+  std::vector<TraceEvent> traceEvents;
+  /// Events lost to the per-run trace capacity caps.
+  std::size_t traceDropped = 0;
 };
 
 struct ScenarioOptions {

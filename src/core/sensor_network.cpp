@@ -1,5 +1,6 @@
 #include "core/sensor_network.hpp"
 
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
@@ -42,6 +43,7 @@ SensorNetwork::SensorNetwork(std::vector<Point2D> points, double range,
 
 void SensorNetwork::buildFromPoints(const ClusterNetConfig& clusterConfig) {
   DSN_REQUIRE(range_ > 0.0, "communication range must be positive");
+  DSN_TIMED_PHASE("cnet.build");
   graph_ = std::make_unique<Graph>(buildUnitDiskGraph(points_, range_));
   net_ = std::make_unique<ClusterNet>(*graph_, clusterConfig);
   for (NodeId v = 0; v < points_.size(); ++v) index_.insert(v, points_[v]);

@@ -1,0 +1,72 @@
+#include "obs/export.hpp"
+
+namespace dsn::obs {
+
+void writeHistogramJson(JsonWriter& w, const Histogram& h) {
+  w.beginObject();
+  w.key("bounds").beginArray();
+  for (const double b : h.upperBounds()) w.value(b);
+  w.endArray();
+  w.key("counts").beginArray();
+  for (const std::uint64_t c : h.bucketCounts()) w.value(c);
+  w.endArray();
+  w.kv("count", h.count());
+  w.kv("sum", h.sum());
+  w.kv("mean", h.mean());
+  w.kv("min", h.minValue());
+  w.kv("max", h.maxValue());
+  w.endObject();
+}
+
+void writeRegistryJson(JsonWriter& w, const MetricsRegistry& registry) {
+  w.beginObject();
+  w.key("counters").beginObject();
+  for (const auto& [name, v] : registry.counters()) w.kv(name, v);
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, v] : registry.gauges()) w.kv(name, v);
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& [name, h] : registry.histograms()) {
+    w.key(name);
+    writeHistogramJson(w, *h);
+  }
+  w.endObject();
+  w.endObject();
+}
+
+namespace {
+
+void writeTimingNode(JsonWriter& w, const TimingRegistry::Node& n) {
+  w.beginObject();
+  w.kv("phase", n.name);
+  w.kv("ms", static_cast<double>(n.nanos) / 1e6);
+  w.kv("calls", n.calls);
+  w.key("children").beginArray();
+  for (const auto& c : n.children) writeTimingNode(w, *c);
+  w.endArray();
+  w.endObject();
+}
+
+}  // namespace
+
+void writeTimingJson(JsonWriter& w, const TimingRegistry& timing) {
+  w.beginArray();
+  for (const auto& root : timing.snapshot()) writeTimingNode(w, *root);
+  w.endArray();
+}
+
+std::string metricsDocumentJson(const MetricsRegistry& registry,
+                                const TimingRegistry& timing) {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "dsnet-metrics-v1");
+  w.key("metrics");
+  writeRegistryJson(w, registry);
+  w.key("timing");
+  writeTimingJson(w, timing);
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace dsn::obs

@@ -1,0 +1,42 @@
+// Structured export of telemetry: registry snapshots and timing trees to
+// JSON. The writers emit a *value* at the writer's current position, so
+// callers can embed them inside larger documents:
+//
+//   JsonWriter w;
+//   w.beginObject();
+//   w.key("metrics");
+//   writeRegistryJson(w, obs::globalMetrics());
+//   w.endObject();
+//
+// Schema (dsnet-metrics-v1):
+//   {"counters": {name: n, ...},
+//    "gauges": {name: x, ...},
+//    "histograms": {name: {"bounds": [...], "counts": [...],
+//                          "count": n, "sum": x, "mean": x,
+//                          "min": x, "max": x}, ...}}
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace dsn::obs {
+
+/// Snapshot of every instrument in `registry` as one JSON object value.
+void writeRegistryJson(JsonWriter& w, const MetricsRegistry& registry);
+
+/// One histogram as a JSON object value.
+void writeHistogramJson(JsonWriter& w, const Histogram& h);
+
+/// The phase tree as a JSON array value of
+/// {"phase", "ms", "calls", "children": [...]}.
+void writeTimingJson(JsonWriter& w, const TimingRegistry& timing);
+
+/// Standalone document: {"schema": "dsnet-metrics-v1",
+/// "metrics": {...}, "timing": [...]}.
+std::string metricsDocumentJson(const MetricsRegistry& registry,
+                                const TimingRegistry& timing);
+
+}  // namespace dsn::obs

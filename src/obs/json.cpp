@@ -1,0 +1,146 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace dsn::obs {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::beforeValue() {
+  if (!stack_.empty() && stack_.back() == Scope::kObject) {
+    DSN_CHECK(keyPending_, "JsonWriter: object member needs a key first");
+    keyPending_ = false;
+    return;  // key() already placed the comma
+  }
+  if (needComma_) os_ << ',';
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  DSN_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+            "JsonWriter: key() outside an object");
+  DSN_CHECK(!keyPending_, "JsonWriter: consecutive keys");
+  if (needComma_) os_ << ',';
+  os_ << '"' << jsonEscape(name) << "\":";
+  keyPending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  needComma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  DSN_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+            "JsonWriter: endObject without beginObject");
+  DSN_CHECK(!keyPending_, "JsonWriter: dangling key at endObject");
+  stack_.pop_back();
+  os_ << '}';
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  needComma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  DSN_CHECK(!stack_.empty() && stack_.back() == Scope::kArray,
+            "JsonWriter: endArray without beginArray");
+  stack_.pop_back();
+  os_ << ']';
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  beforeValue();
+  os_ << '"' << jsonEscape(s) << '"';
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  beforeValue();
+  if (!std::isfinite(d)) {
+    os_ << "null";
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    os_ << buf;
+  }
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  beforeValue();
+  os_ << (b ? "true" : "false");
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  os_ << v;
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  os_ << v;
+  needComma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  os_ << "null";
+  needComma_ = true;
+  return *this;
+}
+
+}  // namespace dsn::obs

@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer.
+//
+// The observability exporters (metrics snapshots, timing reports, trace
+// JSONL, bench records) all emit JSON without a third-party dependency.
+// The writer tracks nesting and comma placement; values are escaped per
+// RFC 8259. Non-finite doubles are emitted as null (JSON has no NaN).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsn::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // ---- containers ----
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Emits the key of the next member (only valid inside an object).
+  JsonWriter& key(std::string_view name);
+
+  // ---- scalar values ----
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Finished document. Valid once every container has been closed.
+  std::string str() const { return os_.str(); }
+  /// Open container depth (0 = document complete).
+  std::size_t depth() const { return stack_.size(); }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  std::ostringstream os_;
+  std::vector<Scope> stack_;
+  bool needComma_ = false;
+  bool keyPending_ = false;
+
+  void beforeValue();
+};
+
+}  // namespace dsn::obs

@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsn::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void setEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---- Histogram ----
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)) {
+  DSN_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket");
+  DSN_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "histogram bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_.emplace_back(0);
+}
+
+void Histogram::atomicAccumulate(std::atomic<double>& slot, double v,
+                                 bool wantMin) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while ((wantMin ? v < cur : v > cur) &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow when end
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  } else {
+    atomicAccumulate(min_, v, /*wantMin=*/true);
+    atomicAccumulate(max_, v, /*wantMin=*/false);
+  }
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_)
+    out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::minValue() const {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::maxValue() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponentialBounds(std::size_t n,
+                                                 double first,
+                                                 double factor) {
+  DSN_REQUIRE(n >= 1 && first > 0.0 && factor > 1.0,
+              "exponentialBounds: need n>=1, first>0, factor>1");
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = first;
+  for (std::size_t i = 0; i < n; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+// ---- MetricsRegistry ----
+
+MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, std::string_view n) { return e.name < n; });
+  if (it != entries_.end() && it->name == name) return &*it;
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::insert(std::string_view name,
+                                                Kind kind) {
+  Entry e;
+  e.name = std::string(name);
+  e.kind = kind;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& x, std::string_view n) { return x.name < n; });
+  return *entries_.insert(it, std::move(e));
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find(name)) {
+    DSN_REQUIRE(e->kind == Kind::kCounter,
+                "metric name already registered as a different kind: " +
+                    std::string(name));
+    return *e->counter;
+  }
+  counterStore_.emplace_back();
+  insert(name, Kind::kCounter).counter = &counterStore_.back();
+  return counterStore_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find(name)) {
+    DSN_REQUIRE(e->kind == Kind::kGauge,
+                "metric name already registered as a different kind: " +
+                    std::string(name));
+    return *e->gauge;
+  }
+  gaugeStore_.emplace_back();
+  insert(name, Kind::kGauge).gauge = &gaugeStore_.back();
+  return gaugeStore_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upperBounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find(name)) {
+    DSN_REQUIRE(e->kind == Kind::kHistogram,
+                "metric name already registered as a different kind: " +
+                    std::string(name));
+    return *e->histogram;
+  }
+  histogramStore_.emplace_back(std::move(upperBounds));
+  insert(name, Kind::kHistogram).histogram = &histogramStore_.back();
+  return histogramStore_.back();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counterStore_) c.reset();
+  for (auto& g : gaugeStore_) g.reset();
+  for (auto& h : histogramStore_) h.reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& e : entries_)
+    if (e.kind == Kind::kCounter)
+      out.emplace_back(e.name, e.counter->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& e : entries_)
+    if (e.kind == Kind::kGauge) out.emplace_back(e.name, e.gauge->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  for (const auto& e : entries_)
+    if (e.kind == Kind::kHistogram)
+      out.emplace_back(e.name, e.histogram);
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& globalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace dsn::obs

@@ -1,0 +1,154 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms.
+//
+// Design constraints (DESIGN.md "Observability"):
+//   * off-by-default-cheap — every instrumentation site in a hot layer
+//     guards on `obs::enabled()` (one relaxed atomic load) and pays
+//     nothing else when telemetry is off;
+//   * cheap-when-on — instruments are plain atomics once a handle has
+//     been obtained; registration (name lookup) takes a mutex and should
+//     be done once per site, not per event;
+//   * stable handles — references returned by the registry stay valid for
+//     the registry's lifetime (instruments live in a std::deque).
+//
+// The registry is not a time series store: it holds the *current* values,
+// and the exporter (obs/export.hpp) snapshots them to JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsn::obs {
+
+/// Global telemetry switch. Default off: instrumentation sites become a
+/// single relaxed atomic load. Flip on before a run you want measured.
+bool enabled();
+void setEnabled(bool on);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (sizes, levels).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    // fetch_add on atomic<double> is C++20; keep a CAS loop for clarity
+    // with older libstdc++ behaviour.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// `value <= upperBounds[i]` (and greater than the previous bound); one
+/// implicit overflow bucket catches the rest. Bounds are strictly
+/// increasing and fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperBounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upperBounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; last = overflow.
+  std::vector<std::uint64_t> bucketCounts() const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Lowest / highest observed value; 0 when empty.
+  double minValue() const;
+  double maxValue() const;
+  void reset();
+
+  /// Power-of-two latency buckets 1, 2, 4, ... 2^(n-1) — the default
+  /// shape for round-count distributions.
+  static std::vector<double> exponentialBounds(std::size_t n,
+                                               double first = 1.0,
+                                               double factor = 2.0);
+
+ private:
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+
+  void atomicAccumulate(std::atomic<double>& slot, double v, bool wantMin);
+};
+
+/// Name-keyed instrument registry. Registering the same name twice
+/// returns the same instrument; re-registering a name as a different
+/// instrument kind throws PreconditionError.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upperBounds` is consulted only on first registration.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upperBounds);
+
+  /// Zeroes every registered instrument (names stay registered).
+  void reset();
+
+  // ---- snapshot access (sorted by name for deterministic export) ----
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+  std::size_t size() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counterStore_;
+  std::deque<Gauge> gaugeStore_;
+  std::deque<Histogram> histogramStore_;
+  std::vector<Entry> entries_;  // kept sorted by name
+
+  Entry* find(std::string_view name);
+  Entry& insert(std::string_view name, Kind kind);
+};
+
+/// The process-wide registry used by the built-in instrumentation.
+MetricsRegistry& globalMetrics();
+
+}  // namespace dsn::obs

@@ -1,0 +1,110 @@
+#include "obs/timer.hpp"
+
+#include <cstdio>
+#include <functional>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace dsn::obs {
+
+TimingRegistry::Node* TimingRegistry::childOf(
+    std::vector<std::unique_ptr<Node>>& siblings, std::string_view name) {
+  for (auto& c : siblings)
+    if (c->name == name) return c.get();
+  siblings.push_back(std::make_unique<Node>());
+  siblings.back()->name = std::string(name);
+  return siblings.back().get();
+}
+
+TimingRegistry::Node* TimingRegistry::enter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node* node = cursor_.empty() ? childOf(roots_, name)
+                               : childOf(cursor_.back()->children, name);
+  cursor_.push_back(node);
+  return node;
+}
+
+void TimingRegistry::exit(Node* node, std::uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DSN_CHECK(!cursor_.empty() && cursor_.back() == node,
+            "TimingRegistry: phase exit out of order");
+  cursor_.pop_back();
+  node->calls += 1;
+  node->nanos += nanos;
+}
+
+void TimingRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DSN_REQUIRE(cursor_.empty(),
+              "TimingRegistry::reset with a phase still open");
+  roots_.clear();
+}
+
+bool TimingRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roots_.empty();
+}
+
+namespace {
+
+void appendReport(const TimingRegistry::Node& n, int depth,
+                  std::string& out) {
+  char line[160];
+  std::snprintf(line, sizeof line, "%*s%-*s %10.3f ms  x%llu\n",
+                depth * 2, "", 32 - depth * 2, n.name.c_str(),
+                static_cast<double>(n.nanos) / 1e6,
+                static_cast<unsigned long long>(n.calls));
+  out += line;
+  for (const auto& c : n.children) appendReport(*c, depth + 1, out);
+}
+
+std::unique_ptr<TimingRegistry::Node> cloneNode(
+    const TimingRegistry::Node& n) {
+  auto out = std::make_unique<TimingRegistry::Node>();
+  out->name = n.name;
+  out->calls = n.calls;
+  out->nanos = n.nanos;
+  for (const auto& c : n.children) out->children.push_back(cloneNode(*c));
+  return out;
+}
+
+}  // namespace
+
+std::string TimingRegistry::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& r : roots_) appendReport(*r, 0, out);
+  return out;
+}
+
+std::vector<std::unique_ptr<TimingRegistry::Node>>
+TimingRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<Node>> out;
+  for (const auto& r : roots_) out.push_back(cloneNode(*r));
+  return out;
+}
+
+TimingRegistry& globalTiming() {
+  static TimingRegistry registry;
+  return registry;
+}
+
+ScopedPhaseTimer::ScopedPhaseTimer(std::string_view name) {
+  if (!enabled()) return;
+  node_ = globalTiming().enter(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  if (!node_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  globalTiming().exit(
+      node_, static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     elapsed)
+                     .count()));
+}
+
+}  // namespace dsn::obs

@@ -1,0 +1,94 @@
+// Scoped phase timers with a hierarchical timing report.
+//
+//   void buildNet(...) {
+//     DSN_TIMED_PHASE("cnet.build");
+//     ...
+//     { DSN_TIMED_PHASE("cnet.build.slots"); ... }  // nests under parent
+//   }
+//
+// When obs::enabled() is false a scoped timer is a no-op (one relaxed
+// atomic load). When on, enters/exits maintain a tree of phases in the
+// TimingRegistry keyed by *dynamic nesting*, so the same phase name shows
+// up once per distinct call path. Timing uses the monotonic steady clock.
+//
+// The registry serializes entries/exits with a mutex; the nesting cursor
+// is shared, so concurrent phases from multiple threads interleave into
+// one tree (dsnet is single-threaded today — revisit with thread-local
+// trees if that changes).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsn::obs {
+
+class JsonWriter;
+
+class TimingRegistry {
+ public:
+  struct Node {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t nanos = 0;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  TimingRegistry() = default;
+  TimingRegistry(const TimingRegistry&) = delete;
+  TimingRegistry& operator=(const TimingRegistry&) = delete;
+
+  /// Pushes a phase; returns an opaque handle for exit().
+  Node* enter(std::string_view name);
+  void exit(Node* node, std::uint64_t nanos);
+
+  /// Drops all recorded phases (cursor must be at the root, i.e. no
+  /// scoped timer alive).
+  void reset();
+
+  bool empty() const;
+
+  /// Indented human-readable tree:  name  total-ms  calls.
+  std::string report() const;
+
+  /// Deep copy of the phase tree roots for export.
+  std::vector<std::unique_ptr<Node>> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Node>> roots_;
+  std::vector<Node*> cursor_;  // active nesting path
+
+  Node* childOf(std::vector<std::unique_ptr<Node>>& siblings,
+                std::string_view name);
+};
+
+TimingRegistry& globalTiming();
+
+/// RAII phase scope. Inactive (and free) when obs::enabled() is false at
+/// construction time.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(std::string_view name);
+  ~ScopedPhaseTimer();
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  TimingRegistry::Node* node_ = nullptr;  // null = inactive
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace dsn::obs
+
+#define DSN_PHASE_CONCAT_INNER(a, b) a##b
+#define DSN_PHASE_CONCAT(a, b) DSN_PHASE_CONCAT_INNER(a, b)
+/// Times the enclosing scope as a phase named `name` (string literal or
+/// std::string_view) in the global timing registry.
+#define DSN_TIMED_PHASE(name)                 \
+  ::dsn::obs::ScopedPhaseTimer DSN_PHASE_CONCAT(dsn_timed_phase_, \
+                                                __LINE__)(name)

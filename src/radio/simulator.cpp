@@ -1,8 +1,32 @@
 #include "radio/simulator.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
+
+namespace {
+
+/// Folds one finished run into the global registry. Aggregates are
+/// flushed once per run (not per round) so telemetry stays cheap even
+/// when enabled; when disabled this is a single relaxed atomic load.
+void flushRunMetrics(const SimResult& r) {
+  if (!obs::enabled()) return;
+  auto& m = obs::globalMetrics();
+  m.counter("sim.runs").increment();
+  m.counter("sim.transmissions").increment(r.totalTransmissions);
+  m.counter("sim.deliveries").increment(r.totalDeliveries);
+  m.counter("sim.collisions").increment(r.totalCollisions);
+  m.counter("sim.dropped_transmissions").increment(r.droppedTransmissions);
+  m.counter("sim.rounds").increment(static_cast<std::uint64_t>(r.rounds));
+  m.histogram("sim.rounds_executed",
+              obs::Histogram::exponentialBounds(20))
+      .observe(static_cast<double>(r.rounds));
+  if (!r.completed) m.counter("sim.budget_exhausted").increment();
+}
+
+}  // namespace
 
 RadioSimulator::RadioSimulator(const Graph& graph, SimConfig config)
     : graph_(graph),
@@ -43,6 +67,7 @@ bool RadioSimulator::allDone(Round r) const {
 SimResult RadioSimulator::run() {
   DSN_REQUIRE(!ran_, "run() may be called only once");
   ran_ = true;
+  DSN_TIMED_PHASE("sim.run");
 
   SimResult result;
   std::vector<Action> actions(graph_.size());
@@ -51,6 +76,7 @@ SimResult RadioSimulator::run() {
     if (allDone(r)) {
       result.completed = true;
       result.rounds = r;
+      flushRunMetrics(result);
       return result;
     }
 
@@ -107,6 +133,7 @@ SimResult RadioSimulator::run() {
   }
 
   result.completed = allDone(config_.maxRounds);
+  flushRunMetrics(result);
   return result;
 }
 

@@ -1,8 +1,43 @@
 #include "radio/trace.hpp"
 
+#include <ostream>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace dsn {
+
+namespace {
+
+const char* typeName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kTransmit:
+      return "transmit";
+    case TraceEventType::kReceive:
+      return "receive";
+    case TraceEventType::kCollision:
+      return "collision";
+    case TraceEventType::kNodeDeath:
+      return "node_death";
+    case TraceEventType::kDroppedTransmit:
+      return "dropped_transmit";
+  }
+  return "?";
+}
+
+const char* kindName(MsgKind k) {
+  switch (k) {
+    case MsgKind::kData:
+      return "data";
+    case MsgKind::kToken:
+      return "token";
+    case MsgKind::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+}  // namespace
 
 void Trace::record(const TraceEvent& e) {
   if (!enabled()) return;
@@ -42,6 +77,32 @@ std::string Trace::describe(const TraceEvent& e) {
       break;
   }
   return os.str();
+}
+
+std::string traceEventJson(const TraceEvent& e) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("type", typeName(e.type));
+  w.kv("round", static_cast<std::int64_t>(e.round));
+  w.kv("node", static_cast<std::uint64_t>(e.node));
+  if (e.peer == kInvalidNode) {
+    w.key("peer").null();
+  } else {
+    w.kv("peer", static_cast<std::uint64_t>(e.peer));
+  }
+  w.kv("channel", static_cast<std::uint64_t>(e.channel));
+  w.kv("kind", kindName(e.msgKind));
+  w.endObject();
+  return w.str();
+}
+
+void writeTraceJsonl(std::ostream& os,
+                     const std::vector<TraceEvent>& events) {
+  for (const auto& e : events) os << traceEventJson(e) << '\n';
+}
+
+void Trace::writeJsonl(std::ostream& os) const {
+  writeTraceJsonl(os, events_);
 }
 
 }  // namespace dsn

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -50,10 +51,25 @@ class Trace {
   /// Human-readable one-line rendering of an event.
   static std::string describe(const TraceEvent& e);
 
+  /// Writes every stored event as JSON-lines (one object per line; see
+  /// traceEventJson for the schema). Dropped events are not replayable,
+  /// so callers should also persist droppedEvents() when it matters.
+  void writeJsonl(std::ostream& os) const;
+
  private:
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
   std::size_t dropped_ = 0;
 };
+
+/// One event as a single-line JSON object (no trailing newline):
+///   {"type":"transmit","round":3,"node":7,"peer":null,
+///    "channel":0,"kind":"data"}
+/// `peer` is null except for receive events.
+std::string traceEventJson(const TraceEvent& e);
+
+/// JSONL dump of an externally collected event stream (scenario runs
+/// aggregate events across many simulator instances).
+void writeTraceJsonl(std::ostream& os, const std::vector<TraceEvent>& events);
 
 }  // namespace dsn

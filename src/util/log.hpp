@@ -45,6 +45,7 @@ class LogLine {
   } else                                        \
     ::dsn::detail::LogLine(level)
 
+#define DSN_LOG_ERROR DSN_LOG(::dsn::LogLevel::kError)
 #define DSN_LOG_INFO DSN_LOG(::dsn::LogLevel::kInfo)
 #define DSN_LOG_WARN DSN_LOG(::dsn::LogLevel::kWarn)
 #define DSN_LOG_DEBUG DSN_LOG(::dsn::LogLevel::kDebug)

@@ -1,0 +1,145 @@
+// JSON writer correctness and metrics/timing export round-trip: emit a
+// document, re-parse it with the test-only parser, and compare against
+// the registry state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "tests/obs/minijson.hpp"
+
+namespace dsn::obs {
+namespace {
+
+using testjson::Value;
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  // Round-trip through the parser restores the original.
+  JsonWriter w;
+  w.beginObject().kv("s", "quote\" slash\\ ctl\n").endObject();
+  const Value doc = testjson::parse(w.str());
+  EXPECT_EQ(doc.at("s").str, "quote\" slash\\ ctl\n");
+}
+
+TEST(JsonWriterTest, NestedContainersAndScalars) {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("int", std::int64_t{-42});
+  w.kv("uint", std::uint64_t{7});
+  w.kv("float", 2.5);
+  w.kv("flag", true);
+  w.key("none").null();
+  w.key("list").beginArray().value(1).value(2).endArray();
+  w.key("nested").beginObject().kv("x", 1).endObject();
+  w.endObject();
+  EXPECT_EQ(w.depth(), 0u);
+
+  const Value doc = testjson::parse(w.str());
+  EXPECT_EQ(doc.at("int").number, -42.0);
+  EXPECT_EQ(doc.at("uint").number, 7.0);
+  EXPECT_EQ(doc.at("float").number, 2.5);
+  EXPECT_TRUE(doc.at("flag").boolean);
+  EXPECT_EQ(doc.at("none").type, Value::Type::kNull);
+  ASSERT_EQ(doc.at("list").array.size(), 2u);
+  EXPECT_EQ(doc.at("nested").at("x").number, 1.0);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("nan", std::nan(""));
+  w.kv("inf", std::numeric_limits<double>::infinity());
+  w.endObject();
+  const Value doc = testjson::parse(w.str());
+  EXPECT_EQ(doc.at("nan").type, Value::Type::kNull);
+  EXPECT_EQ(doc.at("inf").type, Value::Type::kNull);
+}
+
+TEST(ExportTest, RegistryRoundTripsThroughJson) {
+  MetricsRegistry reg;
+  reg.counter("sim.transmissions").increment(17);
+  reg.counter("sim.collisions").increment(3);
+  reg.gauge("cluster.backbone_size").set(55.0);
+  Histogram& h = reg.histogram("latency", {1.0, 2.0, 4.0});
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(9.0);
+
+  JsonWriter w;
+  writeRegistryJson(w, reg);
+  const Value doc = testjson::parse(w.str());
+
+  EXPECT_EQ(doc.at("counters").at("sim.transmissions").number, 17.0);
+  EXPECT_EQ(doc.at("counters").at("sim.collisions").number, 3.0);
+  EXPECT_EQ(doc.at("gauges").at("cluster.backbone_size").number, 55.0);
+
+  const Value& hist = doc.at("histograms").at("latency");
+  ASSERT_EQ(hist.at("bounds").array.size(), 3u);
+  EXPECT_EQ(hist.at("bounds").array[2].number, 4.0);
+  // counts has one extra overflow bucket and matches the observations:
+  // 1.0 → bucket 0, 3.0 → bucket 2 (≤4), 9.0 → overflow.
+  ASSERT_EQ(hist.at("counts").array.size(), 4u);
+  EXPECT_EQ(hist.at("counts").array[0].number, 1.0);
+  EXPECT_EQ(hist.at("counts").array[1].number, 0.0);
+  EXPECT_EQ(hist.at("counts").array[2].number, 1.0);
+  EXPECT_EQ(hist.at("counts").array[3].number, 1.0);
+  EXPECT_EQ(hist.at("count").number, 3.0);
+  EXPECT_EQ(hist.at("sum").number, 13.0);
+  EXPECT_EQ(hist.at("min").number, 1.0);
+  EXPECT_EQ(hist.at("max").number, 9.0);
+}
+
+TEST(ExportTest, TimingTreeRoundTripsThroughJson) {
+  const bool was = enabled();
+  setEnabled(true);
+  globalTiming().reset();
+  {
+    DSN_TIMED_PHASE("build");
+    DSN_TIMED_PHASE("slots");
+  }
+  JsonWriter w;
+  writeTimingJson(w, globalTiming());
+  const std::string text = w.str();
+  globalTiming().reset();
+  setEnabled(was);
+
+  const Value doc = testjson::parse(text);
+  ASSERT_EQ(doc.array.size(), 1u);
+  const Value& build = doc.array[0];
+  EXPECT_EQ(build.at("phase").str, "build");
+  EXPECT_EQ(build.at("calls").number, 1.0);
+  EXPECT_GE(build.at("ms").number, 0.0);
+  ASSERT_EQ(build.at("children").array.size(), 1u);
+  EXPECT_EQ(build.at("children").array[0].at("phase").str, "slots");
+}
+
+TEST(ExportTest, MetricsDocumentHasSchemaHeader) {
+  MetricsRegistry reg;
+  reg.counter("events").increment();
+  const Value doc = testjson::parse(metricsDocumentJson(reg, globalTiming()));
+  EXPECT_EQ(doc.at("schema").str, "dsnet-metrics-v1");
+  EXPECT_EQ(doc.at("metrics").at("counters").at("events").number, 1.0);
+  EXPECT_EQ(doc.at("timing").type, Value::Type::kArray);
+}
+
+TEST(ExportTest, EmptyRegistryStillEmitsAllSections) {
+  MetricsRegistry reg;
+  JsonWriter w;
+  writeRegistryJson(w, reg);
+  const Value doc = testjson::parse(w.str());
+  EXPECT_TRUE(doc.at("counters").object.empty());
+  EXPECT_TRUE(doc.at("gauges").object.empty());
+  EXPECT_TRUE(doc.at("histograms").object.empty());
+}
+
+}  // namespace
+}  // namespace dsn::obs

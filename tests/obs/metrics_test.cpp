@@ -1,0 +1,129 @@
+// MetricsRegistry: name uniqueness, kind clashes, histogram bucket edges.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace dsn::obs {
+namespace {
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("sim.transmissions");
+  Counter& b = reg.counter("sim.transmissions");
+  EXPECT_EQ(&a, &b);
+  a.increment(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Gauge& g1 = reg.gauge("cluster.backbone_size");
+  Gauge& g2 = reg.gauge("cluster.backbone_size");
+  EXPECT_EQ(&g1, &g2);
+
+  Histogram& h1 = reg.histogram("lat", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("lat", {99.0});  // bounds ignored on re-reg
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upperBounds(), (std::vector<double>{1.0, 2.0}));
+
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, KindClashThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), PreconditionError);
+  EXPECT_THROW(reg.histogram("x", {1.0}), PreconditionError);
+  reg.gauge("y");
+  EXPECT_THROW(reg.counter("y"), PreconditionError);
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zebra").increment();
+  reg.counter("alpha").increment(2);
+  reg.counter("mid");
+  const auto snap = reg.counters();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "alpha");
+  EXPECT_EQ(snap[0].second, 2u);
+  EXPECT_EQ(snap[1].first, "mid");
+  EXPECT_EQ(snap[2].first, "zebra");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsNames) {
+  MetricsRegistry reg;
+  reg.counter("c").increment(5);
+  reg.gauge("g").set(7.5);
+  reg.histogram("h", {1.0}).observe(0.5);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_EQ(reg.histogram("h", {}).count(), 0u);
+}
+
+TEST(GaugeTest, AddAccumulates) {
+  Gauge g;
+  g.add(1.5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(HistogramTest, BucketEdgesAreInclusiveUpperBounds) {
+  // Buckets: (-inf, 1], (1, 2], (2, 4], overflow (4, inf).
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.0);   // bucket 0
+  h.observe(1.0);   // bucket 0 — a value equal to the bound lands below it
+  h.observe(1.001); // bucket 1
+  h.observe(2.0);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(4.001); // overflow
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.bucketCounts(), (std::vector<std::uint64_t>{2, 2, 1, 2}));
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.minValue(), 0.0);
+  EXPECT_DOUBLE_EQ(h.maxValue(), 100.0);
+}
+
+TEST(HistogramTest, SumMeanMinMaxTrackObservations) {
+  Histogram h({10.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);  // empty histogram is defined, not NaN
+  h.observe(2.0);
+  h.observe(6.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.minValue(), 2.0);
+  EXPECT_DOUBLE_EQ(h.maxValue(), 6.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucketCounts(), (std::vector<std::uint64_t>{0, 0}));
+}
+
+TEST(HistogramTest, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), PreconditionError);
+}
+
+TEST(HistogramTest, ExponentialBoundsArePowersOfTwo) {
+  const auto bounds = Histogram::exponentialBounds(5);
+  EXPECT_EQ(bounds, (std::vector<double>{1.0, 2.0, 4.0, 8.0, 16.0}));
+  const auto scaled = Histogram::exponentialBounds(3, 10.0, 10.0);
+  EXPECT_EQ(scaled, (std::vector<double>{10.0, 100.0, 1000.0}));
+}
+
+TEST(EnabledFlagTest, TogglesAndRestores) {
+  const bool was = enabled();
+  setEnabled(true);
+  EXPECT_TRUE(enabled());
+  setEnabled(false);
+  EXPECT_FALSE(enabled());
+  setEnabled(was);
+}
+
+}  // namespace
+}  // namespace dsn::obs

@@ -1,0 +1,200 @@
+// Test-only minimal JSON parser. Just enough to round-trip what the obs
+// exporters emit (objects, arrays, strings, numbers, bools, null) so the
+// tests verify real structure instead of substring-matching. Throws
+// std::runtime_error on malformed input.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dsn::testjson {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  const Value& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end())
+      throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const {
+    return object.count(key) > 0;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = parseValue();
+    skipWs();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing input");
+    return v;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + " at offset " + std::to_string(pos_));
+  }
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value parseValue() {
+    skipWs();
+    const char c = peek();
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') {
+      Value v;
+      v.type = Value::Type::kString;
+      v.str = parseString();
+      return v;
+    }
+    Value v;
+    if (consume("null")) return v;
+    if (consume("true")) {
+      v.type = Value::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume("false")) {
+      v.type = Value::Type::kBool;
+      return v;
+    }
+    return parseNumber();
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("bad escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          const unsigned long code =
+              std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Tests only emit control characters this way; keep it ASCII.
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a number");
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  Value parseArray() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parseValue());
+      skipWs();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  Value parseObject() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      v.object.emplace(std::move(key), parseValue());
+      skipWs();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+};
+
+inline Value parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace dsn::testjson

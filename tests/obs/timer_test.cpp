@@ -1,0 +1,130 @@
+// Phase timers: nesting tree shape, call accounting, report rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace dsn::obs {
+namespace {
+
+/// Enables telemetry and clears the global timing tree for one test;
+/// restores the previous enabled state afterwards.
+class TimingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_ = enabled();
+    setEnabled(true);
+    globalTiming().reset();
+  }
+  void TearDown() override {
+    globalTiming().reset();
+    setEnabled(was_);
+  }
+
+ private:
+  bool was_ = false;
+};
+
+using TimerTest = TimingFixture;
+
+TEST_F(TimerTest, NestedScopesFormATree) {
+  {
+    DSN_TIMED_PHASE("outer");
+    {
+      DSN_TIMED_PHASE("inner");
+    }
+    {
+      DSN_TIMED_PHASE("inner");  // same phase, same path → same node
+    }
+    {
+      DSN_TIMED_PHASE("other");
+    }
+  }
+  const auto roots = globalTiming().snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  const auto& outer = *roots[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 1u);
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0]->name, "inner");
+  EXPECT_EQ(outer.children[0]->calls, 2u);
+  EXPECT_EQ(outer.children[1]->name, "other");
+  EXPECT_EQ(outer.children[1]->calls, 1u);
+}
+
+TEST_F(TimerTest, SamePhaseNameOnDifferentPathsStaysDistinct) {
+  {
+    DSN_TIMED_PHASE("a");
+    DSN_TIMED_PHASE("shared");
+  }
+  {
+    DSN_TIMED_PHASE("b");
+    DSN_TIMED_PHASE("shared");
+  }
+  const auto roots = globalTiming().snapshot();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0]->name, "a");
+  EXPECT_EQ(roots[1]->name, "b");
+  ASSERT_EQ(roots[0]->children.size(), 1u);
+  ASSERT_EQ(roots[1]->children.size(), 1u);
+  EXPECT_EQ(roots[0]->children[0]->name, "shared");
+  EXPECT_EQ(roots[1]->children[0]->name, "shared");
+}
+
+TEST_F(TimerTest, ChildTimeIsContainedInParent) {
+  {
+    DSN_TIMED_PHASE("parent");
+    DSN_TIMED_PHASE("child");
+    // Both scopes cover (almost) the same interval; the parent opened
+    // first and closes last, so its total can never be smaller.
+  }
+  const auto roots = globalTiming().snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  ASSERT_EQ(roots[0]->children.size(), 1u);
+  EXPECT_GE(roots[0]->nanos, roots[0]->children[0]->nanos);
+}
+
+TEST_F(TimerTest, DisabledTimersRecordNothing) {
+  setEnabled(false);
+  {
+    DSN_TIMED_PHASE("ghost");
+  }
+  EXPECT_TRUE(globalTiming().empty());
+  // Enable mid-stream: the already-running scope stays inactive, a new
+  // one records.
+  setEnabled(true);
+  {
+    DSN_TIMED_PHASE("real");
+  }
+  const auto roots = globalTiming().snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0]->name, "real");
+}
+
+TEST_F(TimerTest, ReportListsPhasesIndented) {
+  {
+    DSN_TIMED_PHASE("build");
+    DSN_TIMED_PHASE("slots");
+  }
+  const std::string rep = globalTiming().report();
+  const auto buildPos = rep.find("build");
+  const auto slotsPos = rep.find("slots");
+  ASSERT_NE(buildPos, std::string::npos);
+  ASSERT_NE(slotsPos, std::string::npos);
+  EXPECT_LT(buildPos, slotsPos);  // parent precedes child
+}
+
+TEST_F(TimerTest, ResetClearsTree) {
+  {
+    DSN_TIMED_PHASE("p");
+  }
+  EXPECT_FALSE(globalTiming().empty());
+  globalTiming().reset();
+  EXPECT_TRUE(globalTiming().empty());
+  EXPECT_TRUE(globalTiming().snapshot().empty());
+}
+
+}  // namespace
+}  // namespace dsn::obs

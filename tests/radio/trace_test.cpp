@@ -1,6 +1,8 @@
 // Event trace recorder.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "radio/trace.hpp"
 
 namespace dsn {
@@ -62,6 +64,62 @@ TEST(TraceTest, DescribeMentionsFields) {
   const TraceEvent coll{TraceEventType::kCollision, 5, 6, kInvalidNode, 0,
                         MsgKind::kData};
   EXPECT_NE(Trace::describe(coll).find("COLL"), std::string::npos);
+}
+
+TEST(TraceTest, OverflowAccountingStaysConsistent) {
+  // Regression: filling a bounded trace far past capacity must keep
+  // stored-event counts, droppedEvents() and countOf() mutually
+  // consistent — dropped events are counted but never typed.
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::size_t kTotal = 100;
+  Trace t(kCapacity);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const auto type = i % 2 == 0 ? TraceEventType::kTransmit
+                                 : TraceEventType::kReceive;
+    t.record(TraceEvent{type, static_cast<Round>(i),
+                        static_cast<NodeId>(i), kInvalidNode, 0,
+                        MsgKind::kData});
+  }
+  EXPECT_EQ(t.events().size(), kCapacity);
+  EXPECT_EQ(t.droppedEvents(), kTotal - kCapacity);
+  // Only stored events are visible to countOf; the two types alternate,
+  // so the stored prefix splits evenly.
+  EXPECT_EQ(t.countOf(TraceEventType::kTransmit) +
+                t.countOf(TraceEventType::kReceive),
+            t.events().size());
+  EXPECT_EQ(t.countOf(TraceEventType::kTransmit), kCapacity / 2);
+  EXPECT_EQ(t.countOf(TraceEventType::kCollision), 0u);
+  // Overflow never corrupts the stored prefix.
+  for (std::size_t i = 0; i < kCapacity; ++i)
+    EXPECT_EQ(t.events()[i].round, static_cast<Round>(i));
+}
+
+TEST(TraceTest, JsonlOneValidObjectPerLine) {
+  Trace t(4);
+  t.record(TraceEvent{TraceEventType::kTransmit, 0, 1, kInvalidNode, 0,
+                      MsgKind::kData});
+  t.record(TraceEvent{TraceEventType::kReceive, 1, 2, 1, 0,
+                      MsgKind::kToken});
+  std::ostringstream os;
+  t.writeJsonl(os);
+  const std::string out = os.str();
+
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":"), std::string::npos);
+    EXPECT_NE(line.find("\"round\":"), std::string::npos);
+  }
+  EXPECT_EQ(n, 2u);
+  EXPECT_NE(out.find("\"transmit\""), std::string::npos);
+  EXPECT_NE(out.find("\"peer\":null"), std::string::npos);
+  EXPECT_NE(out.find("\"peer\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"token\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// Leveled logger: level filtering, lazy argument evaluation, and the
+// per-level convenience macros (DSN_LOG_ERROR regression — kError existed
+// without a macro).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace dsn {
+namespace {
+
+/// Redirects std::cerr for the test's lifetime.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+/// Restores the process-wide log level on scope exit.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(logLevel()) {}
+  ~LevelGuard() { setLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, ErrorMacroEmitsAtEveryLevel) {
+  LevelGuard guard;
+  setLogLevel(LogLevel::kError);  // most restrictive
+  CerrCapture capture;
+  DSN_LOG_ERROR << "disk on fire";
+  EXPECT_NE(capture.text().find("ERROR"), std::string::npos);
+  EXPECT_NE(capture.text().find("disk on fire"), std::string::npos);
+}
+
+TEST(LogTest, LevelFilteringDropsBelowThreshold) {
+  LevelGuard guard;
+  setLogLevel(LogLevel::kWarn);
+  CerrCapture capture;
+  DSN_LOG_ERROR << "e";
+  DSN_LOG_WARN << "w";
+  DSN_LOG_INFO << "i";
+  DSN_LOG_DEBUG << "d";
+  const std::string out = capture.text();
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_EQ(out.find("INFO"), std::string::npos);
+  EXPECT_EQ(out.find("DEBUG"), std::string::npos);
+}
+
+TEST(LogTest, FilteredStatementsDoNotEvaluateArguments) {
+  LevelGuard guard;
+  setLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "costly";
+  };
+  DSN_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  DSN_LOG_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, RaisingTheLevelEnablesDebug) {
+  LevelGuard guard;
+  setLogLevel(LogLevel::kDebug);
+  CerrCapture capture;
+  DSN_LOG_DEBUG << "verbose detail";
+  EXPECT_NE(capture.text().find("DEBUG"), std::string::npos);
+  EXPECT_NE(capture.text().find("verbose detail"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsn

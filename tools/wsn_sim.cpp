@@ -5,7 +5,13 @@
 //
 //   wsn_sim [--nodes N] [--seed S] [--field UNITS] [--range METERS]
 //           [--drop P] [--channels K] [--scenario FILE | -]
+//           [--metrics-json FILE] [--trace-out FILE] [--trace-cap N]
 //           [--quiet]
+//
+// --metrics-json enables the telemetry layer for the run and writes a
+// dsnet-run-v1 JSON document (config, outcome, metrics registry
+// snapshot, hierarchical phase timings). --trace-out captures per-round
+// radio events from every protocol run into a JSONL file.
 //
 // Exit status: 0 on success with all invariants intact, 1 on any
 // invariant violation, 2 on usage/parse errors.
@@ -16,6 +22,10 @@
 
 #include "core/scenario.hpp"
 #include "cluster/export.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "radio/trace.hpp"
 
 namespace {
 
@@ -28,13 +38,18 @@ struct CliOptions {
   dsn::Channel channels = 1;
   std::string scenarioPath;
   std::string dotPath;
+  std::string metricsJsonPath;
+  std::string traceOutPath;
+  std::size_t traceCap = 1 << 16;  ///< per protocol run
   bool quiet = false;
 };
 
 void usage(std::ostream& os) {
   os << "usage: wsn_sim [--nodes N] [--seed S] [--field UNITS]\n"
         "               [--range METERS] [--drop P] [--channels K]\n"
-        "               [--scenario FILE|-] [--dot FILE] [--quiet]\n";
+        "               [--scenario FILE|-] [--dot FILE]\n"
+        "               [--metrics-json FILE] [--trace-out FILE]\n"
+        "               [--trace-cap N] [--quiet]\n";
 }
 
 bool parseArgs(int argc, char** argv, CliOptions& opt) {
@@ -76,6 +91,19 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.dotPath = v;
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (!v) return false;
+      opt.metricsJsonPath = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.traceOutPath = v;
+    } else if (arg == "--trace-cap") {
+      const char* v = next();
+      if (!v) return false;
+      opt.traceCap = std::strtoul(v, nullptr, 10);
+      if (opt.traceCap == 0) return false;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -105,6 +133,44 @@ validate
 broadcast random icff
 )";
 
+/// dsnet-run-v1 document: config + outcome + metrics + timing.
+std::string runDocumentJson(const CliOptions& opt,
+                            const dsn::ScenarioOutcome& outcome) {
+  dsn::obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "dsnet-run-v1");
+  w.kv("tool", "wsn_sim");
+  w.key("config").beginObject();
+  w.kv("nodes", static_cast<std::uint64_t>(opt.nodes));
+  w.kv("seed", static_cast<std::uint64_t>(opt.seed));
+  w.kv("field_units", opt.fieldUnits);
+  w.kv("range", opt.range);
+  w.kv("drop", opt.drop);
+  w.kv("channels", static_cast<std::uint64_t>(opt.channels));
+  w.kv("scenario",
+       opt.scenarioPath.empty() ? "<demo>" : opt.scenarioPath);
+  w.endObject();
+  w.key("outcome").beginObject();
+  w.kv("events", static_cast<std::uint64_t>(outcome.eventsExecuted));
+  w.kv("broadcasts", static_cast<std::uint64_t>(outcome.broadcasts));
+  w.kv("multicasts", static_cast<std::uint64_t>(outcome.multicasts));
+  w.kv("gathers", static_cast<std::uint64_t>(outcome.gathers));
+  w.kv("worst_coverage", outcome.worstCoverage);
+  w.kv("worst_yield", outcome.worstYield);
+  w.kv("valid", outcome.valid);
+  w.kv("trace_events",
+       static_cast<std::uint64_t>(outcome.traceEvents.size()));
+  w.kv("trace_dropped",
+       static_cast<std::uint64_t>(outcome.traceDropped));
+  w.endObject();
+  w.key("metrics");
+  dsn::obs::writeRegistryJson(w, dsn::obs::globalMetrics());
+  w.key("timing");
+  dsn::obs::writeTimingJson(w, dsn::obs::globalTiming());
+  w.endObject();
+  return w.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +180,12 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, opt)) {
     usage(std::cerr);
     return 2;
+  }
+
+  if (!opt.metricsJsonPath.empty()) {
+    obs::setEnabled(true);
+    obs::globalMetrics().reset();
+    obs::globalTiming().reset();
   }
 
   NetworkConfig cfg;
@@ -150,6 +222,8 @@ int main(int argc, char** argv) {
   sopt.seed = opt.seed ^ 0xCAFE;
   sopt.protocol.dropProbability = opt.drop;
   sopt.protocol.channels = opt.channels;
+  if (!opt.traceOutPath.empty())
+    sopt.protocol.traceCapacity = opt.traceCap;
 
   ScenarioOutcome outcome;
   try {
@@ -172,6 +246,41 @@ int main(int argc, char** argv) {
     if (!opt.quiet)
       std::cout << "[dot] final topology written to " << opt.dotPath
                 << "\n";
+  }
+  if (!opt.metricsJsonPath.empty()) {
+    // Refresh point-in-time gauges so the snapshot describes the final
+    // topology even if the last structural op predates churn-free events.
+    obs::globalMetrics()
+        .gauge("cluster.backbone_size")
+        .set(static_cast<double>(net.clusterNet().backboneNodes().size()));
+    obs::globalMetrics()
+        .gauge("cluster.net_size")
+        .set(static_cast<double>(net.clusterNet().netSize()));
+    obs::globalMetrics()
+        .gauge("cluster.height")
+        .set(static_cast<double>(net.clusterNet().height()));
+    std::ofstream mj(opt.metricsJsonPath);
+    if (!mj) {
+      std::cerr << "cannot write metrics file: " << opt.metricsJsonPath
+                << "\n";
+      return 2;
+    }
+    mj << runDocumentJson(opt, outcome) << "\n";
+    if (!opt.quiet)
+      std::cout << "[metrics] run document written to "
+                << opt.metricsJsonPath << "\n";
+  }
+  if (!opt.traceOutPath.empty()) {
+    std::ofstream tr(opt.traceOutPath);
+    if (!tr) {
+      std::cerr << "cannot write trace file: " << opt.traceOutPath << "\n";
+      return 2;
+    }
+    writeTraceJsonl(tr, outcome.traceEvents);
+    if (!opt.quiet)
+      std::cout << "[trace] " << outcome.traceEvents.size()
+                << " events written to " << opt.traceOutPath << " ("
+                << outcome.traceDropped << " dropped)\n";
   }
   std::cout << "events=" << outcome.eventsExecuted
             << " broadcasts=" << outcome.broadcasts
