@@ -6,10 +6,14 @@
 //   * prints a paper-style aligned table to stdout,
 //   * writes the same series to results/<name>.csv,
 //   * writes a machine-readable results/BENCH_<name>.json record
-//     (dsnet-bench-v1: config + columns/rows + telemetry snapshot) that
-//     scripts/plot_results.py and perf trackers can ingest,
-//   * accepts an optional first argument overriding the trial count
-//     (e.g. `fig08_broadcast_time 20` for tighter averages).
+//     (dsnet-bench-v1: config + columns/rows + exec metadata + telemetry
+//     snapshot) that scripts/plot_results.py and perf trackers can
+//     ingest,
+//   * accepts an optional positional argument overriding the trial
+//     count (e.g. `fig08_broadcast_time 20` for tighter averages) and a
+//     `-j N` / `--jobs N` flag selecting the worker count for the
+//     parallel sweep engine (default: hardware concurrency; results are
+//     bit-identical at every N, see src/exec/parallel_sweep.hpp).
 #pragma once
 
 #include <cstdlib>
@@ -20,16 +24,40 @@
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "exec/parallel_sweep.hpp"
 #include "obs/export.hpp"
 
 namespace dsn::bench {
 
+/// True when argv[i] is the jobs flag; advances i past its value.
+inline bool consumeJobsFlag(int argc, char** argv, int& i, int& jobs) {
+  const std::string arg = argv[i];
+  if (arg != "-j" && arg != "--jobs") return false;
+  if (i + 1 < argc) {
+    const int j = std::atoi(argv[++i]);
+    if (j > 0) jobs = j;
+  }
+  return true;
+}
+
+/// Worker count from `-j N` / `--jobs N`; 0 (auto) when absent.
+inline int jobsArg(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) consumeJobsFlag(argc, argv, i, jobs);
+  return jobs;
+}
+
 inline ExperimentConfig defaultConfig(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.trials = 5;
-  if (argc > 1) {
-    const int t = std::atoi(argv[1]);
-    if (t > 0) cfg.trials = t;
+  int ignoredJobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (consumeJobsFlag(argc, argv, i, ignoredJobs)) continue;
+    const int t = std::atoi(argv[i]);
+    if (t > 0) {
+      cfg.trials = t;
+      break;
+    }
   }
   // Benches measure protocol rounds, not wall-clock, so keeping the
   // telemetry layer on costs them nothing observable and makes every
@@ -78,6 +106,16 @@ inline void writeBenchJson(const std::string& name,
   for (const std::size_t n : cfg.nodeCounts)
     w.value(static_cast<std::uint64_t>(n));
   w.endArray();
+  w.endObject();
+  // How the sweep engine ran this bench: worker count and wall-clock,
+  // so two runs of the same bench at different -j values document the
+  // parallel speedup directly in their records.
+  const exec::SweepStats es = exec::sweepStats();
+  w.key("exec").beginObject();
+  w.kv("jobs", static_cast<std::uint64_t>(es.lastWorkers));
+  w.kv("sweeps", es.sweeps);
+  w.kv("tasks", es.tasks);
+  w.kv("wall_ms", es.wallMs);
   w.endObject();
   w.key("columns").beginArray();
   for (const auto& h : header) w.value(h);

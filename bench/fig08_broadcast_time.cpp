@@ -10,24 +10,29 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   const auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("Fig. 8", "broadcast completion rounds, CFF vs DFO",
                      cfg);
 
+  const auto sweep = exec::runSweep(
+      cfg,
+      [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+        const NodeId source = net.randomNode(rng);
+        const auto cff =
+            net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
+        const auto dfo = net.broadcast(BroadcastScheme::kDfo, source, 1);
+        t.add("cff_rounds", static_cast<double>(cff.sim.rounds));
+        t.add("dfo_rounds", static_cast<double>(dfo.sim.rounds));
+        t.add("cff_coverage", cff.coverage());
+        t.add("dfo_coverage", dfo.coverage());
+      },
+      jobs);
+
   std::vector<std::vector<double>> rows;
-  for (std::size_t n : cfg.nodeCounts) {
-    const auto table = runTrials(
-        cfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
-          const NodeId source = net.randomNode(rng);
-          const auto cff =
-              net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
-          const auto dfo = net.broadcast(BroadcastScheme::kDfo, source, 1);
-          t.add("cff_rounds", static_cast<double>(cff.sim.rounds));
-          t.add("dfo_rounds", static_cast<double>(dfo.sim.rounds));
-          t.add("cff_coverage", cff.coverage());
-          t.add("dfo_coverage", dfo.coverage());
-        });
-    rows.push_back({static_cast<double>(n), table.mean("cff_rounds"),
-                    table.mean("dfo_rounds"),
+  for (std::size_t i = 0; i < sweep.nodeCounts.size(); ++i) {
+    const auto& table = sweep.tables[i];
+    rows.push_back({static_cast<double>(sweep.nodeCounts[i]),
+                    table.mean("cff_rounds"), table.mean("dfo_rounds"),
                     table.mean("dfo_rounds") / table.mean("cff_rounds"),
                     table.mean("cff_coverage"),
                     table.mean("dfo_coverage")});

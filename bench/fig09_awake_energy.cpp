@@ -11,23 +11,29 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   const auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("Fig. 9", "awake rounds per broadcast, CFF vs DFO",
                      cfg);
 
+  const auto sweep = exec::runSweep(
+      cfg,
+      [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+        const NodeId source = net.randomNode(rng);
+        const auto cff =
+            net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
+        const auto dfo = net.broadcast(BroadcastScheme::kDfo, source, 1);
+        t.add("cff_max_awake", static_cast<double>(cff.maxAwakeRounds));
+        t.add("dfo_max_awake", static_cast<double>(dfo.maxAwakeRounds));
+        t.add("cff_mean_awake", cff.meanAwakeRounds);
+        t.add("dfo_mean_awake", dfo.meanAwakeRounds);
+      },
+      jobs);
+
   std::vector<std::vector<double>> rows;
-  for (std::size_t n : cfg.nodeCounts) {
-    const auto table = runTrials(
-        cfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
-          const NodeId source = net.randomNode(rng);
-          const auto cff =
-              net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
-          const auto dfo = net.broadcast(BroadcastScheme::kDfo, source, 1);
-          t.add("cff_max_awake", static_cast<double>(cff.maxAwakeRounds));
-          t.add("dfo_max_awake", static_cast<double>(dfo.maxAwakeRounds));
-          t.add("cff_mean_awake", cff.meanAwakeRounds);
-          t.add("dfo_mean_awake", dfo.meanAwakeRounds);
-        });
-    rows.push_back({static_cast<double>(n), table.mean("cff_max_awake"),
+  for (std::size_t i = 0; i < sweep.nodeCounts.size(); ++i) {
+    const auto& table = sweep.tables[i];
+    rows.push_back({static_cast<double>(sweep.nodeCounts[i]),
+                    table.mean("cff_max_awake"),
                     table.mean("dfo_max_awake"),
                     table.mean("cff_mean_awake"),
                     table.mean("dfo_mean_awake")});

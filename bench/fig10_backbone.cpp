@@ -9,21 +9,26 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   const auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("Fig. 10", "backbone size and height vs n", cfg);
 
+  const auto sweep = exec::runSweep(
+      cfg,
+      [](SensorNetwork& net, Rng&, MetricTable& t) {
+        const auto s = net.stats();
+        t.add("bt_size", static_cast<double>(s.backboneSize));
+        t.add("bt_height", static_cast<double>(s.backboneHeight));
+        t.add("clusters", static_cast<double>(s.clusterCount));
+        t.add("cnet_height", static_cast<double>(s.cnetHeight));
+      },
+      jobs);
+
   std::vector<std::vector<double>> rows;
-  for (std::size_t n : cfg.nodeCounts) {
-    const auto table =
-        runTrials(cfg, n, [](SensorNetwork& net, Rng&, MetricTable& t) {
-          const auto s = net.stats();
-          t.add("bt_size", static_cast<double>(s.backboneSize));
-          t.add("bt_height", static_cast<double>(s.backboneHeight));
-          t.add("clusters", static_cast<double>(s.clusterCount));
-          t.add("cnet_height", static_cast<double>(s.cnetHeight));
-        });
-    rows.push_back({static_cast<double>(n), table.mean("bt_size"),
-                    table.mean("bt_height"), table.mean("clusters"),
-                    table.mean("cnet_height")});
+  for (std::size_t i = 0; i < sweep.nodeCounts.size(); ++i) {
+    const auto& table = sweep.tables[i];
+    rows.push_back({static_cast<double>(sweep.nodeCounts[i]),
+                    table.mean("bt_size"), table.mean("bt_height"),
+                    table.mean("clusters"), table.mean("cnet_height")});
   }
   bench::emitBench("fig10_backbone", "Fig. 10 — backbone size and height",
             {"n", "|BT| size", "BT height", "clusters", "h (CNet)"},

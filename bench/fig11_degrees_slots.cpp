@@ -10,24 +10,30 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   const auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("Fig. 11", "degrees (D, d) and slots (Delta, delta)",
                      cfg);
 
+  const auto sweep = exec::runSweep(
+      cfg,
+      [](SensorNetwork& net, Rng&, MetricTable& t) {
+        const auto s = net.stats();
+        t.add("D", static_cast<double>(s.degreeG));
+        t.add("d", static_cast<double>(s.degreeBackbone));
+        t.add("Delta", static_cast<double>(s.maxLSlot));
+        t.add("delta", static_cast<double>(s.maxBSlot));
+        t.add("Delta_bound", static_cast<double>(s.lSlotBound()));
+        t.add("delta_bound", static_cast<double>(s.bSlotBound()));
+      },
+      jobs);
+
   std::vector<std::vector<double>> rows;
-  for (std::size_t n : cfg.nodeCounts) {
-    const auto table =
-        runTrials(cfg, n, [](SensorNetwork& net, Rng&, MetricTable& t) {
-          const auto s = net.stats();
-          t.add("D", static_cast<double>(s.degreeG));
-          t.add("d", static_cast<double>(s.degreeBackbone));
-          t.add("Delta", static_cast<double>(s.maxLSlot));
-          t.add("delta", static_cast<double>(s.maxBSlot));
-          t.add("Delta_bound", static_cast<double>(s.lSlotBound()));
-          t.add("delta_bound", static_cast<double>(s.bSlotBound()));
-        });
-    rows.push_back({static_cast<double>(n), table.mean("D"),
-                    table.mean("d"), table.mean("Delta"),
-                    table.mean("delta"), table.mean("Delta_bound"),
+  for (std::size_t i = 0; i < sweep.nodeCounts.size(); ++i) {
+    const auto& table = sweep.tables[i];
+    rows.push_back({static_cast<double>(sweep.nodeCounts[i]),
+                    table.mean("D"), table.mean("d"),
+                    table.mean("Delta"), table.mean("delta"),
+                    table.mean("Delta_bound"),
                     table.mean("delta_bound")});
   }
   bench::emitBench("fig11_degrees_slots", "Fig. 11 — degrees and time-slots",

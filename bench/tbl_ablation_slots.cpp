@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("T5", "slot policy ablation: strict vs paper-local",
                      cfg);
 
@@ -22,8 +23,9 @@ int main(int argc, char** argv) {
          {SlotPolicy::kStrict, SlotPolicy::kPaperLocal}) {
       ExperimentConfig ecfg = cfg;
       ecfg.cluster.slotPolicy = policy;
-      const auto table = runTrials(
-          ecfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+      const auto table = exec::runTrials(
+          ecfg, n,
+          [](SensorNetwork& net, Rng& rng, MetricTable& t) {
             const auto s = net.stats();
             t.add("Delta", static_cast<double>(s.maxLSlot));
             t.add("delta", static_cast<double>(s.maxBSlot));
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
                                            net.randomNode(rng), 1);
             t.add("coverage", run.coverage());
             t.add("collisions", static_cast<double>(run.collisions));
-          });
+          },
+          jobs);
       rows.push_back({static_cast<double>(n),
                       policy == SlotPolicy::kStrict ? 1.0 : 0.0,
                       table.mean("Delta"), table.mean("delta"),

@@ -10,27 +10,32 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   const auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("A1", "Algorithm 1 vs Algorithm 2", cfg);
 
+  const auto sweep = exec::runSweep(
+      cfg,
+      [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+        const NodeId source = net.randomNode(rng);
+        const auto a1 = net.broadcast(BroadcastScheme::kCff, source, 1);
+        const auto a2 =
+            net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
+        t.add("a1_rounds", static_cast<double>(a1.sim.rounds));
+        t.add("a2_rounds", static_cast<double>(a2.sim.rounds));
+        t.add("a1_awake", static_cast<double>(a1.maxAwakeRounds));
+        t.add("a2_awake", static_cast<double>(a2.maxAwakeRounds));
+        t.add("a1_tx", static_cast<double>(a1.transmissions));
+        t.add("a2_tx", static_cast<double>(a2.transmissions));
+      },
+      jobs);
+
   std::vector<std::vector<double>> rows;
-  for (std::size_t n : cfg.nodeCounts) {
-    const auto table = runTrials(
-        cfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
-          const NodeId source = net.randomNode(rng);
-          const auto a1 = net.broadcast(BroadcastScheme::kCff, source, 1);
-          const auto a2 =
-              net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
-          t.add("a1_rounds", static_cast<double>(a1.sim.rounds));
-          t.add("a2_rounds", static_cast<double>(a2.sim.rounds));
-          t.add("a1_awake", static_cast<double>(a1.maxAwakeRounds));
-          t.add("a2_awake", static_cast<double>(a2.maxAwakeRounds));
-          t.add("a1_tx", static_cast<double>(a1.transmissions));
-          t.add("a2_tx", static_cast<double>(a2.transmissions));
-        });
-    rows.push_back({static_cast<double>(n), table.mean("a1_rounds"),
-                    table.mean("a2_rounds"), table.mean("a1_awake"),
-                    table.mean("a2_awake"), table.mean("a1_tx"),
-                    table.mean("a2_tx")});
+  for (std::size_t i = 0; i < sweep.nodeCounts.size(); ++i) {
+    const auto& table = sweep.tables[i];
+    rows.push_back({static_cast<double>(sweep.nodeCounts[i]),
+                    table.mean("a1_rounds"), table.mean("a2_rounds"),
+                    table.mean("a1_awake"), table.mean("a2_awake"),
+                    table.mean("a1_tx"), table.mean("a2_tx")});
   }
   bench::emitBench("tbl_alg1_vs_alg2", "A1 — Algorithm 1 vs Algorithm 2",
             {"n", "A1 rounds", "A2 rounds", "A1 awake", "A2 awake",

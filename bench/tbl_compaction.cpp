@@ -11,13 +11,15 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("C1", "window drift under churn + compaction", cfg);
 
   const std::size_t n = 250;
   std::vector<std::vector<double>> rows;
   for (int removals : {0, 50, 100, 150}) {
-    const auto table = runTrials(
-        cfg, n, [removals](SensorNetwork& net, Rng& rng, MetricTable& t) {
+    const auto table = exec::runTrials(
+        cfg, n,
+        [removals](SensorNetwork& net, Rng& rng, MetricTable& t) {
           for (int i = 0; i < removals; ++i) {
             const auto nodes = net.clusterNet().netNodes();
             if (nodes.size() <= 10) break;
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
           t.add("compact_rounds", static_cast<double>(rounds));
           t.add("after_L", static_cast<double>(cnet.rootMaxLSlot()));
           t.add("after_up", static_cast<double>(cnet.rootMaxUpSlot()));
-        });
+        },
+        jobs);
     rows.push_back(
         {static_cast<double>(removals), table.mean("sched_L"),
          table.mean("true_L"), table.mean("after_L"),

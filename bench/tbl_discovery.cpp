@@ -10,21 +10,28 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("T10", "neighbor-discovery handshake vs degree",
                      cfg);
 
   std::vector<std::vector<double>> rows;
   for (std::size_t degree : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    Samples rounds, complete;
-    for (int trial = 0; trial < cfg.trials * 4; ++trial) {
+    const std::size_t trials = static_cast<std::size_t>(cfg.trials) * 4;
+    std::vector<double> roundSlot(trials), completeSlot(trials);
+    exec::forEachIndex(trials, jobs, [&](std::size_t trial) {
       // Star of `degree` leaves: the joiner is the hub.
       Graph g(degree + 1);
       for (NodeId v = 1; v <= degree; ++v) g.addEdge(0, v);
       DiscoveryConfig dc;
-      dc.seed = cfg.trialSeed(degree, trial);
+      dc.seed = cfg.trialSeed(degree, static_cast<int>(trial));
       const auto result = runNeighborDiscovery(g, 0, dc);
-      rounds.add(static_cast<double>(result.rounds));
-      complete.add(result.complete ? 1.0 : 0.0);
+      roundSlot[trial] = static_cast<double>(result.rounds);
+      completeSlot[trial] = result.complete ? 1.0 : 0.0;
+    });
+    Samples rounds, complete;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      rounds.add(roundSlot[trial]);
+      complete.add(completeSlot[trial]);
     }
     rows.push_back({static_cast<double>(degree), rounds.mean(),
                     rounds.mean() / static_cast<double>(degree),

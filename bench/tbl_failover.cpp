@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("T9", "multi-sink failover under sink-area loss",
                      cfg);
 
@@ -19,8 +20,15 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> rows;
   for (std::size_t replicas : {std::size_t{1}, std::size_t{2},
                                std::size_t{3}}) {
-    Samples coverage, tried;
-    for (int trial = 0; trial < cfg.trials; ++trial) {
+    // Trials are independent; run them through the parallel engine and
+    // fold the per-trial slots back in trial order so the Samples (and
+    // the telemetry) match a serial run exactly.
+    std::vector<double> covSlot(static_cast<std::size_t>(cfg.trials));
+    std::vector<double> triedSlot(static_cast<std::size_t>(cfg.trials));
+    exec::forEachIndex(
+        static_cast<std::size_t>(cfg.trials), jobs,
+        [&](std::size_t t) {
+      const int trial = static_cast<int>(t);
       Rng rng(cfg.trialSeed(n, trial));
       const auto pts = deployIncrementalAttach(
           {Field::squareUnits(cfg.fieldUnits, cfg.unitMeters), cfg.range,
@@ -44,8 +52,13 @@ int main(int argc, char** argv) {
 
       const auto failover = net.broadcastWithFailover(
           BroadcastScheme::kImprovedCff, source, 1, opts, 0.9);
-      coverage.add(failover.run.coverage());
-      tried.add(static_cast<double>(failover.replicasTried));
+      covSlot[t] = failover.run.coverage();
+      triedSlot[t] = static_cast<double>(failover.replicasTried);
+    });
+    Samples coverage, tried;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      coverage.add(covSlot[static_cast<std::size_t>(trial)]);
+      tried.add(triedSlot[static_cast<std::size_t>(trial)]);
     }
     rows.push_back({static_cast<double>(replicas), coverage.mean(),
                     coverage.min(), tried.mean()});

@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto base = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("T6", "field scale sweep at n = 300", base);
 
   const std::size_t n = 300;
@@ -17,8 +18,9 @@ int main(int argc, char** argv) {
   for (int units : {8, 10, 12}) {
     ExperimentConfig cfg = base;
     cfg.fieldUnits = units;
-    const auto table = runTrials(
-        cfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+    const auto table = exec::runTrials(
+        cfg, n,
+        [](SensorNetwork& net, Rng& rng, MetricTable& t) {
           const NodeId source = net.randomNode(rng);
           const auto cff =
               net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
@@ -30,7 +32,8 @@ int main(int argc, char** argv) {
           t.add("dfo_awake", static_cast<double>(dfo.maxAwakeRounds));
           t.add("height", static_cast<double>(s.cnetHeight));
           t.add("D", static_cast<double>(s.degreeG));
-        });
+        },
+        jobs);
     rows.push_back({static_cast<double>(units), table.mean("cff_rounds"),
                     table.mean("dfo_rounds"), table.mean("cff_awake"),
                     table.mean("dfo_awake"), table.mean("height"),

@@ -9,23 +9,29 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   const auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("T7", "convergecast gather wave vs n", cfg);
 
+  const auto sweep = exec::runSweep(
+      cfg,
+      [](SensorNetwork& net, Rng&, MetricTable& t) {
+        std::vector<std::uint64_t> values(net.graph().size(), 1);
+        const auto result = runConvergecast(net.clusterNet(), values);
+        t.add("rounds", static_cast<double>(result.sim.rounds));
+        t.add("awake", static_cast<double>(result.maxAwakeRounds));
+        t.add("tx", static_cast<double>(result.transmissions));
+        t.add("yield", result.yield());
+        t.add("W", static_cast<double>(net.clusterNet().rootMaxUpSlot()));
+      },
+      jobs);
+
   std::vector<std::vector<double>> rows;
-  for (std::size_t n : cfg.nodeCounts) {
-    const auto table = runTrials(
-        cfg, n, [](SensorNetwork& net, Rng&, MetricTable& t) {
-          std::vector<std::uint64_t> values(net.graph().size(), 1);
-          const auto result = runConvergecast(net.clusterNet(), values);
-          t.add("rounds", static_cast<double>(result.sim.rounds));
-          t.add("awake", static_cast<double>(result.maxAwakeRounds));
-          t.add("tx", static_cast<double>(result.transmissions));
-          t.add("yield", result.yield());
-          t.add("W", static_cast<double>(net.clusterNet().rootMaxUpSlot()));
-        });
-    rows.push_back({static_cast<double>(n), table.mean("rounds"),
-                    table.mean("awake"), table.mean("tx"),
-                    table.mean("yield"), table.mean("W")});
+  for (std::size_t i = 0; i < sweep.nodeCounts.size(); ++i) {
+    const auto& table = sweep.tables[i];
+    rows.push_back({static_cast<double>(sweep.nodeCounts[i]),
+                    table.mean("rounds"), table.mean("awake"),
+                    table.mean("tx"), table.mean("yield"),
+                    table.mean("W")});
   }
   bench::emitBench("tbl_gather", "T7 — convergecast (exact sum to the sink)",
             {"n", "rounds", "max awake", "tx", "yield", "W"},

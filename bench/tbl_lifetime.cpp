@@ -67,6 +67,7 @@ Lifetime measure(BroadcastScheme scheme, std::size_t n,
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader(
       "T11", "network lifetime under a broadcast-per-epoch load (n=150)",
       cfg);
@@ -75,9 +76,14 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> rows;
   for (auto scheme :
        {BroadcastScheme::kDfo, BroadcastScheme::kImprovedCff}) {
+    const std::size_t trials = static_cast<std::size_t>(cfg.trials);
+    std::vector<Lifetime> slot(trials);
+    exec::forEachIndex(trials, jobs, [&](std::size_t trial) {
+      slot[trial] =
+          measure(scheme, n, cfg.trialSeed(n, static_cast<int>(trial)));
+    });
     Samples firstDeath, halfLife;
-    for (int trial = 0; trial < cfg.trials; ++trial) {
-      const auto life = measure(scheme, n, cfg.trialSeed(n, trial));
+    for (const Lifetime& life : slot) {
       firstDeath.add(life.firstDeathEpochs);
       halfLife.add(life.halfNetEpochs);
     }

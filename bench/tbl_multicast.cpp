@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader(
       "T2", "multicast (pruned vs flood) against broadcast (n = 300)",
       cfg);
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   constexpr GroupId kGroup = 1;
   std::vector<std::vector<double>> rows;
   for (double fraction : {0.02, 0.05, 0.1, 0.25, 0.5}) {
-    const auto table = runTrials(
+    const auto table = exec::runTrials(
         cfg, n,
         [fraction](SensorNetwork& net, Rng& rng, MetricTable& t) {
           // Localized group: grow membership outward from a random seed
@@ -65,7 +66,8 @@ int main(int argc, char** argv) {
           t.add("flood_cov", flood.coverage());
           // Tear down group membership for the next trial (fresh nets
           // per trial, so this is belt-and-braces).
-        });
+        },
+        jobs);
     rows.push_back({table.mean("group"), table.mean("pruned_tx"),
                     table.mean("flood_tx"), table.mean("bcast_tx"),
                     table.mean("pruned_cov"), table.mean("flood_cov")});

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   // A denser deployment than the Fig. 8 default: at paper density the
   // TDM windows are so small (delta ~ 2) that ceil(delta/k) bottoms out
   // immediately; a 5x5-unit field with 60 m range gives windows wide
@@ -21,8 +22,9 @@ int main(int argc, char** argv) {
   const std::size_t n = 300;
   std::vector<std::vector<double>> rows;
   for (Channel k : {1u, 2u, 4u, 8u}) {
-    const auto table = runTrials(
-        cfg, n, [k](SensorNetwork& net, Rng& rng, MetricTable& t) {
+    const auto table = exec::runTrials(
+        cfg, n,
+        [k](SensorNetwork& net, Rng& rng, MetricTable& t) {
           ProtocolOptions opts;
           opts.channels = k;
           const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
@@ -30,7 +32,8 @@ int main(int argc, char** argv) {
           t.add("rounds", static_cast<double>(run.sim.rounds));
           t.add("max_awake", static_cast<double>(run.maxAwakeRounds));
           t.add("coverage", run.coverage());
-        });
+        },
+        jobs);
     rows.push_back({static_cast<double>(k), table.mean("rounds"),
                     table.mean("max_awake"), table.mean("coverage")});
   }

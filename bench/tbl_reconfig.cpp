@@ -8,12 +8,12 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("T4", "node-move-in / node-move-out round cost", cfg);
 
-  std::vector<std::vector<double>> rows;
-  for (std::size_t n : cfg.nodeCounts) {
-    const auto table = runTrials(
-        cfg, n, [](SensorNetwork& net, Rng& rng, MetricTable& t) {
+  const auto sweep = exec::runSweep(
+      cfg,
+      [](SensorNetwork& net, Rng& rng, MetricTable& t) {
           auto& cnet = net.clusterNet();
           const auto statsBefore = net.stats();
           t.add("bound_in",
@@ -52,10 +52,15 @@ int main(int argc, char** argv) {
           }
           t.add("move_out", static_cast<double>(outRounds) / 10.0);
           t.add("avg_subtree", static_cast<double>(subtree) / 10.0);
-        });
-    rows.push_back({static_cast<double>(n), table.mean("move_in"),
-                    table.mean("bound_in"), table.mean("move_out"),
-                    table.mean("avg_subtree")});
+      },
+      jobs);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < sweep.nodeCounts.size(); ++i) {
+    const auto& table = sweep.tables[i];
+    rows.push_back({static_cast<double>(sweep.nodeCounts[i]),
+                    table.mean("move_in"), table.mean("bound_in"),
+                    table.mean("move_out"), table.mean("avg_subtree")});
   }
   bench::emitBench("tbl_reconfig", "T4 — reconfiguration cost (rounds)",
             {"n", "move-in avg", "Thm2 envelope", "move-out avg",

@@ -10,14 +10,16 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("T3", "coverage under relay-drop failures (n = 200)",
                      cfg);
 
   const std::size_t n = 200;
   std::vector<std::vector<double>> rows;
   for (double p : {0.0, 0.01, 0.02, 0.05, 0.1, 0.2}) {
-    const auto table = runTrials(
-        cfg, n, [p](SensorNetwork& net, Rng& rng, MetricTable& t) {
+    const auto table = exec::runTrials(
+        cfg, n,
+        [p](SensorNetwork& net, Rng& rng, MetricTable& t) {
           ProtocolOptions opts;
           opts.dropProbability = p;
           opts.failureSeed = rng.next();
@@ -28,7 +30,8 @@ int main(int argc, char** argv) {
               net.broadcast(BroadcastScheme::kDfo, source, 1, opts);
           t.add("cff_cov", cff.coverage());
           t.add("dfo_cov", dfo.coverage());
-        });
+        },
+        jobs);
     rows.push_back(
         {p, table.mean("cff_cov"), table.mean("dfo_cov"),
          table.mean("cff_cov") - table.mean("dfo_cov")});

@@ -13,14 +13,16 @@
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
   bench::printHeader("T8", "flooding storm vs structured CFF (n = 250)",
                      cfg);
 
   const std::size_t n = 250;
   std::vector<std::vector<double>> rows;
   for (int window : {1, 2, 4, 8, 16, 32}) {
-    const auto table = runTrials(
-        cfg, n, [window](SensorNetwork& net, Rng& rng, MetricTable& t) {
+    const auto table = exec::runTrials(
+        cfg, n,
+        [window](SensorNetwork& net, Rng& rng, MetricTable& t) {
           FloodingConfig fc;
           fc.contentionWindow = window;
           fc.seed = rng.next();
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
               net.broadcast(BroadcastScheme::kImprovedCff, source, 1);
           t.add("cff_tx", static_cast<double>(cff.transmissions));
           t.add("cff_rounds", static_cast<double>(cff.sim.rounds));
-        });
+        },
+        jobs);
     rows.push_back({static_cast<double>(window), table.mean("storm_cov"),
                     table.mean("storm_tx"), table.mean("storm_done"),
                     table.mean("cff_tx"), table.mean("cff_rounds")});

@@ -17,6 +17,11 @@ void MetricTable::add(const std::string& name, double value) {
   metrics_.back().second.add(value);
 }
 
+void MetricTable::merge(const MetricTable& other) {
+  for (const auto& [key, samples] : other.metrics_)
+    for (const double v : samples.values()) add(key, v);
+}
+
 const Samples& MetricTable::samples(const std::string& name) const {
   for (const auto& [key, samples] : metrics_) {
     if (key == name) return samples;

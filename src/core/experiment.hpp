@@ -34,11 +34,31 @@ struct ExperimentConfig {
     return nc;
   }
 
+  /// SplitMix64 finalizer: every input bit avalanches into every output
+  /// bit. The building block of the stream-derivation rule below.
+  static std::uint64_t mix64(std::uint64_t z) {
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Stream-derivation rule: one finalizer step per coordinate,
+  ///
+  ///   s0 = mix64(baseSeed)
+  ///   s1 = mix64(s0 ^ n)
+  ///   seed(n, trial) = mix64(s1 ^ trial)
+  ///
+  /// so every (n, trial) pair names an independent, fully-mixed stream
+  /// that is stable across runs, platforms and thread counts. The
+  /// previous rule (`baseSeed ^ (n << 20) ^ trial * GAMMA`) ignored the
+  /// multiplier at trial 0 and left structured inputs weakly mixed;
+  /// chained finalization fixes both (collision regression test in
+  /// tests/core/experiment_test.cpp covers the paper's sweep grid).
   std::uint64_t trialSeed(std::size_t n, int trial) const {
-    // Distinct streams per (n, trial) pair; stable across runs.
-    return baseSeed ^ (static_cast<std::uint64_t>(n) << 20) ^
-           (static_cast<std::uint64_t>(trial) *
-            std::uint64_t{0x9E3779B97F4A7C15ull});
+    const std::uint64_t s1 =
+        mix64(mix64(baseSeed) ^ static_cast<std::uint64_t>(n));
+    return mix64(s1 ^ static_cast<std::uint64_t>(trial));
   }
 };
 
@@ -47,6 +67,11 @@ struct ExperimentConfig {
 class MetricTable {
  public:
   void add(const std::string& name, double value);
+  /// Appends every sample of `other` in its (name, insertion) order.
+  /// Merging per-trial tables in trial order reproduces exactly the
+  /// sample sequences — and therefore the means, bit for bit — that a
+  /// serial run recording into one shared table would produce.
+  void merge(const MetricTable& other);
   const Samples& samples(const std::string& name) const;
   double mean(const std::string& name) const;
   double max(const std::string& name) const;
@@ -57,7 +82,9 @@ class MetricTable {
 };
 
 /// Builds a network per trial and feeds it to `probe`, which records
-/// whatever metrics it wants into the table.
+/// whatever metrics it wants into the table. Serial reference
+/// implementation; exec/parallel_sweep.hpp provides the multi-threaded
+/// drivers that are bit-identical to this one.
 MetricTable runTrials(
     const ExperimentConfig& cfg, std::size_t nodeCount,
     const std::function<void(SensorNetwork&, Rng&, MetricTable&)>& probe);

@@ -1,0 +1,150 @@
+#include "exec/parallel_sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "util/error.hpp"
+
+namespace dsn::exec {
+
+namespace {
+
+/// Everything one grid cell produces, merged back on the caller thread.
+struct TaskSlot {
+  obs::MetricsRegistry metrics;
+  obs::TimingRegistry timing;
+  std::exception_ptr error;
+};
+
+struct GlobalSweepStats {
+  std::mutex mu;
+  SweepStats stats;
+};
+
+GlobalSweepStats& globalSweepStats() {
+  static GlobalSweepStats s;
+  return s;
+}
+
+void recordSweep(std::uint64_t tasks, std::size_t workers,
+                 double wallMs) {
+  auto& g = globalSweepStats();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.stats.sweeps += 1;
+  g.stats.tasks += tasks;
+  g.stats.lastWorkers = workers;
+  g.stats.wallMs += wallMs;
+}
+
+/// Runs fn(i) for every index with task-local telemetry sinks, then
+/// merges the sinks back in index order. The shared skeleton under
+/// forEachIndex / runTrials / runSweep.
+void runIndexed(std::size_t count, std::size_t workers,
+                const std::function<void(std::size_t)>& fn) {
+  std::vector<std::unique_ptr<TaskSlot>> slots;
+  slots.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    slots.push_back(std::make_unique<TaskSlot>());
+
+  auto runOne = [&](std::size_t i) {
+    TaskSlot& slot = *slots[i];
+    obs::ScopedMetricsSink metricsScope(slot.metrics);
+    obs::ScopedTimingSink timingScope(slot.timing);
+    try {
+      fn(i);
+    } catch (...) {
+      slot.error = std::current_exception();
+    }
+  };
+
+  if (workers <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) runOne(i);
+  } else {
+    ThreadPool pool(std::min(workers, count));
+    for (std::size_t i = 0; i < count; ++i)
+      pool.submit([&runOne, i] { runOne(i); });
+    pool.wait();
+  }
+
+  for (const auto& slot : slots)
+    if (slot->error) std::rethrow_exception(slot->error);
+  for (const auto& slot : slots) {
+    obs::globalMetrics().mergeFrom(slot->metrics);
+    obs::globalTiming().mergeFrom(slot->timing);
+  }
+}
+
+}  // namespace
+
+const MetricTable& SweepResult::at(std::size_t nodeCount) const {
+  for (std::size_t i = 0; i < nodeCounts.size(); ++i)
+    if (nodeCounts[i] == nodeCount) return tables[i];
+  throw PreconditionError("SweepResult::at: nodeCount not in sweep");
+}
+
+void forEachIndex(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t workers = std::min(resolveJobs(jobs), count);
+  runIndexed(count, workers, fn);
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  recordSweep(count, workers, elapsed.count());
+}
+
+SweepResult runSweep(const ExperimentConfig& cfg, const TrialProbe& probe,
+                     int jobs) {
+  DSN_REQUIRE(cfg.trials > 0, "need at least one trial");
+  DSN_REQUIRE(!cfg.nodeCounts.empty(), "need at least one node count");
+  const auto start = std::chrono::steady_clock::now();
+  DSN_TIMED_PHASE("exec.sweep");
+
+  const std::size_t trials = static_cast<std::size_t>(cfg.trials);
+  const std::size_t count = cfg.nodeCounts.size() * trials;
+  const std::size_t workers = std::min(resolveJobs(jobs), count);
+
+  // One MetricTable per grid cell, folded per nodeCount in trial order.
+  std::vector<MetricTable> cells(count);
+  runIndexed(count, workers, [&](std::size_t i) {
+    const std::size_t n = cfg.nodeCounts[i / trials];
+    const int trial = static_cast<int>(i % trials);
+    SensorNetwork net(cfg.networkFor(n, trial));
+    Rng rng(cfg.trialSeed(n, trial) ^ 0xABCDEF);
+    probe(net, rng, cells[i]);
+  });
+
+  SweepResult result;
+  result.nodeCounts = cfg.nodeCounts;
+  result.workers = workers;
+  result.tables.resize(cfg.nodeCounts.size());
+  for (std::size_t ni = 0; ni < cfg.nodeCounts.size(); ++ni)
+    for (std::size_t t = 0; t < trials; ++t)
+      result.tables[ni].merge(cells[ni * trials + t]);
+
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.wallMs = elapsed.count();
+  recordSweep(count, workers, result.wallMs);
+  return result;
+}
+
+MetricTable runTrials(const ExperimentConfig& cfg, std::size_t nodeCount,
+                      const TrialProbe& probe, int jobs) {
+  ExperimentConfig one = cfg;
+  one.nodeCounts = {nodeCount};
+  return std::move(runSweep(one, probe, jobs).tables.front());
+}
+
+SweepStats sweepStats() {
+  auto& g = globalSweepStats();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.stats;
+}
+
+}  // namespace dsn::exec

@@ -1,0 +1,77 @@
+// Deterministic parallel experiment engine.
+//
+// Every paper figure/table averages independent seeded trials, so the
+// (nodeCount, trial) grid is embarrassingly parallel — the only hazards
+// are the shared MetricTable and the global telemetry registries. The
+// drivers here shard the grid across a fixed ThreadPool while keeping
+// results *bit-identical* to the serial path regardless of thread count:
+//
+//   * seeds — each task derives its stream from
+//     ExperimentConfig::trialSeed(n, trial) exactly as core::runTrials
+//     does; nothing about scheduling feeds back into the RNG;
+//   * samples — each task records into a task-local MetricTable; the
+//     driver folds the locals back in (n, trial) order, reproducing the
+//     serial sample sequences (and hence means) exactly;
+//   * telemetry — each task installs task-local obs sinks
+//     (ScopedMetricsSink / ScopedTimingSink); the driver merges them
+//     into the caller's registries in the same deterministic order.
+//
+// A probe passed to these drivers runs concurrently on several threads:
+// it must not touch shared mutable state beyond its own arguments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dsn::exec {
+
+using TrialProbe =
+    std::function<void(SensorNetwork&, Rng&, MetricTable&)>;
+
+/// Aggregated sweep output: one MetricTable per entry of
+/// cfg.nodeCounts, in the same order.
+struct SweepResult {
+  std::vector<std::size_t> nodeCounts;
+  std::vector<MetricTable> tables;
+  std::size_t workers = 1;  ///< resolved worker count actually used
+  double wallMs = 0.0;      ///< sweep wall-clock, including the merge
+
+  /// Table for an exact nodeCount; throws PreconditionError if absent.
+  const MetricTable& at(std::size_t nodeCount) const;
+};
+
+/// Runs probe over the full (cfg.nodeCounts x cfg.trials) grid, sharded
+/// across `jobs` workers (0 = hardware concurrency). Deterministic: the
+/// result — tables, telemetry registry contents, export JSON — is
+/// independent of `jobs`.
+SweepResult runSweep(const ExperimentConfig& cfg, const TrialProbe& probe,
+                     int jobs = 0);
+
+/// Single-nodeCount variant: the parallel counterpart of
+/// dsn::runTrials, sharding only the trial axis.
+MetricTable runTrials(const ExperimentConfig& cfg, std::size_t nodeCount,
+                      const TrialProbe& probe, int jobs = 0);
+
+/// Low-level deterministic parallel-for: invokes fn(i) for i in
+/// [0, count) across `jobs` workers, each call under task-local
+/// telemetry sinks that are merged back in index order. fn must write
+/// its results into caller-provided per-index slots. If any call
+/// throws, the telemetry merge is skipped and the exception of the
+/// *lowest* index is rethrown after all tasks finish.
+void forEachIndex(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Process-wide accounting of sweep activity, exported into
+/// dsnet-bench-v1 records so perf trajectories can see how a bench ran.
+struct SweepStats {
+  std::uint64_t sweeps = 0;       ///< driver invocations
+  std::uint64_t tasks = 0;        ///< grid cells executed
+  std::size_t lastWorkers = 0;    ///< workers used by the latest sweep
+  double wallMs = 0.0;            ///< total sweep wall-clock
+};
+SweepStats sweepStats();
+
+}  // namespace dsn::exec

@@ -1,0 +1,76 @@
+#include "exec/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace dsn::exec {
+
+std::size_t resolveJobs(int jobs) {
+  if (jobs > 0) return static_cast<std::size_t>(jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  DSN_REQUIRE(threads >= 1, "ThreadPool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    queue_.clear();  // discard tasks that never started
+  }
+  hasWork_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  DSN_REQUIRE(task != nullptr, "ThreadPool::submit: empty task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSN_REQUIRE(!stopping_, "ThreadPool::submit after shutdown began");
+    queue_.push_back(std::move(task));
+  }
+  hasWork_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (firstError_) {
+    std::exception_ptr err = firstError_;
+    firstError_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      hasWork_.wait(lock,
+                    [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!firstError_) firstError_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace dsn::exec

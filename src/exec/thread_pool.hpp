@@ -1,0 +1,65 @@
+// Fixed-size worker pool for independent experiment tasks.
+//
+// Deliberately work-stealing-free: experiment trials are coarse-grained
+// (one seeded deployment plus a protocol run each), so a single shared
+// FIFO queue under one mutex is both simple and contention-free at the
+// scale dsnet fans out (tens to hundreds of tasks over <= hardware
+// threads). Determinism never depends on the pool — callers assign work
+// to slots up front and merge results in slot order.
+//
+// Exception discipline: a task that throws never takes the pool down.
+// The worker catches, stores the first exception, and keeps serving;
+// wait() rethrows it once the queue drains. Destruction discards tasks
+// that have not started, joins the rest, and swallows any stored error
+// (destructors must not throw), so unwinding through a live pool —
+// e.g. when a sweep aborts — is safe.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsn::exec {
+
+/// Worker count for `jobs` requests: positive values pass through,
+/// zero/negative mean "auto" (hardware concurrency, at least 1).
+std::size_t resolveJobs(int jobs);
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Rejects (throws PreconditionError) after the pool
+  /// has started shutting down.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception a task raised (if any). The pool stays usable for
+  /// further submits afterwards.
+  void wait();
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+ private:
+  void workerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable hasWork_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace dsn::exec

@@ -8,6 +8,7 @@ namespace dsn::obs {
 
 namespace {
 std::atomic<bool> g_enabled{false};
+thread_local MetricsRegistry* t_sink = nullptr;
 }  // namespace
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
@@ -81,6 +82,27 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+}
+
+void Histogram::mergeFrom(const Histogram& other) {
+  DSN_REQUIRE(bounds_ == other.bounds_,
+              "Histogram::mergeFrom: bucket bounds differ");
+  const std::uint64_t n = other.count();
+  if (n == 0) return;
+  const auto counts = other.bucketCounts();
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+  if (count_.fetch_add(n, std::memory_order_relaxed) == 0) {
+    min_.store(other.minValue(), std::memory_order_relaxed);
+    max_.store(other.maxValue(), std::memory_order_relaxed);
+  } else {
+    atomicAccumulate(min_, other.minValue(), /*wantMin=*/true);
+    atomicAccumulate(max_, other.maxValue(), /*wantMin=*/false);
+  }
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + other.sum(),
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<double> Histogram::exponentialBounds(std::size_t n,
@@ -197,9 +219,30 @@ std::size_t MetricsRegistry::size() const {
   return entries_.size();
 }
 
-MetricsRegistry& globalMetrics() {
+void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
+  // Uses the public snapshot/registration API (no own lock held), so a
+  // non-recursive mutex on either side cannot deadlock.
+  for (const auto& [name, v] : other.counters()) counter(name).increment(v);
+  for (const auto& [name, v] : other.gauges()) gauge(name).set(v);
+  for (const auto& [name, h] : other.histograms())
+    histogram(name, h->upperBounds()).mergeFrom(*h);
+}
+
+MetricsRegistry& processMetrics() {
   static MetricsRegistry registry;
   return registry;
 }
+
+MetricsRegistry& globalMetrics() {
+  if (t_sink != nullptr) return *t_sink;
+  return processMetrics();
+}
+
+ScopedMetricsSink::ScopedMetricsSink(MetricsRegistry& sink)
+    : previous_(t_sink) {
+  t_sink = &sink;
+}
+
+ScopedMetricsSink::~ScopedMetricsSink() { t_sink = previous_; }
 
 }  // namespace dsn::obs

@@ -74,6 +74,11 @@ class Histogram {
 
   void observe(double v);
 
+  /// Accumulates every observation recorded in `other` (bucket counts,
+  /// count, sum, min/max). Bounds must match exactly. Used by the
+  /// deterministic telemetry merge of the parallel experiment engine.
+  void mergeFrom(const Histogram& other);
+
   const std::vector<double>& upperBounds() const { return bounds_; }
   /// bounds().size() + 1 entries; last = overflow.
   std::vector<std::uint64_t> bucketCounts() const;
@@ -107,6 +112,13 @@ class Histogram {
 /// Name-keyed instrument registry. Registering the same name twice
 /// returns the same instrument; re-registering a name as a different
 /// instrument kind throws PreconditionError.
+///
+/// Besides the process-wide registry (globalMetrics()) the parallel
+/// experiment engine creates one short-lived registry per (nodeCount,
+/// trial) task, installs it as the calling thread's sink
+/// (ScopedMetricsSink) and folds it back with mergeFrom() in a
+/// deterministic order, so parallel runs export the same snapshot as
+/// serial ones.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -121,6 +133,14 @@ class MetricsRegistry {
 
   /// Zeroes every registered instrument (names stay registered).
   void reset();
+
+  /// Folds `other` into this registry: counters add, gauges take
+  /// `other`'s value (last-write-wins, so merging scopes in trial order
+  /// reproduces the serial final value), histograms accumulate via
+  /// Histogram::mergeFrom. Instruments missing here are registered, so
+  /// the merged registry exports the same name set as a serial run.
+  /// Not self-merge safe; `other` must not be this registry.
+  void mergeFrom(const MetricsRegistry& other);
 
   // ---- snapshot access (sorted by name for deterministic export) ----
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
@@ -148,7 +168,29 @@ class MetricsRegistry {
   Entry& insert(std::string_view name, Kind kind);
 };
 
-/// The process-wide registry used by the built-in instrumentation.
+/// The registry used by the built-in instrumentation: the calling
+/// thread's scoped sink when one is installed (ScopedMetricsSink),
+/// otherwise the process-wide registry.
 MetricsRegistry& globalMetrics();
+
+/// The process-wide registry, ignoring any thread-local sink. Exporters
+/// and merge steps use this to address the real registry even if the
+/// calling thread is (unusually) inside a scope.
+MetricsRegistry& processMetrics();
+
+/// Redirects globalMetrics() on *this thread* to `sink` for the scope's
+/// lifetime. Scopes nest; the innermost wins. The parallel experiment
+/// engine wraps each worker task in one so instrumentation lands in a
+/// task-local registry that is merged back deterministically.
+class ScopedMetricsSink {
+ public:
+  explicit ScopedMetricsSink(MetricsRegistry& sink);
+  ~ScopedMetricsSink();
+  ScopedMetricsSink(const ScopedMetricsSink&) = delete;
+  ScopedMetricsSink& operator=(const ScopedMetricsSink&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
 
 }  // namespace dsn::obs

@@ -41,6 +41,26 @@ void TimingRegistry::reset() {
   roots_.clear();
 }
 
+void TimingRegistry::mergeFrom(const TimingRegistry& other) {
+  // Snapshot first: taking both locks at once could deadlock if two
+  // registries ever merged into each other concurrently.
+  const auto theirs = other.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& graft = cursor_.empty() ? roots_ : cursor_.back()->children;
+  std::function<void(std::vector<std::unique_ptr<Node>>&,
+                     const std::vector<std::unique_ptr<Node>>&)>
+      fold = [&](std::vector<std::unique_ptr<Node>>& into,
+                 const std::vector<std::unique_ptr<Node>>& from) {
+        for (const auto& src : from) {
+          Node* dst = childOf(into, src->name);
+          dst->calls += src->calls;
+          dst->nanos += src->nanos;
+          fold(dst->children, src->children);
+        }
+      };
+  fold(graft, theirs);
+}
+
 bool TimingRegistry::empty() const {
   std::lock_guard<std::mutex> lock(mu_);
   return roots_.empty();
@@ -86,10 +106,26 @@ TimingRegistry::snapshot() const {
   return out;
 }
 
-TimingRegistry& globalTiming() {
+namespace {
+thread_local TimingRegistry* t_sink = nullptr;
+}  // namespace
+
+TimingRegistry& processTiming() {
   static TimingRegistry registry;
   return registry;
 }
+
+TimingRegistry& globalTiming() {
+  if (t_sink != nullptr) return *t_sink;
+  return processTiming();
+}
+
+ScopedTimingSink::ScopedTimingSink(TimingRegistry& sink)
+    : previous_(t_sink) {
+  t_sink = &sink;
+}
+
+ScopedTimingSink::~ScopedTimingSink() { t_sink = previous_; }
 
 ScopedPhaseTimer::ScopedPhaseTimer(std::string_view name) {
   if (!enabled()) return;

@@ -12,9 +12,12 @@
 // up once per distinct call path. Timing uses the monotonic steady clock.
 //
 // The registry serializes entries/exits with a mutex; the nesting cursor
-// is shared, so concurrent phases from multiple threads interleave into
-// one tree (dsnet is single-threaded today — revisit with thread-local
-// trees if that changes).
+// is shared, so concurrent phases from multiple threads would interleave
+// into one tree. The parallel experiment engine therefore never times
+// into the shared registry from workers: each task installs a
+// task-local registry as its thread's sink (ScopedTimingSink) and the
+// driver grafts the finished trees back with mergeFrom() in
+// deterministic task order.
 #pragma once
 
 #include <chrono>
@@ -50,6 +53,14 @@ class TimingRegistry {
   /// scoped timer alive).
   void reset();
 
+  /// Folds `other`'s phase tree into this one, grafting at the current
+  /// cursor position (so a merge performed inside an open phase nests
+  /// the worker phases under it, exactly where the serial run would
+  /// have recorded them). Matching phase names accumulate calls/nanos;
+  /// new names are appended in `other`'s order. `other` must not be
+  /// this registry.
+  void mergeFrom(const TimingRegistry& other);
+
   bool empty() const;
 
   /// Indented human-readable tree:  name  total-ms  calls.
@@ -67,7 +78,25 @@ class TimingRegistry {
                 std::string_view name);
 };
 
+/// The timing registry used by DSN_TIMED_PHASE: the calling thread's
+/// scoped sink when one is installed, otherwise the process-wide tree.
 TimingRegistry& globalTiming();
+
+/// The process-wide timing tree, ignoring any thread-local sink.
+TimingRegistry& processTiming();
+
+/// Redirects globalTiming() on *this thread* to `sink` for the scope's
+/// lifetime (mirror of ScopedMetricsSink).
+class ScopedTimingSink {
+ public:
+  explicit ScopedTimingSink(TimingRegistry& sink);
+  ~ScopedTimingSink();
+  ScopedTimingSink(const ScopedTimingSink&) = delete;
+  ScopedTimingSink& operator=(const ScopedTimingSink&) = delete;
+
+ private:
+  TimingRegistry* previous_;
+};
 
 /// RAII phase scope. Inactive (and free) when obs::enabled() is false at
 /// construction time.

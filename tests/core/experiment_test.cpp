@@ -1,6 +1,9 @@
 // Experiment harness: seeding discipline, metric aggregation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+
 #include "core/experiment.hpp"
 
 namespace dsn {
@@ -27,6 +30,46 @@ TEST(ExperimentTest, TrialSeedsAreDistinctAndStable) {
   EXPECT_EQ(cfg.trialSeed(100, 0), cfg.trialSeed(100, 0));
   EXPECT_NE(cfg.trialSeed(100, 0), cfg.trialSeed(100, 1));
   EXPECT_NE(cfg.trialSeed(100, 0), cfg.trialSeed(200, 0));
+}
+
+// Regression: the pre-mix64 rule (`baseSeed ^ (n << 20) ^ trial * GAMMA`)
+// degenerated for trial 0 — the multiplier vanished, leaving the seed a
+// plain XOR of baseSeed and the node count. Every (n, trial) cell of the
+// paper's sweep grid must now get a unique, well-mixed stream.
+TEST(ExperimentTest, TrialSeedsNeverCollideAcrossPaperSweepGrid) {
+  ExperimentConfig cfg;
+  std::set<std::uint64_t> seen;
+  std::size_t cells = 0;
+  for (std::size_t n = 100; n <= 1000; n += 100) {
+    for (int trial = 0; trial < 50; ++trial) {
+      seen.insert(cfg.trialSeed(n, trial));
+      ++cells;
+    }
+  }
+  EXPECT_EQ(seen.size(), cells);  // no collisions anywhere in the grid
+}
+
+TEST(ExperimentTest, TrialZeroDependsOnBaseSeed) {
+  // With the old rule trial 0 collapsed to baseSeed ^ (n << 20); make
+  // sure trial 0 now goes through the same finalizer as every other
+  // trial: it must differ from that raw XOR and react to baseSeed.
+  ExperimentConfig a, b;
+  b.baseSeed = a.baseSeed + 1;
+  for (std::size_t n : {100u, 500u, 1000u}) {
+    EXPECT_NE(a.trialSeed(n, 0),
+              a.baseSeed ^ (static_cast<std::uint64_t>(n) << 20));
+    EXPECT_NE(a.trialSeed(n, 0), b.trialSeed(n, 0));
+  }
+}
+
+TEST(ExperimentTest, SeedRuleMatchesDocumentedDerivation) {
+  // The documented stream rule: s0 = mix64(baseSeed);
+  // s1 = mix64(s0 ^ n); seed = mix64(s1 ^ trial).
+  ExperimentConfig cfg;
+  cfg.baseSeed = 0xDEADBEEF;
+  const std::uint64_t s0 = ExperimentConfig::mix64(cfg.baseSeed);
+  const std::uint64_t s1 = ExperimentConfig::mix64(s0 ^ 300u);
+  EXPECT_EQ(cfg.trialSeed(300, 7), ExperimentConfig::mix64(s1 ^ 7u));
 }
 
 TEST(ExperimentTest, NetworkForUsesPaperGeometry) {

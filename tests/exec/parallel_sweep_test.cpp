@@ -1,0 +1,179 @@
+// Determinism contract of the parallel experiment engine: tables,
+// telemetry and error propagation are independent of the jobs count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "exec/parallel_sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+namespace {
+
+// A probe exercising a real protocol run plus explicit instrumentation,
+// so both the MetricTable path and the obs merge path are covered.
+void broadcastProbe(SensorNetwork& net, Rng& rng, MetricTable& t) {
+  const auto run =
+      net.broadcast(BroadcastScheme::kImprovedCff, net.randomNode(rng), 1);
+  t.add("rounds", static_cast<double>(run.sim.rounds));
+  t.add("coverage", run.coverage());
+  auto& reg = obs::globalMetrics();
+  reg.counter("test.trials").increment();
+  reg.gauge("test.last_rounds").set(static_cast<double>(run.sim.rounds));
+  reg.histogram("test.rounds", obs::Histogram::exponentialBounds(8))
+      .observe(static_cast<double>(run.sim.rounds));
+}
+
+void expectSameTable(const MetricTable& a, const MetricTable& b) {
+  ASSERT_EQ(a.names(), b.names());
+  for (const auto& name : a.names()) {
+    const auto& va = a.samples(name).values();
+    const auto& vb = b.samples(name).values();
+    ASSERT_EQ(va.size(), vb.size()) << name;
+    for (std::size_t i = 0; i < va.size(); ++i)
+      EXPECT_DOUBLE_EQ(va[i], vb[i]) << name << "[" << i << "]";
+  }
+}
+
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::string> histogramNames;
+  std::vector<std::vector<std::uint64_t>> histogramCounts;
+  std::vector<double> histogramSums;
+};
+
+RegistrySnapshot snapshotOf(const obs::MetricsRegistry& reg) {
+  RegistrySnapshot s;
+  s.counters = reg.counters();
+  s.gauges = reg.gauges();
+  for (const auto& [name, h] : reg.histograms()) {
+    s.histogramNames.push_back(name);
+    s.histogramCounts.push_back(h->bucketCounts());
+    s.histogramSums.push_back(h->sum());
+  }
+  return s;
+}
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig cfg;
+  cfg.trials = 4;
+  cfg.nodeCounts = {40, 60};
+  return cfg;
+}
+
+TEST(ParallelSweepTest, RunTrialsMatchesSerialReference) {
+  const auto cfg = smallConfig();
+  const MetricTable serial = runTrials(cfg, 60, broadcastProbe);
+  const MetricTable par1 = exec::runTrials(cfg, 60, broadcastProbe, 1);
+  const MetricTable par8 = exec::runTrials(cfg, 60, broadcastProbe, 8);
+  expectSameTable(serial, par1);
+  expectSameTable(serial, par8);
+}
+
+TEST(ParallelSweepTest, RunSweepMatchesSerialPerNodeCount) {
+  const auto cfg = smallConfig();
+  const auto sweep = exec::runSweep(cfg, broadcastProbe, 8);
+  ASSERT_EQ(sweep.nodeCounts, cfg.nodeCounts);
+  ASSERT_EQ(sweep.tables.size(), cfg.nodeCounts.size());
+  EXPECT_EQ(sweep.workers, 8u);
+  for (std::size_t i = 0; i < cfg.nodeCounts.size(); ++i) {
+    const MetricTable serial =
+        runTrials(cfg, cfg.nodeCounts[i], broadcastProbe);
+    expectSameTable(serial, sweep.tables[i]);
+    expectSameTable(serial, sweep.at(cfg.nodeCounts[i]));
+  }
+  EXPECT_THROW(sweep.at(999), PreconditionError);
+}
+
+TEST(ParallelSweepTest, TelemetryMergeIsIndependentOfJobs) {
+  const auto cfg = smallConfig();
+  // Capture each run's telemetry in a local registry via the thread
+  // sink; worker-local registries merge back into it on the caller
+  // thread, so nothing leaks into the process-wide registry.
+  obs::MetricsRegistry reg1, reg8;
+  {
+    obs::ScopedMetricsSink sink(reg1);
+    (void)exec::runSweep(cfg, broadcastProbe, 1);
+  }
+  {
+    obs::ScopedMetricsSink sink(reg8);
+    (void)exec::runSweep(cfg, broadcastProbe, 8);
+  }
+  const RegistrySnapshot s1 = snapshotOf(reg1);
+  const RegistrySnapshot s8 = snapshotOf(reg8);
+  EXPECT_EQ(s1.counters, s8.counters);
+  EXPECT_EQ(s1.gauges, s8.gauges);  // last-write-wins in trial order
+  EXPECT_EQ(s1.histogramNames, s8.histogramNames);
+  EXPECT_EQ(s1.histogramCounts, s8.histogramCounts);
+  // Sums fold per task in a fixed order, so they match bit-for-bit.
+  EXPECT_EQ(s1.histogramSums, s8.histogramSums);
+  const auto tasks =
+      static_cast<std::uint64_t>(cfg.trials) * cfg.nodeCounts.size();
+  ASSERT_FALSE(s1.counters.empty());
+  for (const auto& [name, value] : s1.counters) {
+    if (name == "test.trials") {
+      EXPECT_EQ(value, tasks);
+    }
+  }
+}
+
+TEST(ParallelSweepTest, ForEachIndexMergesSinksInIndexOrder) {
+  obs::MetricsRegistry reg;
+  std::vector<double> slot(16, 0.0);
+  {
+    obs::ScopedMetricsSink sink(reg);
+    exec::forEachIndex(slot.size(), 4, [&](std::size_t i) {
+      slot[i] = static_cast<double>(i) * 2.0;
+      obs::globalMetrics().counter("fei.calls").increment();
+      obs::globalMetrics().gauge("fei.last").set(static_cast<double>(i));
+    });
+  }
+  for (std::size_t i = 0; i < slot.size(); ++i)
+    EXPECT_DOUBLE_EQ(slot[i], static_cast<double>(i) * 2.0);
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].second, slot.size());
+  // Gauges merge last-write-wins in index order: the highest index is
+  // the final value no matter which worker ran it last in real time.
+  const auto gauges = reg.gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges[0].second, static_cast<double>(slot.size() - 1));
+}
+
+TEST(ParallelSweepTest, ForEachIndexRethrowsLowestIndexError) {
+  for (int jobs : {1, 8}) {
+    std::string caught;
+    try {
+      exec::forEachIndex(8, jobs, [](std::size_t i) {
+        if (i == 2 || i == 5)
+          throw std::runtime_error("boom@" + std::to_string(i));
+      });
+    } catch (const std::runtime_error& ex) {
+      caught = ex.what();
+    }
+    EXPECT_EQ(caught, "boom@2") << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelSweepTest, SweepStatsAccountForRuns) {
+  const auto before = exec::sweepStats();
+  const auto cfg = smallConfig();
+  (void)exec::runSweep(cfg, broadcastProbe, 2);
+  const auto after = exec::sweepStats();
+  EXPECT_EQ(after.sweeps, before.sweeps + 1);
+  EXPECT_EQ(after.tasks,
+            before.tasks + static_cast<std::uint64_t>(cfg.trials) *
+                               cfg.nodeCounts.size());
+  EXPECT_EQ(after.lastWorkers, 2u);
+  EXPECT_GE(after.wallMs, before.wallMs);
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,205 @@
+// Telemetry merge semantics backing the parallel experiment engine:
+// merging per-task registries must be equivalent to recording serially.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "util/error.hpp"
+
+namespace dsn::obs {
+namespace {
+
+TEST(HistogramMergeTest, EquivalentToObservingEverything) {
+  const auto bounds = Histogram::exponentialBounds(6);
+  Histogram all(bounds), a(bounds), b(bounds);
+  const std::vector<double> first = {1, 3, 9, 27};
+  const std::vector<double> second = {0.5, 64, 2, 500};
+  for (double v : first) {
+    all.observe(v);
+    a.observe(v);
+  }
+  for (double v : second) {
+    all.observe(v);
+    b.observe(v);
+  }
+  a.mergeFrom(b);
+  EXPECT_EQ(a.bucketCounts(), all.bucketCounts());
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.minValue(), all.minValue());
+  EXPECT_DOUBLE_EQ(a.maxValue(), all.maxValue());
+  EXPECT_NEAR(a.sum(), all.sum(), 1e-9);
+}
+
+TEST(HistogramMergeTest, MergingEmptyIsANoOp) {
+  const auto bounds = Histogram::exponentialBounds(4);
+  Histogram h(bounds), empty(bounds);
+  h.observe(2.0);
+  h.observe(7.0);
+  const auto counts = h.bucketCounts();
+  h.mergeFrom(empty);
+  EXPECT_EQ(h.bucketCounts(), counts);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.minValue(), 2.0);
+  EXPECT_DOUBLE_EQ(h.maxValue(), 7.0);
+}
+
+TEST(HistogramMergeTest, MergingIntoEmptyAdoptsMinMax) {
+  const auto bounds = Histogram::exponentialBounds(4);
+  Histogram h(bounds), other(bounds);
+  other.observe(3.0);
+  other.observe(11.0);
+  h.mergeFrom(other);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.minValue(), 3.0);
+  EXPECT_DOUBLE_EQ(h.maxValue(), 11.0);
+}
+
+TEST(HistogramMergeTest, BoundsMismatchThrows) {
+  Histogram a(Histogram::exponentialBounds(4));
+  Histogram b(Histogram::exponentialBounds(5));
+  b.observe(1.0);
+  EXPECT_THROW(a.mergeFrom(b), PreconditionError);
+}
+
+TEST(MetricsRegistryMergeTest, CountersAddGaugesOverwrite) {
+  MetricsRegistry dst, src;
+  dst.counter("events").increment(3);
+  src.counter("events").increment(4);
+  dst.gauge("level").set(1.0);
+  src.gauge("level").set(9.0);
+  dst.mergeFrom(src);
+  EXPECT_EQ(dst.counters(),
+            (std::vector<std::pair<std::string, std::uint64_t>>{
+                {"events", 7}}));
+  EXPECT_EQ(dst.gauges(), (std::vector<std::pair<std::string, double>>{
+                              {"level", 9.0}}));
+}
+
+TEST(MetricsRegistryMergeTest, MissingInstrumentsAreRegistered) {
+  MetricsRegistry dst, src;
+  src.counter("only.in.src");  // registered but never incremented
+  src.gauge("src.gauge").set(5.0);
+  src.histogram("src.hist", Histogram::exponentialBounds(4)).observe(2.0);
+  dst.mergeFrom(src);
+  // Name-set parity with the source even for zero-valued instruments, so
+  // a parallel run exports the same keys as a serial one.
+  ASSERT_EQ(dst.counters().size(), 1u);
+  EXPECT_EQ(dst.counters()[0], (std::pair<std::string, std::uint64_t>{
+                                   "only.in.src", 0}));
+  ASSERT_EQ(dst.gauges().size(), 1u);
+  ASSERT_EQ(dst.histograms().size(), 1u);
+  EXPECT_EQ(dst.histograms()[0].second->count(), 1u);
+}
+
+TEST(MetricsRegistryMergeTest, SequentialMergesMatchSerialRecording) {
+  // Simulate three per-task registries folded in task order versus one
+  // registry recording the same event stream serially.
+  MetricsRegistry serial, merged;
+  const auto bounds = Histogram::exponentialBounds(6);
+  for (int task = 0; task < 3; ++task) {
+    MetricsRegistry local;
+    for (int i = 0; i <= task; ++i) {
+      const double v = static_cast<double>(task * 10 + i);
+      local.counter("n").increment();
+      serial.counter("n").increment();
+      local.gauge("last").set(v);
+      serial.gauge("last").set(v);
+      local.histogram("h", bounds).observe(v);
+      serial.histogram("h", bounds).observe(v);
+    }
+    merged.mergeFrom(local);
+  }
+  EXPECT_EQ(merged.counters(), serial.counters());
+  EXPECT_EQ(merged.gauges(), serial.gauges());
+  const auto hs = serial.histograms(), hm = merged.histograms();
+  ASSERT_EQ(hm.size(), hs.size());
+  EXPECT_EQ(hm[0].second->bucketCounts(), hs[0].second->bucketCounts());
+  EXPECT_DOUBLE_EQ(hm[0].second->minValue(), hs[0].second->minValue());
+  EXPECT_DOUBLE_EQ(hm[0].second->maxValue(), hs[0].second->maxValue());
+  EXPECT_NEAR(hm[0].second->sum(), hs[0].second->sum(), 1e-9);
+}
+
+// Helper: record a leaf phase with a deterministic duration.
+void recordPhase(TimingRegistry& reg, std::string_view name,
+                 std::uint64_t nanos) {
+  auto* node = reg.enter(name);
+  reg.exit(node, nanos);
+}
+
+TEST(TimingRegistryMergeTest, MatchingPhasesAccumulate) {
+  TimingRegistry dst, src;
+  recordPhase(dst, "build", 100);
+  recordPhase(src, "build", 50);
+  recordPhase(src, "run", 25);
+  dst.mergeFrom(src);
+  const auto roots = dst.snapshot();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0]->name, "build");
+  EXPECT_EQ(roots[0]->calls, 2u);
+  EXPECT_EQ(roots[0]->nanos, 150u);
+  EXPECT_EQ(roots[1]->name, "run");  // new names append in src order
+  EXPECT_EQ(roots[1]->calls, 1u);
+}
+
+TEST(TimingRegistryMergeTest, GraftsUnderTheOpenPhase) {
+  TimingRegistry src;
+  recordPhase(src, "task", 10);
+
+  TimingRegistry dst;
+  auto* sweep = dst.enter("sweep");
+  dst.mergeFrom(src);  // merged while "sweep" is still open
+  dst.exit(sweep, 99);
+
+  const auto roots = dst.snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0]->name, "sweep");
+  ASSERT_EQ(roots[0]->children.size(), 1u);
+  EXPECT_EQ(roots[0]->children[0]->name, "task");
+  EXPECT_EQ(roots[0]->children[0]->nanos, 10u);
+}
+
+TEST(TimingRegistryMergeTest, MergesNestedTreesRecursively) {
+  TimingRegistry dst, src;
+  for (TimingRegistry* reg : {&dst, &src}) {
+    auto* outer = reg->enter("outer");
+    recordPhase(*reg, "inner", 5);
+    reg->exit(outer, 20);
+  }
+  dst.mergeFrom(src);
+  const auto roots = dst.snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0]->calls, 2u);
+  EXPECT_EQ(roots[0]->nanos, 40u);
+  ASSERT_EQ(roots[0]->children.size(), 1u);
+  EXPECT_EQ(roots[0]->children[0]->calls, 2u);
+  EXPECT_EQ(roots[0]->children[0]->nanos, 10u);
+}
+
+TEST(ScopedSinkTest, RedirectsOnlyThisThreadAndRestores) {
+  MetricsRegistry local;
+  {
+    ScopedMetricsSink sink(local);
+    EXPECT_EQ(&globalMetrics(), &local);
+    EXPECT_NE(&processMetrics(), &local);
+    MetricsRegistry inner;
+    {
+      ScopedMetricsSink nested(inner);
+      EXPECT_EQ(&globalMetrics(), &inner);  // innermost wins
+    }
+    EXPECT_EQ(&globalMetrics(), &local);  // nested scope restored
+  }
+  EXPECT_EQ(&globalMetrics(), &processMetrics());
+
+  TimingRegistry tlocal;
+  {
+    ScopedTimingSink sink(tlocal);
+    EXPECT_EQ(&globalTiming(), &tlocal);
+  }
+  EXPECT_EQ(&globalTiming(), &processTiming());
+}
+
+}  // namespace
+}  // namespace dsn::obs

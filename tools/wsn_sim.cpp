@@ -5,6 +5,7 @@
 //
 //   wsn_sim [--nodes N] [--seed S] [--field UNITS] [--range METERS]
 //           [--drop P] [--channels K] [--scenario FILE | -]
+//           [--trials T] [--jobs N]
 //           [--metrics-json FILE] [--trace-out FILE] [--trace-cap N]
 //           [--quiet]
 //
@@ -13,15 +14,28 @@
 // snapshot, hierarchical phase timings). --trace-out captures per-round
 // radio events from every protocol run into a JSONL file.
 //
+// --trials T replicates the scenario over T independently seeded
+// deployments (per-trial streams derived with the same SplitMix64
+// chaining rule as ExperimentConfig::trialSeed) and reports aggregate
+// outcomes; --jobs N fans the trials across N workers (0 = hardware
+// concurrency). Results — including the exported metrics document — are
+// identical at every worker count: each trial runs under task-local
+// telemetry sinks that are merged back in trial order.
+//
 // Exit status: 0 on success with all invariants intact, 1 on any
 // invariant violation, 2 on usage/parse errors.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "cluster/export.hpp"
+#include "exec/parallel_sweep.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -41,6 +55,8 @@ struct CliOptions {
   std::string metricsJsonPath;
   std::string traceOutPath;
   std::size_t traceCap = 1 << 16;  ///< per protocol run
+  int trials = 1;
+  int jobs = 1;  ///< 0 = hardware concurrency
   bool quiet = false;
 };
 
@@ -48,6 +64,7 @@ void usage(std::ostream& os) {
   os << "usage: wsn_sim [--nodes N] [--seed S] [--field UNITS]\n"
         "               [--range METERS] [--drop P] [--channels K]\n"
         "               [--scenario FILE|-] [--dot FILE]\n"
+        "               [--trials T] [--jobs N]\n"
         "               [--metrics-json FILE] [--trace-out FILE]\n"
         "               [--trace-cap N] [--quiet]\n";
 }
@@ -99,6 +116,16 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.traceOutPath = v;
+    } else if (arg == "--trials") {
+      const char* v = next();
+      if (!v) return false;
+      opt.trials = std::atoi(v);
+      if (opt.trials < 1) return false;
+    } else if (arg == "--jobs" || arg == "-j") {
+      const char* v = next();
+      if (!v) return false;
+      opt.jobs = std::atoi(v);
+      if (opt.jobs < 0) return false;
     } else if (arg == "--trace-cap") {
       const char* v = next();
       if (!v) return false;
@@ -133,6 +160,79 @@ validate
 broadcast random icff
 )";
 
+/// Per-trial deployment/scenario stream for --trials mode: the same
+/// SplitMix64 chaining rule as ExperimentConfig::trialSeed, with the
+/// node count as the first coordinate.
+std::uint64_t trialStreamSeed(const CliOptions& opt, int trial) {
+  const std::uint64_t s1 =
+      dsn::ExperimentConfig::mix64(dsn::ExperimentConfig::mix64(opt.seed) ^
+                                   static_cast<std::uint64_t>(opt.nodes));
+  return dsn::ExperimentConfig::mix64(s1 ^
+                                      static_cast<std::uint64_t>(trial));
+}
+
+dsn::NetworkConfig networkConfigFor(const CliOptions& opt,
+                                    std::uint64_t seed) {
+  dsn::NetworkConfig cfg;
+  cfg.nodeCount = opt.nodes;
+  cfg.seed = seed;
+  cfg.field = dsn::Field::squareUnits(opt.fieldUnits);
+  cfg.range = opt.range;
+  return cfg;
+}
+
+dsn::ScenarioOptions scenarioOptionsFor(const CliOptions& opt,
+                                        std::uint64_t seed) {
+  dsn::ScenarioOptions sopt;
+  sopt.seed = seed ^ 0xCAFE;
+  sopt.protocol.dropProbability = opt.drop;
+  sopt.protocol.channels = opt.channels;
+  if (!opt.traceOutPath.empty())
+    sopt.protocol.traceCapacity = opt.traceCap;
+  return sopt;
+}
+
+/// Runs the scenario over `opt.trials` independently seeded deployments
+/// (sharded across `opt.jobs` workers) and folds the outcomes in trial
+/// order: counts add, coverages/yields take the worst, traces
+/// concatenate, and the first violation (by trial index) wins. The
+/// telemetry registries end up identical to a serial run of the same
+/// trials — each task records into thread-local sinks that
+/// exec::forEachIndex merges back deterministically.
+dsn::ScenarioOutcome runReplicated(
+    const CliOptions& opt, const std::vector<dsn::ScenarioEvent>& events) {
+  const std::size_t trials = static_cast<std::size_t>(opt.trials);
+  std::vector<dsn::ScenarioOutcome> slots(trials);
+  dsn::exec::forEachIndex(trials, opt.jobs, [&](std::size_t t) {
+    const std::uint64_t seed =
+        trialStreamSeed(opt, static_cast<int>(t));
+    dsn::SensorNetwork net(networkConfigFor(opt, seed));
+    slots[t] = dsn::runScenario(net, events, scenarioOptionsFor(opt, seed));
+  });
+
+  dsn::ScenarioOutcome agg;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto& one = slots[t];
+    for (const auto& line : one.log)
+      agg.log.push_back("[trial " + std::to_string(t) + "] " + line);
+    agg.eventsExecuted += one.eventsExecuted;
+    agg.broadcasts += one.broadcasts;
+    agg.multicasts += one.multicasts;
+    agg.gathers += one.gathers;
+    agg.worstCoverage = std::min(agg.worstCoverage, one.worstCoverage);
+    agg.worstYield = std::min(agg.worstYield, one.worstYield);
+    if (!one.valid && agg.valid) {
+      agg.valid = false;
+      agg.firstViolation =
+          "[trial " + std::to_string(t) + "] " + one.firstViolation;
+    }
+    agg.traceEvents.insert(agg.traceEvents.end(), one.traceEvents.begin(),
+                           one.traceEvents.end());
+    agg.traceDropped += one.traceDropped;
+  }
+  return agg;
+}
+
 /// dsnet-run-v1 document: config + outcome + metrics + timing.
 std::string runDocumentJson(const CliOptions& opt,
                             const dsn::ScenarioOutcome& outcome) {
@@ -147,6 +247,9 @@ std::string runDocumentJson(const CliOptions& opt,
   w.kv("range", opt.range);
   w.kv("drop", opt.drop);
   w.kv("channels", static_cast<std::uint64_t>(opt.channels));
+  w.kv("trials", static_cast<std::uint64_t>(opt.trials));
+  w.kv("jobs", static_cast<std::uint64_t>(
+                   dsn::exec::resolveJobs(opt.jobs)));
   w.kv("scenario",
        opt.scenarioPath.empty() ? "<demo>" : opt.scenarioPath);
   w.endObject();
@@ -188,15 +291,10 @@ int main(int argc, char** argv) {
     obs::globalTiming().reset();
   }
 
-  NetworkConfig cfg;
-  cfg.nodeCount = opt.nodes;
-  cfg.seed = opt.seed;
-  cfg.field = Field::squareUnits(opt.fieldUnits);
-  cfg.range = opt.range;
-
-  SensorNetwork net(cfg);
-  if (!opt.quiet) {
-    std::cout << toSummary(net.clusterNet()) << "\n";
+  if (opt.trials > 1 && !opt.dotPath.empty()) {
+    std::cerr << "--dot requires --trials 1 (no single final topology "
+                 "in replicated mode)\n";
+    return 2;
   }
 
   std::vector<ScenarioEvent> events;
@@ -218,16 +316,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  ScenarioOptions sopt;
-  sopt.seed = opt.seed ^ 0xCAFE;
-  sopt.protocol.dropProbability = opt.drop;
-  sopt.protocol.channels = opt.channels;
-  if (!opt.traceOutPath.empty())
-    sopt.protocol.traceCapacity = opt.traceCap;
-
+  // Single-trial mode keeps the deployment alive for --dot and the
+  // final gauge refresh; replicated mode tears each one down inside its
+  // worker task.
+  std::unique_ptr<SensorNetwork> net;
   ScenarioOutcome outcome;
   try {
-    outcome = runScenario(net, events, sopt);
+    if (opt.trials == 1) {
+      net = std::make_unique<SensorNetwork>(
+          networkConfigFor(opt, opt.seed));
+      if (!opt.quiet) std::cout << toSummary(net->clusterNet()) << "\n";
+      outcome =
+          runScenario(*net, events, scenarioOptionsFor(opt, opt.seed));
+    } else {
+      outcome = runReplicated(opt, events);
+    }
   } catch (const std::exception& ex) {
     std::cerr << "scenario execution error: " << ex.what() << "\n";
     return 2;
@@ -242,7 +345,7 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write dot file: " << opt.dotPath << "\n";
       return 2;
     }
-    dot << toDot(net.clusterNet());
+    dot << toDot(net->clusterNet());
     if (!opt.quiet)
       std::cout << "[dot] final topology written to " << opt.dotPath
                 << "\n";
@@ -250,15 +353,20 @@ int main(int argc, char** argv) {
   if (!opt.metricsJsonPath.empty()) {
     // Refresh point-in-time gauges so the snapshot describes the final
     // topology even if the last structural op predates churn-free events.
-    obs::globalMetrics()
-        .gauge("cluster.backbone_size")
-        .set(static_cast<double>(net.clusterNet().backboneNodes().size()));
-    obs::globalMetrics()
-        .gauge("cluster.net_size")
-        .set(static_cast<double>(net.clusterNet().netSize()));
-    obs::globalMetrics()
-        .gauge("cluster.height")
-        .set(static_cast<double>(net.clusterNet().height()));
+    // Replicated mode skips this: the merged registry already carries the
+    // last trial's gauges (merge order is deterministic).
+    if (net) {
+      obs::globalMetrics()
+          .gauge("cluster.backbone_size")
+          .set(static_cast<double>(
+              net->clusterNet().backboneNodes().size()));
+      obs::globalMetrics()
+          .gauge("cluster.net_size")
+          .set(static_cast<double>(net->clusterNet().netSize()));
+      obs::globalMetrics()
+          .gauge("cluster.height")
+          .set(static_cast<double>(net->clusterNet().height()));
+    }
     std::ofstream mj(opt.metricsJsonPath);
     if (!mj) {
       std::cerr << "cannot write metrics file: " << opt.metricsJsonPath
