@@ -7,7 +7,6 @@
 // at the cost of extra maintained state.
 #include "bench/bench_common.hpp"
 #include "core/replicated_network.hpp"
-#include "graph/deploy.hpp"
 
 int main(int argc, char** argv) {
   using namespace dsn;
@@ -20,48 +19,40 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> rows;
   for (std::size_t replicas : {std::size_t{1}, std::size_t{2},
                                std::size_t{3}}) {
-    // Trials are independent; run them through the parallel engine and
-    // fold the per-trial slots back in trial order so the Samples (and
-    // the telemetry) match a serial run exactly.
-    std::vector<double> covSlot(static_cast<std::size_t>(cfg.trials));
-    std::vector<double> triedSlot(static_cast<std::size_t>(cfg.trials));
-    exec::forEachIndex(
-        static_cast<std::size_t>(cfg.trials), jobs,
-        [&](std::size_t t) {
-      const int trial = static_cast<int>(t);
-      Rng rng(cfg.trialSeed(n, trial));
-      const auto pts = deployIncrementalAttach(
-          {Field::squareUnits(cfg.fieldUnits, cfg.unitMeters), cfg.range,
-           n},
-          rng);
-      ReplicatedConfig rc;
-      rc.replicaCount = replicas;
-      ReplicatedNetwork net(pts, cfg.range, rc);
+    // The engine deploys the same incremental-attach point sequence the
+    // old hand-rolled loop produced (both derive it from
+    // Rng(trialSeed(n, trial))), so rebuilding the replicated structure
+    // from initialPoints() keeps the rows bit-identical.
+    const auto table = exec::runTrials(
+        cfg, n,
+        [&cfg, replicas](SensorNetwork& net, Rng&, MetricTable& t) {
+          ReplicatedConfig rc;
+          rc.replicaCount = replicas;
+          ReplicatedNetwork rnet(net.initialPoints(), cfg.range, rc);
 
-      // Destroy the primary sink and its 1-hop neighborhood at round 0.
-      const NodeId root0 = net.replica(0).root();
-      ProtocolOptions opts;
-      opts.deaths.emplace_back(root0, 0);
-      for (NodeId u : net.graph().neighbors(root0))
-        opts.deaths.emplace_back(u, 0);
+          // Destroy the primary sink and its 1-hop neighborhood at
+          // round 0.
+          const NodeId root0 = rnet.replica(0).root();
+          ProtocolOptions opts;
+          opts.deaths.emplace_back(root0, 0);
+          for (NodeId u : rnet.graph().neighbors(root0))
+            opts.deaths.emplace_back(u, 0);
 
-      // Source: a node far from the blast (the last replica's root, or
-      // any distant node when only one replica exists).
-      NodeId source = net.replica(replicas - 1).root();
-      if (source == root0) source = net.replica(0).netNodes().back();
+          // Source: a node far from the blast (the last replica's root,
+          // or any distant node when only one replica exists).
+          NodeId source = rnet.replica(replicas - 1).root();
+          if (source == root0) source = rnet.replica(0).netNodes().back();
 
-      const auto failover = net.broadcastWithFailover(
-          BroadcastScheme::kImprovedCff, source, 1, opts, 0.9);
-      covSlot[t] = failover.run.coverage();
-      triedSlot[t] = static_cast<double>(failover.replicasTried);
-    });
-    Samples coverage, tried;
-    for (int trial = 0; trial < cfg.trials; ++trial) {
-      coverage.add(covSlot[static_cast<std::size_t>(trial)]);
-      tried.add(triedSlot[static_cast<std::size_t>(trial)]);
-    }
-    rows.push_back({static_cast<double>(replicas), coverage.mean(),
-                    coverage.min(), tried.mean()});
+          const auto failover = rnet.broadcastWithFailover(
+              BroadcastScheme::kImprovedCff, source, 1, opts, 0.9);
+          t.add("coverage", failover.run.coverage());
+          t.add("tried", static_cast<double>(failover.replicasTried));
+        },
+        jobs);
+    rows.push_back({static_cast<double>(replicas),
+                    table.mean("coverage"),
+                    table.samples("coverage").min(),
+                    table.mean("tried")});
   }
   bench::emitBench("tbl_failover", "T9 — failover coverage after sink-area destruction (n=200)",
             {"replicas", "coverage mean", "coverage min",

@@ -1,0 +1,111 @@
+// T10 (DESIGN.md §10) — crash-fault recovery and reliable broadcast:
+// after ~15% of the backbone crashes uncooperatively and
+// repairAfterFailures() restores the invariants, how much coverage does
+// a plain iCFF wave lose under each transient-fault regime, and how much
+// does the NACK-driven reliable mode buy back (and at what round cost)?
+//
+// Regimes (first column):
+//   0 none   — clean channel
+//   1 drop   — i.i.d. loss p = 0.1
+//   2 burst  — Gilbert-Elliott (enter .05, exit .3, good .02, burst .9)
+//   3 jam    — 150 m jam disk at the field center, always on
+//
+// Expected shape: plain and reliable match at regime 0 (the repaired
+// structure floods collision-free); under loss the reliable mode closes
+// most of the coverage gap for a bounded number of extra repair waves.
+#include "bench/bench_common.hpp"
+#include "broadcast/reliable.hpp"
+#include "broadcast/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
+  bench::printHeader(
+      "T10", "recovery + reliable iCFF under fault regimes (n = 200)", cfg);
+  std::cout << "# regimes: 0=none 1=drop(0.1) 2=burst 3=jam(center,150m)\n";
+
+  const std::size_t n = 200;
+
+  struct Regime {
+    double id;
+    void (*apply)(ProtocolOptions&, const ExperimentConfig&);
+  };
+  const Regime regimes[] = {
+      {0.0, [](ProtocolOptions&, const ExperimentConfig&) {}},
+      {1.0,
+       [](ProtocolOptions& o, const ExperimentConfig&) {
+         o.dropProbability = 0.1;
+       }},
+      {2.0,
+       [](ProtocolOptions& o, const ExperimentConfig&) {
+         o.burst.pEnterBurst = 0.05;
+         o.burst.pExitBurst = 0.3;
+         o.burst.dropGood = 0.02;
+         o.burst.dropBurst = 0.9;
+       }},
+      {3.0,
+       [](ProtocolOptions& o, const ExperimentConfig& c) {
+         JamZone z;
+         const double side = c.fieldUnits * c.unitMeters;
+         z.center = {side / 2.0, side / 2.0};
+         z.radius = 150.0;
+         o.jamZones.push_back(z);
+       }},
+  };
+
+  std::vector<std::vector<double>> rows;
+  for (const Regime& regime : regimes) {
+    const auto table = exec::runTrials(
+        cfg, n,
+        [&cfg, &regime](SensorNetwork& net, Rng& rng, MetricTable& t) {
+          // Crash ~15% of the non-root backbone, then run the repair
+          // pass so both waves flood a valid structure.
+          std::vector<NodeId> backbone = net.clusterNet().backboneNodes();
+          std::erase(backbone, net.clusterNet().root());
+          const std::size_t kills =
+              std::max<std::size_t>(1, backbone.size() * 15 / 100);
+          for (std::size_t i = 0; i < kills && !backbone.empty(); ++i) {
+            const std::size_t pick = rng.pickIndex(backbone);
+            net.crashSensor(backbone[pick]);
+            backbone.erase(backbone.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+          }
+          const RecoveryReport rec = net.repairAfterFailures();
+          t.add("pruned", static_cast<double>(rec.staleRemoved));
+
+          ProtocolOptions opts;
+          opts.failureSeed = rng.next();
+          regime.apply(opts, cfg);
+
+          const NodeId source = net.clusterNet().root();
+          const auto plain = net.broadcast(BroadcastScheme::kImprovedCff,
+                                           source, 1, opts);
+          ReliableOptions ro;
+          ro.base = opts;
+          ro.maxRepairRounds = 8;
+          const auto reliable = net.reliableBroadcast(
+              BroadcastScheme::kImprovedCff, source, 1, ro);
+
+          t.add("plain_cov", plain.coverage());
+          t.add("rel_cov", reliable.coverage());
+          t.add("plain_rounds", static_cast<double>(plain.sim.rounds));
+          t.add("rel_rounds",
+                static_cast<double>(reliable.totalRounds));
+          t.add("repair_waves",
+                static_cast<double>(reliable.repairRoundsUsed));
+        },
+        jobs);
+    rows.push_back({regime.id, table.mean("plain_cov"),
+                    table.mean("rel_cov"), table.mean("plain_rounds"),
+                    table.mean("rel_rounds"), table.mean("repair_waves"),
+                    table.mean("pruned")});
+  }
+  bench::emitBench(
+      "tbl_recovery",
+      "T10 — plain vs reliable iCFF after backbone crashes + repair",
+      {"regime", "plain cov", "reliable cov", "plain rounds",
+       "reliable rounds", "repair waves", "pruned"},
+      rows, cfg, 3);
+  return 0;
+}

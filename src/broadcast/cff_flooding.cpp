@@ -127,7 +127,12 @@ BroadcastRun runCffBroadcast(const ClusterNet& net, NodeId source,
   detail::applyFailures(sim, options);
 
   std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  std::vector<NodeId> intended;
   for (NodeId v : net.netNodes()) {
+    // A stale structure (crashes not yet repaired) may reference dead
+    // nodes; they neither act nor count as intended receivers.
+    if (!g.isAlive(v)) continue;
+    intended.push_back(v);
     CffNodeConfig nc;
     nc.self = v;
     nc.depth = net.depth(v);
@@ -151,7 +156,7 @@ BroadcastRun runCffBroadcast(const ClusterNet& net, NodeId source,
   BroadcastRun run;
   run.scheduleLength = schedule;
   run.sim = sim.run();
-  detail::collectDeliveryStats(sim, net.netNodes(), endpoints, run);
+  detail::collectDeliveryStats(sim, intended, endpoints, run);
   return run;
 }
 

@@ -103,7 +103,11 @@ GatherResult runConvergecast(const ClusterNet& net,
   detail::applyFailures(sim, options);
 
   GatherNodeProtocol* rootProtocol = nullptr;
+  std::size_t aliveNodes = 0;
   for (NodeId v : net.netNodes()) {
+    // Skip stale (crashed, unrepaired) entries.
+    if (!g.isAlive(v)) continue;
+    ++aliveNodes;
     GatherNodeConfig nc;
     nc.self = v;
     nc.parent = v == net.root() ? kInvalidNode : net.parent(v);
@@ -121,7 +125,7 @@ GatherResult runConvergecast(const ClusterNet& net,
   DSN_CHECK(rootProtocol != nullptr, "root protocol missing");
 
   GatherResult result;
-  result.expected = net.netSize();
+  result.expected = aliveNodes;
   result.scheduleLength = schedule;
   result.sim = sim.run();
   result.aggregate = rootProtocol->partialSum();

@@ -136,7 +136,11 @@ BroadcastRun runDfoBroadcast(const ClusterNet& net, NodeId source,
   detail::applyFailures(sim, options);
 
   std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  std::vector<NodeId> intended;
   for (NodeId v : net.netNodes()) {
+    // Skip stale (crashed, unrepaired) entries.
+    if (!g.isAlive(v)) continue;
+    intended.push_back(v);
     if (net.isBackbone(v)) {
       std::vector<NodeId> btNeighbors;
       if (v != net.root()) btNeighbors.push_back(net.parent(v));
@@ -162,7 +166,7 @@ BroadcastRun runDfoBroadcast(const ClusterNet& net, NodeId source,
       static_cast<Round>(2 * (backbone.empty() ? 0 : backbone.size() - 1) +
                          (sourceIsMember ? 1 : 0) + 1);
   run.sim = sim.run();
-  detail::collectDeliveryStats(sim, net.netNodes(), endpoints, run);
+  detail::collectDeliveryStats(sim, intended, endpoints, run);
   return run;
 }
 

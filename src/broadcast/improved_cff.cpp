@@ -173,6 +173,9 @@ BroadcastRun runIcff(const ClusterNet& net, NodeId source,
   std::vector<NodeId> intended;
 
   for (NodeId v : net.netNodes()) {
+    // A stale structure (crashes not yet repaired) may reference dead
+    // nodes; they neither act nor count as intended receivers.
+    if (!g.isAlive(v)) continue;
     IcffNodeConfig nc;
     nc.self = v;
     nc.depth = net.depth(v);

@@ -1,0 +1,290 @@
+#include "broadcast/reliable.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "broadcast/runner.hpp"
+#include "broadcast/runner_detail.hpp"
+#include "broadcast/tdm.hpp"
+#include "cluster/cnet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer the experiment seeding uses;
+/// local copy because dsn_broadcast sits below dsn_core.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic coin in [0,1) from (seed, node, repair round); drives
+/// the responder backoff without any shared RNG state.
+double hashCoin(std::uint64_t seed, NodeId v, int repairRound) {
+  const std::uint64_t h =
+      mix64(mix64(seed ^ (0xBACC0FFull + v)) ^
+            static_cast<std::uint64_t>(repairRound));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Per-node state machine for one repair round.
+class RepairProtocol final : public NodeProtocol {
+ public:
+  struct Config {
+    NodeId self = kInvalidNode;
+    Depth depth = 0;
+    /// Up-slot (root falls back to slot 1).
+    TimeSlot slot = 1;
+    TimeSlot window = 1;  ///< largest up-slot (TDM window basis)
+    Channel channels = 1;
+    int subWindows = 1;  ///< maxDepth + 1 per phase
+    bool covered = false;
+    bool eligible = true;  ///< responder backoff coin (covered nodes)
+    std::uint64_t payload = 0;
+  };
+
+  explicit RepairProtocol(const Config& cfg)
+      : cfg_(cfg), tdm_(cfg.window == 0 ? 1 : cfg.window, cfg.channels) {}
+
+  Round nackPhaseLength() const {
+    return static_cast<Round>(cfg_.subWindows) * tdm_.windowLength();
+  }
+  Round scheduleLength() const { return 2 * nackPhaseLength(); }
+
+  Action onRound(Round r) override {
+    const Round nackEnd = nackPhaseLength();
+    if (cfg_.covered) {
+      if (r < nackEnd) return Action::listen();
+      if (!heardNack_ || !cfg_.eligible) {
+        done_ = true;
+        return Action::sleep();
+      }
+      const Round tx = nackEnd +
+                       static_cast<Round>(cfg_.depth) * tdm_.windowLength() +
+                       tdm_.roundOffset(cfg_.slot);
+      if (r == tx) {
+        done_ = true;
+        responded_ = true;
+        Message m;
+        m.kind = MsgKind::kData;
+        m.sender = cfg_.self;
+        m.depth = cfg_.depth;
+        m.slot = cfg_.slot;
+        m.payload = cfg_.payload;
+        return Action::transmit(m, tdm_.channelOf(cfg_.slot));
+      }
+      if (r > tx) done_ = true;
+      return Action::sleep();
+    }
+
+    // Uncovered: one NACK in our depth's sub-window, then listen through
+    // the whole data phase.
+    if (hasPayload_) {
+      done_ = true;
+      return Action::sleep();
+    }
+    const Round nackTx = static_cast<Round>(cfg_.depth) * tdm_.windowLength() +
+                         tdm_.roundOffset(cfg_.slot);
+    if (r == nackTx) {
+      nackSent_ = true;
+      Message m;
+      m.kind = MsgKind::kNack;
+      m.sender = cfg_.self;
+      m.depth = cfg_.depth;
+      m.slot = cfg_.slot;
+      return Action::transmit(m, tdm_.channelOf(cfg_.slot));
+    }
+    if (r >= nackEnd) return Action::listen();
+    return Action::sleep();
+  }
+
+  void onReceive(const Message& m, Round r, Channel) override {
+    if (cfg_.covered) {
+      if (m.kind == MsgKind::kNack) heardNack_ = true;
+      return;
+    }
+    if (m.kind == MsgKind::kData && !hasPayload_) {
+      hasPayload_ = true;
+      payloadRound_ = r;
+    }
+  }
+
+  bool isDone() const override { return done_; }
+
+  bool hasPayload() const { return hasPayload_; }
+  Round payloadRound() const { return payloadRound_; }
+  bool nackSent() const { return nackSent_; }
+  bool responded() const { return responded_; }
+
+ private:
+  Config cfg_;
+  TdmMap tdm_;
+  bool heardNack_ = false;
+  bool hasPayload_ = false;
+  Round payloadRound_ = -1;
+  bool nackSent_ = false;
+  bool responded_ = false;
+  bool done_ = false;
+};
+
+/// Shifts the failure plan of `base` by `elapsed` virtual rounds so a
+/// repair-round simulator (whose clock restarts at 0) sees deaths and
+/// jam intervals at the right wall-clock moments. Drop/burst coins get a
+/// per-round derived seed.
+ProtocolOptions shiftedOptions(const ProtocolOptions& base, Round elapsed,
+                               int repairRound) {
+  ProtocolOptions out = base;
+  const std::uint64_t salt =
+      std::uint64_t{0x5EC0FDA7} + static_cast<std::uint64_t>(repairRound);
+  out.failureSeed = mix64(base.failureSeed ^ salt);
+  out.deaths.clear();
+  for (const auto& [node, round] : base.deaths)
+    out.deaths.emplace_back(node, std::max<Round>(0, round - elapsed));
+  out.jamZones.clear();
+  for (JamZone z : base.jamZones) {
+    if (z.toRound != std::numeric_limits<Round>::max()) {
+      if (z.toRound - elapsed <= 0) continue;  // interval already over
+      z.toRound -= elapsed;
+    }
+    z.fromRound = std::max<Round>(0, z.fromRound - elapsed);
+    out.jamZones.push_back(z);
+  }
+  return out;
+}
+
+void flushReliableMetrics(const ReliableBroadcastRun& run) {
+  if (!obs::enabled()) return;
+  auto& m = obs::globalMetrics();
+  m.counter("broadcast.reliable.runs").increment();
+  m.counter("broadcast.reliable.repair_rounds")
+      .increment(static_cast<std::uint64_t>(run.repairRoundsUsed));
+  m.counter("broadcast.reliable.nacks").increment(run.nacksSent);
+  m.counter("broadcast.reliable.retransmissions")
+      .increment(run.retransmissions);
+  m.counter("broadcast.reliable.residual_uncovered")
+      .increment(run.residualUncovered);
+  m.histogram("broadcast.reliable.repair_rounds_used",
+              obs::Histogram::exponentialBounds(6))
+      .observe(static_cast<double>(run.repairRoundsUsed));
+}
+
+}  // namespace
+
+ReliableBroadcastRun runReliableBroadcast(BroadcastScheme scheme,
+                                          const ClusterNet& net,
+                                          NodeId source,
+                                          std::uint64_t payload,
+                                          const ReliableOptions& options) {
+  DSN_REQUIRE(scheme != BroadcastScheme::kDfo,
+              "reliable mode needs a slotted flooding scheme (CFF/iCFF), "
+              "not the DFO token tour");
+  DSN_REQUIRE(options.maxRepairRounds >= 0,
+              "maxRepairRounds must be non-negative");
+  DSN_REQUIRE(options.responderKeepProbability > 0.0 &&
+                  options.responderKeepProbability <= 1.0,
+              "responderKeepProbability must be in (0,1]");
+  DSN_TIMED_PHASE("broadcast.reliable");
+
+  const Graph& g = net.graph();
+  ReliableBroadcastRun run;
+  run.wave = runBroadcast(scheme, net, source, payload, options.base);
+
+  // Intended = alive net nodes (a stale structure may still reference
+  // crashed ones; they are not reachable and not counted).
+  std::vector<NodeId> intended;
+  Depth maxDepth = 0;
+  for (NodeId v : net.netNodes()) {
+    if (!g.isAlive(v)) continue;
+    intended.push_back(v);
+    maxDepth = std::max(maxDepth, net.depth(v));
+  }
+  run.intended = intended.size();
+
+  run.deliveryRound = run.wave.deliveryRound;
+  run.deliveryRound.resize(g.size(), -1);
+  std::vector<char> covered(g.size(), 0);
+  for (NodeId v : intended)
+    if (run.deliveryRound[v] >= 0) covered[v] = 1;
+
+  Round elapsed = run.wave.sim.rounds;
+
+  const TimeSlot upWindow = net.rootMaxUpSlot();
+  for (int k = 0; k < options.maxRepairRounds; ++k) {
+    // A node already scheduled to be dead by now cannot be repaired;
+    // exclude it from the active uncovered set so it does not burn the
+    // remaining budget.
+    std::vector<NodeId> uncovered;
+    for (NodeId v : intended) {
+      if (covered[v]) continue;
+      bool deadNow = false;
+      for (const auto& [node, round] : options.base.deaths)
+        if (node == v && round <= elapsed) deadNow = true;
+      if (!deadNow) uncovered.push_back(v);
+    }
+    if (uncovered.empty()) break;
+
+    const ProtocolOptions opts = shiftedOptions(options.base, elapsed, k);
+    RepairProtocol::Config proto;
+    proto.window = upWindow == 0 ? 1 : upWindow;
+    proto.channels = opts.channels;
+    proto.subWindows = static_cast<int>(maxDepth) + 1;
+
+    SimConfig cfg;
+    cfg.channelCount = opts.channels;
+    cfg.traceCapacity = 0;
+    cfg.maxRounds = 2 * static_cast<Round>(proto.subWindows) *
+                    TdmMap(proto.window, proto.channels).windowLength();
+
+    RadioSimulator sim(g, cfg);
+    detail::applyFailures(sim, opts);
+
+    std::vector<RepairProtocol*> repairers(g.size(), nullptr);
+    for (NodeId v : intended) {
+      RepairProtocol::Config nc = proto;
+      nc.self = v;
+      nc.depth = net.depth(v);
+      nc.slot = net.upSlot(v) == kNoSlot ? 1 : net.upSlot(v);
+      nc.covered = covered[v] != 0;
+      nc.eligible = k == 0 || options.responderKeepProbability >= 1.0 ||
+                    hashCoin(options.base.failureSeed, v, k) <
+                        options.responderKeepProbability;
+      nc.payload = payload;
+      auto p = std::make_unique<RepairProtocol>(nc);
+      repairers[v] = p.get();
+      sim.setProtocol(v, std::move(p));
+    }
+
+    const SimResult result = sim.run();
+    ++run.repairRoundsUsed;
+
+    for (NodeId v : intended) {
+      const RepairProtocol* p = repairers[v];
+      if (!p) continue;
+      if (p->nackSent()) ++run.nacksSent;
+      if (p->responded()) ++run.retransmissions;
+      if (!covered[v] && p->hasPayload()) {
+        covered[v] = 1;
+        run.deliveryRound[v] = elapsed + p->payloadRound();
+      }
+    }
+    elapsed += result.rounds;
+  }
+
+  run.delivered = 0;
+  for (NodeId v : intended)
+    if (covered[v]) ++run.delivered;
+  run.residualUncovered = run.intended - run.delivered;
+  run.totalRounds = elapsed;
+  flushReliableMetrics(run);
+  return run;
+}
+
+}  // namespace dsn

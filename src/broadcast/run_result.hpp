@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "radio/simulator.hpp"
+#include "util/geometry.hpp"
 #include "util/types.hpp"
 
 namespace dsn {
@@ -21,6 +22,13 @@ struct ProtocolOptions {
   double dropProbability = 0.0;
   /// Scheduled node deaths (node, firstDeadRound).
   std::vector<std::pair<NodeId, Round>> deaths;
+  /// Gilbert–Elliott bursty loss; ignored unless burst.active().
+  BurstLossParams burst;
+  /// Spatial jamming zones. Require nodePositions to take effect.
+  std::vector<JamZone> jamZones;
+  /// Node positions (indexed by node id) for spatial jamming.
+  /// SensorNetwork fills this automatically when jamZones is non-empty.
+  std::vector<Point2D> nodePositions;
   /// Seed of the failure model's RNG (drop coin flips).
   std::uint64_t failureSeed = 0xFA11FA11ull;
   /// Event-trace capacity (0 = off).

@@ -14,6 +14,10 @@ inline void applyFailures(RadioSimulator& sim,
                           const ProtocolOptions& options) {
   sim.failures() = FailureModel(options.failureSeed);
   sim.failures().setDropProbability(options.dropProbability);
+  if (options.burst.active()) sim.failures().setBurstModel(options.burst);
+  for (const JamZone& z : options.jamZones) sim.failures().addJamZone(z);
+  if (!options.jamZones.empty() && !options.nodePositions.empty())
+    sim.failures().setPositions(options.nodePositions);
   for (const auto& [node, round] : options.deaths)
     sim.failures().killAt(node, round);
 }

@@ -280,6 +280,7 @@ class ClusterNet {
   void adjustRelayOnPath(NodeId from, GroupId g, int delta);
 
   friend class ClusterNetValidator;
+  friend class RecoveryManager;
 };
 
 }  // namespace dsn

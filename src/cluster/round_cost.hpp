@@ -31,10 +31,14 @@ struct RoundCost {
   std::int64_t repair = 0;
   /// Multicast group/relay-list maintenance on the root path.
   std::int64_t groupMaintenance = 0;
+  /// Slotted heartbeat rounds on the backbone (failure detection): one
+  /// u-slot window of head beacons plus one up-slot window of member
+  /// responses per sweep, whether or not anything is found dead.
+  std::int64_t heartbeat = 0;
 
   std::int64_t total() const {
     return attach + slotUpdate + rootPath + eulerTour + repair +
-           groupMaintenance;
+           groupMaintenance + heartbeat;
   }
 
   RoundCost& operator+=(const RoundCost& o) {
@@ -44,6 +48,7 @@ struct RoundCost {
     eulerTour += o.eulerTour;
     repair += o.repair;
     groupMaintenance += o.groupMaintenance;
+    heartbeat += o.heartbeat;
     return *this;
   }
 
@@ -54,6 +59,7 @@ struct RoundCost {
     a.eulerTour -= b.eulerTour;
     a.repair -= b.repair;
     a.groupMaintenance -= b.groupMaintenance;
+    a.heartbeat -= b.heartbeat;
     return a;
   }
 };

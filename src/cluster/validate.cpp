@@ -33,6 +33,20 @@ class Checker {
         fail() << "empty net but root is set to " << net_.root();
       return std::move(report_);
     }
+    // A stale structure — crash-dead nodes still referenced (DESIGN.md
+    // §10) — fails here and stops: every downstream check reads the
+    // graph view of each net node and assumes it is live.
+    bool stale = false;
+    flushingScope([&] {
+      for (NodeId v : nodes_) {
+        if (!g_.isAlive(v)) {
+          stale = true;
+          fail() << "net entry " << v
+                 << " is dead in the graph (crash not yet repaired)";
+        }
+      }
+    });
+    if (stale) return std::move(report_);
     checkTree();
     checkStatuses();
     checkProperty1();

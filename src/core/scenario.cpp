@@ -46,6 +46,15 @@ NodeId parseNode(int line, const std::string& word) {
   return static_cast<NodeId>(v);
 }
 
+double parseProbability(int line, const std::string& word,
+                        const char* what) {
+  const double p = parseNumber(line, word, what);
+  if (p < 0.0 || p > 1.0)
+    parseFail(line, std::string(what) + " must be in [0,1], got '" + word +
+                        "'");
+  return p;
+}
+
 }  // namespace
 
 std::vector<ScenarioEvent> parseScenario(std::istream& in) {
@@ -102,12 +111,89 @@ std::vector<ScenarioEvent> parseScenario(std::istream& in) {
           parseNumber(lineNo, b, "a group id"));
       ls >> c;
       e.multicastMode = parseMode(lineNo, c);
+    } else if (op == "rbroadcast") {
+      e.kind = ScenarioEvent::Kind::kReliableBroadcast;
+      if (!(ls >> a)) parseFail(lineNo, "rbroadcast needs a source");
+      e.node = a == "random" ? kInvalidNode : parseNode(lineNo, a);
+      ls >> b;
+      e.scheme = parseScheme(lineNo, b);
+      if (e.scheme == BroadcastScheme::kDfo)
+        parseFail(lineNo, "rbroadcast needs a slotted scheme (cff | icff)");
+      if (ls >> c) {
+        const double budget = parseNumber(lineNo, c, "a repair budget");
+        if (budget < 0 || budget != static_cast<double>(
+                                        static_cast<int>(budget)))
+          parseFail(lineNo, "invalid repair budget '" + c + "'");
+        e.repairBudget = static_cast<int>(budget);
+      }
     } else if (op == "gather") {
       e.kind = ScenarioEvent::Kind::kGather;
     } else if (op == "compact") {
       e.kind = ScenarioEvent::Kind::kCompact;
     } else if (op == "validate") {
       e.kind = ScenarioEvent::Kind::kValidate;
+    } else if (op == "crash") {
+      e.kind = ScenarioEvent::Kind::kCrash;
+      if (!(ls >> a)) parseFail(lineNo, "crash needs a node id");
+      e.node = parseNode(lineNo, a);
+      if (ls >> b) {
+        const double r = parseNumber(lineNo, b, "a round");
+        if (r <= 0 || r != static_cast<double>(static_cast<Round>(r)))
+          parseFail(lineNo, "crash round must be a positive integer, got '" +
+                                b + "'");
+        e.round = static_cast<Round>(r);
+      }
+    } else if (op == "faults") {
+      e.kind = ScenarioEvent::Kind::kFaults;
+      if (!(ls >> a)) parseFail(lineNo, "faults needs a regime spec");
+      if (a == "none") {
+        e.faultKind = ScenarioEvent::FaultKind::kNone;
+      } else if (a == "drop") {
+        e.faultKind = ScenarioEvent::FaultKind::kDrop;
+        if (!(ls >> b)) parseFail(lineNo, "faults drop needs a probability");
+        e.dropProbability = parseProbability(lineNo, b, "drop probability");
+      } else if (a == "burst") {
+        e.faultKind = ScenarioEvent::FaultKind::kBurst;
+        std::string w1, w2, w3;
+        if (!(ls >> w1 >> w2 >> w3))
+          parseFail(lineNo, "faults burst needs pEnter pExit dropBurst");
+        e.burst.pEnterBurst = parseProbability(lineNo, w1, "pEnter");
+        e.burst.pExitBurst = parseProbability(lineNo, w2, "pExit");
+        if (e.burst.pEnterBurst <= 0.0)
+          parseFail(lineNo, "pEnter must be positive (use 'faults none' to "
+                            "disable)");
+        if (e.burst.pExitBurst <= 0.0)
+          parseFail(lineNo, "pExit must be positive");
+        e.burst.dropBurst = parseProbability(lineNo, w3, "dropBurst");
+        if (std::string w4; ls >> w4)
+          e.burst.dropGood = parseProbability(lineNo, w4, "dropGood");
+      } else if (a == "jam") {
+        e.faultKind = ScenarioEvent::FaultKind::kJam;
+        std::string w1, w2, w3;
+        if (!(ls >> w1 >> w2 >> w3))
+          parseFail(lineNo, "faults jam needs x y radius");
+        e.jam.center = {parseNumber(lineNo, w1, "x"),
+                        parseNumber(lineNo, w2, "y")};
+        e.jam.radius = parseNumber(lineNo, w3, "a radius");
+        if (e.jam.radius <= 0.0)
+          parseFail(lineNo, "jam radius must be positive, got '" + w3 + "'");
+        if (std::string w4; ls >> w4) {
+          const double from = parseNumber(lineNo, w4, "a start round");
+          if (from < 0) parseFail(lineNo, "jam start round must be >= 0");
+          e.jam.fromRound = static_cast<Round>(from);
+          if (std::string w5; ls >> w5) {
+            const double to = parseNumber(lineNo, w5, "an end round");
+            if (to <= from)
+              parseFail(lineNo, "jam interval must be non-empty");
+            e.jam.toRound = static_cast<Round>(to);
+          }
+        }
+      } else {
+        parseFail(lineNo, "unknown fault regime '" + a +
+                              "' (drop | burst | jam | none)");
+      }
+    } else if (op == "repair") {
+      e.kind = ScenarioEvent::Kind::kRepair;
     } else {
       parseFail(lineNo, "unknown event '" + op + "'");
     }
@@ -130,6 +216,10 @@ ScenarioOutcome runScenario(SensorNetwork& net,
                             const ScenarioOptions& options) {
   ScenarioOutcome out;
   Rng rng(options.seed);
+  // Fault regimes installed by `faults` events (and radio deaths from
+  // scheduled `crash` events) accumulate here and apply to every later
+  // communication event.
+  ProtocolOptions effective = options.protocol;
 
   auto note = [&out](std::ostringstream& os) {
     out.log.push_back(os.str());
@@ -187,7 +277,7 @@ ScenarioOutcome runScenario(SensorNetwork& net,
         const NodeId source =
             e.node == kInvalidNode ? net.randomNode(rng) : e.node;
         const auto run =
-            net.broadcast(e.scheme, source, 0xB0CA57, options.protocol);
+            net.broadcast(e.scheme, source, 0xB0CA57, effective);
         ++out.broadcasts;
         out.worstCoverage = std::min(out.worstCoverage, run.coverage());
         collectTrace(run.trace);
@@ -198,8 +288,7 @@ ScenarioOutcome runScenario(SensorNetwork& net,
       }
       case ScenarioEvent::Kind::kMulticast: {
         const auto run = net.multicast(e.node, e.group, 0x0CA57,
-                                       e.multicastMode,
-                                       options.protocol);
+                                       e.multicastMode, effective);
         ++out.multicasts;
         out.worstCoverage = std::min(out.worstCoverage, run.coverage());
         collectTrace(run.trace);
@@ -212,7 +301,7 @@ ScenarioOutcome runScenario(SensorNetwork& net,
         std::vector<std::uint64_t> values(net.graph().size(), 0);
         for (NodeId v : net.clusterNet().netNodes()) values[v] = v;
         const auto result =
-            runConvergecast(net.clusterNet(), values, options.protocol);
+            runConvergecast(net.clusterNet(), values, effective);
         ++out.gathers;
         out.worstYield = std::min(out.worstYield, result.yield());
         collectTrace(result.trace);
@@ -232,11 +321,84 @@ ScenarioOutcome runScenario(SensorNetwork& net,
         os << "validate -> " << (validateNow() ? "ok" : "VIOLATION");
         break;
       }
+      case ScenarioEvent::Kind::kReliableBroadcast: {
+        const NodeId source =
+            e.node == kInvalidNode ? net.randomNode(rng) : e.node;
+        ReliableOptions ropt;
+        ropt.base = effective;
+        ropt.maxRepairRounds = e.repairBudget;
+        const auto run =
+            net.reliableBroadcast(e.scheme, source, 0xB0CA57, ropt);
+        ++out.reliableBroadcasts;
+        out.worstCoverage = std::min(out.worstCoverage, run.coverage());
+        collectTrace(run.wave.trace);
+        os << "rbroadcast " << toString(e.scheme) << " from " << source
+           << " -> coverage " << run.coverage() << " (wave "
+           << run.wave.coverage() << ") in " << run.totalRounds
+           << " rounds, " << run.repairRoundsUsed << " repair, "
+           << run.retransmissions << " retx";
+        break;
+      }
+      case ScenarioEvent::Kind::kCrash: {
+        if (e.round > 0) {
+          // Radio-level death: applies inside every later simulator run.
+          effective.deaths.emplace_back(e.node, e.round);
+          os << "crash " << e.node << " @r" << e.round
+             << " (radio deaths now " << effective.deaths.size() << ")";
+        } else {
+          DSN_REQUIRE(net.graph().isAlive(e.node),
+                      "scenario: crash of node not deployed");
+          net.crashSensor(e.node);
+          ++out.crashes;
+          os << "crash " << e.node << " -> structure "
+             << (net.hasStaleStructure() ? "stale" : "clean");
+        }
+        break;
+      }
+      case ScenarioEvent::Kind::kFaults: {
+        switch (e.faultKind) {
+          case ScenarioEvent::FaultKind::kNone:
+            effective.dropProbability = 0.0;
+            effective.burst = BurstLossParams{};
+            effective.jamZones.clear();
+            effective.nodePositions.clear();
+            os << "faults none";
+            break;
+          case ScenarioEvent::FaultKind::kDrop:
+            effective.dropProbability = e.dropProbability;
+            os << "faults drop p=" << e.dropProbability;
+            break;
+          case ScenarioEvent::FaultKind::kBurst:
+            effective.burst = e.burst;
+            os << "faults burst enter=" << e.burst.pEnterBurst
+               << " exit=" << e.burst.pExitBurst;
+            break;
+          case ScenarioEvent::FaultKind::kJam:
+            effective.jamZones.push_back(e.jam);
+            os << "faults jam (" << e.jam.center.x << "," << e.jam.center.y
+               << ") r=" << e.jam.radius;
+            break;
+        }
+        break;
+      }
+      case ScenarioEvent::Kind::kRepair: {
+        const auto report = net.repairAfterFailures();
+        ++out.repairs;
+        os << "repair -> pruned " << report.staleRemoved << " reattached "
+           << report.reattached << " orphans " << report.orphaned
+           << " rounds " << report.cost.total()
+           << (report.rootReseeded ? " (root reseeded)" : "");
+        break;
+      }
     }
     note(os);
     ++out.eventsExecuted;
+    // Implicit validation is suspended while crashes have left the
+    // structure stale (every invariant check would fail by design until
+    // a `repair` event runs); an explicit `validate` line still reports.
     if (options.validateEachStep &&
-        e.kind != ScenarioEvent::Kind::kValidate) {
+        e.kind != ScenarioEvent::Kind::kValidate &&
+        !net.hasStaleStructure()) {
       validateNow();
     }
   }

@@ -14,10 +14,22 @@
 //   ungroup 17 3
 //   broadcast 0 icff            # source 0; schemes: dfo | cff | icff
 //   broadcast random dfo        # uniformly random source
+//   rbroadcast 0 icff 8         # reliable broadcast (budget optional)
 //   multicast 0 3 pruned        # source, group, pruned | flood
 //   gather                      # convergecast wave (value = node id)
 //   compact                     # slot compaction sweep
 //   validate                    # explicit invariant check
+//   crash 42                    # uncooperative death (structure stale)
+//   crash 42 7                  # radio death at round 7 of later runs
+//   faults drop 0.1             # i.i.d. transmission loss
+//   faults burst 0.05 0.5 0.9   # Gilbert-Elliott (+ optional dropGood)
+//   faults jam 500 500 120      # jam disk (+ optional from to rounds)
+//   faults none                 # clear all fault regimes
+//   repair                      # heartbeat + prune + re-attach pass
+//
+// While crashed nodes leave the structure stale, the implicit per-event
+// validation is suspended (an explicit `validate` line still reports the
+// violation); a `repair` event restores the invariants.
 #pragma once
 
 #include <iosfwd>
@@ -37,11 +49,18 @@ struct ScenarioEvent {
     kJoinGroup,
     kLeaveGroup,
     kBroadcast,
+    kReliableBroadcast,
     kMulticast,
     kGather,
     kCompact,
     kValidate,
+    kCrash,
+    kFaults,
+    kRepair,
   };
+
+  /// Which fault regime a kFaults event installs.
+  enum class FaultKind { kNone, kDrop, kBurst, kJam };
 
   Kind kind{};
   NodeId node = kInvalidNode;  ///< kInvalidNode on broadcast = random
@@ -49,6 +68,16 @@ struct ScenarioEvent {
   GroupId group = kNoGroup;
   BroadcastScheme scheme = BroadcastScheme::kImprovedCff;
   MulticastMode multicastMode = MulticastMode::kPrunedRelay;
+  /// kCrash: 0 = immediate structural crash; > 0 = radio-level death at
+  /// this round of every later communication event.
+  Round round = 0;
+  /// kReliableBroadcast: repair-round budget.
+  int repairBudget = 8;
+  // kFaults payload:
+  FaultKind faultKind = FaultKind::kNone;
+  double dropProbability = 0.0;
+  BurstLossParams burst;
+  JamZone jam;
   int sourceLine = 0;  ///< for error reporting
 };
 
@@ -63,8 +92,11 @@ struct ScenarioOutcome {
   std::vector<std::string> log;
   std::size_t eventsExecuted = 0;
   std::size_t broadcasts = 0;
+  std::size_t reliableBroadcasts = 0;
   std::size_t multicasts = 0;
   std::size_t gathers = 0;
+  std::size_t crashes = 0;
+  std::size_t repairs = 0;
   double worstCoverage = 1.0;
   double worstYield = 1.0;
   /// False when any (implicit or explicit) validation failed; the first

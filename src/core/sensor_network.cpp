@@ -1,5 +1,6 @@
 #include "core/sensor_network.hpp"
 
+#include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
 
@@ -31,7 +32,8 @@ std::vector<Point2D> makePoints(const NetworkConfig& cfg) {
 SensorNetwork::SensorNetwork(const NetworkConfig& config)
     : points_(makePoints(config)),
       range_(config.range),
-      index_(config.range) {
+      index_(config.range),
+      autoRepair_(config.autoRepair) {
   buildFromPoints(config.cluster);
 }
 
@@ -141,6 +143,16 @@ MoveOutReport SensorNetwork::withdrawSensor(NodeId v) {
   return net_->withdraw(v);
 }
 
+void SensorNetwork::crashSensor(NodeId v) {
+  DSN_REQUIRE(graph_->isAlive(v), "crashSensor: node not deployed");
+  // No move-out protocol: the node just disappears from the radio field.
+  // The cluster structure is untouched and now references a dead node.
+  if (index_.contains(v)) index_.remove(v);
+  graph_->removeNode(v);
+  if (obs::enabled()) obs::globalMetrics().counter("core.crashes").increment();
+  if (autoRepair_) repairAfterFailures();
+}
+
 bool SensorNetwork::rejoinSensor(NodeId v) {
   DSN_REQUIRE(graph_->isAlive(v), "rejoinSensor: node not deployed");
   DSN_REQUIRE(!net_->contains(v), "rejoinSensor: node already in net");
@@ -155,17 +167,38 @@ bool SensorNetwork::rejoinSensor(NodeId v) {
   return canJoin;
 }
 
+ProtocolOptions SensorNetwork::withPositions(
+    const ProtocolOptions& options) const {
+  if (options.jamZones.empty() || !options.nodePositions.empty())
+    return options;
+  ProtocolOptions filled = options;
+  filled.nodePositions.resize(graph_->size());
+  for (NodeId v = 0; v < graph_->size(); ++v) {
+    if (index_.contains(v)) filled.nodePositions[v] = index_.position(v);
+  }
+  return filled;
+}
+
 BroadcastRun SensorNetwork::broadcast(BroadcastScheme scheme, NodeId source,
                                       std::uint64_t payload,
                                       const ProtocolOptions& options) const {
-  return runBroadcast(scheme, *net_, source, payload, options);
+  return runBroadcast(scheme, *net_, source, payload, withPositions(options));
 }
 
 BroadcastRun SensorNetwork::multicast(NodeId source, GroupId group,
                                       std::uint64_t payload,
                                       MulticastMode mode,
                                       const ProtocolOptions& options) const {
-  return runMulticast(*net_, source, group, payload, mode, options);
+  return runMulticast(*net_, source, group, payload, mode,
+                      withPositions(options));
+}
+
+ReliableBroadcastRun SensorNetwork::reliableBroadcast(
+    BroadcastScheme scheme, NodeId source, std::uint64_t payload,
+    const ReliableOptions& options) const {
+  ReliableOptions filled = options;
+  filled.base = withPositions(options.base);
+  return runReliableBroadcast(scheme, *net_, source, payload, filled);
 }
 
 NodeId SensorNetwork::randomNode(Rng& rng) const {

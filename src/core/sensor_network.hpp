@@ -18,9 +18,11 @@
 #include <optional>
 #include <vector>
 
+#include "broadcast/reliable.hpp"
 #include "broadcast/runner.hpp"
 #include "cluster/backbone.hpp"
 #include "cluster/cnet.hpp"
+#include "cluster/recovery.hpp"
 #include "cluster/validate.hpp"
 #include "graph/deploy.hpp"
 #include "graph/unit_disk.hpp"
@@ -44,6 +46,10 @@ struct NetworkConfig {
   std::uint64_t seed = 1;
   DeploymentKind deployment = DeploymentKind::kIncrementalAttach;
   ClusterNetConfig cluster;
+  /// Run repairAfterFailures() automatically after every crashSensor().
+  /// Off by default: batching several crashes into one repair pass is
+  /// both cheaper and the realistic failure-detection cadence.
+  bool autoRepair = false;
 };
 
 class SensorNetwork {
@@ -81,6 +87,26 @@ class SensorNetwork {
   /// whether it entered the net.
   bool rejoinSensor(NodeId v);
 
+  // ---- Crash faults & recovery (DESIGN.md §10) ----
+
+  /// Uncooperative death: the sensor vanishes from the deployment and the
+  /// graph *without* the move-out protocol running — the cluster
+  /// structure keeps referencing it and goes stale (validate() fails)
+  /// until repairAfterFailures() runs. With NetworkConfig::autoRepair the
+  /// repair pass follows immediately.
+  void crashSensor(NodeId v);
+
+  /// True while the structure references crashed (graph-dead) nodes.
+  bool hasStaleStructure() const {
+    return RecoveryManager(*net_).hasStaleEntries();
+  }
+
+  /// Heartbeat-detect + prune + re-attach + slot-repair pass; afterwards
+  /// validate() passes again. See RecoveryManager.
+  RecoveryReport repairAfterFailures() {
+    return RecoveryManager(*net_).repair();
+  }
+
   /// Relocates a deployed sensor: withdraws it from the structure
   /// (its subtree re-homes), rewires its unit-disk edges for the new
   /// position, and re-joins it where possible. Returns whether the node
@@ -99,6 +125,14 @@ class SensorNetwork {
                          std::uint64_t payload,
                          MulticastMode mode = MulticastMode::kPrunedRelay,
                          const ProtocolOptions& options = {}) const;
+
+  /// Reliable broadcast: the plain wave followed by NACK-driven repair
+  /// rounds until every reachable node holds the payload or the retry
+  /// budget is spent (DESIGN.md §10). Scheme must be a flooding scheme
+  /// (CFF/iCFF), not the token tour.
+  ReliableBroadcastRun reliableBroadcast(
+      BroadcastScheme scheme, NodeId source, std::uint64_t payload,
+      const ReliableOptions& options = {}) const;
 
   void joinGroup(NodeId v, GroupId g) { net_->joinGroup(v, g); }
   void leaveGroup(NodeId v, GroupId g) { net_->leaveGroup(v, g); }
@@ -126,8 +160,12 @@ class SensorNetwork {
   std::unique_ptr<Graph> graph_;
   std::unique_ptr<ClusterNet> net_;
   UnitDiskIndex index_;
+  bool autoRepair_ = false;
 
   void buildFromPoints(const ClusterNetConfig& clusterConfig);
+  /// Copies `options`, filling nodePositions from the deployment when jam
+  /// zones are present but positions were not supplied.
+  ProtocolOptions withPositions(const ProtocolOptions& options) const;
 };
 
 }  // namespace dsn

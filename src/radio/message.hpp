@@ -21,6 +21,7 @@ enum class MsgKind : std::uint8_t {
   kData,     ///< broadcast/multicast payload being flooded
   kToken,    ///< DFO Eulerian token (payload rides along)
   kControl,  ///< structure/bookkeeping traffic (source-to-root relays)
+  kNack,     ///< reliable-broadcast repair request (missing payload)
 };
 
 /// One radio frame.

@@ -19,6 +19,7 @@ void flushRunMetrics(const SimResult& r) {
   m.counter("sim.deliveries").increment(r.totalDeliveries);
   m.counter("sim.collisions").increment(r.totalCollisions);
   m.counter("sim.dropped_transmissions").increment(r.droppedTransmissions);
+  m.counter("sim.jammed_losses").increment(r.jammedLosses);
   m.counter("sim.rounds").increment(static_cast<std::uint64_t>(r.rounds));
   m.histogram("sim.rounds_executed",
               obs::Histogram::exponentialBounds(20))
@@ -89,8 +90,16 @@ SimResult RadioSimulator::run() {
 
       if (actions[v].type == Action::Type::kTransmit) {
         energy_.recordTransmit(v);
-        if (failures_.dropProbability() > 0.0 &&
-            failures_.dropsTransmission()) {
+        if (failures_.isJammed(v, r)) {
+          // Energy spent, frame smothered by the jammer.
+          ++result.jammedLosses;
+          trace_.record(TraceEvent{TraceEventType::kJammedTransmit, r, v,
+                                   kInvalidNode, actions[v].channel,
+                                   actions[v].message.kind});
+          actions[v] = Action::sleep();
+          continue;
+        }
+        if (failures_.hasTransientLoss() && failures_.dropsTransmission()) {
           // Energy spent, nothing on air.
           ++result.droppedTransmissions;
           trace_.record(TraceEvent{TraceEventType::kDroppedTransmit, r, v,
@@ -122,6 +131,11 @@ SimResult RadioSimulator::run() {
     // Phase 3: deliver.
     for (const auto& d : outcome.deliveries) {
       if (failures_.isDead(d.receiver, r)) continue;
+      if (failures_.isJammed(d.receiver, r)) {
+        // The jammer drowns out reception too.
+        ++result.jammedLosses;
+        continue;
+      }
       energy_.recordReceive(d.receiver);
       const Message& m = actions[d.transmitter].message;
       trace_.record(TraceEvent{TraceEventType::kReceive, r, d.receiver,

@@ -41,6 +41,8 @@ struct SimResult {
   std::size_t totalDeliveries = 0;
   std::size_t totalCollisions = 0;
   std::size_t droppedTransmissions = 0;
+  /// Transmissions and deliveries lost to active jamming zones.
+  std::size_t jammedLosses = 0;
 };
 
 /// Owns the protocols and runs the round loop.

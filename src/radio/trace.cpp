@@ -21,6 +21,8 @@ const char* typeName(TraceEventType t) {
       return "node_death";
     case TraceEventType::kDroppedTransmit:
       return "dropped_transmit";
+    case TraceEventType::kJammedTransmit:
+      return "jammed_transmit";
   }
   return "?";
 }
@@ -33,6 +35,8 @@ const char* kindName(MsgKind k) {
       return "token";
     case MsgKind::kControl:
       return "control";
+    case MsgKind::kNack:
+      return "nack";
   }
   return "?";
 }
@@ -74,6 +78,9 @@ std::string Trace::describe(const TraceEvent& e) {
       break;
     case TraceEventType::kDroppedTransmit:
       os << "DROP node=" << e.node << " ch=" << e.channel;
+      break;
+    case TraceEventType::kJammedTransmit:
+      os << "JAM  node=" << e.node << " ch=" << e.channel;
       break;
   }
   return os.str();

@@ -21,6 +21,7 @@ enum class TraceEventType : std::uint8_t {
   kCollision,
   kNodeDeath,
   kDroppedTransmit,
+  kJammedTransmit,
 };
 
 struct TraceEvent {

@@ -19,8 +19,12 @@ TEST(ExportTest, DotContainsAllNodesAndTreeEdges) {
   const std::string dot = toDot(net);
   EXPECT_NE(dot.find("graph cnet {"), std::string::npos);
   for (NodeId v = 0; v < 4; ++v) {
-    EXPECT_NE(dot.find("n" + std::to_string(v) + " ["), std::string::npos)
-        << "node " << v;
+    // Built via append (not operator+) to sidestep a GCC 12 -Wrestrict
+    // false positive (PR105329) in the inlined string concatenation.
+    std::string needle = "n";
+    needle += std::to_string(v);
+    needle += " [";
+    EXPECT_NE(dot.find(needle), std::string::npos) << "node " << v;
   }
   // Every non-root contributes one tree edge line "nP -- nC;".
   std::size_t treeEdges = 0;

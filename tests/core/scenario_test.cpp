@@ -138,5 +138,132 @@ TEST(ScenarioRunnerTest, LeaveOfOutsiderThrows) {
                PreconditionError);
 }
 
+// ---- robustness events ----
+
+TEST(ScenarioParserTest, ParsesRobustnessEvents) {
+  const auto events = parseScenario(
+      "crash 7\n"
+      "crash 8 12\n"
+      "faults drop 0.25\n"
+      "faults burst 0.05 0.5 0.9 0.01\n"
+      "faults jam 500 400 120 3 9\n"
+      "faults none\n"
+      "repair\n"
+      "rbroadcast 0 icff 6\n"
+      "rbroadcast random cff\n");
+  ASSERT_EQ(events.size(), 9u);
+  EXPECT_EQ(events[0].kind, ScenarioEvent::Kind::kCrash);
+  EXPECT_EQ(events[0].node, 7u);
+  EXPECT_EQ(events[0].round, 0);  // immediate structural crash
+  EXPECT_EQ(events[1].round, 12);
+  EXPECT_EQ(events[2].faultKind, ScenarioEvent::FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(events[2].dropProbability, 0.25);
+  EXPECT_EQ(events[3].faultKind, ScenarioEvent::FaultKind::kBurst);
+  EXPECT_DOUBLE_EQ(events[3].burst.pEnterBurst, 0.05);
+  EXPECT_DOUBLE_EQ(events[3].burst.pExitBurst, 0.5);
+  EXPECT_DOUBLE_EQ(events[3].burst.dropBurst, 0.9);
+  EXPECT_DOUBLE_EQ(events[3].burst.dropGood, 0.01);
+  EXPECT_EQ(events[4].faultKind, ScenarioEvent::FaultKind::kJam);
+  EXPECT_DOUBLE_EQ(events[4].jam.center.x, 500.0);
+  EXPECT_DOUBLE_EQ(events[4].jam.radius, 120.0);
+  EXPECT_EQ(events[4].jam.fromRound, 3);
+  EXPECT_EQ(events[4].jam.toRound, 9);
+  EXPECT_EQ(events[5].faultKind, ScenarioEvent::FaultKind::kNone);
+  EXPECT_EQ(events[6].kind, ScenarioEvent::Kind::kRepair);
+  EXPECT_EQ(events[7].kind, ScenarioEvent::Kind::kReliableBroadcast);
+  EXPECT_EQ(events[7].repairBudget, 6);
+  EXPECT_EQ(events[8].node, kInvalidNode);
+  EXPECT_EQ(events[8].repairBudget, 8);  // default budget
+}
+
+TEST(ScenarioParserTest, RobustnessEventErrorsRejected) {
+  EXPECT_THROW(parseScenario("crash\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("crash x\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("crash 3 0\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("crash 3 -2\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("crash 3 1.5\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("faults\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("faults fire\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("faults drop\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("faults drop 1.5\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("faults drop -0.1\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("faults burst 0.1 0.5\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("faults burst 0 0.5 0.9\n"),
+               PreconditionError);
+  EXPECT_THROW(parseScenario("faults burst 0.1 0 0.9\n"),
+               PreconditionError);
+  EXPECT_THROW(parseScenario("faults jam 10 10\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("faults jam 10 10 0\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("rbroadcast 0 dfo\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("rbroadcast 0 icff -1\n"),
+               PreconditionError);
+  EXPECT_THROW(parseScenario("repair extra\n"), PreconditionError);
+}
+
+TEST(ScenarioRunnerTest, CrashRepairRestoresValidity) {
+  auto net = makeNet();
+  const auto outcome = runScenario(net, parseScenario(
+      "crash 11\n"
+      "crash 23\n"
+      "repair\n"
+      "validate\n"
+      "broadcast 0 icff\n"));
+  EXPECT_TRUE(outcome.valid) << outcome.firstViolation;
+  EXPECT_EQ(outcome.crashes, 2u);
+  EXPECT_EQ(outcome.repairs, 1u);
+  EXPECT_FALSE(net.hasStaleStructure());
+}
+
+TEST(ScenarioRunnerTest, ImplicitValidationSuspendedWhileStale) {
+  auto net = makeNet();
+  // Without the suspension the `group` event after the crash would trip
+  // the per-event invariant check and poison the outcome.
+  const auto outcome = runScenario(net, parseScenario(
+      "crash 11\n"
+      "group 5 1\n"
+      "repair\n"));
+  EXPECT_TRUE(outcome.valid) << outcome.firstViolation;
+}
+
+TEST(ScenarioRunnerTest, ExplicitValidateStillReportsStaleness) {
+  auto net = makeNet();
+  const auto outcome = runScenario(net, parseScenario(
+      "crash 11\n"
+      "validate\n"
+      "repair\n"));
+  EXPECT_FALSE(outcome.valid);
+  EXPECT_FALSE(outcome.firstViolation.empty());
+}
+
+TEST(ScenarioRunnerTest, FaultsEventsShapeLaterRuns) {
+  auto net = makeNet();
+  const auto lossy = runScenario(net, parseScenario(
+      "faults drop 1.0\n"
+      "broadcast 0 icff\n"));
+  EXPECT_LT(lossy.worstCoverage, 0.1);
+
+  auto net2 = makeNet();
+  const auto cleared = runScenario(net2, parseScenario(
+      "faults drop 1.0\n"
+      "faults none\n"
+      "broadcast 0 icff\n"));
+  EXPECT_DOUBLE_EQ(cleared.worstCoverage, 1.0);
+}
+
+TEST(ScenarioRunnerTest, ReliableBroadcastRepairsDropLoss) {
+  auto net = makeNet();
+  const auto outcome = runScenario(net, parseScenario(
+      "faults drop 0.2\n"
+      "rbroadcast 0 icff 30\n"));
+  EXPECT_EQ(outcome.reliableBroadcasts, 1u);
+  EXPECT_DOUBLE_EQ(outcome.worstCoverage, 1.0);
+}
+
+TEST(ScenarioRunnerTest, CrashOfUndeployedNodeThrows) {
+  auto net = makeNet();
+  EXPECT_THROW(runScenario(net, parseScenario("crash 9999\n")),
+               PreconditionError);
+}
+
 }  // namespace
 }  // namespace dsn

@@ -5,9 +5,13 @@
 //
 //   wsn_sim [--nodes N] [--seed S] [--field UNITS] [--range METERS]
 //           [--drop P] [--channels K] [--scenario FILE | -]
-//           [--trials T] [--jobs N]
+//           [--trials T] [--jobs N] [--auto-repair]
 //           [--metrics-json FILE] [--trace-out FILE] [--trace-cap N]
 //           [--quiet]
+//
+// --auto-repair runs the crash-recovery pass immediately after every
+// `crash` scenario event instead of waiting for an explicit `repair`
+// line (see DESIGN.md §10).
 //
 // --metrics-json enables the telemetry layer for the run and writes a
 // dsnet-run-v1 JSON document (config, outcome, metrics registry
@@ -57,6 +61,7 @@ struct CliOptions {
   std::size_t traceCap = 1 << 16;  ///< per protocol run
   int trials = 1;
   int jobs = 1;  ///< 0 = hardware concurrency
+  bool autoRepair = false;
   bool quiet = false;
 };
 
@@ -64,7 +69,7 @@ void usage(std::ostream& os) {
   os << "usage: wsn_sim [--nodes N] [--seed S] [--field UNITS]\n"
         "               [--range METERS] [--drop P] [--channels K]\n"
         "               [--scenario FILE|-] [--dot FILE]\n"
-        "               [--trials T] [--jobs N]\n"
+        "               [--trials T] [--jobs N] [--auto-repair]\n"
         "               [--metrics-json FILE] [--trace-out FILE]\n"
         "               [--trace-cap N] [--quiet]\n";
 }
@@ -131,6 +136,8 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       if (!v) return false;
       opt.traceCap = std::strtoul(v, nullptr, 10);
       if (opt.traceCap == 0) return false;
+    } else if (arg == "--auto-repair") {
+      opt.autoRepair = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -158,6 +165,14 @@ multicast 0 1 pruned
 compact
 validate
 broadcast random icff
+# robustness: crash two nodes, repair, reliable re-broadcast under loss
+crash 11
+crash 23
+repair
+validate
+faults drop 0.15
+rbroadcast random icff 6
+faults none
 )";
 
 /// Per-trial deployment/scenario stream for --trials mode: the same
@@ -178,6 +193,7 @@ dsn::NetworkConfig networkConfigFor(const CliOptions& opt,
   cfg.seed = seed;
   cfg.field = dsn::Field::squareUnits(opt.fieldUnits);
   cfg.range = opt.range;
+  cfg.autoRepair = opt.autoRepair;
   return cfg;
 }
 
@@ -217,8 +233,11 @@ dsn::ScenarioOutcome runReplicated(
       agg.log.push_back("[trial " + std::to_string(t) + "] " + line);
     agg.eventsExecuted += one.eventsExecuted;
     agg.broadcasts += one.broadcasts;
+    agg.reliableBroadcasts += one.reliableBroadcasts;
     agg.multicasts += one.multicasts;
     agg.gathers += one.gathers;
+    agg.crashes += one.crashes;
+    agg.repairs += one.repairs;
     agg.worstCoverage = std::min(agg.worstCoverage, one.worstCoverage);
     agg.worstYield = std::min(agg.worstYield, one.worstYield);
     if (!one.valid && agg.valid) {
@@ -256,8 +275,12 @@ std::string runDocumentJson(const CliOptions& opt,
   w.key("outcome").beginObject();
   w.kv("events", static_cast<std::uint64_t>(outcome.eventsExecuted));
   w.kv("broadcasts", static_cast<std::uint64_t>(outcome.broadcasts));
+  w.kv("reliable_broadcasts",
+       static_cast<std::uint64_t>(outcome.reliableBroadcasts));
   w.kv("multicasts", static_cast<std::uint64_t>(outcome.multicasts));
   w.kv("gathers", static_cast<std::uint64_t>(outcome.gathers));
+  w.kv("crashes", static_cast<std::uint64_t>(outcome.crashes));
+  w.kv("repairs", static_cast<std::uint64_t>(outcome.repairs));
   w.kv("worst_coverage", outcome.worstCoverage);
   w.kv("worst_yield", outcome.worstYield);
   w.kv("valid", outcome.valid);
@@ -392,8 +415,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "events=" << outcome.eventsExecuted
             << " broadcasts=" << outcome.broadcasts
+            << " rbroadcasts=" << outcome.reliableBroadcasts
             << " multicasts=" << outcome.multicasts
             << " gathers=" << outcome.gathers
+            << " crashes=" << outcome.crashes
+            << " repairs=" << outcome.repairs
             << " worst-coverage=" << outcome.worstCoverage
             << " worst-yield=" << outcome.worstYield
             << " valid=" << (outcome.valid ? "yes" : "NO") << "\n";
