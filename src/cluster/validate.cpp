@@ -13,11 +13,29 @@ namespace dsn {
 
 std::string ValidationReport::summary() const {
   std::ostringstream os;
-  for (std::size_t i = 0; i < errors.size(); ++i) {
+  for (std::size_t i = 0; i < violations.size(); ++i) {
     if (i) os << '\n';
-    os << errors[i];
+    os << violations[i].message;
   }
   return os.str();
+}
+
+bool ValidationReport::has(std::string_view cls) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const ValidationIssue& v) { return v.cls == cls; });
+}
+
+std::size_t ValidationReport::countOf(std::string_view cls) const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(),
+                    [&](const ValidationIssue& v) { return v.cls == cls; }));
+}
+
+std::vector<NodeId> ValidationReport::nodesOf(std::string_view cls) const {
+  std::vector<NodeId> out;
+  for (const ValidationIssue& v : violations)
+    if (v.cls == cls) out.push_back(v.node);
+  return out;
 }
 
 namespace {
@@ -30,19 +48,24 @@ class Checker {
     nodes_ = net_.netNodes();
     if (nodes_.empty()) {
       if (net_.root() != kInvalidNode)
-        fail() << "empty net but root is set to " << net_.root();
+        fail("empty-net") << "empty net but root is set to " << net_.root();
+      flush();
       return std::move(report_);
     }
     // A stale structure — crash-dead nodes still referenced (DESIGN.md
-    // §10) — fails here and stops: every downstream check reads the
-    // graph view of each net node and assumes it is live.
+    // §10) — is reported entry by entry and stops here: every downstream
+    // check reads the graph view of each net node and assumes it is
+    // live. The per-entry issues let recovery tooling (and the fuzz
+    // harness) see exactly which ids went stale instead of one opaque
+    // first-failure string.
     bool stale = false;
     flushingScope([&] {
       for (NodeId v : nodes_) {
         if (!g_.isAlive(v)) {
           stale = true;
-          fail() << "net entry " << v
-                 << " is dead in the graph (crash not yet repaired)";
+          fail("stale-entry", v)
+              << "net entry " << v
+              << " is dead in the graph (crash not yet repaired)";
         }
       }
     });
@@ -62,20 +85,26 @@ class Checker {
   std::vector<NodeId> nodes_;
   ValidationReport report_;
 
-  // fail() starts a new error message; the text streamed into the
-  // returned stream is committed by the next fail() or scope end.
-  std::ostringstream& fail() {
+  // fail() starts a new issue of class `cls` at `node`; the text
+  // streamed into the returned stream is committed by the next fail()
+  // or scope end.
+  std::ostringstream& fail(std::string cls, NodeId node = kInvalidNode) {
     flush();
     active_ = true;
+    pendingCls_ = std::move(cls);
+    pendingNode_ = node;
     pending_.str("");
     pending_.clear();
     return pending_;
   }
   std::ostringstream pending_;
+  std::string pendingCls_;
+  NodeId pendingNode_ = kInvalidNode;
   bool active_ = false;
   void flush() {
     if (active_) {
-      report_.errors.push_back(pending_.str());
+      report_.violations.push_back(
+          ValidationIssue{pendingCls_, pendingNode_, pending_.str()});
       active_ = false;
     }
   }
@@ -84,12 +113,12 @@ class Checker {
     flushingScope([&] {
       const NodeId root = net_.root();
       if (root == kInvalidNode || !net_.contains(root)) {
-        fail() << "root missing or not in net";
+        fail("tree") << "root missing or not in net";
         return;
       }
       if (net_.parent(root) != kInvalidNode)
-        fail() << "root has a parent";
-      if (net_.depth(root) != 0) fail() << "root depth is not 0";
+        fail("tree", root) << "root has a parent";
+      if (net_.depth(root) != 0) fail("tree", root) << "root depth is not 0";
 
       std::size_t reached = 0;
       std::queue<NodeId> q;
@@ -102,19 +131,19 @@ class Checker {
         int childHeightMax = -1;
         for (NodeId c : net_.children(v)) {
           if (!net_.contains(c)) {
-            fail() << "child " << c << " of " << v << " not in net";
+            fail("tree", c) << "child " << c << " of " << v << " not in net";
             continue;
           }
           if (net_.parent(c) != v)
-            fail() << "child " << c << " has parent " << net_.parent(c)
-                   << " != " << v;
+            fail("tree", c) << "child " << c << " has parent "
+                            << net_.parent(c) << " != " << v;
           if (net_.depth(c) != net_.depth(v) + 1)
-            fail() << "depth of " << c << " is not parent depth + 1";
+            fail("tree", c) << "depth of " << c << " is not parent depth + 1";
           if (!g_.hasEdge(v, c))
-            fail() << "tree edge (" << v << "," << c
-                   << ") is not a graph edge";
+            fail("tree", c) << "tree edge (" << v << "," << c
+                            << ") is not a graph edge";
           if (!seen.insert(c).second) {
-            fail() << "node " << c << " reached twice (cycle?)";
+            fail("tree", c) << "node " << c << " reached twice (cycle?)";
             continue;
           }
           childHeightMax =
@@ -122,56 +151,59 @@ class Checker {
           q.push(c);
         }
         if (net_.heightOf(v) != childHeightMax + 1)
-          fail() << "height of " << v << " is " << net_.heightOf(v)
-                 << ", expected " << childHeightMax + 1;
+          fail("tree", v) << "height of " << v << " is " << net_.heightOf(v)
+                          << ", expected " << childHeightMax + 1;
       }
       if (reached != nodes_.size())
-        fail() << "only " << reached << " of " << nodes_.size()
-               << " net nodes reachable from root";
+        fail("tree") << "only " << reached << " of " << nodes_.size()
+                     << " net nodes reachable from root";
     });
   }
 
   void checkStatuses() {
     flushingScope([&] {
       if (net_.status(net_.root()) != NodeStatus::kClusterHead)
-        fail() << "root is not a cluster head";
+        fail("status", net_.root()) << "root is not a cluster head";
       for (NodeId v : nodes_) {
         const NodeStatus s = net_.status(v);
         const NodeId p = net_.parent(v);
         switch (s) {
           case NodeStatus::kPureMember:
             if (!net_.children(v).empty())
-              fail() << "pure member " << v << " has children";
+              fail("status", v) << "pure member " << v << " has children";
             if (p == kInvalidNode ||
                 net_.status(p) != NodeStatus::kClusterHead)
-              fail() << "pure member " << v
-                     << " is not attached to a cluster head";
+              fail("status", v) << "pure member " << v
+                                << " is not attached to a cluster head";
             break;
           case NodeStatus::kGateway:
             if (p == kInvalidNode ||
                 net_.status(p) != NodeStatus::kClusterHead)
-              fail() << "gateway " << v
-                     << " is not attached to a cluster head";
+              fail("status", v) << "gateway " << v
+                                << " is not attached to a cluster head";
             for (NodeId c : net_.children(v))
               if (net_.status(c) != NodeStatus::kClusterHead)
-                fail() << "gateway " << v << " has non-head child " << c;
+                fail("status", v)
+                    << "gateway " << v << " has non-head child " << c;
             // A gateway may legitimately end up childless after a
             // node-move-out re-homed its former subtree.
             break;
           case NodeStatus::kClusterHead:
             if (p != kInvalidNode &&
                 net_.status(p) != NodeStatus::kGateway)
-              fail() << "head " << v << " has non-gateway parent " << p;
+              fail("status", v)
+                  << "head " << v << " has non-gateway parent " << p;
             break;
         }
         // Backbone alternation by depth parity (paper, after Property 1).
         if (isBackboneStatus(s)) {
           const bool even = net_.depth(v) % 2 == 0;
           if (even && s != NodeStatus::kClusterHead)
-            fail() << "backbone node " << v << " at even depth is not a head";
+            fail("status", v)
+                << "backbone node " << v << " at even depth is not a head";
           if (!even && s != NodeStatus::kGateway)
-            fail() << "backbone node " << v
-                   << " at odd depth is not a gateway";
+            fail("status", v) << "backbone node " << v
+                              << " at odd depth is not a gateway";
         }
       }
     });
@@ -184,8 +216,9 @@ class Checker {
       for (NodeId h : heads)
         for (NodeId u : g_.neighbors(h))
           if (headSet.count(u) && u > h)
-            fail() << "heads " << h << " and " << u
-                   << " are adjacent in G (Property 1(2))";
+            fail("head-adjacency", h)
+                << "heads " << h << " and " << u
+                << " are adjacent in G (Property 1(2))";
       // Heads dominate the net nodes.
       for (NodeId v : nodes_) {
         if (headSet.count(v)) continue;
@@ -193,7 +226,8 @@ class Checker {
             std::any_of(g_.neighbors(v).begin(), g_.neighbors(v).end(),
                         [&](NodeId u) { return headSet.count(u) != 0; });
         if (!dominated)
-          fail() << "node " << v << " is not dominated by any head";
+          fail("domination", v)
+              << "node " << v << " is not dominated by any head";
       }
     });
   }
@@ -211,38 +245,46 @@ class Checker {
         const NodeStatus s = net_.status(v);
         if (s == NodeStatus::kPureMember) {
           if (!net_.lConditionHolds(v))
-            fail() << "Time-Slot Condition (l) violated at member " << v;
+            fail("slot-condition", v)
+                << "Time-Slot Condition (l) violated at member " << v;
         } else if (v != net_.root()) {
           if (!net_.bConditionHolds(v))
-            fail() << "Time-Slot Condition (b) violated at backbone node "
-                   << v;
+            fail("slot-condition", v)
+                << "Time-Slot Condition (b) violated at backbone node " << v;
         }
         if (v != net_.root() && !net_.uConditionHolds(v))
-          fail() << "Time-Slot Condition 1 (u) violated at node " << v;
+          fail("slot-condition", v)
+              << "Time-Slot Condition 1 (u) violated at node " << v;
         if (v != net_.root()) {
           if (net_.upSlot(v) == kNoSlot)
-            fail() << "node " << v << " has no convergecast up-slot";
+            fail("slot-condition", v)
+                << "node " << v << " has no convergecast up-slot";
           else if (!net_.upConditionHolds(v))
-            fail() << "convergecast up-slot condition violated at node "
-                   << v;
+            fail("slot-condition", v)
+                << "convergecast up-slot condition violated at node " << v;
           if (net_.upSlot(v) > peakSquareBound)
-            fail() << "up-slot of " << v << " (" << net_.upSlot(v)
-                   << ") exceeds the D^2+1 bound " << peakSquareBound;
+            fail("slot-bound", v)
+                << "up-slot of " << v << " (" << net_.upSlot(v)
+                << ") exceeds the D^2+1 bound " << peakSquareBound;
         }
         if (isBackboneStatus(s)) {
           if (net_.bSlot(v) != kNoSlot && net_.bSlot(v) > peakPairBound)
-            fail() << "b-slot of " << v << " (" << net_.bSlot(v)
-                   << ") exceeds Lemma 3 bound " << peakPairBound;
+            fail("slot-bound", v)
+                << "b-slot of " << v << " (" << net_.bSlot(v)
+                << ") exceeds Lemma 3 bound " << peakPairBound;
           if (net_.lSlot(v) != kNoSlot && net_.lSlot(v) > peakPairBound)
-            fail() << "l-slot of " << v << " (" << net_.lSlot(v)
-                   << ") exceeds Lemma 3 bound " << peakPairBound;
+            fail("slot-bound", v)
+                << "l-slot of " << v << " (" << net_.lSlot(v)
+                << ") exceeds Lemma 3 bound " << peakPairBound;
           if (net_.uSlot(v) != kNoSlot && net_.uSlot(v) > peakPairBound)
-            fail() << "u-slot of " << v << " (" << net_.uSlot(v)
-                   << ") exceeds the D(D+1)/2+1 bound " << peakPairBound;
+            fail("slot-bound", v)
+                << "u-slot of " << v << " (" << net_.uSlot(v)
+                << ") exceeds the D(D+1)/2+1 bound " << peakPairBound;
         } else {
           if (net_.bSlot(v) != kNoSlot || net_.lSlot(v) != kNoSlot ||
               net_.uSlot(v) != kNoSlot)
-            fail() << "pure member " << v << " carries a time-slot";
+            fail("slot-bound", v) << "pure member " << v
+                                  << " carries a time-slot";
         }
       }
     });
@@ -251,18 +293,21 @@ class Checker {
   void checkRootKnowledge() {
     flushingScope([&] {
       if (net_.rootMaxBSlot() < net_.trueMaxBSlot())
-        fail() << "root's delta (" << net_.rootMaxBSlot()
-               << ") below true max b-slot (" << net_.trueMaxBSlot() << ")";
+        fail("root-knowledge", net_.root())
+            << "root's delta (" << net_.rootMaxBSlot()
+            << ") below true max b-slot (" << net_.trueMaxBSlot() << ")";
       if (net_.rootMaxLSlot() < net_.trueMaxLSlot())
-        fail() << "root's Delta (" << net_.rootMaxLSlot()
-               << ") below true max l-slot (" << net_.trueMaxLSlot() << ")";
+        fail("root-knowledge", net_.root())
+            << "root's Delta (" << net_.rootMaxLSlot()
+            << ") below true max l-slot (" << net_.trueMaxLSlot() << ")";
       if (net_.rootMaxUSlot() < net_.trueMaxUSlot())
-        fail() << "root's Algorithm-1 window (" << net_.rootMaxUSlot()
-               << ") below true max u-slot (" << net_.trueMaxUSlot() << ")";
+        fail("root-knowledge", net_.root())
+            << "root's Algorithm-1 window (" << net_.rootMaxUSlot()
+            << ") below true max u-slot (" << net_.trueMaxUSlot() << ")";
       if (net_.rootMaxUpSlot() < net_.trueMaxUpSlot())
-        fail() << "root's gather window (" << net_.rootMaxUpSlot()
-               << ") below true max up-slot (" << net_.trueMaxUpSlot()
-               << ")";
+        fail("root-knowledge", net_.root())
+            << "root's gather window (" << net_.rootMaxUpSlot()
+            << ") below true max up-slot (" << net_.trueMaxUpSlot() << ")";
     });
   }
 
@@ -285,8 +330,9 @@ class Checker {
         const std::map<GroupId, int> empty;
         const auto& want = it == expected.end() ? empty : it->second;
         if (have != want)
-          fail() << "relay counts at node " << v
-                 << " do not match descendant memberships";
+          fail("relay-count", v)
+              << "relay counts at node " << v
+              << " do not match descendant memberships";
       }
     });
   }

@@ -1,5 +1,7 @@
 #include "core/scenario.hpp"
 
+#include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "broadcast/convergecast.hpp"
@@ -209,6 +211,124 @@ std::vector<ScenarioEvent> parseScenario(std::istream& in) {
 std::vector<ScenarioEvent> parseScenario(const std::string& text) {
   std::istringstream in(text);
   return parseScenario(in);
+}
+
+namespace {
+
+// %.17g keeps a format/parse round trip value-exact for doubles.
+std::string fmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const char* schemeWord(BroadcastScheme s) {
+  switch (s) {
+    case BroadcastScheme::kDfo: return "dfo";
+    case BroadcastScheme::kCff: return "cff";
+    case BroadcastScheme::kImprovedCff: return "icff";
+  }
+  return "icff";
+}
+
+}  // namespace
+
+std::string formatScenarioEvent(const ScenarioEvent& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case ScenarioEvent::Kind::kJoin:
+      os << "join " << fmtDouble(e.position.x) << ' '
+         << fmtDouble(e.position.y);
+      break;
+    case ScenarioEvent::Kind::kLeave:
+      os << "leave " << e.node;
+      break;
+    case ScenarioEvent::Kind::kMove:
+      os << "move " << e.node << ' ' << fmtDouble(e.position.x) << ' '
+         << fmtDouble(e.position.y);
+      break;
+    case ScenarioEvent::Kind::kJoinGroup:
+      os << "group " << e.node << ' ' << e.group;
+      break;
+    case ScenarioEvent::Kind::kLeaveGroup:
+      os << "ungroup " << e.node << ' ' << e.group;
+      break;
+    case ScenarioEvent::Kind::kBroadcast:
+      os << "broadcast ";
+      if (e.node == kInvalidNode)
+        os << "random";
+      else
+        os << e.node;
+      os << ' ' << schemeWord(e.scheme);
+      break;
+    case ScenarioEvent::Kind::kReliableBroadcast:
+      os << "rbroadcast ";
+      if (e.node == kInvalidNode)
+        os << "random";
+      else
+        os << e.node;
+      os << ' ' << schemeWord(e.scheme) << ' ' << e.repairBudget;
+      break;
+    case ScenarioEvent::Kind::kMulticast:
+      os << "multicast " << e.node << ' ' << e.group << ' '
+         << (e.multicastMode == MulticastMode::kFullFlood ? "flood"
+                                                          : "pruned");
+      break;
+    case ScenarioEvent::Kind::kGather:
+      os << "gather";
+      break;
+    case ScenarioEvent::Kind::kCompact:
+      os << "compact";
+      break;
+    case ScenarioEvent::Kind::kValidate:
+      os << "validate";
+      break;
+    case ScenarioEvent::Kind::kCrash:
+      os << "crash " << e.node;
+      if (e.round > 0) os << ' ' << e.round;
+      break;
+    case ScenarioEvent::Kind::kFaults:
+      os << "faults ";
+      switch (e.faultKind) {
+        case ScenarioEvent::FaultKind::kNone:
+          os << "none";
+          break;
+        case ScenarioEvent::FaultKind::kDrop:
+          os << "drop " << fmtDouble(e.dropProbability);
+          break;
+        case ScenarioEvent::FaultKind::kBurst:
+          os << "burst " << fmtDouble(e.burst.pEnterBurst) << ' '
+             << fmtDouble(e.burst.pExitBurst) << ' '
+             << fmtDouble(e.burst.dropBurst);
+          if (e.burst.dropGood != 0.0)
+            os << ' ' << fmtDouble(e.burst.dropGood);
+          break;
+        case ScenarioEvent::FaultKind::kJam:
+          os << "jam " << fmtDouble(e.jam.center.x) << ' '
+             << fmtDouble(e.jam.center.y) << ' ' << fmtDouble(e.jam.radius);
+          if (e.jam.fromRound != 0 ||
+              e.jam.toRound != std::numeric_limits<Round>::max()) {
+            os << ' ' << e.jam.fromRound;
+            if (e.jam.toRound != std::numeric_limits<Round>::max())
+              os << ' ' << e.jam.toRound;
+          }
+          break;
+      }
+      break;
+    case ScenarioEvent::Kind::kRepair:
+      os << "repair";
+      break;
+  }
+  return os.str();
+}
+
+std::string formatScenario(const std::vector<ScenarioEvent>& events) {
+  std::string out;
+  for (const auto& e : events) {
+    out += formatScenarioEvent(e);
+    out += '\n';
+  }
+  return out;
 }
 
 ScenarioOutcome runScenario(SensorNetwork& net,

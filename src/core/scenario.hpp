@@ -86,6 +86,19 @@ struct ScenarioEvent {
 std::vector<ScenarioEvent> parseScenario(std::istream& in);
 std::vector<ScenarioEvent> parseScenario(const std::string& text);
 
+/// Inverse of parseScenario: renders one event as a single scenario
+/// line (no trailing newline). Doubles print with %.17g so a
+/// format/parse round trip is value-exact; optional tails (rbroadcast
+/// budget, crash round, jam interval) are emitted only when they differ
+/// from the parse defaults. The shrinker uses this to export minimized
+/// fuzz programs as replayable `.wsn` files.
+std::string formatScenarioEvent(const ScenarioEvent& event);
+
+/// Renders a whole program, one event per line, each line terminated
+/// with '\n'. parseScenario(formatScenario(events)) reproduces `events`
+/// (up to sourceLine numbering).
+std::string formatScenario(const std::vector<ScenarioEvent>& events);
+
 /// Aggregate outcome of a scenario run.
 struct ScenarioOutcome {
   /// One line per executed event (human-readable).

@@ -1,0 +1,151 @@
+#include "testkit/program.hpp"
+
+#include "testkit/seeds.hpp"
+#include "util/rng.hpp"
+
+namespace dsn::testkit {
+
+const char* toString(OpKind k) {
+  switch (k) {
+    case OpKind::kJoin: return "join";
+    case OpKind::kLeave: return "leave";
+    case OpKind::kCrash: return "crash";
+    case OpKind::kFaultFlip: return "faults";
+    case OpKind::kRepair: return "repair";
+    case OpKind::kBroadcast: return "broadcast";
+    case OpKind::kReliableBroadcast: return "rbroadcast";
+    case OpKind::kMulticast: return "multicast";
+  }
+  return "?";
+}
+
+namespace {
+
+BroadcastScheme pickScheme(Rng& rng) {
+  switch (rng.uniform(3)) {
+    case 0: return BroadcastScheme::kDfo;
+    case 1: return BroadcastScheme::kCff;
+    default: return BroadcastScheme::kImprovedCff;
+  }
+}
+
+FuzzOp makeFaultFlip(Rng& rng, double fieldMeters, double range) {
+  FuzzOp op;
+  op.kind = OpKind::kFaultFlip;
+  op.faultRegime = static_cast<int>(rng.uniform(4));
+  switch (op.faultRegime) {
+    case 0:
+      break;  // clear all regimes
+    case 1:
+      op.dropProbability = rng.uniformReal(0.02, 0.3);
+      break;
+    case 2:
+      op.burst.pEnterBurst = rng.uniformReal(0.02, 0.2);
+      op.burst.pExitBurst = rng.uniformReal(0.2, 0.8);
+      op.burst.dropBurst = rng.uniformReal(0.5, 1.0);
+      op.burst.dropGood = rng.chance(0.5) ? rng.uniformReal(0.0, 0.05) : 0.0;
+      break;
+    case 3:
+      op.jam.center = {rng.uniformReal(0.0, fieldMeters),
+                       rng.uniformReal(0.0, fieldMeters)};
+      op.jam.radius = rng.uniformReal(range * 0.5, range * 2.0);
+      break;
+  }
+  return op;
+}
+
+}  // namespace
+
+FuzzProgram generateProgram(const GeneratorKnobs& knobs,
+                            std::uint64_t episodeSeed) {
+  Rng rng(opsSeed(episodeSeed));
+
+  FuzzProgram p;
+  p.seed = episodeSeed;
+  p.fieldUnits = knobs.fieldUnits;
+  p.range = knobs.range;
+  p.nodeCount =
+      knobs.minNodes +
+      static_cast<std::size_t>(
+          rng.uniform(knobs.maxNodes - knobs.minNodes + 1));
+  const std::size_t opCount =
+      knobs.minOps +
+      static_cast<std::size_t>(rng.uniform(knobs.maxOps - knobs.minOps + 1));
+  const double fieldMeters = knobs.fieldUnits * 100.0;
+
+  // The generator tracks a coarse stale-structure model: after a crash
+  // the net references a dead node until a repair runs, and the
+  // structure-mutating ops (join/leave/multicast membership) are only
+  // defined on a clean structure. The executor re-checks and skips
+  // defensively — shrinking can delete the crash but keep the repair —
+  // but a generator that mostly emits runnable ops explores much more
+  // behaviour per episode.
+  bool stale = false;
+  while (p.ops.size() < opCount) {
+    FuzzOp op;
+    // Weighted mix over the runnable kinds for the current model state.
+    const std::uint64_t w = rng.uniform(100);
+    if (stale) {
+      if (w < 35) {
+        op.kind = OpKind::kRepair;
+        stale = false;
+      } else if (w < 55) {
+        op.kind = OpKind::kBroadcast;
+        op.pick = rng.next();
+        op.scheme = pickScheme(rng);
+      } else if (w < 70) {
+        op.kind = OpKind::kReliableBroadcast;
+        op.pick = rng.next();
+        op.scheme = rng.chance(0.5) ? BroadcastScheme::kCff
+                                    : BroadcastScheme::kImprovedCff;
+        op.repairBudget = static_cast<int>(2 + rng.uniform(5));
+      } else if (w < 85) {
+        op.kind = OpKind::kCrash;
+        op.pick = rng.next();
+      } else {
+        op = makeFaultFlip(rng, fieldMeters, knobs.range);
+      }
+    } else {
+      if (w < 15) {
+        op.kind = OpKind::kJoin;
+        op.position = {rng.uniformReal(0.0, fieldMeters),
+                       rng.uniformReal(0.0, fieldMeters)};
+      } else if (w < 27) {
+        op.kind = OpKind::kLeave;
+        op.pick = rng.next();
+      } else if (w < 37) {
+        op.kind = OpKind::kCrash;
+        op.pick = rng.next();
+        stale = true;
+      } else if (w < 47) {
+        op = makeFaultFlip(rng, fieldMeters, knobs.range);
+      } else if (w < 72) {
+        op.kind = OpKind::kBroadcast;
+        op.pick = rng.next();
+        op.scheme = pickScheme(rng);
+      } else if (w < 84) {
+        op.kind = OpKind::kReliableBroadcast;
+        op.pick = rng.next();
+        op.scheme = rng.chance(0.5) ? BroadcastScheme::kCff
+                                    : BroadcastScheme::kImprovedCff;
+        op.repairBudget = static_cast<int>(2 + rng.uniform(5));
+      } else {
+        op.kind = OpKind::kMulticast;
+        op.pick = rng.next();
+        op.group = static_cast<GroupId>(rng.uniform(3));
+        op.memberPick = rng.next();
+      }
+    }
+    p.ops.push_back(op);
+  }
+  // Never leave an episode stale: a trailing repair makes the final
+  // structural cross-check meaningful for every generated program.
+  if (stale) {
+    FuzzOp op;
+    op.kind = OpKind::kRepair;
+    p.ops.push_back(op);
+  }
+  return p;
+}
+
+}  // namespace dsn::testkit

@@ -1,0 +1,80 @@
+// Random op-program generator for the fuzz harness.
+//
+// A FuzzProgram is a seeded random deployment (connected by
+// construction, via deployIncrementalAttach) plus a sequence of dynamic
+// ops — joins, leaves, crashes, fault-regime flips, repairs, and
+// broadcast/multicast requests. Node references inside ops are stored as
+// raw 64-bit picks and resolved `pick % |candidates|` at execution time,
+// so deleting ops or shrinking the node count never invalidates a
+// program — the key property the shrinker relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/runner.hpp"
+#include "radio/failure.hpp"
+#include "util/geometry.hpp"
+#include "util/types.hpp"
+
+namespace dsn::testkit {
+
+enum class OpKind : std::uint8_t {
+  kJoin,               ///< node-move-in at a random field position
+  kLeave,              ///< node-move-out of a random net node
+  kCrash,              ///< uncooperative death (structure goes stale)
+  kFaultFlip,          ///< install/clear a failure regime
+  kRepair,             ///< heartbeat + prune + re-attach pass
+  kBroadcast,          ///< broadcast request (run differentially)
+  kReliableBroadcast,  ///< reliable broadcast vs its own plain wave
+  kMulticast,          ///< multicast request (flood vs pruned)
+};
+
+const char* toString(OpKind k);
+
+/// One dynamic op. Only the fields its kind reads are meaningful.
+struct FuzzOp {
+  OpKind kind{};
+  /// Node selector: resolved against the alive net nodes at execution.
+  std::uint64_t pick = 0;
+  Point2D position{};  ///< kJoin
+  BroadcastScheme scheme = BroadcastScheme::kImprovedCff;
+  /// kFaultFlip: 0 = none, 1 = drop, 2 = burst, 3 = jam.
+  int faultRegime = 0;
+  double dropProbability = 0.0;
+  BurstLossParams burst{};
+  JamZone jam{};
+  GroupId group = 0;             ///< kMulticast
+  std::uint64_t memberPick = 0;  ///< kMulticast: membership fill
+  int repairBudget = 4;          ///< kReliableBroadcast
+};
+
+/// Size/density/mix knobs of the generator.
+struct GeneratorKnobs {
+  std::size_t minNodes = 24;
+  std::size_t maxNodes = 96;
+  /// Field edge in paper units of 100 m. 4 (400 m x 400 m at 50 m range)
+  /// keeps small deployments dense enough to grow real multi-depth
+  /// backbones.
+  int fieldUnits = 4;
+  double range = 50.0;
+  std::size_t minOps = 6;
+  std::size_t maxOps = 28;
+};
+
+/// A generated (or shrunk) episode input: deployment + op sequence.
+struct FuzzProgram {
+  /// Episode seed — root of every derived stream (testkit/seeds.hpp).
+  std::uint64_t seed = 0;
+  std::size_t nodeCount = 0;
+  int fieldUnits = 4;
+  double range = 50.0;
+  std::vector<FuzzOp> ops;
+};
+
+/// Generates the program of the episode with root seed `episodeSeed`.
+/// Deterministic: same knobs + seed => identical program.
+FuzzProgram generateProgram(const GeneratorKnobs& knobs,
+                            std::uint64_t episodeSeed);
+
+}  // namespace dsn::testkit

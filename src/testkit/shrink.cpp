@@ -1,0 +1,119 @@
+#include "testkit/shrink.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "testkit/seeds.hpp"
+#include "util/error.hpp"
+
+namespace dsn::testkit {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const FuzzProgram& failing, const EpisodeOptions& options)
+      : options_(options), best_(failing) {}
+
+  ShrinkResult run() {
+    bestResult_ = episode(best_);
+    DSN_REQUIRE(!bestResult_.ok,
+                "shrinkProgram: the input program does not fail");
+
+    deletionPass();
+    bisectNodeCount();
+    deletionPass();  // node removal can unlock further op deletions
+
+    ShrinkResult out;
+    out.program = best_;
+    out.failure = bestResult_;
+    out.episodesRun = episodesRun_;
+    out.scenarioText = renderScenario();
+    return out;
+  }
+
+ private:
+  const EpisodeOptions& options_;
+  FuzzProgram best_;
+  EpisodeResult bestResult_;
+  std::size_t episodesRun_ = 0;
+
+  EpisodeResult episode(const FuzzProgram& p) {
+    ++episodesRun_;
+    return runEpisode(p, options_);
+  }
+
+  /// Tries `candidate`; adopts it when it still fails.
+  bool tryAdopt(const FuzzProgram& candidate) {
+    EpisodeResult r = episode(candidate);
+    if (r.ok) return false;
+    best_ = candidate;
+    bestResult_ = std::move(r);
+    return true;
+  }
+
+  /// ddmin-style chunked op deletion, iterated to a fixpoint.
+  void deletionPass() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t chunk = std::max<std::size_t>(best_.ops.size() / 2, 1);
+           chunk >= 1; chunk /= 2) {
+        for (std::size_t at = 0; at < best_.ops.size();) {
+          FuzzProgram candidate = best_;
+          const std::size_t end = std::min(at + chunk, candidate.ops.size());
+          candidate.ops.erase(candidate.ops.begin() + static_cast<long>(at),
+                              candidate.ops.begin() + static_cast<long>(end));
+          if (tryAdopt(candidate)) {
+            progress = true;  // same `at` now addresses the next chunk
+          } else {
+            at += chunk;
+          }
+        }
+        if (chunk == 1) break;
+      }
+    }
+  }
+
+  /// Smallest node count that still fails. Sound because the deployment
+  /// at count m is a prefix of the deployment at count n > m (same
+  /// deploy seed); non-monotone failures merely make the result
+  /// suboptimal, never wrong (every adopted candidate re-ran and failed).
+  void bisectNodeCount() {
+    std::size_t lo = 2, hi = best_.nodeCount;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      FuzzProgram candidate = best_;
+      candidate.nodeCount = mid;
+      if (tryAdopt(candidate)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+
+  std::string renderScenario() const {
+    std::ostringstream os;
+    os << "# dsnet fuzz failure (minimized)\n";
+    os << "# class: " << bestResult_.failureClass << "\n";
+    os << "# " << bestResult_.message << "\n";
+    os << "# episode seed: " << best_.seed << "\n";
+    os << "# replay: wsn_sim --nodes " << best_.nodeCount << " --seed "
+       << deploySeed(best_.seed) << " --field " << best_.fieldUnits
+       << " --range " << best_.range << " --scenario <this file>\n";
+    os << "# (wsn_sim replays the op sequence; the oracle battery itself\n";
+    os << "#  reruns with: wsn_fuzz --replay-seed " << best_.seed << ")\n";
+    os << formatScenario(bestResult_.executed);
+    return os.str();
+  }
+};
+
+}  // namespace
+
+ShrinkResult shrinkProgram(const FuzzProgram& failing,
+                           const EpisodeOptions& options) {
+  return Shrinker(failing, options).run();
+}
+
+}  // namespace dsn::testkit

@@ -1,0 +1,43 @@
+// Failing-episode minimizer.
+//
+// Given a program whose episode fails an oracle, the shrinker searches
+// for a smaller program that still fails:
+//
+//   1. op deletion — a ddmin-style pass removing chunks of ops (chunk
+//      size n/2, n/4, ... 1), iterated to a fixpoint;
+//   2. node-count bisection — deployIncrementalAttach draws positions
+//      node by node from one seeded stream, so the same deploy seed with
+//      a smaller count yields a prefix of the same deployment; the
+//      shrinker binary-searches the smallest count that still fails;
+//   3. a final single-op deletion sweep.
+//
+// Any oracle failure counts as "still failing" (the classic shrink
+// convention: the minimal reproduction may trip a different — usually
+// more fundamental — check than the original).
+//
+// The result carries a replayable .wsn scenario (concrete node ids, with
+// a header documenting the seeds and the wsn_sim replay command) plus
+// the minimized program for exact in-harness replay.
+#pragma once
+
+#include "testkit/episode.hpp"
+
+namespace dsn::testkit {
+
+struct ShrinkResult {
+  /// The minimized program (still failing).
+  FuzzProgram program;
+  /// Outcome of the minimized program's episode.
+  EpisodeResult failure;
+  /// Episodes executed while shrinking (the search cost).
+  std::size_t episodesRun = 0;
+  /// Replayable `.wsn` scenario text of the minimized episode.
+  std::string scenarioText;
+};
+
+/// Minimizes `failing` (whose episode must fail under `options`;
+/// precondition checked). Deterministic.
+ShrinkResult shrinkProgram(const FuzzProgram& failing,
+                           const EpisodeOptions& options = {});
+
+}  // namespace dsn::testkit

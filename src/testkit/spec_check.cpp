@@ -1,0 +1,373 @@
+#include "testkit/spec_check.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dsn::testkit {
+
+namespace {
+
+class SpecChecker {
+ public:
+  explicit SpecChecker(const ClusterNet& net) : net_(net), g_(net.graph()) {}
+
+  std::vector<SpecIssue> run() {
+    nodes_ = net_.netNodes();
+    if (nodes_.empty()) {
+      if (net_.root() != kInvalidNode)
+        add("spec-root", kInvalidNode, "empty net with a root set");
+      return std::move(issues_);
+    }
+    bool stale = false;
+    for (NodeId v : nodes_) {
+      if (!g_.isAlive(v)) {
+        stale = true;
+        std::ostringstream os;
+        os << "net references graph-dead node " << v;
+        add("spec-stale", v, os.str());
+      }
+    }
+    if (stale) return std::move(issues_);
+    inNet_.assign(g_.size(), false);
+    for (NodeId v : nodes_) inNet_[v] = true;
+    checkTree();
+    checkStatuses();
+    checkProperty1();
+    checkSlotPresence();
+    checkFloodConflicts();
+    checkUpConflicts();
+    checkWindows();
+    return std::move(issues_);
+  }
+
+ private:
+  const ClusterNet& net_;
+  const Graph& g_;
+  std::vector<NodeId> nodes_;
+  std::vector<bool> inNet_;
+  std::vector<SpecIssue> issues_;
+
+  void add(const char* cls, NodeId node, std::string message) {
+    issues_.push_back(SpecIssue{cls, node, std::move(message)});
+  }
+
+  // Depth of v re-derived by walking its parent chain (not net.depth).
+  // Returns -1 on a cycle or a chain that never reaches the root.
+  int chainDepth(NodeId v) const {
+    int d = 0;
+    NodeId u = v;
+    while (u != net_.root()) {
+      u = net_.parent(u);
+      if (u == kInvalidNode || ++d > static_cast<int>(nodes_.size()))
+        return -1;
+    }
+    return d;
+  }
+
+  void checkTree() {
+    const NodeId root = net_.root();
+    if (root == kInvalidNode || !net_.contains(root)) {
+      add("spec-tree", root, "no root in a non-empty net");
+      return;
+    }
+    if (net_.parent(root) != kInvalidNode)
+      add("spec-tree", root, "root has a parent");
+    for (NodeId v : nodes_) {
+      const NodeId p = net_.parent(v);
+      if (v != root) {
+        if (p == kInvalidNode || !net_.contains(p)) {
+          std::ostringstream os;
+          os << "non-root node " << v << " has no parent in the net";
+          add("spec-tree", v, os.str());
+          continue;
+        }
+        // Parent link must be a real radio edge and must be mirrored in
+        // the parent's child list.
+        if (!g_.hasEdge(p, v)) {
+          std::ostringstream os;
+          os << "tree link " << p << "->" << v << " is not an edge of G";
+          add("spec-tree", v, os.str());
+        }
+        const auto& pc = net_.children(p);
+        if (std::find(pc.begin(), pc.end(), v) == pc.end()) {
+          std::ostringstream os;
+          os << "node " << v << " missing from children of its parent "
+             << p;
+          add("spec-tree", v, os.str());
+        }
+      }
+      for (NodeId c : net_.children(v)) {
+        if (!net_.contains(c) || net_.parent(c) != v) {
+          std::ostringstream os;
+          os << "child list of " << v << " holds " << c
+             << " whose parent link disagrees";
+          add("spec-tree", v, os.str());
+        }
+      }
+      const int d = chainDepth(v);
+      if (d < 0) {
+        std::ostringstream os;
+        os << "parent chain of " << v << " never reaches the root";
+        add("spec-tree", v, os.str());
+      } else if (d != net_.depth(v)) {
+        std::ostringstream os;
+        os << "stored depth of " << v << " (" << net_.depth(v)
+           << ") != parent-chain length " << d;
+        add("spec-tree", v, os.str());
+      }
+    }
+  }
+
+  void checkStatuses() {
+    const NodeId root = net_.root();
+    if (net_.status(root) != NodeStatus::kClusterHead)
+      add("spec-status", root, "root is not a cluster-head");
+    for (NodeId v : nodes_) {
+      const NodeStatus s = net_.status(v);
+      const NodeId p = net_.parent(v);
+      const bool parentHead =
+          p != kInvalidNode && net_.status(p) == NodeStatus::kClusterHead;
+      std::ostringstream os;
+      switch (s) {
+        case NodeStatus::kPureMember:
+          if (!net_.children(v).empty()) {
+            os << "pure-member " << v << " is not a leaf";
+            add("spec-status", v, os.str());
+          } else if (!parentHead) {
+            os << "pure-member " << v << " not hanging off a head";
+            add("spec-status", v, os.str());
+          }
+          break;
+        case NodeStatus::kGateway:
+          if (!parentHead) {
+            os << "gateway " << v << " not hanging off a head";
+            add("spec-status", v, os.str());
+          }
+          for (NodeId c : net_.children(v))
+            if (net_.status(c) != NodeStatus::kClusterHead) {
+              std::ostringstream o2;
+              o2 << "gateway " << v << " has non-head child " << c;
+              add("spec-status", v, o2.str());
+            }
+          break;
+        case NodeStatus::kClusterHead:
+          if (p != kInvalidNode &&
+              net_.status(p) != NodeStatus::kGateway) {
+            os << "head " << v << " under non-gateway parent " << p;
+            add("spec-status", v, os.str());
+          }
+          break;
+      }
+      // Backbone alternation: heads on even depths, gateways on odd.
+      if (s == NodeStatus::kClusterHead && net_.depth(v) % 2 != 0) {
+        std::ostringstream o3;
+        o3 << "head " << v << " at odd depth " << net_.depth(v);
+        add("spec-status", v, o3.str());
+      }
+      if (s == NodeStatus::kGateway && net_.depth(v) % 2 != 1) {
+        std::ostringstream o3;
+        o3 << "gateway " << v << " at even depth " << net_.depth(v);
+        add("spec-status", v, o3.str());
+      }
+    }
+  }
+
+  void checkProperty1() {
+    for (NodeId v : nodes_) {
+      if (net_.status(v) != NodeStatus::kClusterHead) continue;
+      bool dominatedSelf = true;  // heads dominate themselves
+      (void)dominatedSelf;
+      for (NodeId u : g_.neighbors(v)) {
+        if (u > v && inNet_[u] &&
+            net_.status(u) == NodeStatus::kClusterHead) {
+          std::ostringstream os;
+          os << "adjacent heads " << v << " and " << u;
+          add("spec-head-adjacency", v, os.str());
+        }
+      }
+    }
+    for (NodeId v : nodes_) {
+      if (net_.status(v) == NodeStatus::kClusterHead) continue;
+      bool dominated = false;
+      for (NodeId u : g_.neighbors(v))
+        if (inNet_[u] && net_.status(u) == NodeStatus::kClusterHead) {
+          dominated = true;
+          break;
+        }
+      if (!dominated) {
+        std::ostringstream os;
+        os << "node " << v << " has no head neighbor";
+        add("spec-domination", v, os.str());
+      }
+    }
+  }
+
+  /// Transmit slots are assigned lazily (a backbone node gets one only
+  /// when some listener needs it), so presence is one-directional: pure
+  /// members must carry NO transmit slot, and every non-root node must
+  /// hold a convergecast up-slot.
+  void checkSlotPresence() {
+    for (NodeId v : nodes_) {
+      if (net_.status(v) == NodeStatus::kPureMember &&
+          (net_.bSlot(v) != kNoSlot || net_.lSlot(v) != kNoSlot ||
+           net_.uSlot(v) != kNoSlot)) {
+        std::ostringstream os;
+        os << "pure-member " << v << " carries a transmit slot";
+        add("spec-slot-presence", v, os.str());
+      }
+      if (v != net_.root() && net_.upSlot(v) == kNoSlot) {
+        std::ostringstream o2;
+        o2 << "non-root node " << v << " has no up-slot";
+        add("spec-slot-presence", v, o2.str());
+      }
+    }
+  }
+
+  /// A listener hears collision-free iff some transmitter in its window
+  /// holds a slot unique within the transmitter set. Recomputed directly
+  /// from adjacency + statuses + depths + raw slots.
+  template <typename SlotFn>
+  bool uniquelyServed(const std::vector<NodeId>& transmitters,
+                      SlotFn slotOf) const {
+    for (NodeId t : transmitters) {
+      const TimeSlot s = slotOf(t);
+      if (s == kNoSlot) continue;
+      bool unique = true;
+      for (NodeId o : transmitters)
+        if (o != t && slotOf(o) == s) {
+          unique = false;
+          break;
+        }
+      if (unique) return true;
+    }
+    return false;
+  }
+
+  void checkFloodConflicts() {
+    const bool strict = net_.config().slotPolicy == SlotPolicy::kStrict;
+    for (NodeId v : nodes_) {
+      const Depth d = net_.depth(v);
+      const bool backbone = net_.status(v) != NodeStatus::kPureMember;
+
+      // Algorithm 1 (u-slots): every non-root node listens to its
+      // previous-depth backbone neighbors.
+      if (v != net_.root()) {
+        std::vector<NodeId> prev;
+        for (NodeId u : g_.neighbors(v))
+          if (inNet_[u] && net_.status(u) != NodeStatus::kPureMember &&
+              net_.depth(u) == d - 1)
+            prev.push_back(u);
+        if (prev.empty()) {
+          std::ostringstream os;
+          os << "node " << v << " has no previous-depth backbone neighbor";
+          add("spec-u-conflict", v, os.str());
+        } else if (!uniquelyServed(
+                       prev, [&](NodeId t) { return net_.uSlot(t); })) {
+          std::ostringstream os;
+          os << "no uniquely u-slotted provider for listener " << v;
+          add("spec-u-conflict", v, os.str());
+        }
+        // Algorithm 2 step 1 (b-slots): backbone listeners only.
+        if (backbone &&
+            !uniquelyServed(prev,
+                            [&](NodeId t) { return net_.bSlot(t); })) {
+          std::ostringstream os;
+          os << "no uniquely b-slotted provider for backbone listener "
+             << v;
+          add("spec-b-conflict", v, os.str());
+        }
+      }
+
+      // Algorithm 2 step 2 (l-slots): a pure member listens during ONE
+      // shared window in which — under the strict policy — every
+      // backbone neighbor transmits; under the paper-local policy only
+      // the previous-depth ones are considered.
+      if (!backbone) {
+        std::vector<NodeId> trans;
+        for (NodeId u : g_.neighbors(v))
+          if (inNet_[u] && net_.status(u) != NodeStatus::kPureMember &&
+              (strict || net_.depth(u) == d - 1))
+            trans.push_back(u);
+        if (trans.empty()) {
+          std::ostringstream os;
+          os << "member " << v << " has no backbone neighbor";
+          add("spec-l-conflict", v, os.str());
+        } else if (!uniquelyServed(
+                       trans, [&](NodeId t) { return net_.lSlot(t); })) {
+          std::ostringstream os;
+          os << "no uniquely l-slotted provider for member " << v;
+          add("spec-l-conflict", v, os.str());
+        }
+      }
+    }
+  }
+
+  /// Convergecast: v's parent must be able to hear v — no other net node
+  /// at v's depth within the parent's radio range may share v's up-slot.
+  /// (Assignment guards a stronger property over every potential
+  /// previous-depth listener, but churn erodes the slack; only the
+  /// parent edge is load-bearing for the gather wave.)
+  void checkUpConflicts() {
+    for (NodeId v : nodes_) {
+      if (v == net_.root()) continue;
+      const TimeSlot mine = net_.upSlot(v);
+      if (mine == kNoSlot) continue;  // reported by checkSlotPresence
+      const NodeId p = net_.parent(v);
+      if (p == kInvalidNode || !net_.contains(p)) continue;  // spec-tree
+      const Depth d = net_.depth(v);
+      for (NodeId u : g_.neighbors(p)) {
+        if (u == v || !inNet_[u]) continue;
+        if (net_.depth(u) == d && net_.upSlot(u) == mine) {
+          std::ostringstream os;
+          os << "parent " << p << " of " << v << " also hears " << u
+             << " on up-slot " << mine;
+          add("spec-up-conflict", v, os.str());
+          break;
+        }
+      }
+    }
+  }
+
+  void checkWindows() {
+    TimeSlot maxB = 0, maxL = 0, maxU = 0, maxUp = 0;
+    for (NodeId v : nodes_) {
+      if (net_.bSlot(v) != kNoSlot) maxB = std::max(maxB, net_.bSlot(v));
+      if (net_.lSlot(v) != kNoSlot) maxL = std::max(maxL, net_.lSlot(v));
+      if (net_.uSlot(v) != kNoSlot) maxU = std::max(maxU, net_.uSlot(v));
+      if (net_.upSlot(v) != kNoSlot)
+        maxUp = std::max(maxUp, net_.upSlot(v));
+    }
+    const auto check = [&](const char* what, TimeSlot rootKnown,
+                           TimeSlot trueMax) {
+      if (rootKnown < trueMax) {
+        std::ostringstream os;
+        os << "root window knowledge for " << what << " (" << rootKnown
+           << ") below a live slot (" << trueMax << ")";
+        add("spec-window", net_.root(), os.str());
+      }
+    };
+    check("b", net_.rootMaxBSlot(), maxB);
+    check("l", net_.rootMaxLSlot(), maxL);
+    check("u", net_.rootMaxUSlot(), maxU);
+    check("up", net_.rootMaxUpSlot(), maxUp);
+  }
+};
+
+}  // namespace
+
+std::vector<SpecIssue> checkSpec(const ClusterNet& net) {
+  return SpecChecker(net).run();
+}
+
+std::string describeIssues(const std::vector<SpecIssue>& issues) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < issues.size(); ++i) {
+    if (i) os << "; ";
+    os << issues[i].cls << ": " << issues[i].message;
+  }
+  return os.str();
+}
+
+}  // namespace dsn::testkit

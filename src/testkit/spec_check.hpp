@@ -1,0 +1,35 @@
+// Spec-level invariant oracle: the paper's rules re-derived from scratch.
+//
+// Unlike cluster/validate.cpp (which the library itself ships and which
+// leans on ClusterNet's own interference/condition helpers), this checker
+// recomputes every structural rule and the TDMA non-conflict conditions
+// directly from the primitive queries — graph adjacency, statuses,
+// parents/children, depths and raw slot numbers — so a bug in the
+// library's derived helpers cannot hide itself from the oracle. The fuzz
+// harness runs both and flags any disagreement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cnet.hpp"
+
+namespace dsn::testkit {
+
+/// One spec violation: a stable kebab-case class plus prose.
+struct SpecIssue {
+  std::string cls;
+  NodeId node = kInvalidNode;
+  std::string message;
+};
+
+/// Classes emitted: "spec-stale", "spec-root", "spec-tree",
+/// "spec-status", "spec-head-adjacency", "spec-domination",
+/// "spec-slot-presence", "spec-u-conflict", "spec-b-conflict",
+/// "spec-l-conflict", "spec-up-conflict", "spec-window".
+std::vector<SpecIssue> checkSpec(const ClusterNet& net);
+
+/// Joins issue messages for error reporting ("" when clean).
+std::string describeIssues(const std::vector<SpecIssue>& issues);
+
+}  // namespace dsn::testkit

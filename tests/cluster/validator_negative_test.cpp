@@ -24,6 +24,9 @@ TEST(ValidatorNegativeTest, AdjacentHeadsAreFlagged) {
   const auto report = ClusterNetValidator::validate(net);
   ASSERT_FALSE(report.ok());
   EXPECT_NE(report.summary().find("Property 1(2)"), std::string::npos);
+  EXPECT_TRUE(report.has("head-adjacency"));
+  EXPECT_EQ(report.countOf("head-adjacency"), 1u);
+  EXPECT_EQ(report.nodesOf("head-adjacency"), std::vector<NodeId>{0});
 }
 
 TEST(ValidatorNegativeTest, RemovedTreeEdgeIsFlagged) {
@@ -35,6 +38,7 @@ TEST(ValidatorNegativeTest, RemovedTreeEdgeIsFlagged) {
   const auto report = ClusterNetValidator::validate(net);
   ASSERT_FALSE(report.ok());
   EXPECT_NE(report.summary().find("not a graph edge"), std::string::npos);
+  EXPECT_TRUE(report.has("tree"));
 }
 
 TEST(ValidatorNegativeTest, UndominatedNodeIsFlagged) {
@@ -49,6 +53,10 @@ TEST(ValidatorNegativeTest, UndominatedNodeIsFlagged) {
   const auto report = ClusterNetValidator::validate(net);
   ASSERT_FALSE(report.ok());
   EXPECT_NE(report.summary().find("not dominated"), std::string::npos);
+  EXPECT_TRUE(report.has("domination"));
+  const auto nodes = report.nodesOf("domination");
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes.front(), 2u);
 }
 
 TEST(ValidatorNegativeTest, SlotConditionBreakIsFlagged) {
@@ -83,6 +91,7 @@ TEST(ValidatorNegativeTest, SlotConditionBreakIsFlagged) {
   const auto report = ClusterNetValidator::validate(net);
   ASSERT_FALSE(report.ok());
   EXPECT_NE(report.summary().find("Condition"), std::string::npos);
+  EXPECT_TRUE(report.has("slot-condition"));
 }
 
 TEST(ValidatorNegativeTest, EmptyNetWithoutRootIsOk) {

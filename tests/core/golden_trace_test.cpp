@@ -1,0 +1,121 @@
+// Golden-trace snapshot test: the demo scenario's radio-event stream
+// must stay byte-identical to the committed golden JSONL.
+//
+// Any change to deployment, clustering, slot assignment, scheduling, or
+// collision resolution shows up here as a diff — which is the point: it
+// forces behaviour changes to be acknowledged. To accept a new golden
+// after an intentional change:
+//
+//   build/tests/golden_trace_test --update-golden
+//
+// and commit the rewritten tests/data/demo_trace.jsonl.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "core/sensor_network.hpp"
+#include "radio/trace.hpp"
+
+namespace {
+
+constexpr const char* kScenarioPath = DSN_SOURCE_DIR "/scenarios/demo.wsn";
+constexpr const char* kGoldenPath =
+    DSN_SOURCE_DIR "/tests/data/demo_trace.jsonl";
+
+std::string renderTrace() {
+  dsn::NetworkConfig config;
+  config.nodeCount = 60;  // smaller than the demo's 200 to keep it snappy
+  config.seed = 2007;
+
+  std::ifstream in(kScenarioPath);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open ") + kScenarioPath);
+  }
+  const auto events = dsn::parseScenario(in);
+
+  dsn::SensorNetwork net(config);
+  dsn::ScenarioOptions options;
+  options.protocol.traceCapacity = 16384;
+  const dsn::ScenarioOutcome outcome = dsn::runScenario(net, events, options);
+  if (!outcome.valid) {
+    throw std::runtime_error("scenario run failed validation: " +
+                             outcome.firstViolation);
+  }
+  if (outcome.traceDropped != 0) {
+    throw std::runtime_error(
+        "trace overflowed its capacity; the snapshot would be partial");
+  }
+  std::ostringstream os;
+  dsn::writeTraceJsonl(os, outcome.traceEvents);
+  return os.str();
+}
+
+/// 1-based line number of the first byte difference, for a usable
+/// failure message.
+std::size_t firstDiffLine(const std::string& a, const std::string& b) {
+  std::size_t line = 1;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return line;
+    if (a[i] == '\n') ++line;
+  }
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      update = true;
+    } else {
+      std::cerr << "usage: golden_trace_test [--update-golden]\n";
+      return 2;
+    }
+  }
+
+  try {
+    const std::string fresh = renderTrace();
+
+    if (update) {
+      std::ofstream out(kGoldenPath, std::ios::binary);
+      if (!out) {
+        std::cerr << "cannot write " << kGoldenPath << "\n";
+        return 1;
+      }
+      out << fresh;
+      std::cout << "golden_trace_test: rewrote " << kGoldenPath << " ("
+                << fresh.size() << " bytes)\n";
+      return 0;
+    }
+
+    std::ifstream in(kGoldenPath, std::ios::binary);
+    if (!in) {
+      std::cerr << "golden_trace_test: missing golden file " << kGoldenPath
+                << "\n  generate it with: golden_trace_test --update-golden\n";
+      return 1;
+    }
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    if (fresh != golden.str()) {
+      std::cerr << "golden_trace_test: trace diverged from " << kGoldenPath
+                << "\n  first difference at line "
+                << firstDiffLine(fresh, golden.str()) << " (fresh "
+                << fresh.size() << " bytes, golden " << golden.str().size()
+                << " bytes)\n  if the behaviour change is intentional, rerun "
+                   "with --update-golden and commit the new golden\n";
+      return 1;
+    }
+    std::cout << "golden_trace_test: " << fresh.size()
+              << " bytes byte-identical to golden\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "golden_trace_test: " << e.what() << "\n";
+    return 1;
+  }
+}

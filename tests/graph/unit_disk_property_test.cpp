@@ -1,0 +1,106 @@
+// Property tests for the spatial-grid unit-disk structures against a
+// brute-force O(n^2) distance scan: the grid is an optimization and must
+// be observationally identical to the definition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/unit_disk.hpp"
+#include "util/rng.hpp"
+
+namespace dsn {
+namespace {
+
+std::vector<Point2D> randomPoints(Rng& rng, std::size_t n, double side) {
+  std::vector<Point2D> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniformReal(0.0, side), rng.uniformReal(0.0, side)});
+  }
+  return points;
+}
+
+TEST(UnitDiskPropertyTest, GraphMatchesBruteForce) {
+  Rng rng(0xD15C0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 20 + static_cast<std::size_t>(rng.uniform(100));
+    const double side = rng.uniformReal(100.0, 500.0);
+    const double range = rng.uniformReal(20.0, 120.0);
+    const std::vector<Point2D> points = randomPoints(rng, n, side);
+
+    const Graph g = buildUnitDiskGraph(points, range);
+    ASSERT_EQ(g.size(), n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        const bool expected = u != v && inRange(points[u], points[v], range);
+        EXPECT_EQ(g.hasEdge(u, v), expected)
+            << "trial " << trial << " edge (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(UnitDiskPropertyTest, GridCellBoundariesAreExact) {
+  // Points placed exactly `range` apart sit on the unit-disk boundary
+  // (edge present: distance <= range) and, at multiples of the cell
+  // size, also on grid-cell boundaries — the classic off-by-one-cell
+  // bug surface.
+  const double range = 50.0;
+  const std::vector<Point2D> points = {
+      {0.0, 0.0}, {50.0, 0.0}, {100.0, 0.0}, {0.0, 50.0}, {50.001, 50.0}};
+  const Graph g = buildUnitDiskGraph(points, range);
+  EXPECT_TRUE(g.hasEdge(0, 1));   // exactly at range
+  EXPECT_FALSE(g.hasEdge(0, 2));  // 2x range
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_TRUE(g.hasEdge(0, 3));
+  EXPECT_FALSE(g.hasEdge(3, 4));  // just past range
+}
+
+TEST(UnitDiskPropertyTest, IndexMatchesBruteForceUnderChurn) {
+  Rng rng(0xD15C1);
+  const double range = 60.0;
+  UnitDiskIndex index(range);
+  std::unordered_map<NodeId, Point2D> live;
+  NodeId nextId = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const bool doInsert = live.empty() || rng.chance(0.6);
+    if (doInsert) {
+      const Point2D p{rng.uniformReal(0.0, 400.0),
+                      rng.uniformReal(0.0, 400.0)};
+      index.insert(nextId, p);
+      live.emplace(nextId, p);
+      ++nextId;
+    } else {
+      // Remove a random live id.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.uniform(live.size())));
+      index.remove(it->first);
+      live.erase(it);
+    }
+    ASSERT_EQ(index.size(), live.size());
+
+    // Cross-check a random probe point against the definition.
+    const Point2D probe{rng.uniformReal(-50.0, 450.0),
+                        rng.uniformReal(-50.0, 450.0)};
+    std::vector<NodeId> expected;
+    for (const auto& [id, p] : live) {
+      if (inRange(probe, p, range)) expected.push_back(id);
+    }
+    std::vector<NodeId> got = index.queryNeighbors(probe);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "step " << step;
+  }
+
+  // Stored positions survive the churn.
+  for (const auto& [id, p] : live) {
+    ASSERT_TRUE(index.contains(id));
+    EXPECT_EQ(index.position(id), p);
+  }
+}
+
+}  // namespace
+}  // namespace dsn

@@ -1,0 +1,114 @@
+// Properties of the fuzz op-program generator (testkit/program.hpp).
+#include "testkit/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testkit/seeds.hpp"
+
+namespace dsn::testkit {
+namespace {
+
+bool sameOp(const FuzzOp& a, const FuzzOp& b) {
+  return a.kind == b.kind && a.pick == b.pick && a.position == b.position &&
+         a.scheme == b.scheme && a.faultRegime == b.faultRegime &&
+         a.dropProbability == b.dropProbability && a.group == b.group &&
+         a.memberPick == b.memberPick && a.repairBudget == b.repairBudget;
+}
+
+bool sameProgram(const FuzzProgram& a, const FuzzProgram& b) {
+  if (a.seed != b.seed || a.nodeCount != b.nodeCount ||
+      a.fieldUnits != b.fieldUnits || a.range != b.range ||
+      a.ops.size() != b.ops.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    if (!sameOp(a.ops[i], b.ops[i])) return false;
+  }
+  return true;
+}
+
+TEST(GeneratorTest, DeterministicForFixedSeed) {
+  const GeneratorKnobs knobs;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t seed = episodeSeed(1, i);
+    EXPECT_TRUE(sameProgram(generateProgram(knobs, seed),
+                            generateProgram(knobs, seed)))
+        << "episode " << i;
+  }
+}
+
+TEST(GeneratorTest, RespectsSizeKnobs) {
+  GeneratorKnobs knobs;
+  knobs.minNodes = 10;
+  knobs.maxNodes = 20;
+  knobs.minOps = 3;
+  knobs.maxOps = 9;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const FuzzProgram p = generateProgram(knobs, episodeSeed(7, i));
+    EXPECT_GE(p.nodeCount, knobs.minNodes);
+    EXPECT_LE(p.nodeCount, knobs.maxNodes);
+    EXPECT_GE(p.ops.size(), knobs.minOps);
+    // The trailing never-leave-stale repair may add one op past maxOps.
+    EXPECT_LE(p.ops.size(), knobs.maxOps + 1);
+    EXPECT_EQ(p.fieldUnits, knobs.fieldUnits);
+    EXPECT_EQ(p.range, knobs.range);
+  }
+}
+
+// The generator's stale-structure model: crashes leave the structure
+// stale until a repair. Programs must never *end* stale, so the final
+// structural cross-check of every episode runs on a repaired net.
+TEST(GeneratorTest, NeverEndsStale) {
+  const GeneratorKnobs knobs;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const FuzzProgram p = generateProgram(knobs, episodeSeed(3, i));
+    bool stale = false;
+    for (const FuzzOp& op : p.ops) {
+      if (op.kind == OpKind::kCrash) stale = true;
+      if (op.kind == OpKind::kRepair) stale = false;
+    }
+    EXPECT_FALSE(stale) << "episode " << i << " ends with a stale structure";
+  }
+}
+
+TEST(GeneratorTest, DistinctSeedsProduceDistinctPrograms) {
+  const GeneratorKnobs knobs;
+  std::set<std::pair<std::size_t, std::size_t>> shapes;
+  bool anyDiffer = false;
+  FuzzProgram first = generateProgram(knobs, episodeSeed(1, 0));
+  for (std::uint64_t i = 1; i < 16; ++i) {
+    const FuzzProgram p = generateProgram(knobs, episodeSeed(1, i));
+    if (!sameProgram(first, p)) anyDiffer = true;
+    shapes.insert({p.nodeCount, p.ops.size()});
+  }
+  EXPECT_TRUE(anyDiffer);
+  // Sizes alone should already spread over several values.
+  EXPECT_GT(shapes.size(), 4u);
+}
+
+TEST(GeneratorTest, OpKindNamesAreStable) {
+  EXPECT_STREQ(toString(OpKind::kJoin), "join");
+  EXPECT_STREQ(toString(OpKind::kLeave), "leave");
+  EXPECT_STREQ(toString(OpKind::kCrash), "crash");
+  EXPECT_STREQ(toString(OpKind::kFaultFlip), "faults");
+  EXPECT_STREQ(toString(OpKind::kRepair), "repair");
+  EXPECT_STREQ(toString(OpKind::kBroadcast), "broadcast");
+  EXPECT_STREQ(toString(OpKind::kReliableBroadcast), "rbroadcast");
+  EXPECT_STREQ(toString(OpKind::kMulticast), "multicast");
+}
+
+// Episode seed streams must not collide across nearby indices or bases
+// (full collision sweep lives in tests/core/seed_streams_test.cpp).
+TEST(GeneratorTest, EpisodeSeedsSpread) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 1; base <= 4; ++base) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      EXPECT_TRUE(seen.insert(episodeSeed(base, i)).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsn::testkit

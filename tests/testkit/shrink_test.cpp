@@ -1,0 +1,100 @@
+// Shrinker behaviour, including the harness's end-to-end acceptance
+// check: a deliberately injected CFF slot-assignment bug is caught by
+// the oracles and minimized to a short, replayable reproduction.
+#include "testkit/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "testkit/fuzz.hpp"
+#include "testkit/seeds.hpp"
+
+namespace dsn::testkit {
+namespace {
+
+/// Scans episodes under bug injection until one fails (the injection
+/// needs a broadcast op on a deployment with a vulnerable listener, so
+/// not every episode trips it).
+FuzzProgram findInjectedFailure(const EpisodeOptions& options,
+                                EpisodeResult* result) {
+  const GeneratorKnobs knobs;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    FuzzProgram p = generateProgram(knobs, episodeSeed(1, i));
+    EpisodeResult r = runEpisode(p, options);
+    if (!r.ok) {
+      *result = r;
+      return p;
+    }
+  }
+  return {};
+}
+
+TEST(ShrinkTest, InjectedCffSlotBugIsCaughtAndShrunkSmall) {
+  EpisodeOptions options;
+  options.injectCffSlotBug = true;
+
+  EpisodeResult original;
+  const FuzzProgram failing = findInjectedFailure(options, &original);
+  ASSERT_FALSE(failing.ops.empty())
+      << "no episode tripped the injected bug within the scan budget";
+  EXPECT_EQ(original.failureClass, "cff-plan-coverage");
+
+  const ShrinkResult shrink = shrinkProgram(failing, options);
+
+  // The acceptance bound: the reproduction is a handful of ops, not a
+  // 28-op episode (in practice it lands at 1-2 ops).
+  EXPECT_FALSE(shrink.failure.ok);
+  EXPECT_LE(shrink.program.ops.size(), 12u);
+  EXPECT_LE(shrink.program.nodeCount, failing.nodeCount);
+  EXPECT_GT(shrink.episodesRun, 0u);
+
+  // The minimized program replays to the same failure...
+  const EpisodeResult replay = runEpisode(shrink.program, options);
+  EXPECT_FALSE(replay.ok);
+  EXPECT_EQ(replay.failureClass, shrink.failure.failureClass);
+  EXPECT_EQ(replay.digest, shrink.failure.digest);
+
+  // ...and the exported .wsn scenario parses back (comments included).
+  ASSERT_FALSE(shrink.scenarioText.empty());
+  const auto events = parseScenario(shrink.scenarioText);
+  EXPECT_EQ(events.size(), shrink.failure.executed.size());
+}
+
+TEST(ShrinkTest, ShrinkingIsDeterministic) {
+  EpisodeOptions options;
+  options.injectCffSlotBug = true;
+
+  EpisodeResult original;
+  const FuzzProgram failing = findInjectedFailure(options, &original);
+  ASSERT_FALSE(failing.ops.empty());
+
+  const ShrinkResult a = shrinkProgram(failing, options);
+  const ShrinkResult b = shrinkProgram(failing, options);
+  EXPECT_EQ(a.program.ops.size(), b.program.ops.size());
+  EXPECT_EQ(a.program.nodeCount, b.program.nodeCount);
+  EXPECT_EQ(a.episodesRun, b.episodesRun);
+  EXPECT_EQ(a.failure.digest, b.failure.digest);
+  EXPECT_EQ(a.scenarioText, b.scenarioText);
+}
+
+// runFuzz wires the same machinery end to end: a campaign under
+// injection reports failures and ships a shrunk reproduction.
+TEST(ShrinkTest, CampaignUnderInjectionShipsShrunkRepro) {
+  FuzzConfig config;
+  config.episodes = 10;
+  config.seed = 1;
+  config.jobs = 2;
+  config.episode.injectCffSlotBug = true;
+
+  const FuzzReport report = runFuzz(config);
+  ASSERT_GT(report.failed, 0u)
+      << "injection campaign unexpectedly came back clean";
+  ASSERT_FALSE(report.failures.empty());
+  const FuzzFailure& first = report.failures.front();
+  EXPECT_TRUE(first.shrunk);
+  EXPECT_LE(first.shrink.program.ops.size(), 12u);
+  EXPECT_FALSE(first.shrink.scenarioText.empty());
+}
+
+}  // namespace
+}  // namespace dsn::testkit
