@@ -6,6 +6,7 @@
 #include "core/sensor_network.hpp"
 #include "graph/deploy.hpp"
 #include "graph/unit_disk.hpp"
+#include "radio/channel.hpp"
 #include "util/rng.hpp"
 
 namespace dsn {
@@ -85,6 +86,83 @@ void BM_DfoBroadcast(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DfoBroadcast)->Arg(100)->Arg(500);
+
+void BM_AdjacencyIteration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = buildUnitDiskGraph(paperPoints(n, 9), 50.0);
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (NodeId v = 0; v < g.size(); ++v)
+      for (NodeId u : g.neighbors(v)) sum += u;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * g.edgeCount()));
+}
+BENCHMARK(BM_AdjacencyIteration)->Arg(100)->Arg(500);
+
+void BM_CsrIteration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = buildUnitDiskGraph(paperPoints(n, 9), 50.0);
+  const CsrView& csr = g.csrView();
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (NodeId v = 0; v < g.size(); ++v)
+      for (NodeId u : csr.neighbors(v)) sum += u;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(csr.arcCount()));
+}
+BENCHMARK(BM_CsrIteration)->Arg(100)->Arg(500);
+
+// One resolution round where 10% of the nodes transmit and the rest
+// listen wide-band — a dense mid-flood round.
+std::vector<Action> resolveActions(const Graph& g, std::vector<NodeId>* tx) {
+  std::vector<Action> actions(g.size(), Action::sleep());
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (v % 10 == 0) {
+      Message m;
+      m.sender = v;
+      actions[v] = Action::transmit(m, 0);
+      if (tx) tx->push_back(v);
+    } else {
+      actions[v] = Action::listen(kAllChannels);
+    }
+  }
+  return actions;
+}
+
+void BM_ResolveFullScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = buildUnitDiskGraph(paperPoints(n, 10), 50.0);
+  const auto actions = resolveActions(g, nullptr);
+  for (auto _ : state) {
+    const ChannelOutcome& out = resolveRound(g, actions, 1);
+    benchmark::DoNotOptimize(out.deliveries.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ResolveFullScan)->Arg(100)->Arg(500);
+
+void BM_ResolveTransmitterDriven(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = buildUnitDiskGraph(paperPoints(n, 10), 50.0);
+  std::vector<NodeId> transmitters;
+  const auto actions = resolveActions(g, &transmitters);
+  const CsrView& csr = g.csrView();
+  ResolveScratch scratch;
+  scratch.prepare(g.size(), 1);
+  for (auto _ : state) {
+    const ChannelOutcome& out =
+        resolveRoundActive(csr, actions, transmitters, 1, scratch);
+    benchmark::DoNotOptimize(out.deliveries.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ResolveTransmitterDriven)->Arg(100)->Arg(500);
 
 }  // namespace
 }  // namespace dsn

@@ -1,0 +1,99 @@
+// Perf — macro simulator throughput: rounds/sec and deliveries/sec of a
+// CFF (Algorithm 1) broadcast under the active-set scheduler vs the
+// full-scan reference, at n = 500 / 2000 / 5000.
+//
+// Both schedulers produce bit-identical runs (the differential suite in
+// tests/radio enforces it), so the full-scan column doubles as an
+// in-process calibration reference: CI compares the measured
+// active/full-scan ratio against the committed baseline in
+// bench/baselines/BENCH_perf.json, which cancels out host speed.
+//
+// Field area scales with n (the paper's max density, 5 nodes per unit
+// square) so the 2000- and 5000-node points stress round count and node
+// count rather than degenerate into a dense clique.
+#include <chrono>
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "broadcast/runner.hpp"
+
+namespace {
+
+struct Throughput {
+  double roundsPerSec = 0.0;
+  double deliveriesPerSec = 0.0;
+};
+
+Throughput measure(const dsn::SensorNetwork& net, dsn::NodeId source,
+                   dsn::SimScheduling scheduling, int minReps) {
+  dsn::ProtocolOptions opts;
+  opts.scheduling = scheduling;
+  net.broadcast(dsn::BroadcastScheme::kCff, source, 1, opts);  // warm-up
+
+  // Time-targeted: a single small-n broadcast runs in microseconds, so a
+  // fixed rep count yields cache/frequency noise that would destabilize
+  // the CI gate's calibrated ratio. Repeat until the cell has measured a
+  // meaningful wall-clock span (bounded, in case a run is pathologically
+  // slow already).
+  constexpr double kMinSeconds = 0.15;
+  double rounds = 0.0;
+  double deliveries = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double secs = 0.0;
+  for (int done = 0;;) {
+    const auto run =
+        net.broadcast(dsn::BroadcastScheme::kCff, source, 1, opts);
+    rounds += static_cast<double>(run.sim.rounds);
+    deliveries += static_cast<double>(run.delivered);
+    ++done;
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+               .count();
+    if (done >= minReps && (secs >= kMinSeconds || done >= minReps * 200))
+      break;
+  }
+  return {rounds / secs, deliveries / secs};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  bench::jobsArg(argc, argv);  // accepted for CI symmetry; timing is serial
+  cfg.nodeCounts = {500, 2000, 5000};
+  bench::printHeader("Perf", "simulator throughput, active-set vs full-scan",
+                     cfg);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t n : cfg.nodeCounts) {
+    // 5 nodes per unit square — the paper's densest operating point.
+    const int fieldUnits = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(n) / 5.0)));
+    NetworkConfig nc;
+    nc.field = Field::squareUnits(fieldUnits, cfg.unitMeters);
+    nc.range = cfg.range;
+    nc.nodeCount = n;
+    nc.seed = cfg.trialSeed(n, 0);
+    const SensorNetwork net(nc);
+
+    Rng rng(cfg.trialSeed(n, 1));
+    const NodeId source = net.randomNode(rng);
+
+    const Throughput active =
+        measure(net, source, SimScheduling::kActiveSet, cfg.trials);
+    const Throughput full =
+        measure(net, source, SimScheduling::kFullScan, cfg.trials);
+    rows.push_back({static_cast<double>(n), active.roundsPerSec,
+                    active.deliveriesPerSec, full.roundsPerSec,
+                    full.deliveriesPerSec,
+                    active.roundsPerSec / full.roundsPerSec});
+  }
+
+  bench::emitBench(
+      "perf", "Perf — simulator throughput (CFF broadcast)",
+      {"n", "active r/s", "active dlv/s", "fullscan r/s", "fullscan dlv/s",
+       "speedup"},
+      rows, cfg, 1);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "broadcast/cff_flooding.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "broadcast/runner_detail.hpp"
@@ -101,6 +102,31 @@ bool CffNodeProtocol::isDone() const {
   return missed_ || (hasPayload_ && pathSent_ && floodSent_);
 }
 
+Round CffNodeProtocol::nextWake(Round now) const {
+  if (missed_) return kNoWake;
+  if (!hasPayload_) {
+    // Wake for the dedicated path-listen round, every round of the listen
+    // window, and the window-end round (where missed_ flips).
+    Round next = kNoWake;
+    if (cfg_.pathIndex > 0 && static_cast<Round>(cfg_.pathIndex) - 1 > now)
+      next = cfg_.pathIndex - 1;
+    const Round w = std::max(now + 1, listenWindowStart());
+    if (w <= listenWindowEnd()) next = std::min(next, w);
+    return next;
+  }
+  if (!pathSent_) {
+    // Either transmit at pathIndex or process the lapsed-duty transition
+    // (late payload) on the very next round.
+    const Round tx = cfg_.pathIndex;
+    return tx > now ? tx : now + 1;
+  }
+  if (!floodSent_) {
+    const Round tx = floodTransmitRound();
+    return tx > now ? tx : now + 1;
+  }
+  return kNoWake;  // done: sleeps forever
+}
+
 BroadcastRun runCffBroadcast(const ClusterNet& net, NodeId source,
                              std::uint64_t payload,
                              const ProtocolOptions& options) {
@@ -122,6 +148,7 @@ BroadcastRun runCffBroadcast(const ClusterNet& net, NodeId source,
   cfg.channelCount = options.channels;
   cfg.maxRounds = options.maxRounds > 0 ? options.maxRounds : schedule + 4;
   cfg.traceCapacity = options.traceCapacity;
+  cfg.scheduling = options.scheduling;
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);

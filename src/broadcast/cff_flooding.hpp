@@ -47,6 +47,7 @@ class CffNodeProtocol : public NodeProtocol, public BroadcastEndpoint {
   Action onRound(Round r) override;
   void onReceive(const Message& m, Round r, Channel channel) override;
   bool isDone() const override;
+  Round nextWake(Round now) const override;
 
   bool hasPayload() const override { return hasPayload_; }
   Round payloadRound() const override { return payloadRound_; }

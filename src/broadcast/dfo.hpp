@@ -30,6 +30,10 @@ class DfoBackboneProtocol : public NodeProtocol, public BroadcastEndpoint {
   Action onRound(Round r) override;
   void onReceive(const Message& m, Round r, Channel channel) override;
   bool isDone() const override { return closed_; }
+  /// Listens every round for the token until its tour part closes.
+  Round nextWake(Round now) const override {
+    return closed_ ? kNoWake : now + 1;
+  }
 
   bool hasPayload() const override { return hasPayload_; }
   Round payloadRound() const override { return payloadRound_; }
@@ -62,6 +66,12 @@ class DfoMemberProtocol : public NodeProtocol, public BroadcastEndpoint {
   Action onRound(Round r) override;
   void onReceive(const Message& m, Round r, Channel channel) override;
   bool isDone() const override;
+  /// Source hand-off in round 0, then (without payload) listen every
+  /// round; with payload in hand a member sleeps forever.
+  Round nextWake(Round now) const override {
+    if (isSource_ && !sentToHead_) return now < 0 ? 0 : now + 1;
+    return hasPayload_ ? kNoWake : now + 1;
+  }
 
   bool hasPayload() const override { return hasPayload_; }
   Round payloadRound() const override { return payloadRound_; }

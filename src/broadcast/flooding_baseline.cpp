@@ -59,6 +59,19 @@ bool FloodingNodeProtocol::isDone() const {
   return relayRound_ < 0 || relayed_;
 }
 
+Round FloodingNodeProtocol::nextWake(Round now) const {
+  if (relayRound_ >= 0 && !relayed_) {
+    // Sleeps out the backoff, wakes exactly for the relay round.
+    return relayRound_ > now ? relayRound_ : now + 1;
+  }
+  if (!hasPayload_) {
+    // Unserved: listens every round until the listen budget runs out;
+    // after that it sleeps forever (it can no longer receive anything).
+    return now + 1 < maxListenRounds_ ? now + 1 : kNoWake;
+  }
+  return kNoWake;  // served, no relay duty pending
+}
+
 BroadcastRun runFloodingBroadcast(const Graph& g, NodeId source,
                                   std::uint64_t payload,
                                   const FloodingConfig& config,
@@ -77,6 +90,7 @@ BroadcastRun runFloodingBroadcast(const Graph& g, NodeId source,
   cfg.channelCount = 1;
   cfg.maxRounds = maxListen + 4;
   cfg.traceCapacity = options.traceCapacity;
+  cfg.scheduling = options.scheduling;
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);

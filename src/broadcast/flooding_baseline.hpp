@@ -40,6 +40,7 @@ class FloodingNodeProtocol : public NodeProtocol,
   Action onRound(Round r) override;
   void onReceive(const Message& m, Round r, Channel channel) override;
   bool isDone() const override;
+  Round nextWake(Round now) const override;
 
   bool hasPayload() const override { return hasPayload_; }
   Round payloadRound() const override { return payloadRound_; }

@@ -1,5 +1,6 @@
 #include "broadcast/improved_cff.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "broadcast/runner_detail.hpp"
@@ -134,6 +135,33 @@ bool IcffNodeProtocol::isDone() const {
   return idle_ || missed_ || (hasPayload_ && pathSent_ && bSent_ && lSent_);
 }
 
+Round IcffNodeProtocol::nextWake(Round now) const {
+  if (idle_ || missed_) return kNoWake;
+  if (!hasPayload_) {
+    // Path-listen round, the b-listen window, and the window-end round
+    // where missed_ flips.
+    Round next = kNoWake;
+    if (cfg_.pathIndex > 0 && static_cast<Round>(cfg_.pathIndex) - 1 > now)
+      next = cfg_.pathIndex - 1;
+    const Round w = std::max(now + 1, bListenStart());
+    if (w <= bListenEnd()) next = std::min(next, w);
+    return next;
+  }
+  if (!pathSent_) {
+    const Round tx = cfg_.pathIndex;
+    return tx > now ? tx : now + 1;
+  }
+  if (!bSent_) {
+    const Round tx = bTransmitRound();
+    return tx > now ? tx : now + 1;
+  }
+  if (!lSent_) {
+    const Round tx = lTransmitRound();
+    return tx > now ? tx : now + 1;
+  }
+  return kNoWake;
+}
+
 namespace {
 
 BroadcastRun runIcff(const ClusterNet& net, NodeId source,
@@ -165,6 +193,7 @@ BroadcastRun runIcff(const ClusterNet& net, NodeId source,
   cfg.channelCount = options.channels;
   cfg.maxRounds = options.maxRounds > 0 ? options.maxRounds : schedule + 4;
   cfg.traceCapacity = options.traceCapacity;
+  cfg.scheduling = options.scheduling;
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);

@@ -119,6 +119,26 @@ class RepairProtocol final : public NodeProtocol {
 
   bool isDone() const override { return done_; }
 
+  Round nextWake(Round now) const override {
+    if (done_) return kNoWake;
+    const Round nackEnd = nackPhaseLength();
+    if (cfg_.covered) {
+      if (now + 1 < nackEnd) return now + 1;  // NACK-phase listening
+      if (!heardNack_ || !cfg_.eligible) return now + 1;  // done transition
+      const Round tx = nackEnd +
+                       static_cast<Round>(cfg_.depth) * tdm_.windowLength() +
+                       tdm_.roundOffset(cfg_.slot);
+      return tx > now ? tx : now + 1;
+    }
+    if (hasPayload_) return now + 1;  // done transition
+    const Round nackTx =
+        static_cast<Round>(cfg_.depth) * tdm_.windowLength() +
+        tdm_.roundOffset(cfg_.slot);
+    if (nackTx > now) return nackTx;  // our NACK sub-window slot
+    if (now + 1 < nackEnd) return nackEnd;  // sleep out the NACK phase
+    return now + 1;  // data-phase listening
+  }
+
   bool hasPayload() const { return hasPayload_; }
   Round payloadRound() const { return payloadRound_; }
   bool nackSent() const { return nackSent_; }
@@ -240,6 +260,7 @@ ReliableBroadcastRun runReliableBroadcast(BroadcastScheme scheme,
     SimConfig cfg;
     cfg.channelCount = opts.channels;
     cfg.traceCapacity = 0;
+    cfg.scheduling = opts.scheduling;
     cfg.maxRounds = 2 * static_cast<Round>(proto.subWindows) *
                     TdmMap(proto.window, proto.channels).windowLength();
 

@@ -33,6 +33,10 @@ struct ProtocolOptions {
   std::uint64_t failureSeed = 0xFA11FA11ull;
   /// Event-trace capacity (0 = off).
   std::size_t traceCapacity = 0;
+  /// Simulator scheduling strategy. kActiveSet and kFullScan produce
+  /// bit-identical runs; the full scan exists as a differential oracle
+  /// and as the perf-bench reference (see DESIGN.md §12).
+  SimScheduling scheduling = SimScheduling::kActiveSet;
 };
 
 /// Measured outcome of one run.

@@ -229,6 +229,16 @@ class ClusterNet {
   Rng attachRng_;
 
   // -- shared helpers (cnet.cpp) --
+  /// Neighbor range of v: the graph's CSR snapshot when it is fresh
+  /// (compactSlots freshens it once up front for its whole BFS pass),
+  /// else the per-node adjacency vector — never forces an O(V+E) rebuild
+  /// inside the incremental mutation path.
+  CsrView::Span adj(NodeId v) const {
+    if (const CsrView* csr = graph_.csrViewIfFresh())
+      return csr->neighbors(v);
+    const auto& n = graph_.neighbors(v);
+    return CsrView::Span{n.data(), n.data() + n.size()};
+  }
   void ensureKnowledgeSize();
   NodeKnowledge& mutableKnowledge(NodeId v);
   void requireInNet(NodeId v, const char* what) const;

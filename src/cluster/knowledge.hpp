@@ -8,10 +8,10 @@
 // distributed model even though they execute inside one process.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "cluster/status.hpp"
+#include "util/flat_map.hpp"
 #include "util/types.hpp"
 
 namespace dsn {
@@ -48,7 +48,9 @@ struct NodeKnowledge {
   std::vector<GroupId> groups;
   /// relayCount[g] = number of descendants (strictly below this node) in
   /// group g; the paper's relay-list is the set of keys with count > 0.
-  std::map<GroupId, int> relayCount;
+  /// A sorted flat vector: group-maintenance walks touch it on every
+  /// root-path hop and the entry count stays tiny.
+  FlatMap<GroupId, int> relayCount;
 };
 
 }  // namespace dsn

@@ -23,8 +23,6 @@
 // listener deliverable; this preserves all conditions inductively.
 
 #include <algorithm>
-#include <map>
-#include <set>
 
 #include "cluster/cnet.hpp"
 #include "util/error.hpp"
@@ -33,18 +31,24 @@ namespace dsn {
 
 namespace {
 
-/// Values occurring exactly once in `slots`.
-std::set<TimeSlot> uniqueValues(const std::vector<TimeSlot>& slots) {
-  std::map<TimeSlot, int> mult;
-  for (TimeSlot s : slots) ++mult[s];
-  std::set<TimeSlot> out;
-  for (const auto& [value, count] : mult)
-    if (count == 1) out.insert(value);
-  return out;
+/// Number of values occurring exactly once in `slots`. (The callers only
+/// ever need the count, so no ordered set is materialized — sort the
+/// local copy and count singleton runs.)
+std::size_t uniqueValueCount(std::vector<TimeSlot> slots) {
+  std::sort(slots.begin(), slots.end());
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < slots.size();) {
+    std::size_t j = i + 1;
+    while (j < slots.size() && slots[j] == slots[i]) ++j;
+    if (j - i == 1) ++unique;
+    i = j;
+  }
+  return unique;
 }
 
-/// Smallest positive integer not contained in `taken`.
-TimeSlot minimumFreeSlot(const std::set<TimeSlot>& taken) {
+/// Smallest positive integer not contained in `taken` (duplicates fine).
+TimeSlot minimumFreeSlot(std::vector<TimeSlot> taken) {
+  std::sort(taken.begin(), taken.end());
   TimeSlot candidate = 1;
   for (TimeSlot t : taken) {
     if (t < candidate) continue;
@@ -64,7 +68,7 @@ std::vector<NodeId> ClusterNet::bInterferers(NodeId v) const {
   requireInNet(v, "bInterferers");
   std::vector<NodeId> out;
   const Depth d = know_[v].depth;
-  for (NodeId u : graph_.neighbors(v)) {
+  for (NodeId u : adj(v)) {
     if (!contains(u)) continue;
     if (isBackboneStatus(know_[u].status) && know_[u].depth == d - 1)
       out.push_back(u);
@@ -82,7 +86,7 @@ std::vector<NodeId> ClusterNet::lInterferers(NodeId v) const {
   requireInNet(v, "lInterferers");
   std::vector<NodeId> out;
   const Depth d = know_[v].depth;
-  for (NodeId u : graph_.neighbors(v)) {
+  for (NodeId u : adj(v)) {
     if (!contains(u)) continue;
     if (!isBackboneStatus(know_[u].status)) continue;
     if (config_.slotPolicy == SlotPolicy::kStrict ||
@@ -98,7 +102,7 @@ std::vector<NodeId> ClusterNet::bConstrainedListeners(NodeId y) const {
   requireInNet(y, "bConstrainedListeners");
   std::vector<NodeId> out;
   const Depth d = know_[y].depth;
-  for (NodeId u : graph_.neighbors(y)) {
+  for (NodeId u : adj(y)) {
     if (!contains(u)) continue;
     if (isBackboneStatus(know_[u].status) && know_[u].depth == d + 1)
       out.push_back(u);
@@ -110,7 +114,7 @@ std::vector<NodeId> ClusterNet::lConstrainedListeners(NodeId y) const {
   requireInNet(y, "lConstrainedListeners");
   std::vector<NodeId> out;
   const Depth d = know_[y].depth;
-  for (NodeId u : graph_.neighbors(y)) {
+  for (NodeId u : adj(y)) {
     if (!contains(u)) continue;
     if (know_[u].status != NodeStatus::kPureMember) continue;
     if (config_.slotPolicy == SlotPolicy::kStrict ||
@@ -124,7 +128,7 @@ std::vector<NodeId> ClusterNet::uConstrainedListeners(NodeId y) const {
   requireInNet(y, "uConstrainedListeners");
   std::vector<NodeId> out;
   const Depth d = know_[y].depth;
-  for (NodeId u : graph_.neighbors(y)) {
+  for (NodeId u : adj(y)) {
     if (contains(u) && know_[u].depth == d + 1) out.push_back(u);
   }
   return out;
@@ -160,24 +164,24 @@ bool ClusterNet::bConditionHolds(NodeId v) const {
   requireInNet(v, "bConditionHolds");
   DSN_REQUIRE(isBackboneStatus(know_[v].status) && know_[v].depth > 0,
               "bConditionHolds: needs a non-root backbone node");
-  const auto slots = slotsOf(bInterferers(v), SlotKind::kB, kInvalidNode);
-  return !uniqueValues(slots).empty();
+  return uniqueValueCount(
+             slotsOf(bInterferers(v), SlotKind::kB, kInvalidNode)) > 0;
 }
 
 bool ClusterNet::lConditionHolds(NodeId v) const {
   requireInNet(v, "lConditionHolds");
   DSN_REQUIRE(know_[v].status == NodeStatus::kPureMember,
               "lConditionHolds: needs a pure member");
-  const auto slots = slotsOf(lInterferers(v), SlotKind::kL, kInvalidNode);
-  return !uniqueValues(slots).empty();
+  return uniqueValueCount(
+             slotsOf(lInterferers(v), SlotKind::kL, kInvalidNode)) > 0;
 }
 
 bool ClusterNet::uConditionHolds(NodeId v) const {
   requireInNet(v, "uConditionHolds");
   DSN_REQUIRE(know_[v].depth > 0,
               "uConditionHolds: the root does not receive");
-  const auto slots = slotsOf(uInterferers(v), SlotKind::kU, kInvalidNode);
-  return !uniqueValues(slots).empty();
+  return uniqueValueCount(
+             slotsOf(uInterferers(v), SlotKind::kU, kInvalidNode)) > 0;
 }
 
 // ---- Procedure 1 (paper Section 4) ----
@@ -192,11 +196,11 @@ void ClusterNet::calculateBTimeSlot(NodeId y) {
   // in turn (Lemma 2(1): 1 + |C(y)| rounds).
   costs_.slotUpdate += 1 + static_cast<std::int64_t>(listeners.size());
 
-  std::set<TimeSlot> forbidden;
+  std::vector<TimeSlot> forbidden;
   for (NodeId v : listeners) {
     const auto slots = slotsOf(bInterferers(v), SlotKind::kB, y);
-    if (uniqueValues(slots).size() >= 2) continue;  // v safe regardless
-    for (TimeSlot s : slots) forbidden.insert(s);
+    if (uniqueValueCount(slots) >= 2) continue;  // v safe regardless
+    forbidden.insert(forbidden.end(), slots.begin(), slots.end());
   }
   know_[y].bSlot = minimumFreeSlot(forbidden);
   reportSlotToRoot(know_[y].bSlot, 0, 0);
@@ -210,11 +214,11 @@ void ClusterNet::calculateLTimeSlot(NodeId y) {
   const std::vector<NodeId> listeners = lConstrainedListeners(y);
   costs_.slotUpdate += 1 + static_cast<std::int64_t>(listeners.size());
 
-  std::set<TimeSlot> forbidden;
+  std::vector<TimeSlot> forbidden;
   for (NodeId v : listeners) {
     const auto slots = slotsOf(lInterferers(v), SlotKind::kL, y);
-    if (uniqueValues(slots).size() >= 2) continue;
-    for (TimeSlot s : slots) forbidden.insert(s);
+    if (uniqueValueCount(slots) >= 2) continue;
+    forbidden.insert(forbidden.end(), slots.begin(), slots.end());
   }
   know_[y].lSlot = minimumFreeSlot(forbidden);
   reportSlotToRoot(0, know_[y].lSlot, 0);
@@ -228,11 +232,11 @@ void ClusterNet::calculateUTimeSlot(NodeId y) {
   const std::vector<NodeId> listeners = uConstrainedListeners(y);
   costs_.slotUpdate += 1 + static_cast<std::int64_t>(listeners.size());
 
-  std::set<TimeSlot> forbidden;
+  std::vector<TimeSlot> forbidden;
   for (NodeId v : listeners) {
     const auto slots = slotsOf(uInterferers(v), SlotKind::kU, y);
-    if (uniqueValues(slots).size() >= 2) continue;
-    for (TimeSlot s : slots) forbidden.insert(s);
+    if (uniqueValueCount(slots) >= 2) continue;
+    forbidden.insert(forbidden.end(), slots.begin(), slots.end());
   }
   know_[y].uSlot = minimumFreeSlot(forbidden);
   reportSlotToRoot(0, 0, know_[y].uSlot);
@@ -252,7 +256,7 @@ bool ClusterNet::upConditionHolds(NodeId v) const {
   if (mine == kNoSlot) return false;
   const Depth d = know_[v].depth;
   const NodeId p = know_[v].parent;
-  for (NodeId u : graph_.neighbors(p)) {
+  for (NodeId u : adj(p)) {
     if (u == v || !contains(u)) continue;
     if (know_[u].depth == d && know_[u].upSlot == mine) return false;
   }
@@ -264,15 +268,15 @@ void ClusterNet::assignUpSlot(NodeId v) {
   // previous-depth neighbor with v — then every potential listener can
   // separate v from all other transmitters in its gather window.
   const Depth d = know_[v].depth;
-  std::set<TimeSlot> forbidden;
+  std::vector<TimeSlot> forbidden;
   std::int64_t listeners = 0;
-  for (NodeId q : graph_.neighbors(v)) {
+  for (NodeId q : adj(v)) {
     if (!contains(q) || know_[q].depth != d - 1) continue;
     ++listeners;
-    for (NodeId u : graph_.neighbors(q)) {
+    for (NodeId u : adj(q)) {
       if (u == v || !contains(u)) continue;
       if (know_[u].depth == d && know_[u].upSlot != kNoSlot)
-        forbidden.insert(know_[u].upSlot);
+        forbidden.push_back(know_[u].upSlot);
     }
   }
   costs_.slotUpdate += 1 + listeners;
@@ -325,6 +329,9 @@ void ClusterNet::restoreReceiverConditions(NodeId v) {
 std::int64_t ClusterNet::compactSlots() {
   if (root_ == kInvalidNode) return 0;
   const RoundCost before = costs_;
+  // One O(V+E) snapshot up front; every adj() below then iterates the
+  // flat CSR arrays instead of per-node vectors for the whole pass.
+  graph_.csrView();
 
   // Wipe every slot and the root's window knowledge, then re-derive in
   // BFS order: each node's delivery conditions are restored exactly as a

@@ -325,7 +325,8 @@ class Checker {
         }
       }
       for (NodeId v : nodes_) {
-        const auto& have = net_.knowledge(v).relayCount;
+        const auto& flat = net_.knowledge(v).relayCount;
+        const std::map<GroupId, int> have(flat.begin(), flat.end());
         const auto it = expected.find(v);
         const std::map<GroupId, int> empty;
         const auto& want = it == expected.end() ? empty : it->second;

@@ -1,0 +1,84 @@
+// Compressed-sparse-row snapshot of a Graph's adjacency.
+//
+// The mutable Graph stores one std::vector per node, which is the right
+// shape for incremental move-in/move-out but costs a pointer chase (and a
+// cold cache line) per neighbor list in the hot read phases — the radio
+// simulator touches neighbor lists millions of times per bench. A
+// CsrView flattens the adjacency into one offsets array and one targets
+// array so sequential scans stay in one allocation.
+//
+// Neighbor order is preserved exactly (insertion order, the same order
+// Graph::neighbors returns), so consumers that switch between the two
+// representations produce bit-identical results. Dead nodes have empty
+// ranges, mirroring Graph::neighbors on dead nodes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// Immutable flattened adjacency. Rebuilt (not updated) from a Graph;
+/// see Graph::csrView() for the epoch-tracked cache.
+class CsrView {
+ public:
+  /// Contiguous neighbor range of one node.
+  struct Span {
+    const NodeId* first = nullptr;
+    const NodeId* last = nullptr;
+
+    const NodeId* begin() const { return first; }
+    const NodeId* end() const { return last; }
+    std::size_t size() const { return static_cast<std::size_t>(last - first); }
+    bool empty() const { return first == last; }
+    NodeId operator[](std::size_t i) const { return first[i]; }
+  };
+
+  CsrView() = default;
+
+  /// Rebuilds from per-node adjacency vectors, reusing capacity.
+  void assign(const std::vector<std::vector<NodeId>>& adjacency) {
+    offsets_.resize(adjacency.size() + 1);
+    std::size_t total = 0;
+    for (std::size_t v = 0; v < adjacency.size(); ++v) {
+      offsets_[v] = static_cast<std::uint32_t>(total);
+      total += adjacency[v].size();
+    }
+    DSN_REQUIRE(total <= std::numeric_limits<std::uint32_t>::max(),
+                "CSR snapshot: directed edge count exceeds 32-bit offsets");
+    offsets_[adjacency.size()] = static_cast<std::uint32_t>(total);
+    targets_.resize(total);
+    NodeId* out = targets_.data();
+    for (const auto& row : adjacency) {
+      for (const NodeId u : row) *out++ = u;
+    }
+  }
+
+  Span neighbors(NodeId v) const {
+    const NodeId* base = targets_.data();
+    return Span{base + offsets_[v], base + offsets_[v + 1]};
+  }
+
+  std::size_t degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Number of node slots covered by the snapshot.
+  std::size_t nodeCount() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Total directed edge slots (2E for a live undirected graph).
+  std::size_t arcCount() const { return targets_.size(); }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<NodeId> targets_;
+};
+
+}  // namespace dsn

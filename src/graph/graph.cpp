@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace dsn {
 
@@ -11,10 +12,43 @@ const std::vector<NodeId> kEmptyAdjacency;
 Graph::Graph(std::size_t n)
     : adjacency_(n), alive_(n, true), liveCount_(n) {}
 
+Graph::Graph(const Graph& other)
+    : adjacency_(other.adjacency_),
+      alive_(other.alive_),
+      liveCount_(other.liveCount_),
+      edgeCount_(other.edgeCount_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  adjacency_ = other.adjacency_;
+  alive_ = other.alive_;
+  liveCount_ = other.liveCount_;
+  edgeCount_ = other.edgeCount_;
+  ++epoch_;  // cold CSR cache
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : adjacency_(std::move(other.adjacency_)),
+      alive_(std::move(other.alive_)),
+      liveCount_(other.liveCount_),
+      edgeCount_(other.edgeCount_) {}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  adjacency_ = std::move(other.adjacency_);
+  alive_ = std::move(other.alive_);
+  liveCount_ = other.liveCount_;
+  edgeCount_ = other.edgeCount_;
+  ++epoch_;
+  return *this;
+}
+
 NodeId Graph::addNode() {
   adjacency_.emplace_back();
   alive_.push_back(true);
   ++liveCount_;
+  ++epoch_;
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
@@ -33,6 +67,7 @@ void Graph::removeNode(NodeId v) {
   adjacency_[v].clear();
   alive_[v] = false;
   --liveCount_;
+  ++epoch_;
 }
 
 void Graph::addEdge(NodeId u, NodeId v) {
@@ -43,6 +78,7 @@ void Graph::addEdge(NodeId u, NodeId v) {
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
   ++edgeCount_;
+  ++epoch_;
 }
 
 void Graph::removeEdge(NodeId u, NodeId v) {
@@ -55,6 +91,7 @@ void Graph::removeEdge(NodeId u, NodeId v) {
   auto& nv = adjacency_[v];
   nv.erase(std::remove(nv.begin(), nv.end(), u), nv.end());
   --edgeCount_;
+  ++epoch_;
 }
 
 bool Graph::hasEdge(NodeId u, NodeId v) const {
@@ -76,6 +113,25 @@ const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
 
 bool Graph::isAlive(NodeId v) const {
   return isValidId(v) && alive_[v];
+}
+
+const CsrView& Graph::csrView() const {
+  // Double-checked: the common case (fresh snapshot) is one acquire load.
+  // Rebuild is serialized; readers racing a concurrent *mutation* are
+  // outside the contract (as for every other accessor).
+  if (csrEpoch_.load(std::memory_order_acquire) != epoch_) {
+    std::lock_guard<std::mutex> lock(csrMutex_);
+    if (csrEpoch_.load(std::memory_order_relaxed) != epoch_) {
+      csr_.assign(adjacency_);
+      csrEpoch_.store(epoch_, std::memory_order_release);
+    }
+  }
+  return csr_;
+}
+
+const CsrView* Graph::csrViewIfFresh() const {
+  return csrEpoch_.load(std::memory_order_acquire) == epoch_ ? &csr_
+                                                             : nullptr;
 }
 
 std::vector<NodeId> Graph::liveNodes() const {

@@ -10,9 +10,13 @@
 // keeps external id maps stable across reconfigurations.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -24,6 +28,13 @@ class Graph {
   Graph() = default;
   /// Creates `n` live, isolated nodes with ids 0..n-1.
   explicit Graph(std::size_t n);
+
+  // The CSR cache members make the defaults undefinable; copies/moves
+  // carry the adjacency and start with a cold cache.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   /// Adds a new live node; returns its id (== previous size()).
   NodeId addNode();
@@ -64,11 +75,35 @@ class Graph {
     return v < adjacency_.size();
   }
 
+  /// Flattened CSR snapshot of the current adjacency, cached per
+  /// topology-mutation epoch: the first call after any mutation rebuilds
+  /// it (O(V+E)); subsequent calls are a single atomic load. Static read
+  /// phases (the radio simulator, slot compaction, the reference radio)
+  /// iterate this instead of the per-node vectors. The returned reference
+  /// is invalidated by the next mutation; concurrent readers are safe,
+  /// concurrent mutation is not (same contract as every other accessor).
+  const CsrView& csrView() const;
+
+  /// The cached snapshot if it already matches the current epoch, else
+  /// nullptr. Never rebuilds — incremental phases (per-insert slot
+  /// updates) use this to avoid paying O(V+E) per mutation batch.
+  const CsrView* csrViewIfFresh() const;
+
+  /// Monotonic counter bumped by every topology mutation. Consumers that
+  /// cache derived structures key them off this epoch.
+  std::uint64_t mutationEpoch() const { return epoch_; }
+
  private:
   std::vector<std::vector<NodeId>> adjacency_;
   std::vector<bool> alive_;
   std::size_t liveCount_ = 0;
   std::size_t edgeCount_ = 0;
+
+  /// Starts at 1 so the cold cache (csrEpoch_ == 0) is never "fresh".
+  std::uint64_t epoch_ = 1;
+  mutable std::mutex csrMutex_;
+  mutable CsrView csr_;
+  mutable std::atomic<std::uint64_t> csrEpoch_{0};
 
   void requireLive(NodeId v, const char* what) const;
 };

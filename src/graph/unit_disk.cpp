@@ -22,28 +22,34 @@ UnitDiskIndex::UnitDiskIndex(double range) : range_(range) {
   DSN_REQUIRE(range > 0.0, "communication range must be positive");
 }
 
-UnitDiskIndex::CellKey UnitDiskIndex::cellOf(const Point2D& p) const {
-  // Cell size equals the range, so all neighbors of a point lie in the
-  // 3x3 block of cells around it. Coordinates are offset into positive
-  // space before packing two 32-bit cell indices into one key.
-  const auto cx = static_cast<std::int64_t>(std::floor(p.x / range_));
-  const auto cy = static_cast<std::int64_t>(std::floor(p.y / range_));
+UnitDiskIndex::CellKey UnitDiskIndex::packKey(std::int64_t cx,
+                                              std::int64_t cy) {
+  // Coordinates are offset into positive space before packing two 32-bit
+  // cell indices into one key.
   const auto ux = static_cast<std::uint64_t>(cx + (1ll << 31));
   const auto uy = static_cast<std::uint64_t>(cy + (1ll << 31));
   return (ux << 32) | (uy & 0xFFFFFFFFull);
 }
 
+UnitDiskIndex::CellKey UnitDiskIndex::cellOf(const Point2D& p) const {
+  // Cell size equals the range, so all neighbors of a point lie in the
+  // 3x3 block of cells around it.
+  return packKey(static_cast<std::int64_t>(std::floor(p.x / range_)),
+                 static_cast<std::int64_t>(std::floor(p.y / range_)));
+}
+
 std::vector<NodeId> UnitDiskIndex::queryNeighbors(const Point2D& p) const {
   std::vector<NodeId> out;
+  out.reserve(16);
   const auto cx = static_cast<std::int64_t>(std::floor(p.x / range_));
   const auto cy = static_cast<std::int64_t>(std::floor(p.y / range_));
   for (std::int64_t dx = -1; dx <= 1; ++dx) {
     for (std::int64_t dy = -1; dy <= 1; ++dy) {
-      const Point2D probe{static_cast<double>(cx + dx) * range_ +
-                              range_ * 0.5,
-                          static_cast<double>(cy + dy) * range_ +
-                              range_ * 0.5};
-      const auto it = cells_.find(cellOf(probe));
+      // The neighbor cell key comes straight from the integer cell
+      // coordinates — synthesizing a float cell-center and re-flooring it
+      // would round-trip through doubles and can land in the wrong cell
+      // right at a cell boundary.
+      const auto it = cells_.find(packKey(cx + dx, cy + dy));
       if (it == cells_.end()) continue;
       for (NodeId id : it->second) {
         if (inRange(positions_.at(id), p, range_)) out.push_back(id);

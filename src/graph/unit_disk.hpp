@@ -48,6 +48,7 @@ class UnitDiskIndex {
 
  private:
   using CellKey = std::uint64_t;
+  static CellKey packKey(std::int64_t cx, std::int64_t cy);
   CellKey cellOf(const Point2D& p) const;
 
   double range_;

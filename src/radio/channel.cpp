@@ -1,5 +1,7 @@
 #include "radio/channel.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace dsn {
@@ -48,6 +50,84 @@ ChannelOutcome resolveRound(const Graph& g,
       } else if (transmitterCount > 1) {
         out.collisionSites.push_back(CollisionSite{v, c});
       }
+    }
+  }
+  return out;
+}
+
+void ResolveScratch::prepare(std::size_t nodeCount, Channel channelCount) {
+  DSN_REQUIRE(channelCount >= 1, "at least one radio channel required");
+  nodeCount_ = nodeCount;
+  channelCount_ = channelCount;
+  count_.assign(nodeCount * channelCount, 0);
+  unique_.resize(nodeCount * channelCount);
+  touchedFlag_.assign(nodeCount, 0);
+  touched_.clear();
+  touched_.reserve(nodeCount);
+}
+
+const ChannelOutcome& resolveRoundActive(
+    const CsrView& csr,
+    const std::vector<Action>& actions,
+    const std::vector<NodeId>& transmitters,
+    Channel channelCount,
+    ResolveScratch& s) {
+  DSN_REQUIRE(csr.nodeCount() == s.nodeCount_ &&
+                  channelCount == s.channelCount_,
+              "scratch not prepared for this topology/channel count");
+  const Channel k = channelCount;
+  ChannelOutcome& out = s.outcome_;
+  out.deliveries.clear();
+  out.collisionSites.clear();
+  out.transmissions = transmitters.size();
+
+  // Tally transmitting neighbors per (listener, channel). Only cells
+  // adjacent to a transmitter are written, so nothing needs re-zeroing
+  // beyond the cleanup pass below.
+  for (const NodeId u : transmitters) {
+    const Action& a = actions[u];
+    DSN_REQUIRE(a.type == Action::Type::kTransmit,
+                "transmitter list entry is not transmitting");
+    DSN_REQUIRE(a.channel < k, "transmit channel out of range");
+    for (const NodeId v : csr.neighbors(u)) {
+      const std::size_t idx = static_cast<std::size_t>(v) * k + a.channel;
+      if (s.count_[idx]++ == 0) s.unique_[idx] = u;
+      if (!s.touchedFlag_[v]) {
+        s.touchedFlag_[v] = 1;
+        s.touched_.push_back(v);
+      }
+    }
+  }
+
+  // Emit in the same listener-ascending / channel-ascending order as the
+  // full scan. Listeners nobody transmitted near hear silence either way.
+  std::sort(s.touched_.begin(), s.touched_.end());
+  for (const NodeId v : s.touched_) {
+    const Action& act = actions[v];
+    if (act.type == Action::Type::kListen) {
+      DSN_REQUIRE(act.channel == kAllChannels || act.channel < k,
+                  "listen channel out of range");
+      const Channel lo = act.channel == kAllChannels ? 0 : act.channel;
+      const Channel hi = act.channel == kAllChannels ? k : act.channel + 1;
+      for (Channel c = lo; c < hi; ++c) {
+        const std::size_t idx = static_cast<std::size_t>(v) * k + c;
+        const std::uint32_t n = s.count_[idx];
+        if (n == 1) {
+          out.deliveries.push_back(Delivery{v, s.unique_[idx], c});
+        } else if (n > 1) {
+          out.collisionSites.push_back(CollisionSite{v, c});
+        }
+      }
+    }
+    s.touchedFlag_[v] = 0;
+  }
+  s.touched_.clear();
+
+  // Restore the count table to all-zero for the next round.
+  for (const NodeId u : transmitters) {
+    const Channel c = actions[u].channel;
+    for (const NodeId v : csr.neighbors(u)) {
+      s.count_[static_cast<std::size_t>(v) * k + c] = 0;
     }
   }
   return out;

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "radio/action.hpp"
 
@@ -49,5 +51,52 @@ struct ChannelOutcome {
 ChannelOutcome resolveRound(const Graph& g,
                             const std::vector<Action>& actions,
                             Channel channelCount);
+
+class ResolveScratch;
+
+/// Transmitter-driven variant of resolveRound for the active-set
+/// simulator: instead of scanning every listener's neighborhood, it walks
+/// the neighborhoods of the actual transmitters (`transmitters` must list
+/// exactly the nodes whose action is kTransmit, ascending) and tallies
+/// per-(listener, channel) counts in `scratch`. Output is bit-identical
+/// to resolveRound — deliveries and collision sites in listener-ascending
+/// then channel-ascending order — but the cost is O(sum of transmitter
+/// degrees), not O(V + E), and the returned outcome lives in `scratch`,
+/// so the steady state performs zero heap allocations per round.
+const ChannelOutcome& resolveRoundActive(
+    const CsrView& csr,
+    const std::vector<Action>& actions,
+    const std::vector<NodeId>& transmitters,
+    Channel channelCount,
+    ResolveScratch& scratch);
+
+/// Reusable per-run buffers for resolveRoundActive. prepare() once per
+/// (topology, channel-count) pair; every table is restored to its pristine
+/// state at the end of each resolve, so rounds never re-zero O(V·k) data.
+class ResolveScratch {
+ public:
+  /// Sizes the tables for `nodeCount` node ids and `channelCount`
+  /// channels. Allocates here so resolve calls never do.
+  void prepare(std::size_t nodeCount, Channel channelCount);
+
+  /// The outcome buffer of the most recent resolveRoundActive call.
+  const ChannelOutcome& outcome() const { return outcome_; }
+
+ private:
+  friend const ChannelOutcome& resolveRoundActive(
+      const CsrView&, const std::vector<Action>&,
+      const std::vector<NodeId>&, Channel, ResolveScratch&);
+
+  /// Transmitting-neighbor count per (listener * channelCount + channel).
+  std::vector<std::uint32_t> count_;
+  /// The transmitter that set count_ to 1 (valid while count_ == 1).
+  std::vector<NodeId> unique_;
+  /// Listeners adjacent to at least one transmitter this round.
+  std::vector<NodeId> touched_;
+  std::vector<std::uint8_t> touchedFlag_;
+  ChannelOutcome outcome_;
+  std::size_t nodeCount_ = 0;
+  Channel channelCount_ = 0;
+};
 
 }  // namespace dsn

@@ -106,6 +106,13 @@ class FailureModel {
 
   bool hasScheduledDeaths() const { return !deathRound_.empty(); }
 
+  /// Scheduled death rounds (earliest per node). The active-set simulator
+  /// turns these into a sorted event list so node deaths update its
+  /// pending-completion count without per-round scans.
+  const std::unordered_map<NodeId, Round>& deathSchedule() const {
+    return deathRound_;
+  }
+
   /// True when dropsTransmission() can ever return true — the simulator
   /// only spends RNG draws when this holds, keeping failure-free runs
   /// bit-identical to the pre-fault-injection behaviour.

@@ -14,14 +14,19 @@
 
 namespace dsn {
 
+/// Sentinel for NodeProtocol::nextWake: the node sleeps forever (no
+/// further onRound calls, and — since a sleeping node never listens —
+/// no further onReceive either).
+inline constexpr Round kNoWake = std::numeric_limits<Round>::max();
+
 /// One node's protocol logic. Implementations keep only *local* state —
 /// the per-node knowledge the paper grants (Section 5, knowledge I/II).
 class NodeProtocol {
  public:
   virtual ~NodeProtocol() = default;
 
-  /// Decide this node's action for round `r`. Called exactly once per
-  /// round while the node is alive.
+  /// Decide this node's action for round `r`. Called for every round the
+  /// node is scheduled awake (see nextWake) while it is alive.
   virtual Action onRound(Round r) = 0;
 
   /// A frame was received (exactly one neighbor transmitted on `channel`
@@ -31,6 +36,19 @@ class NodeProtocol {
   /// True once this node will never transmit again and its protocol role
   /// is complete (it may still be reachable as a listener).
   virtual bool isDone() const = 0;
+
+  /// Active-set scheduling hint: the earliest round > `now` at which
+  /// onRound must be called again (kNoWake = never). The simulator is
+  /// free to skip onRound for every round in (now, nextWake(now)), so an
+  /// override promises that onRound would have returned a sleep action
+  /// with NO internal state change on each skipped round — including
+  /// deadline transitions (missed windows, lapsed duties), which count as
+  /// state changes and must land on a wake round. `now` is the round just
+  /// processed, or -1 before the first round. Called after the round's
+  /// deliveries, so overrides may consult state updated by onReceive.
+  /// The default wakes every round, reproducing the pre-hint schedule
+  /// for protocols without an override.
+  virtual Round nextWake(Round now) const { return now + 1; }
 };
 
 }  // namespace dsn

@@ -1,5 +1,10 @@
 #include "radio/simulator.hpp"
 
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
+
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
@@ -69,7 +74,11 @@ SimResult RadioSimulator::run() {
   DSN_REQUIRE(!ran_, "run() may be called only once");
   ran_ = true;
   DSN_TIMED_PHASE("sim.run");
+  return config_.scheduling == SimScheduling::kFullScan ? runFullScan()
+                                                        : runActiveSet();
+}
 
+SimResult RadioSimulator::runFullScan() {
   SimResult result;
   std::vector<Action> actions(graph_.size());
 
@@ -147,6 +156,202 @@ SimResult RadioSimulator::run() {
   }
 
   result.completed = allDone(config_.maxRounds);
+  flushRunMetrics(result);
+  return result;
+}
+
+SimResult RadioSimulator::runActiveSet() {
+  SimResult result;
+  const CsrView& csr = graph_.csrView();
+  const std::size_t n = graph_.size();
+
+  std::vector<Action> actions(n);
+
+  // pending = live protocol nodes that still block completion; a node is
+  // `resolved` once it reports done or its scheduled death round passes
+  // (allDone ignores dead nodes). isDone is monotone by contract, so a
+  // node is counted out at most once.
+  std::vector<std::uint8_t> resolved(n, 0);
+  std::size_t pending = 0;
+
+  // Min-heap of (wake round, node). std::greater pops ascending (round,
+  // node), which preserves the full scan's node-id iteration order within
+  // a round. Each node holds at most one entry (re-queued only after its
+  // entry is processed).
+  using WakeEntry = std::pair<Round, NodeId>;
+  std::vector<WakeEntry> heapStore;
+  heapStore.reserve(n + 1);
+  std::priority_queue<WakeEntry, std::vector<WakeEntry>,
+                      std::greater<WakeEntry>>
+      wake(std::greater<WakeEntry>{}, std::move(heapStore));
+
+  for (NodeId v = 0; v < protocols_.size(); ++v) {
+    if (!protocols_[v] || !graph_.isAlive(v)) {
+      resolved[v] = 1;
+      continue;
+    }
+    if (protocols_[v]->isDone()) {
+      resolved[v] = 1;
+    } else {
+      ++pending;
+    }
+    const Round nw = protocols_[v]->nextWake(-1);
+    if (nw != kNoWake) {
+      DSN_REQUIRE(nw >= 0, "nextWake(-1) must name a non-negative round");
+      wake.emplace(nw, v);
+    }
+  }
+
+  // Scheduled deaths as a sorted event list; processing an event retires
+  // the node from the pending count exactly when isDead starts holding.
+  std::vector<std::pair<Round, NodeId>> deaths;
+  for (const auto& [v, dr] : failures_.deathSchedule()) {
+    if (v < protocols_.size() && protocols_[v] && graph_.isAlive(v)) {
+      deaths.emplace_back(dr, v);
+    }
+  }
+  std::sort(deaths.begin(), deaths.end());
+  std::size_t deathIdx = 0;
+
+  ResolveScratch scratch;
+  scratch.prepare(n, config_.channelCount);
+  std::vector<NodeId> active;
+  active.reserve(n);
+  std::vector<NodeId> transmitters;
+  transmitters.reserve(n);
+
+  Round r = 0;
+  while (r < config_.maxRounds) {
+    while (deathIdx < deaths.size() && deaths[deathIdx].first <= r) {
+      const NodeId v = deaths[deathIdx].second;
+      if (!resolved[v]) {
+        resolved[v] = 1;
+        --pending;
+      }
+      ++deathIdx;
+    }
+    if (pending == 0) {
+      // allDone(r) holds before round r runs — same exit as the scan.
+      result.completed = true;
+      result.rounds = r;
+      flushRunMetrics(result);
+      return result;
+    }
+
+    // Fast-forward over idle spans: rounds with no waker and no death are
+    // all-sleep no-ops in the full scan; only the round counter moves.
+    Round nextEvent = config_.maxRounds;
+    if (!wake.empty()) nextEvent = std::min(nextEvent, wake.top().first);
+    if (deathIdx < deaths.size()) {
+      nextEvent = std::min(nextEvent, deaths[deathIdx].first);
+    }
+    if (nextEvent > r) {
+      result.rounds = nextEvent;
+      r = nextEvent;
+      continue;
+    }
+
+    // Phase 1: this round's wakers, ascending node id.
+    active.clear();
+    transmitters.clear();
+    while (!wake.empty() && wake.top().first == r) {
+      active.push_back(wake.top().second);
+      wake.pop();
+    }
+    for (const NodeId v : active) {
+      if (failures_.isDead(v, r)) continue;  // dead: dropped, never re-queued
+      actions[v] = protocols_[v]->onRound(r);
+
+      if (actions[v].type == Action::Type::kTransmit) {
+        energy_.recordTransmit(v);
+        if (failures_.isJammed(v, r)) {
+          // Energy spent, frame smothered by the jammer.
+          ++result.jammedLosses;
+          trace_.record(TraceEvent{TraceEventType::kJammedTransmit, r, v,
+                                   kInvalidNode, actions[v].channel,
+                                   actions[v].message.kind});
+          actions[v] = Action::sleep();
+          continue;
+        }
+        if (failures_.hasTransientLoss() && failures_.dropsTransmission()) {
+          // Energy spent, nothing on air.
+          ++result.droppedTransmissions;
+          trace_.record(TraceEvent{TraceEventType::kDroppedTransmit, r, v,
+                                   kInvalidNode, actions[v].channel,
+                                   actions[v].message.kind});
+          actions[v] = Action::sleep();
+          continue;
+        }
+        trace_.record(TraceEvent{TraceEventType::kTransmit, r, v,
+                                 kInvalidNode, actions[v].channel,
+                                 actions[v].message.kind});
+        transmitters.push_back(v);
+      } else if (actions[v].type == Action::Type::kListen) {
+        energy_.recordListen(v);
+      }
+    }
+
+    // Phase 2: resolve only around actual transmitters.
+    const ChannelOutcome& outcome = resolveRoundActive(
+        csr, actions, transmitters, config_.channelCount, scratch);
+    result.totalTransmissions += outcome.transmissions;
+    result.totalDeliveries += outcome.deliveries.size();
+    result.totalCollisions += outcome.collisions();
+
+    for (const auto& site : outcome.collisionSites) {
+      trace_.record(TraceEvent{TraceEventType::kCollision, r, site.listener,
+                               kInvalidNode, site.channel, MsgKind::kData});
+    }
+
+    // Phase 3: deliver. Receivers are always listeners, hence active.
+    for (const auto& d : outcome.deliveries) {
+      if (failures_.isDead(d.receiver, r)) continue;
+      if (failures_.isJammed(d.receiver, r)) {
+        // The jammer drowns out reception too.
+        ++result.jammedLosses;
+        continue;
+      }
+      energy_.recordReceive(d.receiver);
+      const Message& m = actions[d.transmitter].message;
+      trace_.record(TraceEvent{TraceEventType::kReceive, r, d.receiver,
+                               d.transmitter, d.channel, m.kind});
+      protocols_[d.receiver]->onReceive(m, r, d.channel);
+    }
+
+    // Post-round: retire freshly-done nodes, re-queue the rest. Only
+    // active nodes can have changed state (sleepers neither act nor
+    // receive), so scanning the active set is exhaustive.
+    for (const NodeId v : active) {
+      actions[v] = Action::sleep();
+      if (failures_.isDead(v, r)) continue;
+      if (!resolved[v] && protocols_[v]->isDone()) {
+        resolved[v] = 1;
+        --pending;
+      }
+      const Round nw = protocols_[v]->nextWake(r);
+      if (nw != kNoWake) {
+        DSN_REQUIRE(nw > r, "nextWake must name a future round");
+        wake.emplace(nw, v);
+      }
+    }
+
+    result.rounds = r + 1;
+    ++r;
+  }
+
+  // Budget exhausted: mirror allDone(maxRounds), whose isDead(v, maxRounds)
+  // excludes every death scheduled at or before the budget round.
+  while (deathIdx < deaths.size() &&
+         deaths[deathIdx].first <= config_.maxRounds) {
+    const NodeId v = deaths[deathIdx].second;
+    if (!resolved[v]) {
+      resolved[v] = 1;
+      --pending;
+    }
+    ++deathIdx;
+  }
+  result.completed = pending == 0;
+  result.rounds = config_.maxRounds;
   flushRunMetrics(result);
   return result;
 }

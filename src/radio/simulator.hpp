@@ -20,6 +20,19 @@
 
 namespace dsn {
 
+/// How the simulator schedules per-round work. Both modes produce
+/// bit-identical results (traces, energy, RNG draws, round counts);
+/// kFullScan is kept as the differential oracle and micro-bench baseline.
+enum class SimScheduling {
+  /// Wake-queue driven: onRound only runs for nodes whose nextWake hint
+  /// names the round, channel resolution only touches neighbors of
+  /// actual transmitters, and idle round spans are skipped outright.
+  kActiveSet,
+  /// The original loop: scan all V protocols every round and resolve the
+  /// channel over the whole graph.
+  kFullScan,
+};
+
 /// Static configuration of one simulation run.
 struct SimConfig {
   /// Number of radio channels k (paper: 1 unless the k-channel variant).
@@ -28,6 +41,8 @@ struct SimConfig {
   Round maxRounds = 1'000'000;
   /// Capacity of the event trace (0 = tracing off).
   std::size_t traceCapacity = 0;
+  /// Round-loop strategy; see SimScheduling.
+  SimScheduling scheduling = SimScheduling::kActiveSet;
 };
 
 /// Aggregate result of a run.
@@ -79,6 +94,8 @@ class RadioSimulator {
   bool ran_ = false;
 
   bool allDone(Round r) const;
+  SimResult runFullScan();
+  SimResult runActiveSet();
 };
 
 }  // namespace dsn

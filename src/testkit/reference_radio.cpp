@@ -65,6 +65,7 @@ BroadcastRun runCffPlan(const ClusterNet& net, const CffPlan& plan,
   cfg.channelCount = plan.channels;
   cfg.maxRounds = plan.maxRounds;
   cfg.traceCapacity = options.traceCapacity;
+  cfg.scheduling = options.scheduling;
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);
@@ -84,6 +85,9 @@ BroadcastRun runCffPlan(const ClusterNet& net, const CffPlan& plan,
 }
 
 ReferenceRun runCffPlanReference(const Graph& g, const CffPlan& plan) {
+  // The reference resolver rescans whole neighborhoods every round; use
+  // the flat CSR snapshot (identical neighbor order) for the scan.
+  const CsrView& csr = g.csrView();
   std::vector<std::unique_ptr<CffNodeProtocol>> protocols(g.size());
   for (const CffNodeConfig& nc : plan.configs)
     protocols[nc.self] = std::make_unique<CffNodeProtocol>(nc);
@@ -131,7 +135,7 @@ ReferenceRun runCffPlanReference(const Graph& g, const CffPlan& plan) {
       for (Channel c = lo; c <= hi; ++c) {
         NodeId only = kInvalidNode;
         std::size_t count = 0;
-        for (NodeId u : g.neighbors(v)) {
+        for (NodeId u : csr.neighbors(v)) {
           if (actions[u].type == Action::Type::kTransmit &&
               actions[u].channel == c) {
             ++count;

@@ -1,0 +1,90 @@
+// Sorted-vector map for small hot-path key/value sets.
+//
+// Profiling the cluster maintenance loops showed node-local ordered maps
+// (a handful of entries, touched on every group join/leave along a root
+// path) paying red-black-tree node allocations and pointer chases for
+// what is almost always < 8 entries. A FlatMap keeps the entries sorted
+// in one contiguous vector: lookups are a branchless binary search over
+// one cache line, iteration is a linear scan in key order (the same
+// order std::map iterates, so consumers observe identical sequences).
+//
+// Only the std::map API subset the codebase uses is provided.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+/// Map with std::map iteration order and vector storage. Keys need
+/// operator<; mutation invalidates iterators (vector semantics).
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }
+
+  iterator find(const Key& key) {
+    const auto it = lowerBound(key);
+    return it != data_.end() && it->first == key ? it : data_.end();
+  }
+  const_iterator find(const Key& key) const {
+    const auto it = lowerBound(key);
+    return it != data_.end() && it->first == key ? it : data_.end();
+  }
+
+  std::size_t count(const Key& key) const {
+    return find(key) == end() ? 0 : 1;
+  }
+
+  /// Inserts a default-constructed value when the key is absent.
+  Value& operator[](const Key& key) {
+    auto it = lowerBound(key);
+    if (it == data_.end() || it->first != key)
+      it = data_.insert(it, value_type{key, Value{}});
+    return it->second;
+  }
+
+  const Value& at(const Key& key) const {
+    const auto it = find(key);
+    DSN_REQUIRE(it != end(), "FlatMap::at: key not found");
+    return it->second;
+  }
+
+  void erase(iterator it) { data_.erase(it); }
+
+  bool operator==(const FlatMap& other) const {
+    return data_ == other.data_;
+  }
+  bool operator!=(const FlatMap& other) const { return !(*this == other); }
+
+ private:
+  iterator lowerBound(const Key& key) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  const_iterator lowerBound(const Key& key) const {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> data_;
+};
+
+}  // namespace dsn

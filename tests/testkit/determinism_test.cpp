@@ -62,6 +62,26 @@ TEST(DeterminismTest, ReplayEpisodeMatchesCampaignEpisode) {
   }
 }
 
+TEST(DeterminismTest, PinnedCampaignDigest) {
+  // Cross-version pin: this exact campaign's digest is a behavioral
+  // checksum over 634 simulator runs (every protocol family, randomized
+  // dynamic topologies, failure injection). Any change to RNG draw
+  // order, round scheduling, delivery resolution, or trace emission
+  // moves it. If a change is *intentionally* behavior-altering, rerun
+  // the campaign and update the constant in the same commit; otherwise a
+  // mismatch here means a refactor broke bit-identity.
+  FuzzConfig config;
+  config.episodes = 30;
+  config.seed = 20260806;
+  config.jobs = 2;
+  config.shrinkFailures = false;
+  const FuzzReport report = runFuzz(config);
+  EXPECT_EQ(report.digest, 0xd808f53a9cf3ce78ULL);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.opsExecuted, 546u);
+  EXPECT_EQ(report.simRuns, 634u);
+}
+
 TEST(DeterminismTest, EpisodeDigestsActuallyDiffer) {
   // A digest that never changes would make every determinism check above
   // vacuous; distinct episodes must hash to distinct values.
