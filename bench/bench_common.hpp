@@ -26,6 +26,7 @@
 #include "core/report.hpp"
 #include "exec/parallel_sweep.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 
 namespace dsn::bench {
 
@@ -127,6 +128,9 @@ inline void writeBenchJson(const std::string& name,
     w.endArray();
   }
   w.endArray();
+  // Fold flight-recorder accounting (recorded/stored/dropped event
+  // counters) into the snapshot when a bench ran with recording on.
+  obs::flushRecorderTelemetry();
   w.key("metrics");
   obs::writeRegistryJson(w, obs::globalMetrics());
   w.key("timing");

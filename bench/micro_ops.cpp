@@ -6,6 +6,7 @@
 #include "core/sensor_network.hpp"
 #include "graph/deploy.hpp"
 #include "graph/unit_disk.hpp"
+#include "obs/flight.hpp"
 #include "radio/channel.hpp"
 #include "util/rng.hpp"
 
@@ -163,6 +164,61 @@ void BM_ResolveTransmitterDriven(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_ResolveTransmitterDriven)->Arg(100)->Arg(500);
+
+// Flight-recorder event cost, ns/event: the full record() path with the
+// category enabled, the masked path (recorderFor returns nullptr after
+// one runtime-mask check), and the unconfigured path (recording off —
+// what every instrumented site pays in a normal run).
+void BM_FlightRecordEnabled(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  obs::FrConfig cfg;
+  cfg.capacity = 1 << 16;
+  recorder.configure(cfg);
+  obs::ScopedRecorderSink sink(recorder);
+  obs::FrEvent e;
+  e.type = static_cast<std::uint8_t>(obs::FrType::kTransmit);
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    e.round = round++;
+    if (obs::FlightRecorder* fr = obs::recorderFor<obs::kFrCatRadio>())
+      fr->record(e);
+    benchmark::DoNotOptimize(recorder);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordEnabled);
+
+void BM_FlightRecordMaskedCategory(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  obs::FrConfig cfg;
+  cfg.capacity = 1 << 16;
+  cfg.categories = obs::kFrCatRun;  // radio masked out at runtime
+  recorder.configure(cfg);
+  obs::ScopedRecorderSink sink(recorder);
+  obs::FrEvent e;
+  e.type = static_cast<std::uint8_t>(obs::FrType::kTransmit);
+  for (auto _ : state) {
+    obs::FlightRecorder* fr = obs::recorderFor<obs::kFrCatRadio>();
+    benchmark::DoNotOptimize(fr);
+    if (fr) fr->record(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordMaskedCategory);
+
+void BM_FlightRecordDisabled(benchmark::State& state) {
+  obs::FlightRecorder recorder;  // never configured: recording off
+  obs::ScopedRecorderSink sink(recorder);
+  obs::FrEvent e;
+  e.type = static_cast<std::uint8_t>(obs::FrType::kTransmit);
+  for (auto _ : state) {
+    obs::FlightRecorder* fr = obs::recorderFor<obs::kFrCatRadio>();
+    benchmark::DoNotOptimize(fr);
+    if (fr) fr->record(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordDisabled);
 
 }  // namespace
 }  // namespace dsn

@@ -11,11 +11,18 @@
 // Field area scales with n (the paper's max density, 5 nodes per unit
 // square) so the 2000- and 5000-node points stress round count and node
 // count rather than degenerate into a dense clique.
+//
+// --trace-overhead switches the binary into a separate mode that
+// measures flight-recorder cost at n = 2000 (recorder off vs sampled vs
+// every-round) and emits results/BENCH_perf_trace.json. It never touches
+// the "perf" record, so the CI perf gate's column contract is unchanged.
 #include <chrono>
 #include <cmath>
+#include <cstring>
 
 #include "bench/bench_common.hpp"
 #include "broadcast/runner.hpp"
+#include "obs/flight.hpp"
 
 namespace {
 
@@ -57,10 +64,68 @@ Throughput measure(const dsn::SensorNetwork& net, dsn::NodeId source,
 
 }  // namespace
 
+namespace {
+
+// The --trace-overhead mode: one 2000-node CFF cell timed with the
+// flight recorder off, sampled (every 8th round), and on every round.
+int runTraceOverhead(dsn::ExperimentConfig cfg) {
+  using namespace dsn;
+  constexpr std::size_t n = 2000;
+  cfg.nodeCounts = {n};
+  bench::printHeader("PerfTrace",
+                     "flight-recorder overhead, off vs sampled vs full",
+                     cfg);
+
+  const int fieldUnits = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(n) / 5.0)));
+  NetworkConfig nc;
+  nc.field = Field::squareUnits(fieldUnits, cfg.unitMeters);
+  nc.range = cfg.range;
+  nc.nodeCount = n;
+  nc.seed = cfg.trialSeed(n, 0);
+  const SensorNetwork net(nc);
+  Rng rng(cfg.trialSeed(n, 1));
+  const NodeId source = net.randomNode(rng);
+
+  auto timed = [&](std::uint32_t sampleEvery) {
+    if (sampleEvery > 0) {
+      obs::FrConfig fc;
+      fc.capacity = 1 << 20;
+      fc.sampleEvery = sampleEvery;
+      obs::processRecorder().configure(fc);
+    }
+    const Throughput t =
+        measure(net, source, SimScheduling::kActiveSet, cfg.trials);
+    obs::processRecorder().configure({});  // recorder off again
+    return t;
+  };
+  const Throughput off = timed(0);
+  const Throughput sampled = timed(8);
+  const Throughput full = timed(1);
+
+  std::vector<std::vector<double>> rows;
+  rows.push_back({static_cast<double>(n), off.roundsPerSec,
+                  sampled.roundsPerSec,
+                  sampled.roundsPerSec / off.roundsPerSec,
+                  full.roundsPerSec, full.roundsPerSec / off.roundsPerSec});
+  bench::emitBench(
+      "perf_trace", "PerfTrace — flight-recorder overhead (CFF broadcast)",
+      {"n", "off r/s", "sampled r/s", "sampled ratio", "full r/s",
+       "full ratio"},
+      rows, cfg, 3);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dsn;
   auto cfg = bench::defaultConfig(argc, argv);
   bench::jobsArg(argc, argv);  // accepted for CI symmetry; timing is serial
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-overhead") == 0)
+      return runTraceOverhead(cfg);
+  }
   cfg.nodeCounts = {500, 2000, 5000};
   bench::printHeader("Perf", "simulator throughput, active-set vs full-scan",
                      cfg);

@@ -8,6 +8,7 @@
 #include "broadcast/runner_detail.hpp"
 #include "broadcast/tdm.hpp"
 #include "cluster/cnet.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "radio/simulator.hpp"
@@ -212,6 +213,7 @@ ReliableBroadcastRun runReliableBroadcast(BroadcastScheme scheme,
                   options.responderKeepProbability <= 1.0,
               "responderKeepProbability must be in (0,1]");
   DSN_TIMED_PHASE("broadcast.reliable");
+  obs::recordRunBegin(obs::FrRunKind::kReliable, source);
 
   const Graph& g = net.graph();
   ReliableBroadcastRun run;
@@ -304,6 +306,9 @@ ReliableBroadcastRun runReliableBroadcast(BroadcastScheme scheme,
     if (covered[v]) ++run.delivered;
   run.residualUncovered = run.intended - run.delivered;
   run.totalRounds = elapsed;
+  obs::recordRunEnd(obs::FrRunKind::kReliable,
+                    static_cast<std::uint32_t>(run.delivered),
+                    static_cast<std::uint32_t>(run.totalRounds));
   flushReliableMetrics(run);
   return run;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
@@ -45,6 +46,18 @@ void flushBroadcastMetrics(BroadcastScheme scheme,
   }
 }
 
+constexpr obs::FrRunKind runKind(BroadcastScheme s) {
+  switch (s) {
+    case BroadcastScheme::kDfo:
+      return obs::FrRunKind::kDfo;
+    case BroadcastScheme::kCff:
+      return obs::FrRunKind::kCff;
+    case BroadcastScheme::kImprovedCff:
+      return obs::FrRunKind::kIcff;
+  }
+  return obs::FrRunKind::kDfo;
+}
+
 constexpr std::string_view phaseName(BroadcastScheme s) {
   switch (s) {
     case BroadcastScheme::kDfo:
@@ -63,6 +76,7 @@ BroadcastRun runBroadcast(BroadcastScheme scheme, const ClusterNet& net,
                           NodeId source, std::uint64_t payload,
                           const ProtocolOptions& options) {
   DSN_TIMED_PHASE(phaseName(scheme));
+  obs::recordRunBegin(runKind(scheme), source);
   BroadcastRun run;
   switch (scheme) {
     case BroadcastScheme::kDfo:
@@ -77,6 +91,9 @@ BroadcastRun runBroadcast(BroadcastScheme scheme, const ClusterNet& net,
     default:
       DSN_CHECK(false, "unknown broadcast scheme");
   }
+  obs::recordRunEnd(runKind(scheme),
+                    static_cast<std::uint32_t>(run.delivered),
+                    static_cast<std::uint32_t>(run.sim.rounds));
   flushBroadcastMetrics(scheme, run);
   return run;
 }

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "cluster/cnet.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
@@ -178,6 +179,15 @@ RecoveryReport RecoveryManager::repair() {
   }
 
   report.cost = net.costs_ - before;
+  if (obs::FlightRecorder* fr = obs::recorderFor<obs::kFrCatCluster>()) {
+    obs::FrEvent e;
+    e.node = static_cast<std::uint32_t>(report.staleRemoved);
+    e.data = static_cast<std::uint32_t>(report.reattached);
+    e.type = static_cast<std::uint8_t>(obs::FrType::kRepair);
+    e.aux = static_cast<std::uint16_t>(
+        std::min<std::size_t>(report.orphaned, 65535));
+    fr->record(e);
+  }
   flushRecoveryMetrics(report);
   if (obs::enabled())
     obs::globalMetrics()

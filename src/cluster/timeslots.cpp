@@ -25,11 +25,27 @@
 #include <algorithm>
 
 #include "cluster/cnet.hpp"
+#include "obs/flight.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
 
 namespace {
+
+/// Flight-recorder slot-recompute marker. `kind`: 0 = B, 1 = L, 2 = U,
+/// 3 = up (matches the FrType::kSlotRecompute aux contract). Slot
+/// assignments are rare relative to radio traffic, so they are recorded
+/// whenever the cluster category is live, independent of round sampling.
+void recordSlotRecompute(NodeId y, TimeSlot slot, std::uint16_t kind) {
+  if (obs::FlightRecorder* fr = obs::recorderFor<obs::kFrCatCluster>()) {
+    obs::FrEvent e;
+    e.node = y;
+    e.data = static_cast<std::uint32_t>(slot);
+    e.type = static_cast<std::uint8_t>(obs::FrType::kSlotRecompute);
+    e.aux = kind;
+    fr->record(e);
+  }
+}
 
 /// Number of values occurring exactly once in `slots`. (The callers only
 /// ever need the count, so no ordered set is materialized — sort the
@@ -203,6 +219,7 @@ void ClusterNet::calculateBTimeSlot(NodeId y) {
     forbidden.insert(forbidden.end(), slots.begin(), slots.end());
   }
   know_[y].bSlot = minimumFreeSlot(forbidden);
+  recordSlotRecompute(y, know_[y].bSlot, 0);
   reportSlotToRoot(know_[y].bSlot, 0, 0);
 }
 
@@ -221,6 +238,7 @@ void ClusterNet::calculateLTimeSlot(NodeId y) {
     forbidden.insert(forbidden.end(), slots.begin(), slots.end());
   }
   know_[y].lSlot = minimumFreeSlot(forbidden);
+  recordSlotRecompute(y, know_[y].lSlot, 1);
   reportSlotToRoot(0, know_[y].lSlot, 0);
 }
 
@@ -239,6 +257,7 @@ void ClusterNet::calculateUTimeSlot(NodeId y) {
     forbidden.insert(forbidden.end(), slots.begin(), slots.end());
   }
   know_[y].uSlot = minimumFreeSlot(forbidden);
+  recordSlotRecompute(y, know_[y].uSlot, 2);
   reportSlotToRoot(0, 0, know_[y].uSlot);
 }
 
@@ -281,6 +300,7 @@ void ClusterNet::assignUpSlot(NodeId v) {
   }
   costs_.slotUpdate += 1 + listeners;
   know_[v].upSlot = minimumFreeSlot(forbidden);
+  recordSlotRecompute(v, know_[v].upSlot, 3);
   if (know_[v].upSlot > rootMaxUp_) {
     rootMaxUp_ = know_[v].upSlot;
     costs_.rootPath += root_ != kInvalidNode ? know_[root_].height : 0;

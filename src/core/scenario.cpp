@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "broadcast/convergecast.hpp"
+#include "obs/flight.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
@@ -469,6 +470,13 @@ ScenarioOutcome runScenario(SensorNetwork& net,
           DSN_REQUIRE(net.graph().isAlive(e.node),
                       "scenario: crash of node not deployed");
           net.crashSensor(e.node);
+          if (obs::FlightRecorder* fr =
+                  obs::recorderFor<obs::kFrCatFault>()) {
+            obs::FrEvent ev;
+            ev.node = e.node;
+            ev.type = static_cast<std::uint8_t>(obs::FrType::kCrash);
+            fr->record(ev);
+          }
           ++out.crashes;
           os << "crash " << e.node << " -> structure "
              << (net.hasStaleStructure() ? "stale" : "clean");

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "exec/thread_pool.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
@@ -18,6 +19,7 @@ namespace {
 struct TaskSlot {
   obs::MetricsRegistry metrics;
   obs::TimingRegistry timing;
+  obs::FlightRecorder recorder;  ///< configured only when tracing is on
   std::exception_ptr error;
 };
 
@@ -51,10 +53,23 @@ void runIndexed(std::size_t count, std::size_t workers,
   for (std::size_t i = 0; i < count; ++i)
     slots.push_back(std::make_unique<TaskSlot>());
 
+  // Flight-recorder ownership: when the caller's recorder is configured,
+  // every task records into a task-local ring with the same
+  // configuration, merged back below in index order — the recorded
+  // stream is therefore bit-identical at every worker count (both the
+  // serial and pooled paths go through the same sinks and the same
+  // ordered merge). Resolved on the caller thread so a caller-side
+  // ScopedRecorderSink is honored.
+  obs::FlightRecorder& parentRecorder = obs::globalRecorder();
+  const bool tracing = parentRecorder.configured();
+  const obs::FrConfig traceConfig = parentRecorder.config();
+
   auto runOne = [&](std::size_t i) {
     TaskSlot& slot = *slots[i];
     obs::ScopedMetricsSink metricsScope(slot.metrics);
     obs::ScopedTimingSink timingScope(slot.timing);
+    if (tracing) slot.recorder.configure(traceConfig);
+    obs::ScopedRecorderSink recorderScope(slot.recorder);
     try {
       fn(i);
     } catch (...) {
@@ -76,6 +91,7 @@ void runIndexed(std::size_t count, std::size_t workers,
   for (const auto& slot : slots) {
     obs::globalMetrics().mergeFrom(slot->metrics);
     obs::globalTiming().mergeFrom(slot->timing);
+    if (tracing) parentRecorder.mergeFrom(slot->recorder);
   }
 }
 

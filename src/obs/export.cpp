@@ -15,6 +15,9 @@ void writeHistogramJson(JsonWriter& w, const Histogram& h) {
   w.kv("mean", h.mean());
   w.kv("min", h.minValue());
   w.kv("max", h.maxValue());
+  w.kv("p50", h.percentile(0.50));
+  w.kv("p95", h.percentile(0.95));
+  w.kv("p99", h.percentile(0.99));
   w.endObject();
 }
 

@@ -76,6 +76,30 @@ double Histogram::maxValue() const {
   return max_.load(std::memory_order_relaxed);
 }
 
+double Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = std::max(q * static_cast<double>(n), 1.0);
+  const auto counts = bucketCounts();
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(c) >= target) {
+      if (i == counts.size() - 1) return maxValue();  // overflow bucket
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? std::min(minValue(), hi) : bounds_[i - 1];
+      const double frac = std::clamp(
+          (target - static_cast<double>(cum)) / static_cast<double>(c),
+          0.0, 1.0);
+      return std::clamp(lo + (hi - lo) * frac, minValue(), maxValue());
+    }
+    cum += c;
+  }
+  return maxValue();
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -114,6 +138,25 @@ std::vector<double> Histogram::exponentialBounds(std::size_t n,
   bounds.reserve(n);
   double b = first;
   for (std::size_t i = 0; i < n; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> Histogram::hdrBounds(double first, double last,
+                                         int subBuckets) {
+  DSN_REQUIRE(first > 0.0 && last > first && subBuckets >= 1,
+              "hdrBounds: need 0 < first < last, subBuckets >= 1");
+  std::vector<double> bounds;
+  for (double lo = first; lo < last; lo *= 2.0) {
+    const double hi = std::min(lo * 2.0, last);
+    const double step = (hi - lo) / subBuckets;
+    for (int i = 1; i <= subBuckets; ++i) {
+      const double b = lo + step * static_cast<double>(i);
+      if (!bounds.empty() && b <= bounds.back()) continue;
+      bounds.push_back(b);
+      if (b >= last) break;
+    }
+    if (!bounds.empty() && bounds.back() >= last) break;
+  }
   return bounds;
 }
 

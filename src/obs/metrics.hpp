@@ -90,6 +90,14 @@ class Histogram {
   /// Lowest / highest observed value; 0 when empty.
   double minValue() const;
   double maxValue() const;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket holding the target rank, clamped to [minValue, maxValue]
+  /// so a single-bucket histogram reports exact observed extremes.
+  /// Returns 0 when empty; ranks landing in the overflow bucket report
+  /// maxValue().
+  double percentile(double q) const;
+
   void reset();
 
   /// Power-of-two latency buckets 1, 2, 4, ... 2^(n-1) — the default
@@ -97,6 +105,13 @@ class Histogram {
   static std::vector<double> exponentialBounds(std::size_t n,
                                                double first = 1.0,
                                                double factor = 2.0);
+
+  /// HDR-style bounds: power-of-two decades from `first` up to `last`,
+  /// each split into `subBuckets` linear steps — constant relative error
+  /// of roughly 1/subBuckets across the whole range, the shape used for
+  /// round wall-time / active-set / resolve-work distributions.
+  static std::vector<double> hdrBounds(double first, double last,
+                                       int subBuckets);
 
  private:
   std::vector<double> bounds_;

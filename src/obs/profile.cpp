@@ -1,0 +1,39 @@
+#include "obs/profile.hpp"
+
+#include <atomic>
+
+namespace dsn::obs {
+
+namespace {
+std::atomic<bool> g_roundProfiling{false};
+}  // namespace
+
+bool roundProfilingEnabled() {
+  return g_roundProfiling.load(std::memory_order_relaxed);
+}
+
+void setRoundProfiling(bool on) {
+  g_roundProfiling.store(on, std::memory_order_relaxed);
+}
+
+RoundProfiler::RoundProfiler() : active_(roundProfilingEnabled()) {
+  if (!active_) return;
+  // 256 ns .. 1 s for round wall time; up to 2^20 nodes active and 2^24
+  // Σ degrees per round — 4 sub-buckets per power-of-two decade keeps
+  // relative error ~25% while staying small enough to merge cheaply.
+  roundNs_ = &local_.histogram("sim.round_ns",
+                               Histogram::hdrBounds(256.0, 1e9, 4));
+  roundActive_ = &local_.histogram(
+      "sim.round_active",
+      Histogram::hdrBounds(1.0, static_cast<double>(1u << 20), 4));
+  resolveWork_ = &local_.histogram(
+      "sim.round_resolve_work",
+      Histogram::hdrBounds(1.0, static_cast<double>(1u << 24), 4));
+}
+
+void RoundProfiler::flushTo(MetricsRegistry& registry) const {
+  if (!active_ || roundNs_->count() == 0) return;
+  registry.mergeFrom(local_);
+}
+
+}  // namespace dsn::obs

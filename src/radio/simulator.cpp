@@ -5,13 +5,35 @@
 #include <queue>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace dsn {
 
 namespace {
+
+/// Builds a flight-recorder event from a radio-layer site. Round and
+/// channel narrow to the record's fixed-width fields; both are bounded
+/// far below the cast limits in practice (maxRounds, channelCount).
+obs::FrEvent frEvent(obs::FrType t, Round r, std::uint32_t node,
+                     std::uint32_t data = 0, Channel channel = 0,
+                     std::uint16_t aux = 0) {
+  obs::FrEvent e;
+  e.round = static_cast<std::uint32_t>(r);
+  e.node = node;
+  e.data = data;
+  e.type = static_cast<std::uint8_t>(t);
+  e.channel = static_cast<std::uint8_t>(channel);
+  e.aux = aux;
+  return e;
+}
+
+std::uint16_t frKind(MsgKind k) {
+  return static_cast<std::uint16_t>(k);
+}
 
 /// Folds one finished run into the global registry. Aggregates are
 /// flushed once per run (not per round) so telemetry stays cheap even
@@ -82,7 +104,17 @@ SimResult RadioSimulator::runFullScan() {
   SimResult result;
   std::vector<Action> actions(graph_.size());
 
+  // Flight-recorder sites: the full scan is the differential oracle, so
+  // it records only the radio-level categories (transmit/delivery,
+  // collisions, per-transmit faults) — no round/sched events.
+  obs::FlightRecorder* frRadio = obs::recorderFor<obs::kFrCatRadio>();
+  obs::FlightRecorder* frColl = obs::recorderFor<obs::kFrCatCollision>();
+  obs::FlightRecorder* frFault = obs::recorderFor<obs::kFrCatFault>();
+  const obs::FlightRecorder* frAny =
+      frRadio ? frRadio : (frColl ? frColl : frFault);
+
   for (Round r = 0; r < config_.maxRounds; ++r) {
+    const bool frSampled = frAny != nullptr && frAny->roundSampled(r);
     if (allDone(r)) {
       result.completed = true;
       result.rounds = r;
@@ -105,6 +137,10 @@ SimResult RadioSimulator::runFullScan() {
           trace_.record(TraceEvent{TraceEventType::kJammedTransmit, r, v,
                                    kInvalidNode, actions[v].channel,
                                    actions[v].message.kind});
+          if (frFault && frSampled)
+            frFault->record(frEvent(obs::FrType::kJammedTransmit, r, v, 0,
+                                    actions[v].channel,
+                                    frKind(actions[v].message.kind)));
           actions[v] = Action::sleep();
           continue;
         }
@@ -114,12 +150,20 @@ SimResult RadioSimulator::runFullScan() {
           trace_.record(TraceEvent{TraceEventType::kDroppedTransmit, r, v,
                                    kInvalidNode, actions[v].channel,
                                    actions[v].message.kind});
+          if (frFault && frSampled)
+            frFault->record(frEvent(obs::FrType::kDroppedTransmit, r, v, 0,
+                                    actions[v].channel,
+                                    frKind(actions[v].message.kind)));
           actions[v] = Action::sleep();
           continue;
         }
         trace_.record(TraceEvent{TraceEventType::kTransmit, r, v,
                                  kInvalidNode, actions[v].channel,
                                  actions[v].message.kind});
+        if (frRadio && frSampled)
+          frRadio->record(frEvent(obs::FrType::kTransmit, r, v, 0,
+                                  actions[v].channel,
+                                  frKind(actions[v].message.kind)));
       } else if (actions[v].type == Action::Type::kListen) {
         energy_.recordListen(v);
       }
@@ -135,6 +179,9 @@ SimResult RadioSimulator::runFullScan() {
     for (const auto& site : outcome.collisionSites) {
       trace_.record(TraceEvent{TraceEventType::kCollision, r, site.listener,
                                kInvalidNode, site.channel, MsgKind::kData});
+      if (frColl && frSampled)
+        frColl->record(frEvent(obs::FrType::kCollision, r, site.listener, 0,
+                               site.channel));
     }
 
     // Phase 3: deliver.
@@ -149,6 +196,9 @@ SimResult RadioSimulator::runFullScan() {
       const Message& m = actions[d.transmitter].message;
       trace_.record(TraceEvent{TraceEventType::kReceive, r, d.receiver,
                                d.transmitter, d.channel, m.kind});
+      if (frRadio && frSampled)
+        frRadio->record(frEvent(obs::FrType::kDelivery, r, d.receiver,
+                                d.transmitter, d.channel, frKind(m.kind)));
       protocols_[d.receiver]->onReceive(m, r, d.channel);
     }
 
@@ -166,6 +216,24 @@ SimResult RadioSimulator::runActiveSet() {
   const std::size_t n = graph_.size();
 
   std::vector<Action> actions(n);
+
+  // Flight-recorder category pointers, fetched once per run (they all
+  // alias the same per-thread recorder). Null when the category is
+  // compiled out, recording is off, or the runtime mask excludes it —
+  // each site below is then a dead branch. Inside the round loop every
+  // record() is an indexed store: the zero-steady-state-allocation
+  // guarantee is preserved with recording enabled.
+  obs::FlightRecorder* frRound = obs::recorderFor<obs::kFrCatRound>();
+  obs::FlightRecorder* frSched = obs::recorderFor<obs::kFrCatSched>();
+  obs::FlightRecorder* frRadio = obs::recorderFor<obs::kFrCatRadio>();
+  obs::FlightRecorder* frColl = obs::recorderFor<obs::kFrCatCollision>();
+  obs::FlightRecorder* frFault = obs::recorderFor<obs::kFrCatFault>();
+  const obs::FlightRecorder* frAny = frRound ? frRound
+                                     : frSched ? frSched
+                                     : frRadio ? frRadio
+                                     : frColl  ? frColl
+                                               : frFault;
+  obs::RoundProfiler profiler;
 
   // pending = live protocol nodes that still block completion; a node is
   // `resolved` once it reports done or its scheduled death round passes
@@ -228,12 +296,16 @@ SimResult RadioSimulator::runActiveSet() {
         resolved[v] = 1;
         --pending;
       }
+      if (frFault)  // deaths are rare: recorded regardless of sampling
+        frFault->record(
+            frEvent(obs::FrType::kNodeDeath, deaths[deathIdx].first, v));
       ++deathIdx;
     }
     if (pending == 0) {
       // allDone(r) holds before round r runs — same exit as the scan.
       result.completed = true;
       result.rounds = r;
+      profiler.flushTo(obs::globalMetrics());
       flushRunMetrics(result);
       return result;
     }
@@ -246,10 +318,18 @@ SimResult RadioSimulator::runActiveSet() {
       nextEvent = std::min(nextEvent, deaths[deathIdx].first);
     }
     if (nextEvent > r) {
+      if (frSched && frSched->roundSampled(r))
+        frSched->record(frEvent(obs::FrType::kIdleSkip, r, 0,
+                                static_cast<std::uint32_t>(nextEvent)));
       result.rounds = nextEvent;
       r = nextEvent;
       continue;
     }
+
+    // Round-scoped volume events obey the sampling setting; the flag is
+    // computed once per executed round.
+    const bool frSampled = frAny != nullptr && frAny->roundSampled(r);
+    profiler.beginRound();
 
     // Phase 1: this round's wakers, ascending node id.
     active.clear();
@@ -258,8 +338,13 @@ SimResult RadioSimulator::runActiveSet() {
       active.push_back(wake.top().second);
       wake.pop();
     }
+    if (frRound && frSampled)
+      frRound->record(frEvent(obs::FrType::kRoundBegin, r, 0,
+                              static_cast<std::uint32_t>(active.size())));
     for (const NodeId v : active) {
       if (failures_.isDead(v, r)) continue;  // dead: dropped, never re-queued
+      if (frSched && frSampled)
+        frSched->record(frEvent(obs::FrType::kWakePop, r, v));
       actions[v] = protocols_[v]->onRound(r);
 
       if (actions[v].type == Action::Type::kTransmit) {
@@ -270,6 +355,10 @@ SimResult RadioSimulator::runActiveSet() {
           trace_.record(TraceEvent{TraceEventType::kJammedTransmit, r, v,
                                    kInvalidNode, actions[v].channel,
                                    actions[v].message.kind});
+          if (frFault && frSampled)
+            frFault->record(frEvent(obs::FrType::kJammedTransmit, r, v, 0,
+                                    actions[v].channel,
+                                    frKind(actions[v].message.kind)));
           actions[v] = Action::sleep();
           continue;
         }
@@ -279,16 +368,31 @@ SimResult RadioSimulator::runActiveSet() {
           trace_.record(TraceEvent{TraceEventType::kDroppedTransmit, r, v,
                                    kInvalidNode, actions[v].channel,
                                    actions[v].message.kind});
+          if (frFault && frSampled)
+            frFault->record(frEvent(obs::FrType::kDroppedTransmit, r, v, 0,
+                                    actions[v].channel,
+                                    frKind(actions[v].message.kind)));
           actions[v] = Action::sleep();
           continue;
         }
         trace_.record(TraceEvent{TraceEventType::kTransmit, r, v,
                                  kInvalidNode, actions[v].channel,
                                  actions[v].message.kind});
+        if (frRadio && frSampled)
+          frRadio->record(frEvent(obs::FrType::kTransmit, r, v, 0,
+                                  actions[v].channel,
+                                  frKind(actions[v].message.kind)));
         transmitters.push_back(v);
       } else if (actions[v].type == Action::Type::kListen) {
         energy_.recordListen(v);
       }
+    }
+
+    // Resolve work (Σ transmitter degrees) — the cost driver of phase 2.
+    // Computed only when someone consumes it.
+    std::uint64_t resolveWork = 0;
+    if (profiler.active() || (frRound && frSampled)) {
+      for (const NodeId tx : transmitters) resolveWork += csr.degree(tx);
     }
 
     // Phase 2: resolve only around actual transmitters.
@@ -301,9 +405,13 @@ SimResult RadioSimulator::runActiveSet() {
     for (const auto& site : outcome.collisionSites) {
       trace_.record(TraceEvent{TraceEventType::kCollision, r, site.listener,
                                kInvalidNode, site.channel, MsgKind::kData});
+      if (frColl && frSampled)
+        frColl->record(frEvent(obs::FrType::kCollision, r, site.listener, 0,
+                               site.channel));
     }
 
     // Phase 3: deliver. Receivers are always listeners, hence active.
+    std::uint32_t roundDeliveries = 0;
     for (const auto& d : outcome.deliveries) {
       if (failures_.isDead(d.receiver, r)) continue;
       if (failures_.isJammed(d.receiver, r)) {
@@ -315,6 +423,10 @@ SimResult RadioSimulator::runActiveSet() {
       const Message& m = actions[d.transmitter].message;
       trace_.record(TraceEvent{TraceEventType::kReceive, r, d.receiver,
                                d.transmitter, d.channel, m.kind});
+      if (frRadio && frSampled)
+        frRadio->record(frEvent(obs::FrType::kDelivery, r, d.receiver,
+                                d.transmitter, d.channel, frKind(m.kind)));
+      ++roundDeliveries;
       protocols_[d.receiver]->onReceive(m, r, d.channel);
     }
 
@@ -335,6 +447,14 @@ SimResult RadioSimulator::runActiveSet() {
       }
     }
 
+    if (frRound && frSampled)
+      frRound->record(frEvent(
+          obs::FrType::kRoundEnd, r, roundDeliveries,
+          static_cast<std::uint32_t>(resolveWork), 0,
+          static_cast<std::uint16_t>(
+              std::min<std::size_t>(transmitters.size(), 65535))));
+    profiler.endRound(active.size(), resolveWork);
+
     result.rounds = r + 1;
     ++r;
   }
@@ -352,6 +472,7 @@ SimResult RadioSimulator::runActiveSet() {
   }
   result.completed = pending == 0;
   result.rounds = config_.maxRounds;
+  profiler.flushTo(obs::globalMetrics());
   flushRunMetrics(result);
   return result;
 }

@@ -98,6 +98,89 @@ TEST(ExportTest, RegistryRoundTripsThroughJson) {
   EXPECT_EQ(hist.at("max").number, 9.0);
 }
 
+// Percentile export edge cases: empty registry/histogram, a single
+// occupied bucket (clamping to the observed extremes), merged
+// histograms, and ranks landing in the overflow bucket.
+TEST(ExportTest, PercentilesInHistogramJson) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) h.observe(1.0);
+  for (int i = 0; i < 9; ++i) h.observe(4.0);
+  h.observe(8.0);
+
+  JsonWriter w;
+  writeRegistryJson(w, reg);
+  const Value doc = testjson::parse(w.str());
+  const Value& hist = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(hist.at("p50").number, 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("p95").number, h.percentile(0.95));
+  EXPECT_DOUBLE_EQ(hist.at("p99").number, h.percentile(0.99));
+  EXPECT_GE(hist.at("p95").number, 2.0);
+  EXPECT_LE(hist.at("p99").number, 8.0);
+}
+
+TEST(ExportTest, EmptyHistogramExportsZeroPercentiles) {
+  MetricsRegistry reg;
+  reg.histogram("empty", {1.0, 2.0});
+  JsonWriter w;
+  writeRegistryJson(w, reg);
+  const Value doc = testjson::parse(w.str());
+  const Value& hist = doc.at("histograms").at("empty");
+  EXPECT_DOUBLE_EQ(hist.at("p50").number, 0.0);
+  EXPECT_DOUBLE_EQ(hist.at("p95").number, 0.0);
+  EXPECT_DOUBLE_EQ(hist.at("p99").number, 0.0);
+}
+
+TEST(ExportTest, SingleBucketPercentilesClampToObservedRange) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("one", {100.0, 200.0});
+  h.observe(42.0);
+  h.observe(43.0);
+  h.observe(44.0);
+  JsonWriter w;
+  writeRegistryJson(w, reg);
+  const Value doc = testjson::parse(w.str());
+  const Value& hist = doc.at("histograms").at("one");
+  // Everything sits in bucket 0; interpolation inside [0, 100] must be
+  // clamped to [min, max] = [42, 44] rather than inventing values.
+  EXPECT_GE(hist.at("p50").number, 42.0);
+  EXPECT_LE(hist.at("p99").number, 44.0);
+}
+
+TEST(ExportTest, MergedHistogramPercentilesCoverCombinedData) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  Histogram& ha = a.histogram("m", Histogram::hdrBounds(1.0, 1024.0, 4));
+  Histogram& hb = b.histogram("m", Histogram::hdrBounds(1.0, 1024.0, 4));
+  for (int i = 0; i < 50; ++i) ha.observe(2.0);
+  for (int i = 0; i < 50; ++i) hb.observe(512.0);
+  a.mergeFrom(b);
+
+  JsonWriter w;
+  writeRegistryJson(w, a);
+  const Value doc = testjson::parse(w.str());
+  const Value& hist = doc.at("histograms").at("m");
+  EXPECT_EQ(hist.at("count").number, 100.0);
+  // Half the mass is at 2, half at 512: p50 stays low, p95/p99 land in
+  // the upper mode.
+  EXPECT_LE(hist.at("p50").number, 4.0);
+  EXPECT_GE(hist.at("p95").number, 256.0);
+  EXPECT_GE(hist.at("p99").number, hist.at("p95").number);
+}
+
+TEST(ExportTest, OverflowBucketPercentileReportsMaxValue) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("ovf", {1.0});
+  h.observe(0.5);
+  for (int i = 0; i < 99; ++i) h.observe(1000.0);  // all in overflow
+  JsonWriter w;
+  writeRegistryJson(w, reg);
+  const Value doc = testjson::parse(w.str());
+  const Value& hist = doc.at("histograms").at("ovf");
+  EXPECT_DOUBLE_EQ(hist.at("p95").number, 1000.0);
+  EXPECT_DOUBLE_EQ(hist.at("p99").number, 1000.0);
+}
+
 TEST(ExportTest, TimingTreeRoundTripsThroughJson) {
   const bool was = enabled();
   setEnabled(true);

@@ -1,0 +1,314 @@
+// FlightRecorder: ring semantics, overflow accounting, category and
+// sampling masks, deterministic merge, sink scoping, and the .dsntrace
+// binary round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/flight_io.hpp"
+#include "obs/metrics.hpp"
+
+namespace dsn::obs {
+namespace {
+
+FrEvent mk(FrType t, std::uint32_t round, std::uint32_t node,
+           std::uint32_t data = 0) {
+  FrEvent e;
+  e.round = round;
+  e.node = node;
+  e.data = data;
+  e.type = static_cast<std::uint8_t>(t);
+  return e;
+}
+
+TEST(FlightRecorderTest, UnconfiguredRecordsNothing) {
+  FlightRecorder r;
+  EXPECT_FALSE(r.configured());
+  EXPECT_FALSE(r.wants(kFrCatRadio));
+  EXPECT_EQ(r.storedEvents(), 0u);
+  EXPECT_EQ(r.droppedEvents(), 0u);
+}
+
+TEST(FlightRecorderTest, StoresInOrderBelowCapacity) {
+  FlightRecorder r;
+  r.configure({.capacity = 8});
+  for (std::uint32_t i = 0; i < 5; ++i)
+    r.record(mk(FrType::kTransmit, i, i * 10));
+  EXPECT_EQ(r.totalRecorded(), 5u);
+  EXPECT_EQ(r.storedEvents(), 5u);
+  EXPECT_EQ(r.droppedEvents(), 0u);
+  const auto events = r.orderedEvents();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].round, i);
+    EXPECT_EQ(events[i].node, i * 10);
+  }
+}
+
+// Satellite requirement: forcing overflow must keep the LATEST events
+// (flight-recorder semantics) and count the overwritten ones as dropped.
+TEST(FlightRecorderTest, OverflowKeepsLatestAndCountsDropped) {
+  FlightRecorder r;
+  r.configure({.capacity = 4});
+  for (std::uint32_t i = 0; i < 10; ++i)
+    r.record(mk(FrType::kWakePop, i, i));
+  EXPECT_EQ(r.totalRecorded(), 10u);
+  EXPECT_EQ(r.storedEvents(), 4u);
+  EXPECT_EQ(r.droppedEvents(), 6u);
+  const auto events = r.orderedEvents();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(events[i].round, 6 + i) << "oldest-first after wrap";
+}
+
+TEST(FlightRecorderTest, OverflowTelemetryFlushesCounterAndIsDeltaBased) {
+  FlightRecorder r;
+  r.configure({.capacity = 2});
+  for (std::uint32_t i = 0; i < 7; ++i) r.record(mk(FrType::kTransmit, i, i));
+
+  MetricsRegistry scratch;
+  ScopedMetricsSink metricsScope(scratch);
+  ScopedRecorderSink recorderScope(r);
+  flushRecorderTelemetry();
+  EXPECT_EQ(scratch.counters()[1].second, 7u);  // trace.recorded_events
+  auto names = scratch.counters();
+  ASSERT_EQ(names[0].first, "trace.dropped_events");
+  EXPECT_EQ(names[0].second, 5u);
+  // A second flush with no new events must not double-count.
+  flushRecorderTelemetry();
+  EXPECT_EQ(scratch.counters()[0].second, 5u);
+  EXPECT_EQ(scratch.counters()[1].second, 7u);
+  // New events after the flush add only the delta.
+  r.record(mk(FrType::kTransmit, 7, 7));
+  flushRecorderTelemetry();
+  EXPECT_EQ(scratch.counters()[0].second, 6u);
+  EXPECT_EQ(scratch.counters()[1].second, 8u);
+}
+
+TEST(FlightRecorderTest, RuntimeCategoryMask) {
+  FlightRecorder r;
+  r.configure({.capacity = 8, .categories = kFrCatRadio | kFrCatRun});
+  EXPECT_TRUE(r.wants(kFrCatRadio));
+  EXPECT_TRUE(r.wants(kFrCatRun));
+  EXPECT_FALSE(r.wants(kFrCatSched));
+  EXPECT_FALSE(r.wants(kFrCatCollision));
+}
+
+TEST(FlightRecorderTest, RoundSampling) {
+  FlightRecorder r;
+  r.configure({.capacity = 8, .categories = kFrCatAll, .sampleEvery = 4});
+  EXPECT_TRUE(r.roundSampled(0));
+  EXPECT_FALSE(r.roundSampled(1));
+  EXPECT_FALSE(r.roundSampled(3));
+  EXPECT_TRUE(r.roundSampled(4));
+  EXPECT_TRUE(r.roundSampled(8));
+  r.configure({.capacity = 8});
+  EXPECT_TRUE(r.roundSampled(17)) << "sampleEvery=1 records every round";
+}
+
+TEST(FlightRecorderTest, ResetKeepsConfiguration) {
+  FlightRecorder r;
+  r.configure({.capacity = 4, .categories = kFrCatRadio, .sampleEvery = 2});
+  r.record(mk(FrType::kTransmit, 1, 2));
+  r.resetEvents();
+  EXPECT_EQ(r.storedEvents(), 0u);
+  EXPECT_EQ(r.totalRecorded(), 0u);
+  EXPECT_TRUE(r.configured());
+  EXPECT_EQ(r.config().categories, kFrCatRadio);
+  EXPECT_EQ(r.config().sampleEvery, 2u);
+}
+
+// The parallel experiment engine merges per-task recorders in task
+// order; the merged stream must equal the stream of a serial run that
+// recorded the same events in the same order.
+TEST(FlightRecorderTest, MergeReproducesSerialStream) {
+  FlightRecorder serial;
+  serial.configure({.capacity = 64});
+  FlightRecorder parent;
+  parent.configure({.capacity = 64});
+  FlightRecorder taskA, taskB;
+  taskA.configure({.capacity = 64});
+  taskB.configure({.capacity = 64});
+
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    serial.record(mk(FrType::kTransmit, i, 100 + i));
+    taskA.record(mk(FrType::kTransmit, i, 100 + i));
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    serial.record(mk(FrType::kDelivery, i, 200 + i));
+    taskB.record(mk(FrType::kDelivery, i, 200 + i));
+  }
+  parent.mergeFrom(taskA);
+  parent.mergeFrom(taskB);
+
+  const auto a = serial.orderedEvents();
+  const auto b = parent.orderedEvents();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].round, b[i].round);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+  EXPECT_EQ(parent.droppedEvents(), 0u);
+}
+
+TEST(FlightRecorderTest, MergeAccumulatesDropCounts) {
+  FlightRecorder parent;
+  parent.configure({.capacity = 64});
+  FlightRecorder task;
+  task.configure({.capacity = 2});
+  for (std::uint32_t i = 0; i < 5; ++i)
+    task.record(mk(FrType::kCollision, i, i));
+  parent.mergeFrom(task);
+  EXPECT_EQ(parent.storedEvents(), 2u);
+  EXPECT_EQ(parent.droppedEvents(), 3u) << "upstream drops inherited";
+}
+
+TEST(FlightRecorderTest, MergeIntoUnconfiguredCountsEverythingDropped) {
+  FlightRecorder parent;  // never configured
+  FlightRecorder task;
+  task.configure({.capacity = 4});
+  for (std::uint32_t i = 0; i < 6; ++i)
+    task.record(mk(FrType::kTransmit, i, i));
+  parent.mergeFrom(task);
+  EXPECT_EQ(parent.storedEvents(), 0u);
+  EXPECT_EQ(parent.droppedEvents(), 6u)
+      << "2 upstream drops + 4 stored events with nowhere to go";
+}
+
+TEST(FlightRecorderTest, ScopedSinkRedirectsAndRestores) {
+  FlightRecorder local;
+  local.configure({.capacity = 8});
+  FlightRecorder& before = globalRecorder();
+  {
+    ScopedRecorderSink scope(local);
+    EXPECT_EQ(&globalRecorder(), &local);
+    if (FlightRecorder* fr = recorderFor<kFrCatRadio>())
+      fr->record(mk(FrType::kTransmit, 0, 9));
+  }
+  EXPECT_EQ(&globalRecorder(), &before);
+  EXPECT_EQ(local.storedEvents(), 1u);
+}
+
+TEST(FlightRecorderTest, RecorderForHonorsRuntimeMask) {
+  FlightRecorder local;
+  local.configure({.capacity = 8, .categories = kFrCatFault});
+  ScopedRecorderSink scope(local);
+  EXPECT_EQ(recorderFor<kFrCatRadio>(), nullptr);
+  EXPECT_EQ(recorderFor<kFrCatFault>(), &local);
+}
+
+TEST(FlightCategoryTest, NamesAndParsing) {
+  EXPECT_EQ(frCategoryOf(FrType::kTransmit), kFrCatRadio);
+  EXPECT_EQ(frCategoryOf(FrType::kCollision), kFrCatCollision);
+  EXPECT_EQ(frCategoryOf(FrType::kRunEnd), kFrCatRun);
+  EXPECT_EQ(frTypeName(FrType::kRoundBegin), "round_begin");
+  EXPECT_EQ(frRunKindName(FrRunKind::kIcff), "ICFF");
+
+  std::uint32_t mask = 0;
+  EXPECT_TRUE(parseFrCategories("radio,collision", mask));
+  EXPECT_EQ(mask, kFrCatRadio | kFrCatCollision);
+  EXPECT_TRUE(parseFrCategories("all", mask));
+  EXPECT_EQ(mask, kFrCatAll);
+  EXPECT_TRUE(parseFrCategories("", mask));
+  EXPECT_EQ(mask, kFrCatAll);
+  EXPECT_FALSE(parseFrCategories("radio,bogus", mask));
+}
+
+TEST(DsnTraceIoTest, RoundTripPreservesMetaAndEvents) {
+  FrTraceMeta meta;
+  meta.seed = 0xDEADBEEFCAFEull;
+  meta.nodes = 2000;
+  meta.categories = kFrCatRadio | kFrCatRun;
+  meta.sampleEvery = 4;
+  meta.droppedEvents = 17;
+  std::vector<FrEvent> events;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    FrEvent e = mk(FrType::kDelivery, i, i * 3, i * 7);
+    e.channel = static_cast<std::uint8_t>(i % 3);
+    e.aux = static_cast<std::uint16_t>(i % 5);
+    events.push_back(e);
+  }
+
+  std::stringstream ss;
+  ASSERT_TRUE(writeDsnTrace(ss, meta, events));
+  const FrTraceFile back = readDsnTrace(ss);
+  EXPECT_EQ(back.meta.seed, meta.seed);
+  EXPECT_EQ(back.meta.nodes, meta.nodes);
+  EXPECT_EQ(back.meta.categories, meta.categories);
+  EXPECT_EQ(back.meta.sampleEvery, meta.sampleEvery);
+  EXPECT_EQ(back.meta.droppedEvents, meta.droppedEvents);
+  ASSERT_EQ(back.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back.events[i].round, events[i].round);
+    EXPECT_EQ(back.events[i].node, events[i].node);
+    EXPECT_EQ(back.events[i].data, events[i].data);
+    EXPECT_EQ(back.events[i].type, events[i].type);
+    EXPECT_EQ(back.events[i].channel, events[i].channel);
+    EXPECT_EQ(back.events[i].aux, events[i].aux);
+  }
+}
+
+TEST(DsnTraceIoTest, RejectsBadMagicAndTruncation) {
+  {
+    std::stringstream ss;
+    ss << "NOTATRACE-at-all";
+    EXPECT_THROW(readDsnTrace(ss), std::runtime_error);
+  }
+  {
+    FrTraceMeta meta;
+    std::vector<FrEvent> events(3);
+    std::stringstream ss;
+    ASSERT_TRUE(writeDsnTrace(ss, meta, events));
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() - 8));
+    EXPECT_THROW(readDsnTrace(cut), std::runtime_error);
+  }
+}
+
+TEST(DsnTraceIoTest, ChromeExportIsWellFormedAndLaysRunsOut) {
+  FrTraceMeta meta;
+  std::vector<FrEvent> events;
+  FrEvent begin = mk(FrType::kRunBegin, 0, 5);
+  begin.aux = static_cast<std::uint16_t>(FrRunKind::kCff);
+  events.push_back(begin);
+  events.push_back(mk(FrType::kRoundBegin, 0, 0, 3));
+  events.push_back(mk(FrType::kTransmit, 0, 5));
+  events.push_back(mk(FrType::kCollision, 1, 7));
+  FrEvent end = mk(FrType::kRunEnd, 0, 42, 2);
+  end.aux = static_cast<std::uint16_t>(FrRunKind::kCff);
+  events.push_back(end);
+  // A second run whose rounds restart at 0: the exporter must offset it
+  // past the first run on the shared timeline.
+  events.push_back(begin);
+  events.push_back(mk(FrType::kTransmit, 0, 6));
+  events.push_back(end);
+
+  std::stringstream bin;
+  ASSERT_TRUE(writeDsnTrace(bin, meta, events));
+  const FrTraceFile trace = readDsnTrace(bin);
+  std::ostringstream chrome;
+  ASSERT_TRUE(writeChromeTrace(chrome, trace));
+  const std::string out = chrome.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"CFF\""), std::string::npos);
+  // The second run's transmit is shifted by the first run's 2 rounds
+  // (2000 synthetic microseconds).
+  EXPECT_NE(out.find("\"ts\":2000"), std::string::npos);
+}
+
+TEST(DescribeFrEventTest, RendersKeyFields) {
+  FrEvent e = mk(FrType::kDelivery, 12, 7, 3);
+  e.channel = 1;
+  const std::string s = describeFrEvent(e);
+  EXPECT_NE(s.find("r12"), std::string::npos);
+  EXPECT_NE(s.find("delivery"), std::string::npos);
+  EXPECT_NE(s.find("node=7"), std::string::npos);
+  EXPECT_NE(s.find("from=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsn::obs

@@ -1,0 +1,90 @@
+// RoundProfiler: inert when profiling is off, and feeding the three
+// sim.round_* HDR histograms when on.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace dsn::obs {
+namespace {
+
+// Restores the global profiling flag so test order never leaks state.
+class ProfilingFlagGuard {
+ public:
+  ProfilingFlagGuard() : previous_(roundProfilingEnabled()) {}
+  ~ProfilingFlagGuard() { setRoundProfiling(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(RoundProfilerTest, InertWhenProfilingOff) {
+  ProfilingFlagGuard guard;
+  setRoundProfiling(false);
+  RoundProfiler profiler;
+  EXPECT_FALSE(profiler.active());
+  profiler.beginRound();
+  profiler.endRound(10, 100);
+
+  MetricsRegistry registry;
+  profiler.flushTo(registry);
+  EXPECT_EQ(registry.size(), 0u) << "no instruments registered when off";
+}
+
+TEST(RoundProfilerTest, CollectsPerRoundDistributionsWhenOn) {
+  ProfilingFlagGuard guard;
+  setRoundProfiling(true);
+  RoundProfiler profiler;
+  ASSERT_TRUE(profiler.active());
+
+  constexpr int kRounds = 16;
+  for (int i = 0; i < kRounds; ++i) {
+    profiler.beginRound();
+    profiler.endRound(static_cast<std::uint64_t>(i + 1),
+                      static_cast<std::uint64_t>(10 * (i + 1)));
+  }
+
+  MetricsRegistry registry;
+  profiler.flushTo(registry);
+  const auto histograms = registry.histograms();
+  ASSERT_EQ(histograms.size(), 3u);
+  EXPECT_EQ(histograms[0].first, "sim.round_active");
+  EXPECT_EQ(histograms[1].first, "sim.round_ns");
+  EXPECT_EQ(histograms[2].first, "sim.round_resolve_work");
+  for (const auto& [name, h] : histograms)
+    EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kRounds)) << name;
+
+  const Histogram* active = histograms[0].second;
+  EXPECT_DOUBLE_EQ(active->minValue(), 1.0);
+  EXPECT_DOUBLE_EQ(active->maxValue(), static_cast<double>(kRounds));
+  const Histogram* work = histograms[2].second;
+  EXPECT_DOUBLE_EQ(work->maxValue(), 10.0 * kRounds);
+  // Wall times are nondeterministic but non-negative and summed.
+  EXPECT_GE(histograms[1].second->sum(), 0.0);
+}
+
+TEST(RoundProfilerTest, FlushIsNoOpWithoutRounds) {
+  ProfilingFlagGuard guard;
+  setRoundProfiling(true);
+  RoundProfiler profiler;
+  MetricsRegistry registry;
+  profiler.flushTo(registry);
+  EXPECT_EQ(registry.size(), 0u)
+      << "a run with zero executed rounds exports nothing";
+}
+
+TEST(RoundProfilerTest, ProfilerConstructedBeforeDisableStaysConsistent) {
+  ProfilingFlagGuard guard;
+  setRoundProfiling(true);
+  RoundProfiler profiler;
+  setRoundProfiling(false);  // flag flips mid-run; instance keeps its state
+  EXPECT_TRUE(profiler.active());
+  profiler.beginRound();
+  profiler.endRound(2, 4);
+  MetricsRegistry registry;
+  profiler.flushTo(registry);
+  EXPECT_EQ(registry.histograms().size(), 3u);
+}
+
+}  // namespace
+}  // namespace dsn::obs

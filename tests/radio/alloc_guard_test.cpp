@@ -3,8 +3,11 @@
 // The active-set simulator promises zero heap allocations per round once
 // its scratch buffers are warm (DESIGN.md §12); this binary overrides the
 // global allocator with a counting shim and fails if any resolveRound
-// call after warm-up allocates. A plain executable (not gtest) so the
-// override sees only our own code paths.
+// call after warm-up allocates. A second armed pass reruns 1000 rounds
+// with the flight recorder enabled on a deliberately undersized ring —
+// record() must stay allocation-free even while wrapping (DESIGN.md §13).
+// A plain executable (not gtest) so the override sees only our own code
+// paths.
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -12,6 +15,7 @@
 
 #include "graph/deploy.hpp"
 #include "graph/unit_disk.hpp"
+#include "obs/flight.hpp"
 #include "radio/channel.hpp"
 #include "util/rng.hpp"
 
@@ -112,9 +116,77 @@ int run() {
                  g_allocs);
     return 1;
   }
+
+  // Same guarantee with the flight recorder enabled: record() must stay
+  // an indexed store even while the ring wraps. The ring is sized well
+  // below 1000 rounds' worth of events so the overflow path is the one
+  // being measured.
+  obs::FlightRecorder recorder;
+  obs::FrConfig traceConfig;
+  traceConfig.capacity = 4096;
+  recorder.configure(traceConfig);
+  {
+    obs::ScopedRecorderSink sink(recorder);
+    g_armed = true;
+    for (int round = 0; round < 1000; ++round) {
+      const ChannelOutcome& out =
+          resolveRoundActive(csr, actions, transmitters, kChannels, scratch);
+      // Mirror the simulator's per-round instrumentation.
+      obs::FlightRecorder* frRadio = obs::recorderFor<obs::kFrCatRadio>();
+      obs::FlightRecorder* frColl = obs::recorderFor<obs::kFrCatCollision>();
+      if (frRadio) {
+        for (const NodeId tx : transmitters) {
+          obs::FrEvent e;
+          e.round = static_cast<std::uint32_t>(round);
+          e.node = tx;
+          e.type = static_cast<std::uint8_t>(obs::FrType::kTransmit);
+          frRadio->record(e);
+        }
+        for (const Delivery& d : out.deliveries) {
+          obs::FrEvent e;
+          e.round = static_cast<std::uint32_t>(round);
+          e.node = d.receiver;
+          e.data = d.transmitter;
+          e.channel = static_cast<std::uint8_t>(d.channel);
+          e.type = static_cast<std::uint8_t>(obs::FrType::kDelivery);
+          frRadio->record(e);
+        }
+      }
+      if (frColl) {
+        for (const CollisionSite& c : out.collisionSites) {
+          obs::FrEvent e;
+          e.round = static_cast<std::uint32_t>(round);
+          e.node = c.listener;
+          e.channel = static_cast<std::uint8_t>(c.channel);
+          e.type = static_cast<std::uint8_t>(obs::FrType::kCollision);
+          frColl->record(e);
+        }
+      }
+    }
+    g_armed = false;
+  }
+
+  if (g_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu heap allocations across 1000 recorded rounds "
+                 "(expected 0)\n",
+                 g_allocs);
+    return 1;
+  }
+  if (recorder.droppedEvents() == 0) {
+    std::fprintf(stderr,
+                 "FAIL: ring never wrapped (%zu stored) — the recorded "
+                 "guard is not exercising overflow\n",
+                 recorder.storedEvents());
+    return 1;
+  }
   std::printf("ok: 1000 steady-state rounds, 0 allocations, %zu "
-              "deliveries + %zu collision sites per round\n",
-              warm.deliveries.size(), warm.collisionSites.size());
+              "deliveries + %zu collision sites per round; recorded "
+              "rerun stored %zu events (%llu dropped) with 0 "
+              "allocations\n",
+              warm.deliveries.size(), warm.collisionSites.size(),
+              recorder.storedEvents(),
+              static_cast<unsigned long long>(recorder.droppedEvents()));
   return 0;
 }
 

@@ -24,7 +24,10 @@
 //
 // On failure, the first failing episode is minimized (op deletion +
 // node-count bisection) and, with --artifacts DIR, exported as a
-// replayable .wsn scenario plus a seed file.
+// replayable .wsn scenario plus a seed file. The shrunk program is also
+// re-executed with the flight recorder on and the resulting
+// shrunk.dsntrace attached, so `wsn_trace summary/dump` can show the
+// exact event stream leading into the failure.
 //
 // Exit status: 0 clean, 1 failures found or digest mismatch, 2 usage.
 #include <cstdlib>
@@ -33,6 +36,8 @@
 #include <iostream>
 #include <string>
 
+#include "obs/flight.hpp"
+#include "obs/flight_io.hpp"
 #include "testkit/fuzz.hpp"
 
 namespace {
@@ -152,7 +157,8 @@ void printFailure(const dsn::testkit::FuzzFailure& f) {
 }
 
 bool writeArtifacts(const std::string& dir,
-                    const dsn::testkit::FuzzFailure& f) {
+                    const dsn::testkit::FuzzFailure& f,
+                    const dsn::testkit::EpisodeOptions& episode) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);  // best-effort; open reports
   {
@@ -166,6 +172,24 @@ bool writeArtifacts(const std::string& dir,
   if (f.shrunk) {
     std::ofstream wsn(dir + "/shrunk.wsn");
     wsn << f.shrink.scenarioText;
+
+    // Replay the minimized episode with the flight recorder on and
+    // attach the event stream. A scoped sink keeps the replay out of the
+    // process recorder; the rerun is deterministic, so the trace shows
+    // exactly the failing execution.
+    dsn::obs::FlightRecorder recorder;
+    dsn::obs::FrConfig fc;
+    fc.capacity = 1 << 16;
+    recorder.configure(fc);
+    {
+      dsn::obs::ScopedRecorderSink sink(recorder);
+      dsn::testkit::runEpisode(f.shrink.program, episode);
+    }
+    std::ofstream traceOut(dir + "/shrunk.dsntrace", std::ios::binary);
+    if (traceOut) {
+      dsn::obs::writeDsnTrace(traceOut, recorder, f.episodeSeed,
+                              f.shrink.program.nodeCount);
+    }
   }
   return true;
 }
@@ -231,7 +255,9 @@ int main(int argc, char** argv) {
     dsn::testkit::writeFuzzJson(out, opt.fuzz, report);
   }
   if (!opt.artifactsDir.empty() && !report.failures.empty()) {
-    if (!writeArtifacts(opt.artifactsDir, report.failures.front())) return 2;
+    if (!writeArtifacts(opt.artifactsDir, report.failures.front(),
+                        opt.fuzz.episode))
+      return 2;
   }
 
   return (report.clean() && !digestMismatch) ? 0 : 1;

@@ -7,6 +7,8 @@
 //           [--drop P] [--channels K] [--scenario FILE | -]
 //           [--trials T] [--jobs N] [--auto-repair]
 //           [--metrics-json FILE] [--trace-out FILE] [--trace-cap N]
+//           [--record-trace FILE] [--trace-categories LIST]
+//           [--trace-sample N] [--trace-buffer N] [--profile-rounds]
 //           [--quiet]
 //
 // --auto-repair runs the crash-recovery pass immediately after every
@@ -17,6 +19,18 @@
 // dsnet-run-v1 JSON document (config, outcome, metrics registry
 // snapshot, hierarchical phase timings). --trace-out captures per-round
 // radio events from every protocol run into a JSONL file.
+//
+// --record-trace enables the flight recorder and writes the binary
+// .dsntrace event stream for wsn_trace to consume. --trace-categories
+// narrows recording to a comma list (round,sched,radio,collision,fault,
+// cluster,run — default all); --trace-sample N records round-scoped
+// volume events every Nth round only; --trace-buffer sets the ring
+// capacity in events (overflow keeps the latest events and counts the
+// rest as trace.dropped_events). The recorded stream carries logical
+// round numbers only, so it is bit-identical at every --jobs count.
+// --profile-rounds feeds per-round wall-time / active-set / resolve-work
+// histograms (sim.round_*) into the metrics document; off by default
+// because wall-times are machine-dependent.
 //
 // --trials T replicates the scenario over T independently seeded
 // deployments (per-trial streams derived with the same SplitMix64
@@ -41,7 +55,10 @@
 #include "exec/parallel_sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/flight_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/timer.hpp"
 #include "radio/trace.hpp"
 
@@ -59,6 +76,11 @@ struct CliOptions {
   std::string metricsJsonPath;
   std::string traceOutPath;
   std::size_t traceCap = 1 << 16;  ///< per protocol run
+  std::string recordTracePath;
+  std::uint32_t traceCategories = dsn::obs::kFrCatAll;
+  std::uint32_t traceSample = 1;
+  std::size_t traceBuffer = 1 << 20;  ///< flight-recorder ring, in events
+  bool profileRounds = false;
   int trials = 1;
   int jobs = 1;  ///< 0 = hardware concurrency
   bool autoRepair = false;
@@ -71,7 +93,9 @@ void usage(std::ostream& os) {
         "               [--scenario FILE|-] [--dot FILE]\n"
         "               [--trials T] [--jobs N] [--auto-repair]\n"
         "               [--metrics-json FILE] [--trace-out FILE]\n"
-        "               [--trace-cap N] [--quiet]\n";
+        "               [--trace-cap N] [--record-trace FILE]\n"
+        "               [--trace-categories LIST] [--trace-sample N]\n"
+        "               [--trace-buffer N] [--profile-rounds] [--quiet]\n";
 }
 
 bool parseArgs(int argc, char** argv, CliOptions& opt) {
@@ -136,6 +160,31 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       if (!v) return false;
       opt.traceCap = std::strtoul(v, nullptr, 10);
       if (opt.traceCap == 0) return false;
+    } else if (arg == "--record-trace") {
+      const char* v = next();
+      if (!v) return false;
+      opt.recordTracePath = v;
+    } else if (arg == "--trace-categories") {
+      const char* v = next();
+      if (!v || !dsn::obs::parseFrCategories(v, opt.traceCategories)) {
+        std::cerr << "bad --trace-categories (want comma list of "
+                     "round,sched,radio,collision,fault,cluster,run "
+                     "or 'all')\n";
+        return false;
+      }
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (!v) return false;
+      opt.traceSample =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (opt.traceSample == 0) return false;
+    } else if (arg == "--trace-buffer") {
+      const char* v = next();
+      if (!v) return false;
+      opt.traceBuffer = std::strtoul(v, nullptr, 10);
+      if (opt.traceBuffer == 0) return false;
+    } else if (arg == "--profile-rounds") {
+      opt.profileRounds = true;
     } else if (arg == "--auto-repair") {
       opt.autoRepair = true;
     } else if (arg == "--quiet") {
@@ -313,6 +362,14 @@ int main(int argc, char** argv) {
     obs::globalMetrics().reset();
     obs::globalTiming().reset();
   }
+  if (!opt.recordTracePath.empty()) {
+    obs::FrConfig fc;
+    fc.capacity = opt.traceBuffer;
+    fc.categories = opt.traceCategories;
+    fc.sampleEvery = opt.traceSample;
+    obs::processRecorder().configure(fc);
+  }
+  if (opt.profileRounds) obs::setRoundProfiling(true);
 
   if (opt.trials > 1 && !opt.dotPath.empty()) {
     std::cerr << "--dot requires --trials 1 (no single final topology "
@@ -358,6 +415,10 @@ int main(int argc, char** argv) {
     std::cerr << "scenario execution error: " << ex.what() << "\n";
     return 2;
   }
+
+  // Fold flight-recorder accounting into the metrics registry (and log
+  // an overflow warning) before the run document snapshots it.
+  if (!opt.recordTracePath.empty()) obs::flushRecorderTelemetry();
 
   if (!opt.quiet) {
     for (const auto& line : outcome.log) std::cout << "  " << line << "\n";
@@ -412,6 +473,21 @@ int main(int argc, char** argv) {
       std::cout << "[trace] " << outcome.traceEvents.size()
                 << " events written to " << opt.traceOutPath << " ("
                 << outcome.traceDropped << " dropped)\n";
+  }
+  if (!opt.recordTracePath.empty()) {
+    std::ofstream out(opt.recordTracePath, std::ios::binary);
+    if (!out || !obs::writeDsnTrace(out, obs::processRecorder(), opt.seed,
+                                    opt.nodes)) {
+      std::cerr << "cannot write trace file: " << opt.recordTracePath
+                << "\n";
+      return 2;
+    }
+    if (!opt.quiet) {
+      const auto& rec = obs::processRecorder();
+      std::cout << "[dsntrace] " << rec.storedEvents()
+                << " events written to " << opt.recordTracePath << " ("
+                << rec.droppedEvents() << " dropped)\n";
+    }
   }
   std::cout << "events=" << outcome.eventsExecuted
             << " broadcasts=" << outcome.broadcasts
