@@ -1,9 +1,12 @@
 #include "broadcast/cff_flooding.hpp"
 
+#include "broadcast/cff_swarm.hpp"
+
 #include <algorithm>
 #include <memory>
 
 #include "broadcast/runner_detail.hpp"
+#include "cluster/soa.hpp"
 #include "graph/algorithms.hpp"
 #include "radio/simulator.hpp"
 #include "util/error.hpp"
@@ -148,42 +151,51 @@ BroadcastRun runCffBroadcast(const ClusterNet& net, NodeId source,
   cfg.channelCount = options.channels;
   cfg.maxRounds = options.maxRounds > 0 ? options.maxRounds : schedule + 4;
   cfg.traceCapacity = options.traceCapacity;
-  cfg.scheduling = options.scheduling;
+  detail::applyScheduling(cfg, options);
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);
 
-  std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  // One structure-of-arrays swarm drives every member (DESIGN.md §14);
+  // the per-object CffNodeProtocol remains as the differential oracle.
+  CffSwarmConfig sc;
+  sc.window = window;
+  sc.channels = options.channels;
+  sc.floodStart = floodStart;
+  sc.payload = payload;
+  auto swarm = std::make_unique<CffSwarm>(sc, g.size());
+  const CffSwarm* view = swarm.get();
+
+  // Flat schedule columns: one pass over the knowledge table instead of a
+  // per-field accessor chase for every member (matters at n >= 10^5).
+  const ClusterScheduleView sched = ClusterScheduleView::build(net);
+
+  // Path membership as a flat lookup instead of an O(|path|) scan per node.
+  std::vector<int> pathIndexOf(g.size(), -1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    pathIndexOf[path[i]] = static_cast<int>(i);
+
   std::vector<NodeId> intended;
-  for (NodeId v : net.netNodes()) {
+  intended.reserve(sched.members().size());
+  for (NodeId v : sched.members()) {
     // A stale structure (crashes not yet repaired) may reference dead
     // nodes; they neither act nor count as intended receivers.
     if (!g.isAlive(v)) continue;
     intended.push_back(v);
-    CffNodeConfig nc;
-    nc.self = v;
-    nc.depth = net.depth(v);
-    nc.slot = net.isBackbone(v) ? net.uSlot(v) : kNoSlot;
-    nc.window = window;
-    nc.channels = options.channels;
-    nc.floodStart = floodStart;
-    nc.isSource = v == source;
-    nc.payload = payload;
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      if (path[i] == v && i + 1 < path.size()) {
-        nc.pathIndex = static_cast<int>(i);
-        nc.pathNext = path[i + 1];
-      }
-    }
-    auto p = std::make_unique<CffNodeProtocol>(nc);
-    endpoints[v] = p.get();
-    sim.setProtocol(v, std::move(p));
+    const int pathIndex = pathIndexOf[v];
+    const NodeId pathNext =
+        pathIndex >= 0 ? path[static_cast<std::size_t>(pathIndex) + 1]
+                       : kInvalidNode;
+    swarm->addMember(v, sched.depth(v),
+                     sched.isBackbone(v) ? sched.uSlot(v) : kNoSlot, pathIndex,
+                     pathNext, v == source);
   }
+  sim.setSwarm(std::move(swarm), intended);
 
   BroadcastRun run;
   run.scheduleLength = schedule;
   run.sim = sim.run();
-  detail::collectDeliveryStats(sim, intended, endpoints, run);
+  detail::collectSwarmDeliveryStats(sim, intended, *view, run);
   return run;
 }
 

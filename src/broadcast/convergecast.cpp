@@ -98,7 +98,7 @@ GatherResult runConvergecast(const ClusterNet& net,
   cfg.channelCount = options.channels;
   cfg.maxRounds = options.maxRounds > 0 ? options.maxRounds : schedule + 4;
   cfg.traceCapacity = options.traceCapacity;
-  cfg.scheduling = options.scheduling;
+  detail::applyScheduling(cfg, options);
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);

@@ -130,7 +130,7 @@ BroadcastRun runDfoBroadcast(const ClusterNet& net, NodeId source,
   cfg.maxRounds = options.maxRounds > 0
                       ? options.maxRounds
                       : static_cast<Round>(4 * backbone.size() + 16);
-  cfg.scheduling = options.scheduling;
+  detail::applyScheduling(cfg, options);
   cfg.traceCapacity = options.traceCapacity;
 
   RadioSimulator sim(g, cfg);

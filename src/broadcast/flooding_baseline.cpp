@@ -90,7 +90,7 @@ BroadcastRun runFloodingBroadcast(const Graph& g, NodeId source,
   cfg.channelCount = 1;
   cfg.maxRounds = maxListen + 4;
   cfg.traceCapacity = options.traceCapacity;
-  cfg.scheduling = options.scheduling;
+  detail::applyScheduling(cfg, options);
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "broadcast/runner_detail.hpp"
+#include "cluster/soa.hpp"
 #include "radio/simulator.hpp"
 #include "util/error.hpp"
 
@@ -175,10 +176,15 @@ BroadcastRun runIcff(const ClusterNet& net, NodeId source,
     path.push_back(v);
   const Round backboneStart = static_cast<Round>(path.size()) - 1;
 
+  // Flat schedule columns: one pass over the knowledge table instead of a
+  // per-field accessor chase for every member (matters at n >= 10^5).
+  const ClusterScheduleView sched = ClusterScheduleView::build(net);
+
   int backboneHeight = 0;
-  for (NodeId v : net.backboneNodes())
-    backboneHeight = std::max(backboneHeight,
-                              static_cast<int>(net.depth(v)));
+  for (NodeId v : sched.members())
+    if (sched.isBackbone(v))
+      backboneHeight =
+          std::max(backboneHeight, static_cast<int>(sched.depth(v)));
 
   const TimeSlot bWindow = net.rootMaxBSlot();
   const TimeSlot lWindow = net.rootMaxLSlot();
@@ -193,7 +199,7 @@ BroadcastRun runIcff(const ClusterNet& net, NodeId source,
   cfg.channelCount = options.channels;
   cfg.maxRounds = options.maxRounds > 0 ? options.maxRounds : schedule + 4;
   cfg.traceCapacity = options.traceCapacity;
-  cfg.scheduling = options.scheduling;
+  detail::applyScheduling(cfg, options);
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);
@@ -201,16 +207,21 @@ BroadcastRun runIcff(const ClusterNet& net, NodeId source,
   std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
   std::vector<NodeId> intended;
 
-  for (NodeId v : net.netNodes()) {
+  // Path membership as a flat lookup instead of an O(|path|) scan per node.
+  std::vector<int> pathIndexOf(g.size(), -1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    pathIndexOf[path[i]] = static_cast<int>(i);
+
+  for (NodeId v : sched.members()) {
     // A stale structure (crashes not yet repaired) may reference dead
     // nodes; they neither act nor count as intended receivers.
     if (!g.isAlive(v)) continue;
     IcffNodeConfig nc;
     nc.self = v;
-    nc.depth = net.depth(v);
-    nc.backbone = net.isBackbone(v);
-    nc.bSlot = nc.backbone ? net.bSlot(v) : kNoSlot;
-    nc.lSlot = nc.backbone ? net.lSlot(v) : kNoSlot;
+    nc.depth = sched.depth(v);
+    nc.backbone = sched.isBackbone(v);
+    nc.bSlot = nc.backbone ? sched.bSlot(v) : kNoSlot;
+    nc.lSlot = nc.backbone ? sched.lSlot(v) : kNoSlot;
     nc.bWindow = bWindow;
     nc.lWindow = lWindow;
     nc.channels = options.channels;
@@ -218,11 +229,9 @@ BroadcastRun runIcff(const ClusterNet& net, NodeId source,
     nc.backboneHeight = backboneHeight;
     nc.isSource = v == source;
     nc.payload = payload;
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      if (path[i] == v && i + 1 < path.size()) {
-        nc.pathIndex = static_cast<int>(i);
-        nc.pathNext = path[i + 1];
-      }
+    if (pathIndexOf[v] >= 0) {
+      nc.pathIndex = pathIndexOf[v];
+      nc.pathNext = path[static_cast<std::size_t>(nc.pathIndex) + 1];
     }
     if (group.has_value()) {
       nc.group = *group;

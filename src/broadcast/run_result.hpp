@@ -33,10 +33,23 @@ struct ProtocolOptions {
   std::uint64_t failureSeed = 0xFA11FA11ull;
   /// Event-trace capacity (0 = off).
   std::size_t traceCapacity = 0;
-  /// Simulator scheduling strategy. kActiveSet and kFullScan produce
-  /// bit-identical runs; the full scan exists as a differential oracle
-  /// and as the perf-bench reference (see DESIGN.md §12).
+  /// Simulator scheduling strategy. All modes produce bit-identical
+  /// runs; the full scan exists as a differential oracle and as the
+  /// perf-bench reference (see DESIGN.md §12), kSharded spreads each
+  /// round over a thread pool (DESIGN.md §14).
   SimScheduling scheduling = SimScheduling::kActiveSet;
+  /// Worker threads. 0 leaves `scheduling` as given; >0 forces
+  /// SimScheduling::kSharded with that many threads (1 = the sharded
+  /// engine inline on the calling thread — useful for determinism
+  /// tests and as the scale baseline).
+  int threads = 0;
+  /// kSharded tile-partition knobs (result-neutral; see SimConfig).
+  /// tileMinEdge defaults to the radio range via
+  /// SensorNetwork::withPositions; 0 with no positions falls back to
+  /// id-block tiles.
+  double tileMinEdge = 0.0;
+  std::uint32_t tileTarget = 0;
+  std::size_t shardSerialThreshold = 256;
 };
 
 /// Measured outcome of one run.

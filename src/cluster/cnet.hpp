@@ -115,6 +115,10 @@ class ClusterNet {
 
   bool contains(NodeId v) const;
   std::size_t netSize() const { return netSize_; }
+  /// Number of in-net heads + gateways, maintained incrementally —
+  /// unlike backboneNodes().size() this is O(1), so per-move-in
+  /// telemetry does not turn bulk construction quadratic.
+  std::size_t backboneCount() const { return backboneCount_; }
   NodeId root() const { return root_; }
 
   NodeStatus status(NodeId v) const;
@@ -220,6 +224,7 @@ class ClusterNet {
   std::vector<NodeKnowledge> know_;
   NodeId root_ = kInvalidNode;
   std::size_t netSize_ = 0;
+  std::size_t backboneCount_ = 0;
   TimeSlot rootMaxB_ = 0;
   TimeSlot rootMaxL_ = 0;
   TimeSlot rootMaxU_ = 0;
@@ -291,6 +296,7 @@ class ClusterNet {
 
   friend class ClusterNetValidator;
   friend class RecoveryManager;
+  friend class ClusterScheduleView;
 };
 
 }  // namespace dsn

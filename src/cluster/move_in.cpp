@@ -40,6 +40,7 @@ NodeId ClusterNet::moveIn(NodeId v) {
     kv.height = 0;
     root_ = v;
     ++netSize_;
+    ++backboneCount_;
     if (obs::enabled())
       obs::globalMetrics().gauge("cluster.backbone_size").set(1.0);
     return kInvalidNode;
@@ -78,11 +79,13 @@ NodeId ClusterNet::moveIn(NodeId v) {
   } else if (!gateways.empty()) {
     w = selectCandidate(gateways);
     kv.status = NodeStatus::kClusterHead;
+    ++backboneCount_;
   } else {
     w = selectCandidate(members);
     // Promotion: the only status mutation Definition 1 permits.
     know_[w].status = NodeStatus::kGateway;
     kv.status = NodeStatus::kClusterHead;
+    backboneCount_ += 2;
     if (obs::enabled())
       obs::globalMetrics().counter("cluster.promotions").increment();
   }
@@ -118,7 +121,7 @@ NodeId ClusterNet::moveIn(NodeId v) {
   if (obs::enabled())
     obs::globalMetrics()
         .gauge("cluster.backbone_size")
-        .set(static_cast<double>(backboneNodes().size()));
+        .set(static_cast<double>(backboneCount_));
   return w;
 }
 

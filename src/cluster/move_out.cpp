@@ -38,6 +38,7 @@ std::vector<NodeId> ClusterNet::collectSubtree(NodeId top) const {
 void ClusterNet::detachNode(NodeId v) {
   NodeKnowledge& k = know_[v];
   DSN_CHECK(k.inNet, "detachNode: node not in net");
+  if (isBackboneStatus(k.status)) --backboneCount_;
   if (k.parent != kInvalidNode && know_[k.parent].inNet) {
     auto& siblings = know_[k.parent].children;
     siblings.erase(std::remove(siblings.begin(), siblings.end(), v),
@@ -93,7 +94,7 @@ MoveOutReport ClusterNet::moveOut(NodeId lev) {
   if (obs::enabled())
     obs::globalMetrics()
         .gauge("cluster.backbone_size")
-        .set(static_cast<double>(backboneNodes().size()));
+        .set(static_cast<double>(backboneCount_));
   return report;
 }
 
@@ -105,7 +106,7 @@ MoveOutReport ClusterNet::withdraw(NodeId lev) {
   if (obs::enabled())
     obs::globalMetrics()
         .gauge("cluster.backbone_size")
-        .set(static_cast<double>(backboneNodes().size()));
+        .set(static_cast<double>(backboneCount_));
   return report;
 }
 

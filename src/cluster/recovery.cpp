@@ -192,7 +192,7 @@ RecoveryReport RecoveryManager::repair() {
   if (obs::enabled())
     obs::globalMetrics()
         .gauge("cluster.backbone_size")
-        .set(static_cast<double>(net.backboneNodes().size()));
+        .set(static_cast<double>(net.backboneCount()));
   return report;
 }
 

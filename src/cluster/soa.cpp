@@ -1,0 +1,29 @@
+#include "cluster/soa.hpp"
+
+#include "cluster/cnet.hpp"
+
+namespace dsn {
+
+ClusterScheduleView ClusterScheduleView::build(const ClusterNet& net) {
+  ClusterScheduleView view;
+  const std::size_t n = net.know_.size();
+  view.members_.reserve(net.netSize());
+  view.depth_.assign(n, kNoDepth);
+  view.backbone_.assign(n, 0);
+  view.uSlot_.assign(n, kNoSlot);
+  view.bSlot_.assign(n, kNoSlot);
+  view.lSlot_.assign(n, kNoSlot);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeKnowledge& k = net.know_[v];
+    if (!k.inNet) continue;
+    view.members_.push_back(v);
+    view.depth_[v] = k.depth;
+    view.backbone_[v] = isBackboneStatus(k.status) ? 1 : 0;
+    view.uSlot_[v] = k.uSlot;
+    view.bSlot_[v] = k.bSlot;
+    view.lSlot_[v] = k.lSlot;
+  }
+  return view;
+}
+
+}  // namespace dsn

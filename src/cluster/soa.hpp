@@ -1,0 +1,51 @@
+// Structure-of-arrays snapshot of the per-node schedule knowledge.
+//
+// The broadcast runners configure one protocol entry per member from the
+// cluster net's per-node records (depth, u/b/l-slots, backbone status).
+// Pulling those through the AoS NodeKnowledge accessors costs a pointer
+// chase per field per node; at 10^5..10^6 members the runner setup loop
+// becomes cache-bound. This view extracts the schedule-relevant columns
+// once, in node order, into flat arrays the runners (and the SoA swarm
+// protocols) index directly.
+//
+// The snapshot is immutable and decoupled from the net: structure
+// mutations (move-in/out, recovery) after build() are not reflected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dsn {
+
+class ClusterNet;
+
+/// Flat schedule columns for every node id, plus the member list.
+class ClusterScheduleView {
+ public:
+  /// Extracts the columns from `net` in one pass over its knowledge
+  /// table (ids outside the net get kNoDepth/kNoSlot/non-backbone).
+  static ClusterScheduleView build(const ClusterNet& net);
+
+  /// Net members, node-ascending (same order as ClusterNet::netNodes).
+  const std::vector<NodeId>& members() const { return members_; }
+
+  Depth depth(NodeId v) const { return depth_[v]; }
+  bool isBackbone(NodeId v) const { return backbone_[v] != 0; }
+  TimeSlot uSlot(NodeId v) const { return uSlot_[v]; }
+  TimeSlot bSlot(NodeId v) const { return bSlot_[v]; }
+  TimeSlot lSlot(NodeId v) const { return lSlot_[v]; }
+
+  std::size_t nodeCount() const { return depth_.size(); }
+
+ private:
+  std::vector<NodeId> members_;
+  std::vector<Depth> depth_;
+  std::vector<std::uint8_t> backbone_;
+  std::vector<TimeSlot> uSlot_;
+  std::vector<TimeSlot> bSlot_;
+  std::vector<TimeSlot> lSlot_;
+};
+
+}  // namespace dsn

@@ -1,0 +1,123 @@
+#include "graph/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsn {
+
+namespace {
+
+/// Picks a grid dimension: roughly sqrt-proportional to the target tile
+/// count along this axis, but never so fine that a cell edge drops below
+/// `minCell`.
+std::uint32_t gridDim(double extent, double minCell, double want) {
+  double d = std::floor(want);
+  if (minCell > 0.0) {
+    const double maxCells = std::floor(extent / minCell);
+    d = std::min(d, std::max(1.0, maxCells));
+  }
+  return static_cast<std::uint32_t>(std::max(1.0, d));
+}
+
+}  // namespace
+
+TilePartition TilePartition::spatial(const std::vector<Point2D>& points,
+                                     double minCellSize,
+                                     std::uint32_t targetTiles) {
+  DSN_REQUIRE(targetTiles >= 1, "tile partition needs at least one tile");
+  const std::size_t n = points.size();
+  TilePartition p;
+  if (n == 0) {
+    p.finalize({}, 1);
+    return p;
+  }
+
+  double minX = points[0].x, maxX = points[0].x;
+  double minY = points[0].y, maxY = points[0].y;
+  for (const Point2D& pt : points) {
+    minX = std::min(minX, pt.x);
+    maxX = std::max(maxX, pt.x);
+    minY = std::min(minY, pt.y);
+    maxY = std::max(maxY, pt.y);
+  }
+  const double w = std::max(maxX - minX, 1e-9);
+  const double h = std::max(maxY - minY, 1e-9);
+
+  // Split targetTiles across the two axes proportionally to the box
+  // aspect, respecting the minimum cell size on each axis.
+  const double t = static_cast<double>(targetTiles);
+  const std::uint32_t gx =
+      gridDim(w, minCellSize, std::sqrt(t * w / h) + 0.5);
+  const std::uint32_t gy = gridDim(
+      h, minCellSize,
+      std::max(1.0, t / static_cast<double>(std::max(1u, gx))) + 0.5);
+
+  const double cellW = w / static_cast<double>(gx);
+  const double cellH = h / static_cast<double>(gy);
+  std::vector<std::uint32_t> tileOf(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto ix = static_cast<std::uint32_t>((points[v].x - minX) / cellW);
+    auto iy = static_cast<std::uint32_t>((points[v].y - minY) / cellH);
+    ix = std::min(ix, gx - 1);
+    iy = std::min(iy, gy - 1);
+    tileOf[v] = iy * gx + ix;
+  }
+  p.finalize(std::move(tileOf), gx * gy);
+  return p;
+}
+
+TilePartition TilePartition::blocked(std::size_t nodeCount,
+                                     std::uint32_t targetTiles) {
+  DSN_REQUIRE(targetTiles >= 1, "tile partition needs at least one tile");
+  TilePartition p;
+  if (nodeCount == 0) {
+    p.finalize({}, 1);
+    return p;
+  }
+  const std::size_t maxTiles =
+      std::max<std::size_t>(1, (nodeCount + kMinBlock - 1) / kMinBlock);
+  const auto tiles = static_cast<std::uint32_t>(
+      std::min<std::size_t>(targetTiles, maxTiles));
+  const std::size_t block = (nodeCount + tiles - 1) / tiles;
+  std::vector<std::uint32_t> tileOf(nodeCount);
+  for (std::size_t v = 0; v < nodeCount; ++v)
+    tileOf[v] = static_cast<std::uint32_t>(v / block);
+  // The last blocks can be empty when block rounding overshoots; the tile
+  // count still reflects the assignment map's range.
+  p.finalize(std::move(tileOf), tiles);
+  return p;
+}
+
+void TilePartition::finalize(std::vector<std::uint32_t> tileOf,
+                             std::uint32_t tiles) {
+  DSN_REQUIRE(tiles >= 1, "tile partition needs at least one tile");
+  tileCount_ = tiles;
+  tileOf_ = std::move(tileOf);
+  const std::size_t n = tileOf_.size();
+
+  memberOffsets_.assign(tiles + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    DSN_REQUIRE(tileOf_[v] < tiles, "tile assignment out of range");
+    ++memberOffsets_[tileOf_[v] + 1];
+  }
+  maxTileSize_ = 0;
+  for (std::uint32_t t = 0; t < tiles; ++t) {
+    maxTileSize_ =
+        std::max(maxTileSize_, static_cast<std::size_t>(memberOffsets_[t + 1]));
+    memberOffsets_[t + 1] += memberOffsets_[t];
+  }
+
+  members_.resize(n);
+  localIndex_.resize(n);
+  std::vector<std::uint32_t> cursor(memberOffsets_.begin(),
+                                    memberOffsets_.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t t = tileOf_[v];
+    localIndex_[v] = cursor[t] - memberOffsets_[t];
+    members_[cursor[t]++] = static_cast<NodeId>(v);
+  }
+}
+
+}  // namespace dsn

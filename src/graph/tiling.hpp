@@ -1,0 +1,87 @@
+// Spatial tile partition over a deployment, for sharded round execution.
+//
+// The sharded radio scheduler (DESIGN.md §14) splits one round's work
+// across worker threads by *tile*: a partition of the node ids into
+// contiguous spatial cells (when positions are known) or contiguous id
+// blocks (fallback). Correctness never depends on the partition — the
+// resolver rechecks tile membership per arc — so any partition is valid;
+// a spatial one just keeps most arcs tile-internal, which is what makes
+// the shards near-independent for unit-disk graphs.
+//
+// The partition is a pure function of (positions, minCellSize,
+// targetTiles) — never of the worker count — so a run's tile structure,
+// and therefore every merge order derived from it, is identical at any
+// --threads value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/types.hpp"
+
+namespace dsn {
+
+/// An immutable assignment of node ids to tiles, with the per-tile
+/// member lists (node-ascending) and local dense indices the per-tile
+/// resolve scratch is addressed by.
+class TilePartition {
+ public:
+  TilePartition() = default;
+
+  /// Grid partition over node positions. Tile edges never drop below
+  /// `minCellSize` (use the radio range: then a node's neighborhood
+  /// spans at most the adjacent tile in each axis), and the grid aims
+  /// for ~`targetTiles` tiles over the bounding box of `points`.
+  static TilePartition spatial(const std::vector<Point2D>& points,
+                               double minCellSize,
+                               std::uint32_t targetTiles);
+
+  /// Contiguous id-range partition for runs without position data.
+  /// Blocks are at least kMinBlock nodes so tiny graphs do not shatter
+  /// into single-node tiles.
+  static TilePartition blocked(std::size_t nodeCount,
+                               std::uint32_t targetTiles);
+
+  std::uint32_t tileCount() const { return tileCount_; }
+  std::size_t nodeCount() const { return tileOf_.size(); }
+
+  std::uint32_t tileOf(NodeId v) const { return tileOf_[v]; }
+
+  /// Dense index of `v` inside its tile's member list; addresses the
+  /// per-tile resolve scratch.
+  std::uint32_t localIndex(NodeId v) const { return localIndex_[v]; }
+
+  /// Members of tile `t`, node-ascending.
+  struct Span {
+    const NodeId* first = nullptr;
+    const NodeId* last = nullptr;
+    const NodeId* begin() const { return first; }
+    const NodeId* end() const { return last; }
+    std::size_t size() const {
+      return static_cast<std::size_t>(last - first);
+    }
+  };
+  Span members(std::uint32_t t) const {
+    const NodeId* base = members_.data();
+    return Span{base + memberOffsets_[t], base + memberOffsets_[t + 1]};
+  }
+
+  /// Largest tile population — the per-tile scratch dimension.
+  std::size_t maxTileSize() const { return maxTileSize_; }
+
+  static constexpr std::size_t kMinBlock = 32;
+
+ private:
+  /// Builds member lists / local indices from a finished tileOf map.
+  void finalize(std::vector<std::uint32_t> tileOf, std::uint32_t tiles);
+
+  std::uint32_t tileCount_ = 0;
+  std::vector<std::uint32_t> tileOf_;
+  std::vector<std::uint32_t> localIndex_;
+  std::vector<std::uint32_t> memberOffsets_;
+  std::vector<NodeId> members_;
+  std::size_t maxTileSize_ = 0;
+};
+
+}  // namespace dsn

@@ -57,13 +57,16 @@ ChannelOutcome resolveRound(const Graph& g,
 
 void ResolveScratch::prepare(std::size_t nodeCount, Channel channelCount) {
   DSN_REQUIRE(channelCount >= 1, "at least one radio channel required");
-  nodeCount_ = nodeCount;
+  if (nodeCount <= nodeCount_ && channelCount == channelCount_) return;
+  // Grow-only: a shrinking snapshot keeps the larger (already zeroed)
+  // tables, so ids below the old bound stay addressable.
+  nodeCount_ = std::max(nodeCount_, nodeCount);
   channelCount_ = channelCount;
-  count_.assign(nodeCount * channelCount, 0);
-  unique_.resize(nodeCount * channelCount);
-  touchedFlag_.assign(nodeCount, 0);
+  count_.assign(nodeCount_ * channelCount, 0);
+  unique_.resize(nodeCount_ * channelCount);
+  touchedFlag_.assign(nodeCount_, 0);
   touched_.clear();
-  touched_.reserve(nodeCount);
+  touched_.reserve(nodeCount_);
 }
 
 const ChannelOutcome& resolveRoundActive(
@@ -72,9 +75,11 @@ const ChannelOutcome& resolveRoundActive(
     const std::vector<NodeId>& transmitters,
     Channel channelCount,
     ResolveScratch& s) {
-  DSN_REQUIRE(csr.nodeCount() == s.nodeCount_ &&
-                  channelCount == s.channelCount_,
-              "scratch not prepared for this topology/channel count");
+  // Grow-on-demand: a node-move-in past the prepared bound (scratch
+  // reused across runs of a growing campaign) must widen the tables, not
+  // index out of bounds. No-op — and allocation-free — when the snapshot
+  // fits.
+  s.prepare(csr.nodeCount(), channelCount);
   const Channel k = channelCount;
   ChannelOutcome& out = s.outcome_;
   out.deliveries.clear();

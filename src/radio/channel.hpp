@@ -73,10 +73,18 @@ const ChannelOutcome& resolveRoundActive(
 /// Reusable per-run buffers for resolveRoundActive. prepare() once per
 /// (topology, channel-count) pair; every table is restored to its pristine
 /// state at the end of each resolve, so rounds never re-zero O(V·k) data.
+///
+/// The tables grow on demand: a resolve over a snapshot with more node
+/// ids than the last prepare() (e.g. a node-move-in mid-campaign when the
+/// scratch is reused across runs) re-sizes instead of indexing out of
+/// bounds. Growth is an allocation, so steady-state rounds stay
+/// allocation-free only while the topology does not outgrow the tables —
+/// which is exactly the steady state.
 class ResolveScratch {
  public:
   /// Sizes the tables for `nodeCount` node ids and `channelCount`
-  /// channels. Allocates here so resolve calls never do.
+  /// channels. Allocates here so resolve calls never do. Idempotent and
+  /// never shrinks: preparing for fewer nodes keeps the larger tables.
   void prepare(std::size_t nodeCount, Channel channelCount);
 
   /// The outcome buffer of the most recent resolveRoundActive call.

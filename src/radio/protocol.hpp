@@ -51,4 +51,26 @@ class NodeProtocol {
   virtual Round nextWake(Round now) const { return now + 1; }
 };
 
+/// Structure-of-arrays counterpart of NodeProtocol: ONE object drives
+/// every member node, keyed by node id. Implementations keep per-node
+/// state in flat arrays instead of one heap object per node, which is
+/// what makes million-node runs fit in cache (DESIGN.md §14).
+///
+/// Contracts are per-node NodeProtocol contracts verbatim (isDone
+/// monotone, nextWake sleep-is-pure, etc.). Additionally, because the
+/// sharded scheduler calls into the swarm from several threads at once
+/// (always for *distinct* nodes; never the same node concurrently),
+/// implementations must keep cross-node shared writes atomic — e.g. a
+/// delivered bitset whose words span nodes needs atomic fetch_or.
+class SwarmProtocol {
+ public:
+  virtual ~SwarmProtocol() = default;
+
+  virtual Action onRound(NodeId v, Round r) = 0;
+  virtual void onReceive(NodeId v, const Message& m, Round r,
+                         Channel channel) = 0;
+  virtual bool isDone(NodeId v) const = 0;
+  virtual Round nextWake(NodeId /*v*/, Round now) const { return now + 1; }
+};
+
 }  // namespace dsn

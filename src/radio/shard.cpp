@@ -1,0 +1,751 @@
+// Sharded round execution (DESIGN.md §14).
+//
+// One round's phase-1 wake-ups and phase-2/3 collision-resolution are
+// split across worker threads by spatial tile; everything order-sensitive
+// (the global event trace, flight-recorder streams, the transient-loss
+// RNG, result counters) is replayed on the coordinator at two per-round
+// barriers in fixed global node order. The output is therefore
+// bit-identical to runActiveSet at ANY thread count — including
+// --threads 1, where the same tile code runs inline on the coordinator.
+//
+// Round structure (r = the executed round):
+//   S0  coordinator: drain scheduled deaths, completion check, idle
+//       fast-forward over the min of all tile heap tops.
+//   S1  parallel per tile: pop this round's wakers (node-ascending per
+//       tile), call onRound, meter energy, classify actions into a
+//       per-tile op log. Transmit candidates speculatively enumerate the
+//       destination tiles their neighborhood touches; the drop coin is
+//       NOT drawn here.
+//   B1  coordinator: k-way merge the tile op logs by node id — the
+//       merged order equals the serial phase-1 order — recording
+//       wake/jam/drop/transmit events and drawing each candidate's
+//       dropsTransmission() coin exactly where runActiveSet would.
+//   S2  parallel per tile: tally transmitting neighbors for the tile's
+//       own members (per-tile scratch, localIndex-addressed), emit
+//       deliveries/collisions in (listener, channel) order, run fused
+//       phase 3 (energy, onReceive) for own members, and re-queue
+//       wakers into the tile heap. Trace-worthy events are buffered.
+//   B2  coordinator: merge collision then delivery buffers by
+//       (listener, channel) — global sorted order, since tiles
+//       partition the node ids — record them, fold counters.
+//
+// Why this is safe: workers touch disjoint per-node state (tiles
+// partition nodes; onReceive targets are always own members), transmit
+// actions are only read across tiles after the B1 barrier and are never
+// reset mid-round (stale entries are invalidated by round stamps instead
+// of writes), and every stateful shared object (trace, flight recorders,
+// RNG, result, pending count) is coordinator-only.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/tiling.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/timer.hpp"
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+namespace {
+
+obs::FrEvent frEvent(obs::FrType t, Round r, std::uint32_t node,
+                     std::uint32_t data = 0, Channel channel = 0,
+                     std::uint16_t aux = 0) {
+  obs::FrEvent e;
+  e.round = static_cast<std::uint32_t>(r);
+  e.node = node;
+  e.data = data;
+  e.type = static_cast<std::uint8_t>(t);
+  e.channel = static_cast<std::uint8_t>(channel);
+  e.aux = aux;
+  return e;
+}
+
+std::uint16_t frKind(MsgKind k) {
+  return static_cast<std::uint16_t>(k);
+}
+
+void flushRunMetrics(const SimResult& r) {
+  if (!obs::enabled()) return;
+  auto& m = obs::globalMetrics();
+  m.counter("sim.runs").increment();
+  m.counter("sim.transmissions").increment(r.totalTransmissions);
+  m.counter("sim.deliveries").increment(r.totalDeliveries);
+  m.counter("sim.collisions").increment(r.totalCollisions);
+  m.counter("sim.dropped_transmissions").increment(r.droppedTransmissions);
+  m.counter("sim.jammed_losses").increment(r.jammedLosses);
+  m.counter("sim.rounds").increment(static_cast<std::uint64_t>(r.rounds));
+  m.histogram("sim.rounds_executed",
+              obs::Histogram::exponentialBounds(20))
+      .observe(static_cast<double>(r.rounds));
+  if (!r.completed) m.counter("sim.budget_exhausted").increment();
+}
+
+/// What a popped-awake node did in phase 1 (per-tile op log entry).
+enum class P1Kind : std::uint8_t {
+  kSlept,       ///< onRound returned sleep
+  kListened,    ///< listening; stamp + energy already applied in S1
+  kTxCandidate, ///< wants to transmit; drop coin pending (B1)
+  kTxJammed,    ///< transmit smothered by a jam zone (decided in S1)
+};
+
+struct P1Op {
+  NodeId v = kInvalidNode;
+  P1Kind kind = P1Kind::kSlept;
+};
+
+}  // namespace
+
+class ShardEngine {
+ public:
+  ShardEngine(RadioSimulator& sim) : sim_(sim) {}
+  SimResult run();
+
+ private:
+  using WakeEntry = std::pair<Round, NodeId>;
+
+  /// All mutable per-tile state. Buffers reach a high-water capacity and
+  /// are then reused: steady-state rounds allocate nothing.
+  struct Tile {
+    // Min-heap over (wake round, node); std::greater pops ascending.
+    std::vector<WakeEntry> heap;
+    // This round's outputs (S1).
+    std::size_t popped = 0;            ///< incl. dead pops (RoundBegin)
+    std::vector<NodeId> active;        ///< alive pops, node-ascending
+    std::vector<P1Op> ops;             ///< op log, node-ascending
+    std::vector<std::pair<std::uint32_t, NodeId>> outbox;  ///< (tile, tx)
+    std::uint64_t txSeq = 0;           ///< destSeen stamp source
+    std::vector<std::uint64_t> destSeen;
+    // This round's outputs (S2).
+    std::vector<CollisionSite> collisions;  ///< (listener, ch) ascending
+    std::vector<Delivery> rx;               ///< performed deliveries
+    std::size_t deliveriesEmitted = 0;
+    std::size_t collisionsEmitted = 0;
+    std::size_t jammedRx = 0;
+    std::uint32_t performedRx = 0;
+    std::size_t newlyResolved = 0;
+    // Tally scratch, localIndex-addressed (maxTileSize * channels).
+    std::vector<std::uint32_t> count;
+    std::vector<NodeId> unique;
+    std::vector<std::uint32_t> touched;
+    std::vector<std::uint8_t> touchedFlag;
+  };
+
+  void tileS1(Tile& t, Round r);
+  void tileS2(std::uint32_t ti, Round r);
+  void runPhase(int kind, Round r, bool parallel);
+  void workerLoop();
+  void claimTiles(Round roundHint);
+  void stopWorkers();
+
+  /// Merges the per-tile `recs` streams — each sorted by `key`, keys
+  /// globally unique across tiles — calling `emit(rec)` in ascending key
+  /// order. Uses the persistent heads_ buffer; allocation-free once warm.
+  template <typename Rec, typename KeyFn, typename EmitFn>
+  void mergeTileStreams(std::vector<Rec> Tile::* recs, KeyFn key,
+                        EmitFn emit);
+
+  RadioSimulator& sim_;
+  TilePartition tiles_;
+  Channel k_ = 1;
+  std::vector<Tile> tile_;
+  std::vector<Action> actions_;
+  std::vector<Round> listenStamp_;  ///< round v last chose kListen
+  std::vector<Round> dropStamp_;    ///< round v's transmit was dropped
+  std::vector<std::uint8_t> resolved_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> heads_;
+  std::vector<std::size_t> cursors_;
+
+  // Worker pool. Claims are serialized through nextTile_: a worker reads
+  // phaseKind_/round_ only after a successful claim, so a straggler from
+  // the previous phase that steals a fresh claim still executes it as the
+  // *current* phase (the acquire on nextTile_ orders the reads).
+  // Phase hand-off spins briefly then parks on a condition variable —
+  // pure spin-yield starves the coordinator when threads outnumber
+  // cores (worst case: CI runners and the oversubscribed --threads 8
+  // differential tests).
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::uint32_t> nextTile_{~0u};
+  std::atomic<std::uint32_t> doneTiles_{0};
+  std::atomic<int> phaseKind_{0};  ///< 1 = S1, 2 = S2, -1 = exit
+  std::atomic<Round> round_{0};
+  std::mutex phaseMutex_;
+  std::condition_variable phaseCv_;  ///< workers: a new gen_ was published
+  std::condition_variable doneCv_;   ///< coordinator: all tiles finished
+  std::once_flag errorOnce_;
+  std::exception_ptr error_;
+};
+
+void ShardEngine::tileS1(Tile& t, Round r) {
+  t.popped = 0;
+  t.active.clear();
+  t.ops.clear();
+  t.outbox.clear();
+  const auto& failures = sim_.failures_;
+  const CsrView& csr = sim_.graph_.csrView();
+  while (!t.heap.empty() && t.heap.front().first == r) {
+    std::pop_heap(t.heap.begin(), t.heap.end(), std::greater<WakeEntry>{});
+    const NodeId v = t.heap.back().second;
+    t.heap.pop_back();
+    ++t.popped;
+    if (failures.isDead(v, r)) continue;  // dead: dropped, never re-queued
+    t.active.push_back(v);
+    const Action a = sim_.nodeOnRound(v, r);
+    if (a.type == Action::Type::kTransmit) {
+      sim_.energy_.recordTransmit(v);
+      DSN_REQUIRE(a.channel < k_, "transmit channel out of range");
+      actions_[v] = a;
+      if (failures.isJammed(v, r)) {
+        t.ops.push_back(P1Op{v, P1Kind::kTxJammed});
+        continue;
+      }
+      t.ops.push_back(P1Op{v, P1Kind::kTxCandidate});
+      // Speculative routing: which tiles does this transmission touch?
+      // Exact (derived from the actual neighbor list, not geometry), so
+      // any partition is correct; a dropped candidate is filtered in S2
+      // via dropStamp_.
+      const std::uint64_t seq = ++t.txSeq;
+      for (const NodeId w : csr.neighbors(v)) {
+        const std::uint32_t dt = tiles_.tileOf(w);
+        if (t.destSeen[dt] != seq) {
+          t.destSeen[dt] = seq;
+          t.outbox.emplace_back(dt, v);
+        }
+      }
+    } else if (a.type == Action::Type::kListen) {
+      sim_.energy_.recordListen(v);
+      DSN_REQUIRE(a.channel == kAllChannels || a.channel < k_,
+                  "listen channel out of range");
+      actions_[v] = a;
+      listenStamp_[v] = r;
+      t.ops.push_back(P1Op{v, P1Kind::kListened});
+    } else {
+      t.ops.push_back(P1Op{v, P1Kind::kSlept});
+    }
+  }
+}
+
+void ShardEngine::tileS2(std::uint32_t ti, Round r) {
+  Tile& t = tile_[ti];
+  t.collisions.clear();
+  t.rx.clear();
+  t.deliveriesEmitted = 0;
+  t.collisionsEmitted = 0;
+  t.jammedRx = 0;
+  t.performedRx = 0;
+  t.newlyResolved = 0;
+  const auto& failures = sim_.failures_;
+  const CsrView& csr = sim_.graph_.csrView();
+  const Channel k = k_;
+
+  // Tally transmitting neighbors into the tile-local scratch. Sources
+  // live anywhere; only arcs landing on this tile's members count.
+  for (const Tile& src : tile_) {
+    for (const auto& [dt, u] : src.outbox) {
+      if (dt != ti) continue;
+      if (dropStamp_[u] == r) continue;  // coin came up lost (B1)
+      const Channel c = actions_[u].channel;
+      for (const NodeId w : csr.neighbors(u)) {
+        if (tiles_.tileOf(w) != ti) continue;
+        const std::uint32_t li = tiles_.localIndex(w);
+        const std::size_t idx = static_cast<std::size_t>(li) * k + c;
+        if (t.count[idx]++ == 0) t.unique[idx] = u;
+        if (!t.touchedFlag[li]) {
+          t.touchedFlag[li] = 1;
+          t.touched.push_back(li);
+        }
+      }
+    }
+  }
+
+  // Emit in (listener, channel) order within the tile; localIndex is
+  // node-ascending, so sorting local indices sorts by node id.
+  std::sort(t.touched.begin(), t.touched.end());
+  const TilePartition::Span members = tiles_.members(ti);
+  for (const std::uint32_t li : t.touched) {
+    const NodeId w = members.first[li];
+    if (listenStamp_[w] == r) {
+      const Action& act = actions_[w];
+      const Channel lo = act.channel == kAllChannels ? 0 : act.channel;
+      const Channel hi =
+          act.channel == kAllChannels ? k : act.channel + 1;
+      for (Channel c = lo; c < hi; ++c) {
+        const std::size_t idx = static_cast<std::size_t>(li) * k + c;
+        const std::uint32_t n = t.count[idx];
+        if (n == 1) {
+          ++t.deliveriesEmitted;
+          // Fused phase 3: the receiver is ours, deliver now. The
+          // cross-tile reads (transmitter action/message) are stable —
+          // nothing writes actions_ between the B1 barrier and B2.
+          if (!failures.isDead(w, r)) {
+            if (failures.isJammed(w, r)) {
+              ++t.jammedRx;  // the jammer drowns out reception too
+            } else {
+              const NodeId u = t.unique[idx];
+              sim_.energy_.recordReceive(w);
+              t.rx.push_back(Delivery{w, u, c});
+              ++t.performedRx;
+              sim_.nodeOnReceive(w, actions_[u].message, r, c);
+            }
+          }
+        } else if (n > 1) {
+          ++t.collisionsEmitted;
+          t.collisions.push_back(CollisionSite{w, c});
+        }
+      }
+    }
+    t.touchedFlag[li] = 0;
+    for (Channel c = 0; c < k; ++c)
+      t.count[static_cast<std::size_t>(li) * k + c] = 0;
+  }
+  t.touched.clear();
+
+  // Post-round: retire freshly-done members, re-queue the rest into the
+  // tile heap. Identical to the serial post-round scan over `active`.
+  for (const NodeId v : t.active) {
+    if (failures.isDead(v, r)) continue;
+    if (!resolved_[v] && sim_.nodeIsDone(v)) {
+      resolved_[v] = 1;
+      ++t.newlyResolved;
+    }
+    const Round nw = sim_.nodeNextWake(v, r);
+    if (nw != kNoWake) {
+      DSN_REQUIRE(nw > r, "nextWake must name a future round");
+      t.heap.emplace_back(nw, v);
+      std::push_heap(t.heap.begin(), t.heap.end(),
+                     std::greater<WakeEntry>{});
+    }
+  }
+}
+
+void ShardEngine::claimTiles(Round roundHint) {
+  (void)roundHint;
+  const std::uint32_t tileCount = tiles_.tileCount();
+  for (;;) {
+    const std::uint32_t i = nextTile_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= tileCount) return;
+    // Read the phase descriptor AFTER the claim: the acquire above orders
+    // these loads against the coordinator's phase publication, so even a
+    // straggler that raced into a fresh phase executes it correctly.
+    const int kind = phaseKind_.load(std::memory_order_relaxed);
+    const Round r = round_.load(std::memory_order_relaxed);
+    try {
+      if (kind == 1)
+        tileS1(tile_[i], r);
+      else
+        tileS2(i, r);
+    } catch (...) {
+      std::call_once(errorOnce_, [&] { error_ = std::current_exception(); });
+    }
+    const std::uint32_t done =
+        doneTiles_.fetch_add(1, std::memory_order_release) + 1;
+    if (done == tileCount) {
+      // Hand-off fence: taking the mutex (even empty) guarantees a
+      // coordinator that checked the predicate and decided to sleep has
+      // reached the wait before this notify.
+      { std::lock_guard<std::mutex> lock(phaseMutex_); }
+      doneCv_.notify_one();
+    }
+  }
+}
+
+void ShardEngine::workerLoop() {
+  // Baseline generation is pinned to the spawn-time value (0), NOT a
+  // fresh load: on a loaded box this thread may first run after the
+  // coordinator has already published phases — or stopWorkers — and a
+  // late load would adopt that generation as "already seen", parking
+  // forever while the coordinator blocks in join().
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Brief spin for the common phase-to-phase latency, then park: a
+    // sleeping worker costs one futex wake per phase, a spinning one
+    // costs a core the coordinator may need.
+    std::uint64_t g = seen;
+    for (int spins = 0; spins < 512; ++spins) {
+      g = gen_.load(std::memory_order_acquire);
+      if (g != seen) break;
+    }
+    if (g == seen) {
+      std::unique_lock<std::mutex> lock(phaseMutex_);
+      phaseCv_.wait(lock, [&] {
+        return gen_.load(std::memory_order_acquire) != seen;
+      });
+      g = gen_.load(std::memory_order_acquire);
+    }
+    seen = g;
+    if (phaseKind_.load(std::memory_order_acquire) < 0) return;
+    claimTiles(round_.load(std::memory_order_relaxed));
+  }
+}
+
+void ShardEngine::runPhase(int kind, Round r, bool parallel) {
+  const std::uint32_t tileCount = tiles_.tileCount();
+  if (!parallel || workers_.empty()) {
+    for (std::uint32_t i = 0; i < tileCount; ++i) {
+      if (kind == 1)
+        tileS1(tile_[i], r);
+      else
+        tileS2(i, r);
+    }
+    return;
+  }
+  round_.store(r, std::memory_order_relaxed);
+  phaseKind_.store(kind, std::memory_order_relaxed);
+  doneTiles_.store(0, std::memory_order_relaxed);
+  nextTile_.store(0, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(phaseMutex_);
+    gen_.fetch_add(1, std::memory_order_release);
+  }
+  phaseCv_.notify_all();
+  claimTiles(r);  // the coordinator is also a worker
+  if (doneTiles_.load(std::memory_order_acquire) < tileCount) {
+    std::unique_lock<std::mutex> lock(phaseMutex_);
+    doneCv_.wait(lock, [&] {
+      return doneTiles_.load(std::memory_order_acquire) >= tileCount;
+    });
+  }
+  if (error_) {
+    stopWorkers();
+    std::rethrow_exception(error_);
+  }
+}
+
+void ShardEngine::stopWorkers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(phaseMutex_);
+    phaseKind_.store(-1, std::memory_order_release);
+    gen_.fetch_add(1, std::memory_order_release);
+  }
+  phaseCv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+template <typename Rec, typename KeyFn, typename EmitFn>
+void ShardEngine::mergeTileStreams(std::vector<Rec> Tile::* recs, KeyFn key,
+                                   EmitFn emit) {
+  heads_.clear();
+  cursors_.assign(tile_.size(), 0);
+  for (std::uint32_t ti = 0; ti < tile_.size(); ++ti) {
+    const auto& stream = tile_[ti].*recs;
+    if (!stream.empty()) heads_.emplace_back(key(stream.front()), ti);
+  }
+  std::make_heap(heads_.begin(), heads_.end(),
+                 std::greater<std::pair<std::uint64_t, std::uint32_t>>{});
+  while (!heads_.empty()) {
+    std::pop_heap(heads_.begin(), heads_.end(),
+                  std::greater<std::pair<std::uint64_t, std::uint32_t>>{});
+    const std::uint32_t ti = heads_.back().second;
+    heads_.pop_back();
+    const auto& stream = tile_[ti].*recs;
+    emit(stream[cursors_[ti]]);
+    if (++cursors_[ti] < stream.size()) {
+      heads_.emplace_back(key(stream[cursors_[ti]]), ti);
+      std::push_heap(heads_.begin(), heads_.end(),
+                     std::greater<std::pair<std::uint64_t, std::uint32_t>>{});
+    }
+  }
+}
+
+SimResult ShardEngine::run() {
+  RadioSimulator& sim = sim_;
+  SimResult result;
+  const CsrView& csr = sim.graph_.csrView();
+  const std::size_t n = sim.graph_.size();
+  const SimConfig& cfg = sim.config_;
+  k_ = cfg.channelCount;
+
+  // Tile partition: a pure function of topology inputs, NEVER of the
+  // thread count — the per-tile buffers and their merge order must be
+  // the same object at --threads 1 and --threads 64.
+  const std::uint32_t target = cfg.tileTarget != 0 ? cfg.tileTarget : 64;
+  if (cfg.nodePositions != nullptr && cfg.nodePositions->size() >= n &&
+      cfg.tileMinEdge > 0.0 && n > 0) {
+    tiles_ = TilePartition::spatial(*cfg.nodePositions, cfg.tileMinEdge,
+                                    target);
+  } else {
+    tiles_ = TilePartition::blocked(n, target);
+  }
+  const std::uint32_t tileCount = tiles_.tileCount();
+
+  actions_.assign(n, Action::sleep());
+  listenStamp_.assign(n, Round{-1});
+  dropStamp_.assign(n, Round{-1});
+  resolved_.assign(n, 0);
+  tile_.resize(tileCount);
+  for (Tile& t : tile_) {
+    t.destSeen.assign(tileCount, 0);
+    t.count.assign(static_cast<std::size_t>(tiles_.maxTileSize()) * k_, 0);
+    t.unique.resize(t.count.size());
+    t.touchedFlag.assign(tiles_.maxTileSize(), 0);
+    t.touched.reserve(tiles_.maxTileSize());
+  }
+  heads_.reserve(tileCount);
+  cursors_.assign(tileCount, 0);
+
+  // Flight-recorder categories + profiler, coordinator-only (workers
+  // never record; order-sensitive streams are replayed at the barriers).
+  obs::FlightRecorder* frRound = obs::recorderFor<obs::kFrCatRound>();
+  obs::FlightRecorder* frSched = obs::recorderFor<obs::kFrCatSched>();
+  obs::FlightRecorder* frRadio = obs::recorderFor<obs::kFrCatRadio>();
+  obs::FlightRecorder* frColl = obs::recorderFor<obs::kFrCatCollision>();
+  obs::FlightRecorder* frFault = obs::recorderFor<obs::kFrCatFault>();
+  const obs::FlightRecorder* frAny = frRound ? frRound
+                                     : frSched ? frSched
+                                     : frRadio ? frRadio
+                                     : frColl  ? frColl
+                                               : frFault;
+  obs::RoundProfiler profiler;
+
+  // Seed the per-tile wake heaps + the pending count (same walk as the
+  // serial scheduler, split by tileOf).
+  std::size_t pending = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!sim.nodePresent(v) || !sim.graph_.isAlive(v)) {
+      resolved_[v] = 1;
+      continue;
+    }
+    if (sim.nodeIsDone(v)) {
+      resolved_[v] = 1;
+    } else {
+      ++pending;
+    }
+    const Round nw = sim.nodeNextWake(v, -1);
+    if (nw != kNoWake) {
+      DSN_REQUIRE(nw >= 0, "nextWake(-1) must name a non-negative round");
+      Tile& t = tile_[tiles_.tileOf(v)];
+      t.heap.emplace_back(nw, v);
+      std::push_heap(t.heap.begin(), t.heap.end(),
+                     std::greater<WakeEntry>{});
+    }
+  }
+
+  std::vector<std::pair<Round, NodeId>> deaths;
+  for (const auto& [v, dr] : sim.failures_.deathSchedule()) {
+    if (v < n && sim.nodePresent(v) && sim.graph_.isAlive(v)) {
+      deaths.emplace_back(dr, v);
+    }
+  }
+  std::sort(deaths.begin(), deaths.end());
+  std::size_t deathIdx = 0;
+
+  // Spin up the pool. threads counts the coordinator; tiny runs and
+  // --threads 1 never pay for it.
+  const int extra = std::min(cfg.threads, 256) - 1;
+  if (extra > 0 && tileCount > 1) {
+    gen_.store(0, std::memory_order_relaxed);  // workers baseline seen = 0
+    phaseKind_.store(0, std::memory_order_relaxed);
+    workers_.reserve(static_cast<std::size_t>(extra));
+    for (int i = 0; i < extra; ++i)
+      workers_.emplace_back([this] { workerLoop(); });
+  }
+
+  const bool hasLoss = sim.failures_.hasTransientLoss();
+  // Serial-vs-parallel is decided from the PREVIOUS round's pop count —
+  // an output-invariant signal (both paths run the identical tile code).
+  std::size_t prevPopped = n;
+
+  Round r = 0;
+  while (r < cfg.maxRounds) {
+    // S0: deaths, completion, idle fast-forward.
+    while (deathIdx < deaths.size() && deaths[deathIdx].first <= r) {
+      const NodeId v = deaths[deathIdx].second;
+      if (!resolved_[v]) {
+        resolved_[v] = 1;
+        --pending;
+      }
+      if (frFault)  // deaths are rare: recorded regardless of sampling
+        frFault->record(
+            frEvent(obs::FrType::kNodeDeath, deaths[deathIdx].first, v));
+      ++deathIdx;
+    }
+    if (pending == 0) {
+      result.completed = true;
+      result.rounds = r;
+      break;
+    }
+    Round nextEvent = cfg.maxRounds;
+    for (const Tile& t : tile_) {
+      if (!t.heap.empty())
+        nextEvent = std::min(nextEvent, t.heap.front().first);
+    }
+    if (deathIdx < deaths.size())
+      nextEvent = std::min(nextEvent, deaths[deathIdx].first);
+    if (nextEvent > r) {
+      if (frSched && frSched->roundSampled(r))
+        frSched->record(frEvent(obs::FrType::kIdleSkip, r, 0,
+                                static_cast<std::uint32_t>(nextEvent)));
+      result.rounds = nextEvent;
+      r = nextEvent;
+      continue;
+    }
+
+    const bool frSampled = frAny != nullptr && frAny->roundSampled(r);
+    profiler.beginRound();
+    const bool parallel = prevPopped >= cfg.shardSerialThreshold;
+
+    // S1: phase 1 per tile.
+    runPhase(1, r, parallel);
+
+    // B1: replay the op logs in global node order — wake events, jam and
+    // drop accounting (the ONLY consumer of the shared RNG), transmit
+    // confirmation.
+    std::size_t poppedTotal = 0;
+    for (const Tile& t : tile_) poppedTotal += t.popped;
+    prevPopped = poppedTotal;
+    if (frRound && frSampled)
+      frRound->record(frEvent(obs::FrType::kRoundBegin, r, 0,
+                              static_cast<std::uint32_t>(poppedTotal)));
+    std::size_t confirmedTx = 0;
+    std::uint64_t resolveWork = 0;
+    const bool needWork = profiler.active() || (frRound && frSampled);
+    mergeTileStreams(
+        &Tile::ops,
+        [](const P1Op& op) { return static_cast<std::uint64_t>(op.v); },
+        [&](const P1Op& op) {
+          const NodeId v = op.v;
+          if (frSched && frSampled)
+            frSched->record(frEvent(obs::FrType::kWakePop, r, v));
+          switch (op.kind) {
+            case P1Kind::kTxJammed:
+              ++result.jammedLosses;
+              sim.trace_.record(TraceEvent{TraceEventType::kJammedTransmit,
+                                           r, v, kInvalidNode,
+                                           actions_[v].channel,
+                                           actions_[v].message.kind});
+              if (frFault && frSampled)
+                frFault->record(frEvent(obs::FrType::kJammedTransmit, r, v,
+                                        0, actions_[v].channel,
+                                        frKind(actions_[v].message.kind)));
+              break;
+            case P1Kind::kTxCandidate:
+              if (hasLoss && sim.failures_.dropsTransmission()) {
+                ++result.droppedTransmissions;
+                dropStamp_[v] = r;
+                sim.trace_.record(
+                    TraceEvent{TraceEventType::kDroppedTransmit, r, v,
+                               kInvalidNode, actions_[v].channel,
+                               actions_[v].message.kind});
+                if (frFault && frSampled)
+                  frFault->record(
+                      frEvent(obs::FrType::kDroppedTransmit, r, v, 0,
+                              actions_[v].channel,
+                              frKind(actions_[v].message.kind)));
+              } else {
+                ++confirmedTx;
+                if (needWork) resolveWork += csr.degree(v);
+                sim.trace_.record(TraceEvent{TraceEventType::kTransmit, r,
+                                             v, kInvalidNode,
+                                             actions_[v].channel,
+                                             actions_[v].message.kind});
+                if (frRadio && frSampled)
+                  frRadio->record(
+                      frEvent(obs::FrType::kTransmit, r, v, 0,
+                              actions_[v].channel,
+                              frKind(actions_[v].message.kind)));
+              }
+              break;
+            case P1Kind::kListened:
+            case P1Kind::kSlept:
+              break;
+          }
+        });
+
+    // S2: resolve + deliver + post-round per tile.
+    runPhase(2, r, parallel);
+
+    // B2: record collisions then deliveries in global (listener, channel)
+    // order — the exact emission order of resolveRoundActive — and fold
+    // the per-tile counters.
+    mergeTileStreams(
+        &Tile::collisions,
+        [this](const CollisionSite& s) {
+          return static_cast<std::uint64_t>(s.listener) * k_ + s.channel;
+        },
+        [&](const CollisionSite& site) {
+          sim.trace_.record(TraceEvent{TraceEventType::kCollision, r,
+                                       site.listener, kInvalidNode,
+                                       site.channel, MsgKind::kData});
+          if (frColl && frSampled)
+            frColl->record(frEvent(obs::FrType::kCollision, r,
+                                   site.listener, 0, site.channel));
+        });
+    mergeTileStreams(
+        &Tile::rx,
+        [this](const Delivery& d) {
+          return static_cast<std::uint64_t>(d.receiver) * k_ + d.channel;
+        },
+        [&](const Delivery& d) {
+          const Message& m = actions_[d.transmitter].message;
+          sim.trace_.record(TraceEvent{TraceEventType::kReceive, r,
+                                       d.receiver, d.transmitter, d.channel,
+                                       m.kind});
+          if (frRadio && frSampled)
+            frRadio->record(frEvent(obs::FrType::kDelivery, r, d.receiver,
+                                    d.transmitter, d.channel,
+                                    frKind(m.kind)));
+        });
+
+    std::uint32_t roundDeliveries = 0;
+    for (const Tile& t : tile_) {
+      result.totalDeliveries += t.deliveriesEmitted;
+      result.totalCollisions += t.collisionsEmitted;
+      result.jammedLosses += t.jammedRx;
+      roundDeliveries += t.performedRx;
+      pending -= t.newlyResolved;
+    }
+    result.totalTransmissions += confirmedTx;
+
+    if (frRound && frSampled)
+      frRound->record(frEvent(
+          obs::FrType::kRoundEnd, r, roundDeliveries,
+          static_cast<std::uint32_t>(resolveWork), 0,
+          static_cast<std::uint16_t>(
+              std::min<std::size_t>(confirmedTx, 65535))));
+    profiler.endRound(poppedTotal, resolveWork);
+
+    result.rounds = r + 1;
+    ++r;
+  }
+
+  stopWorkers();
+
+  if (!result.completed) {
+    // Budget exhausted: mirror allDone(maxRounds), whose isDead excludes
+    // every death scheduled at or before the budget round.
+    while (deathIdx < deaths.size() &&
+           deaths[deathIdx].first <= cfg.maxRounds) {
+      const NodeId v = deaths[deathIdx].second;
+      if (!resolved_[v]) {
+        resolved_[v] = 1;
+        --pending;
+      }
+      ++deathIdx;
+    }
+    result.completed = pending == 0;
+    result.rounds = cfg.maxRounds;
+  }
+  profiler.flushTo(obs::globalMetrics());
+  flushRunMetrics(result);
+  return result;
+}
+
+SimResult RadioSimulator::runSharded() {
+  ShardEngine engine(*this);
+  return engine.run();
+}
+
+}  // namespace dsn

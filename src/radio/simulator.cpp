@@ -70,7 +70,23 @@ void RadioSimulator::setProtocol(NodeId v,
                                  std::unique_ptr<NodeProtocol> protocol) {
   DSN_REQUIRE(graph_.isAlive(v), "protocol target node must be live");
   DSN_REQUIRE(!ran_, "cannot install protocols after run()");
+  DSN_REQUIRE(!swarm_, "setProtocol and setSwarm are mutually exclusive");
   protocols_[v] = std::move(protocol);
+}
+
+void RadioSimulator::setSwarm(std::unique_ptr<SwarmProtocol> swarm,
+                              const std::vector<NodeId>& members) {
+  DSN_REQUIRE(!ran_, "cannot install protocols after run()");
+  DSN_REQUIRE(swarm != nullptr, "setSwarm: null swarm");
+  for (const auto& p : protocols_)
+    DSN_REQUIRE(!p, "setProtocol and setSwarm are mutually exclusive");
+  swarm_ = std::move(swarm);
+  swarmMember_.assign(graph_.size(), 0);
+  for (const NodeId v : members) {
+    DSN_REQUIRE(v < swarmMember_.size(), "swarm member id out of range");
+    DSN_REQUIRE(graph_.isAlive(v), "swarm member node must be live");
+    swarmMember_[v] = 1;
+  }
 }
 
 NodeProtocol* RadioSimulator::protocol(NodeId v) {
@@ -84,10 +100,10 @@ const NodeProtocol* RadioSimulator::protocol(NodeId v) const {
 }
 
 bool RadioSimulator::allDone(Round r) const {
-  for (NodeId v = 0; v < protocols_.size(); ++v) {
-    if (!protocols_[v]) continue;
+  for (NodeId v = 0; v < graph_.size(); ++v) {
+    if (!nodePresent(v)) continue;
     if (!graph_.isAlive(v) || failures_.isDead(v, r)) continue;
-    if (!protocols_[v]->isDone()) return false;
+    if (!nodeIsDone(v)) return false;
   }
   return true;
 }
@@ -96,8 +112,15 @@ SimResult RadioSimulator::run() {
   DSN_REQUIRE(!ran_, "run() may be called only once");
   ran_ = true;
   DSN_TIMED_PHASE("sim.run");
-  return config_.scheduling == SimScheduling::kFullScan ? runFullScan()
-                                                        : runActiveSet();
+  switch (config_.scheduling) {
+    case SimScheduling::kFullScan:
+      return runFullScan();
+    case SimScheduling::kSharded:
+      return runSharded();
+    case SimScheduling::kActiveSet:
+      break;
+  }
+  return runActiveSet();
 }
 
 SimResult RadioSimulator::runFullScan() {
@@ -123,11 +146,11 @@ SimResult RadioSimulator::runFullScan() {
     }
 
     // Phase 1: collect actions from live, non-failed protocol nodes.
-    for (NodeId v = 0; v < protocols_.size(); ++v) {
+    for (NodeId v = 0; v < graph_.size(); ++v) {
       actions[v] = Action::sleep();
-      if (!protocols_[v] || !graph_.isAlive(v)) continue;
+      if (!nodePresent(v) || !graph_.isAlive(v)) continue;
       if (failures_.isDead(v, r)) continue;
-      actions[v] = protocols_[v]->onRound(r);
+      actions[v] = nodeOnRound(v, r);
 
       if (actions[v].type == Action::Type::kTransmit) {
         energy_.recordTransmit(v);
@@ -199,7 +222,7 @@ SimResult RadioSimulator::runFullScan() {
       if (frRadio && frSampled)
         frRadio->record(frEvent(obs::FrType::kDelivery, r, d.receiver,
                                 d.transmitter, d.channel, frKind(m.kind)));
-      protocols_[d.receiver]->onReceive(m, r, d.channel);
+      nodeOnReceive(d.receiver, m, r, d.channel);
     }
 
     result.rounds = r + 1;
@@ -253,17 +276,17 @@ SimResult RadioSimulator::runActiveSet() {
                       std::greater<WakeEntry>>
       wake(std::greater<WakeEntry>{}, std::move(heapStore));
 
-  for (NodeId v = 0; v < protocols_.size(); ++v) {
-    if (!protocols_[v] || !graph_.isAlive(v)) {
+  for (NodeId v = 0; v < n; ++v) {
+    if (!nodePresent(v) || !graph_.isAlive(v)) {
       resolved[v] = 1;
       continue;
     }
-    if (protocols_[v]->isDone()) {
+    if (nodeIsDone(v)) {
       resolved[v] = 1;
     } else {
       ++pending;
     }
-    const Round nw = protocols_[v]->nextWake(-1);
+    const Round nw = nodeNextWake(v, -1);
     if (nw != kNoWake) {
       DSN_REQUIRE(nw >= 0, "nextWake(-1) must name a non-negative round");
       wake.emplace(nw, v);
@@ -274,7 +297,7 @@ SimResult RadioSimulator::runActiveSet() {
   // the node from the pending count exactly when isDead starts holding.
   std::vector<std::pair<Round, NodeId>> deaths;
   for (const auto& [v, dr] : failures_.deathSchedule()) {
-    if (v < protocols_.size() && protocols_[v] && graph_.isAlive(v)) {
+    if (v < n && nodePresent(v) && graph_.isAlive(v)) {
       deaths.emplace_back(dr, v);
     }
   }
@@ -345,7 +368,7 @@ SimResult RadioSimulator::runActiveSet() {
       if (failures_.isDead(v, r)) continue;  // dead: dropped, never re-queued
       if (frSched && frSampled)
         frSched->record(frEvent(obs::FrType::kWakePop, r, v));
-      actions[v] = protocols_[v]->onRound(r);
+      actions[v] = nodeOnRound(v, r);
 
       if (actions[v].type == Action::Type::kTransmit) {
         energy_.recordTransmit(v);
@@ -427,7 +450,7 @@ SimResult RadioSimulator::runActiveSet() {
         frRadio->record(frEvent(obs::FrType::kDelivery, r, d.receiver,
                                 d.transmitter, d.channel, frKind(m.kind)));
       ++roundDeliveries;
-      protocols_[d.receiver]->onReceive(m, r, d.channel);
+      nodeOnReceive(d.receiver, m, r, d.channel);
     }
 
     // Post-round: retire freshly-done nodes, re-queue the rest. Only
@@ -436,11 +459,11 @@ SimResult RadioSimulator::runActiveSet() {
     for (const NodeId v : active) {
       actions[v] = Action::sleep();
       if (failures_.isDead(v, r)) continue;
-      if (!resolved[v] && protocols_[v]->isDone()) {
+      if (!resolved[v] && nodeIsDone(v)) {
         resolved[v] = 1;
         --pending;
       }
-      const Round nw = protocols_[v]->nextWake(r);
+      const Round nw = nodeNextWake(v, r);
       if (nw != kNoWake) {
         DSN_REQUIRE(nw > r, "nextWake must name a future round");
         wake.emplace(nw, v);

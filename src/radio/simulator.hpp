@@ -17,10 +17,11 @@
 #include "radio/failure.hpp"
 #include "radio/protocol.hpp"
 #include "radio/trace.hpp"
+#include "util/geometry.hpp"
 
 namespace dsn {
 
-/// How the simulator schedules per-round work. Both modes produce
+/// How the simulator schedules per-round work. All modes produce
 /// bit-identical results (traces, energy, RNG draws, round counts);
 /// kFullScan is kept as the differential oracle and micro-bench baseline.
 enum class SimScheduling {
@@ -31,6 +32,12 @@ enum class SimScheduling {
   /// The original loop: scan all V protocols every round and resolve the
   /// channel over the whole graph.
   kFullScan,
+  /// Active-set semantics with one round's phase-1 + collision-resolve
+  /// sharded across worker threads by spatial tile (DESIGN.md §14).
+  /// Per-tile results merge at the round barrier in global node order,
+  /// so the output is bit-identical to the two serial modes at any
+  /// thread count.
+  kSharded,
 };
 
 /// Static configuration of one simulation run.
@@ -43,6 +50,25 @@ struct SimConfig {
   std::size_t traceCapacity = 0;
   /// Round-loop strategy; see SimScheduling.
   SimScheduling scheduling = SimScheduling::kActiveSet;
+
+  // ---- kSharded knobs (ignored by the serial modes). None of them
+  // affect results, only how the identical work is laid out.
+
+  /// Worker threads (including the coordinator); clamped to >= 1.
+  int threads = 1;
+  /// Node positions for the spatial tile partition; borrowed, must
+  /// outlive run(). Null falls back to contiguous id-block tiles.
+  const std::vector<Point2D>* nodePositions = nullptr;
+  /// Tile edge lower bound for the spatial partition — use the radio
+  /// range so a neighborhood spans at most one tile boundary per axis.
+  double tileMinEdge = 0.0;
+  /// Approximate tile count (0 = default). Fixed per run, never derived
+  /// from `threads`: the tile structure must not change with the worker
+  /// count.
+  std::uint32_t tileTarget = 0;
+  /// Rounds whose previous active count is below this run on the
+  /// coordinator alone (worker wake-up costs more than the round).
+  std::size_t shardSerialThreshold = 256;
 };
 
 /// Aggregate result of a run.
@@ -70,8 +96,16 @@ class RadioSimulator {
   /// one; nodes without a protocol sleep forever (and count as done).
   void setProtocol(NodeId v, std::unique_ptr<NodeProtocol> protocol);
 
+  /// Installs ONE structure-of-arrays protocol driving every node in
+  /// `members`. Mutually exclusive with setProtocol; nodes outside
+  /// `members` sleep forever. The simulator owns the swarm.
+  void setSwarm(std::unique_ptr<SwarmProtocol> swarm,
+                const std::vector<NodeId>& members);
+
   NodeProtocol* protocol(NodeId v);
   const NodeProtocol* protocol(NodeId v) const;
+  SwarmProtocol* swarm() { return swarm_.get(); }
+  const SwarmProtocol* swarm() const { return swarm_.get(); }
 
   FailureModel& failures() { return failures_; }
   const FailureModel& failures() const { return failures_; }
@@ -88,14 +122,40 @@ class RadioSimulator {
   const Graph& graph_;
   SimConfig config_;
   std::vector<std::unique_ptr<NodeProtocol>> protocols_;
+  std::unique_ptr<SwarmProtocol> swarm_;
+  std::vector<std::uint8_t> swarmMember_;
   FailureModel failures_;
   EnergyMeter energy_;
   Trace trace_;
   bool ran_ = false;
 
+  // Node dispatch: one seam over the two protocol representations so
+  // every scheduler drives object-per-node and swarm nodes identically.
+  bool nodePresent(NodeId v) const {
+    return swarm_ ? swarmMember_[v] != 0 : protocols_[v] != nullptr;
+  }
+  Action nodeOnRound(NodeId v, Round r) {
+    return swarm_ ? swarm_->onRound(v, r) : protocols_[v]->onRound(r);
+  }
+  void nodeOnReceive(NodeId v, const Message& m, Round r, Channel c) {
+    if (swarm_)
+      swarm_->onReceive(v, m, r, c);
+    else
+      protocols_[v]->onReceive(m, r, c);
+  }
+  bool nodeIsDone(NodeId v) const {
+    return swarm_ ? swarm_->isDone(v) : protocols_[v]->isDone();
+  }
+  Round nodeNextWake(NodeId v, Round now) const {
+    return swarm_ ? swarm_->nextWake(v, now) : protocols_[v]->nextWake(now);
+  }
+
   bool allDone(Round r) const;
   SimResult runFullScan();
   SimResult runActiveSet();
+  SimResult runSharded();
+
+  friend class ShardEngine;
 };
 
 }  // namespace dsn

@@ -65,7 +65,7 @@ BroadcastRun runCffPlan(const ClusterNet& net, const CffPlan& plan,
   cfg.channelCount = plan.channels;
   cfg.maxRounds = plan.maxRounds;
   cfg.traceCapacity = options.traceCapacity;
-  cfg.scheduling = options.scheduling;
+  detail::applyScheduling(cfg, options);
 
   RadioSimulator sim(g, cfg);
   detail::applyFailures(sim, options);

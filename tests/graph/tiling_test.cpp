@@ -1,0 +1,127 @@
+#include "graph/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dsn {
+namespace {
+
+/// Every node lands in exactly one tile, member lists are node-ascending,
+/// local indices address a dense [0, tileSize) range, and maxTileSize
+/// matches the biggest member list.
+void expectWellFormed(const TilePartition& tiles, std::size_t nodeCount) {
+  ASSERT_EQ(tiles.nodeCount(), nodeCount);
+  std::size_t total = 0;
+  std::size_t biggest = 0;
+  for (std::uint32_t t = 0; t < tiles.tileCount(); ++t) {
+    const auto span = tiles.members(t);
+    total += span.size();
+    biggest = std::max(biggest, span.size());
+    NodeId prev = 0;
+    std::uint32_t local = 0;
+    for (const NodeId v : span) {
+      if (local > 0) {
+        EXPECT_LT(prev, v) << "tile " << t;
+      }
+      EXPECT_EQ(tiles.tileOf(v), t);
+      EXPECT_EQ(tiles.localIndex(v), local);
+      prev = v;
+      ++local;
+    }
+  }
+  EXPECT_EQ(total, nodeCount);
+  EXPECT_EQ(tiles.maxTileSize(), biggest);
+}
+
+std::vector<Point2D> randomPoints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2D> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniformReal(0.0, 1000.0);
+    p.y = rng.uniformReal(0.0, 1000.0);
+  }
+  return pts;
+}
+
+TEST(TilingTest, SpatialPartitionIsWellFormed) {
+  const auto pts = randomPoints(500, 42);
+  const TilePartition tiles = TilePartition::spatial(pts, 50.0, 64);
+  EXPECT_GE(tiles.tileCount(), 1u);
+  expectWellFormed(tiles, pts.size());
+}
+
+TEST(TilingTest, SpatialCellsNeverDropBelowMinEdge) {
+  // 1000x1000 box with a 200-unit floor: at most 5x5 = 25 cells no
+  // matter how many tiles were requested.
+  const auto pts = randomPoints(300, 7);
+  const TilePartition tiles = TilePartition::spatial(pts, 200.0, 10000);
+  EXPECT_LE(tiles.tileCount(), 25u);
+  expectWellFormed(tiles, pts.size());
+}
+
+TEST(TilingTest, SpatialIsPureFunctionOfInputs) {
+  const auto pts = randomPoints(400, 11);
+  const TilePartition a = TilePartition::spatial(pts, 50.0, 32);
+  const TilePartition b = TilePartition::spatial(pts, 50.0, 32);
+  ASSERT_EQ(a.tileCount(), b.tileCount());
+  for (NodeId v = 0; v < pts.size(); ++v) {
+    EXPECT_EQ(a.tileOf(v), b.tileOf(v));
+    EXPECT_EQ(a.localIndex(v), b.localIndex(v));
+  }
+}
+
+TEST(TilingTest, SpatialNearbyPointsShareTiles) {
+  // A tight cluster far from a second tight cluster: with cells at least
+  // as large as the cluster diameter, each cluster is spread over at
+  // most a handful of tiles, not one tile per point.
+  std::vector<Point2D> pts;
+  for (int i = 0; i < 50; ++i)
+    pts.push_back({10.0 + 0.1 * i, 10.0});
+  for (int i = 0; i < 50; ++i)
+    pts.push_back({900.0 + 0.1 * i, 900.0});
+  const TilePartition tiles = TilePartition::spatial(pts, 50.0, 64);
+  std::set<std::uint32_t> low, high;
+  for (NodeId v = 0; v < 50; ++v) low.insert(tiles.tileOf(v));
+  for (NodeId v = 50; v < 100; ++v) high.insert(tiles.tileOf(v));
+  EXPECT_LE(low.size(), 2u);
+  EXPECT_LE(high.size(), 2u);
+  for (const std::uint32_t t : low) EXPECT_EQ(high.count(t), 0u);
+}
+
+TEST(TilingTest, BlockedPartitionIsWellFormed) {
+  const TilePartition tiles = TilePartition::blocked(1000, 8);
+  EXPECT_GE(tiles.tileCount(), 1u);
+  EXPECT_LE(tiles.tileCount(), 8u);
+  expectWellFormed(tiles, 1000);
+  // Contiguous id ranges: tile index is non-decreasing in node id.
+  for (NodeId v = 1; v < 1000; ++v)
+    EXPECT_LE(tiles.tileOf(v - 1), tiles.tileOf(v));
+}
+
+TEST(TilingTest, BlockedRespectsMinBlock) {
+  // 40 nodes with a 32-node floor: no way to make 16 tiles.
+  const TilePartition tiles = TilePartition::blocked(40, 16);
+  EXPECT_LE(tiles.tileCount(),
+            static_cast<std::uint32_t>(40 / TilePartition::kMinBlock) + 1);
+  expectWellFormed(tiles, 40);
+}
+
+TEST(TilingTest, SingleTileDegenerate) {
+  const auto pts = randomPoints(64, 3);
+  const TilePartition tiles = TilePartition::spatial(pts, 5000.0, 1);
+  EXPECT_EQ(tiles.tileCount(), 1u);
+  expectWellFormed(tiles, pts.size());
+}
+
+TEST(TilingTest, EmptyDeployment) {
+  const TilePartition spatial = TilePartition::spatial({}, 50.0, 8);
+  EXPECT_EQ(spatial.nodeCount(), 0u);
+  const TilePartition blocked = TilePartition::blocked(0, 8);
+  EXPECT_EQ(blocked.nodeCount(), 0u);
+}
+
+}  // namespace
+}  // namespace dsn

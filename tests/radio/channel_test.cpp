@@ -136,6 +136,33 @@ TEST(ChannelTest, ActionVectorSizeMustMatch) {
   EXPECT_THROW(resolveRound(g, acts, 1), PreconditionError);
 }
 
+TEST(ChannelTest, ScratchGrowsWhenTopologyOutgrowsPrepare) {
+  // Regression: a scratch prepared for a small graph and then reused
+  // against a larger snapshot (node-move-in mid-campaign) must grow its
+  // tables instead of indexing out of bounds.
+  ResolveScratch scratch;
+  scratch.prepare(3, 1);
+
+  Graph g(6);  // larger than the prepared node count
+  g.addEdge(4, 5);
+  const CsrView csr = g.csrView();
+  std::vector<Action> acts(6, Action::sleep());
+  acts[4] = Action::transmit(msg(4));
+  acts[5] = Action::listen();
+  const std::vector<NodeId> transmitters{4};
+  const auto& out = resolveRoundActive(csr, acts, transmitters, 1, scratch);
+  ASSERT_EQ(out.deliveries.size(), 1u);
+  EXPECT_EQ(out.deliveries[0].receiver, 5u);
+  EXPECT_EQ(out.deliveries[0].transmitter, 4u);
+  EXPECT_EQ(out.transmissions, 1u);
+
+  // Never shrinks: preparing for fewer nodes keeps the larger tables.
+  scratch.prepare(2, 1);
+  const auto& again = resolveRoundActive(csr, acts, transmitters, 1, scratch);
+  ASSERT_EQ(again.deliveries.size(), 1u);
+  EXPECT_EQ(again.deliveries[0].receiver, 5u);
+}
+
 TEST(ChannelTest, HiddenTerminalScenario) {
   // Classic: 0 - 1 - 2 with 0,2 out of range; both transmit; 1 hears
   // noise (collision), neither transmitter knows.

@@ -31,6 +31,48 @@ NodeId nonRootSource(const SensorNetwork& net) {
   return cn.root();
 }
 
+TEST(CffSwarmTest, SwarmRunMatchesPerObjectPlanRunExactly) {
+  // runCffBroadcast drives one SoA CffSwarm; runCffPlan drives the
+  // legacy per-object CffNodeProtocol machines from the identical plan.
+  // Same schedule, same simulator: the runs must agree event for event —
+  // this pins the SoA port to the original state machine.
+  for (std::uint64_t seed : {std::uint64_t{5}, std::uint64_t{23},
+                             std::uint64_t{2007}}) {
+    SensorNetwork net = makeNet(90, seed);
+    const NodeId source = nonRootSource(net);
+    ProtocolOptions opts;
+    opts.traceCapacity = 1 << 15;
+
+    const BroadcastRun swarm =
+        net.broadcast(BroadcastScheme::kCff, source, 0xDA7A, opts);
+    const CffPlan plan =
+        buildCffPlan(net.clusterNet(), source, 0xDA7A, opts);
+    const BroadcastRun objects = runCffPlan(net.clusterNet(), plan, opts);
+
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_EQ(swarm.sim.rounds, objects.sim.rounds);
+    EXPECT_EQ(swarm.sim.completed, objects.sim.completed);
+    EXPECT_EQ(swarm.sim.totalTransmissions, objects.sim.totalTransmissions);
+    EXPECT_EQ(swarm.sim.totalDeliveries, objects.sim.totalDeliveries);
+    EXPECT_EQ(swarm.sim.totalCollisions, objects.sim.totalCollisions);
+    EXPECT_EQ(swarm.intended, objects.intended);
+    EXPECT_EQ(swarm.delivered, objects.delivered);
+    EXPECT_EQ(swarm.lastDeliveryRound, objects.lastDeliveryRound);
+    EXPECT_EQ(swarm.deliveryRound, objects.deliveryRound);
+    EXPECT_EQ(swarm.listenRounds, objects.listenRounds);
+    EXPECT_EQ(swarm.transmitRounds, objects.transmitRounds);
+    ASSERT_EQ(swarm.trace.events().size(), objects.trace.events().size());
+    for (std::size_t i = 0; i < swarm.trace.events().size(); ++i) {
+      const TraceEvent& x = swarm.trace.events()[i];
+      const TraceEvent& y = objects.trace.events()[i];
+      EXPECT_EQ(x.type, y.type) << "event " << i;
+      EXPECT_EQ(x.round, y.round) << "event " << i;
+      EXPECT_EQ(x.node, y.node) << "event " << i;
+      EXPECT_EQ(x.peer, y.peer) << "event " << i;
+    }
+  }
+}
+
 TEST(SpecCheckTest, CleanOnFreshDeployments) {
   for (std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{7},
                              std::uint64_t{2007}}) {

@@ -4,7 +4,8 @@
 // or stdin). With no scenario a small demo workload runs.
 //
 //   wsn_sim [--nodes N] [--seed S] [--field UNITS] [--range METERS]
-//           [--drop P] [--channels K] [--scenario FILE | -]
+//           [--drop P] [--channels K] [--threads N] [--deploy KIND]
+//           [--scenario FILE | -]
 //           [--trials T] [--jobs N] [--auto-repair]
 //           [--metrics-json FILE] [--trace-out FILE] [--trace-cap N]
 //           [--record-trace FILE] [--trace-categories LIST]
@@ -14,6 +15,14 @@
 // --auto-repair runs the crash-recovery pass immediately after every
 // `crash` scenario event instead of waiting for an explicit `repair`
 // line (see DESIGN.md §10).
+//
+// --threads N routes every protocol run through the spatially sharded
+// round engine with N workers (DESIGN.md §14). Every observable output —
+// metrics JSON, JSONL trace, .dsntrace stream — is bit-identical at any
+// thread count, so the run document deliberately omits the knob.
+// --deploy picks the position generator (attach|uniform|grid|line|star;
+// default attach). Million-node runs want grid: incremental-attach
+// densifies quadratically, the grid deployment is linear.
 //
 // --metrics-json enables the telemetry layer for the run and writes a
 // dsnet-run-v1 JSON document (config, outcome, metrics registry
@@ -71,6 +80,8 @@ struct CliOptions {
   double range = 50.0;
   double drop = 0.0;
   dsn::Channel channels = 1;
+  int threads = 0;  ///< > 0: sharded round engine with N workers
+  dsn::DeploymentKind deploy = dsn::DeploymentKind::kIncrementalAttach;
   std::string scenarioPath;
   std::string dotPath;
   std::string metricsJsonPath;
@@ -90,6 +101,7 @@ struct CliOptions {
 void usage(std::ostream& os) {
   os << "usage: wsn_sim [--nodes N] [--seed S] [--field UNITS]\n"
         "               [--range METERS] [--drop P] [--channels K]\n"
+        "               [--threads N] [--deploy KIND]\n"
         "               [--scenario FILE|-] [--dot FILE]\n"
         "               [--trials T] [--jobs N] [--auto-repair]\n"
         "               [--metrics-json FILE] [--trace-out FILE]\n"
@@ -129,6 +141,29 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.channels = static_cast<dsn::Channel>(std::atoi(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      opt.threads = std::atoi(v);
+      if (opt.threads < 0) return false;
+    } else if (arg == "--deploy") {
+      const char* v = next();
+      if (!v) return false;
+      const std::string kind = v;
+      if (kind == "attach")
+        opt.deploy = dsn::DeploymentKind::kIncrementalAttach;
+      else if (kind == "uniform")
+        opt.deploy = dsn::DeploymentKind::kUniform;
+      else if (kind == "grid")
+        opt.deploy = dsn::DeploymentKind::kGrid;
+      else if (kind == "line")
+        opt.deploy = dsn::DeploymentKind::kLine;
+      else if (kind == "star")
+        opt.deploy = dsn::DeploymentKind::kStar;
+      else {
+        std::cerr << "bad --deploy (want attach|uniform|grid|line|star)\n";
+        return false;
+      }
     } else if (arg == "--scenario") {
       const char* v = next();
       if (!v) return false;
@@ -242,6 +277,7 @@ dsn::NetworkConfig networkConfigFor(const CliOptions& opt,
   cfg.seed = seed;
   cfg.field = dsn::Field::squareUnits(opt.fieldUnits);
   cfg.range = opt.range;
+  cfg.deployment = opt.deploy;
   cfg.autoRepair = opt.autoRepair;
   return cfg;
 }
@@ -252,6 +288,7 @@ dsn::ScenarioOptions scenarioOptionsFor(const CliOptions& opt,
   sopt.seed = seed ^ 0xCAFE;
   sopt.protocol.dropProbability = opt.drop;
   sopt.protocol.channels = opt.channels;
+  sopt.protocol.threads = opt.threads;
   if (!opt.traceOutPath.empty())
     sopt.protocol.traceCapacity = opt.traceCap;
   return sopt;
