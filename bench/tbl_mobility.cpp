@@ -1,0 +1,159 @@
+// T5 — mobility campaigns: repair-policy x churn-rate grid under a
+// random-waypoint walk, with CFF/iCFF broadcasts in flight during every
+// reconfiguration (DESIGN.md §15).
+//
+// Each cell runs one long campaign (default 1e5 rounds; the positional
+// argument overrides the round count) and reports the degraded-coverage
+// split plus the maintenance bill. The acceptance gate of the mobility
+// work is read directly off this table: every policy must stay
+// validator-clean at >= 99% settled coverage, and the incremental
+// policy's total maintenance cost must be strictly below the rebuild
+// baseline's at every churn rate. The binary exits non-zero when a gate
+// fails, and the whole grid is bit-identical at every -j value.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "mobility/campaign.hpp"
+
+namespace {
+
+struct Cell {
+  dsn::mobility::RepairPolicy policy;
+  double churn;
+};
+
+dsn::mobility::CampaignResult runCell(const Cell& cell, dsn::Round rounds,
+                                      std::uint64_t seed) {
+  using namespace dsn;
+  using namespace dsn::mobility;
+
+  NetworkConfig nc;
+  nc.field = Field::squareUnits(4);
+  nc.nodeCount = 120;
+  nc.seed = seed;
+  SensorNetwork net(nc);
+
+  WaypointConfig wc;
+  wc.field = nc.field;
+  wc.speed = 20.0;
+  wc.period = 32;
+  wc.seed = seed ^ 0x30B11E;
+  RandomWaypointModel model(wc);
+  for (NodeId v : net.clusterNet().netNodes()) model.track(v, net.position(v));
+
+  ChurnConfig cc;
+  cc.crashRate = 0.4 * cell.churn;
+  cc.joinRate = 0.5 * cell.churn;
+  cc.leaveRate = 0.1 * cell.churn;
+  cc.policy = cell.policy;
+  cc.field = nc.field;
+  cc.seed = seed ^ 0xC0FFEE;
+  ChurnEngine engine(net, &model, cc);
+
+  CampaignConfig cfg;
+  cfg.rounds = rounds;
+  cfg.wavePeriod = 200;
+  cfg.churnPeriod = 8;
+  cfg.sourceSeed = seed ^ 0x5EED;
+  return runMobilityCampaign(net, engine, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  using namespace dsn::mobility;
+
+  auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
+  // The positional argument scales the campaign length, not the trial
+  // count: each cell is already one deterministic 1e5-round campaign.
+  Round rounds = 100'000;
+  {
+    int ignoredJobs = 0;
+    for (int i = 1; i < argc; ++i) {
+      if (bench::consumeJobsFlag(argc, argv, i, ignoredJobs)) continue;
+      const long r = std::atol(argv[i]);
+      if (r > 0) {
+        rounds = r;
+        break;
+      }
+    }
+  }
+  cfg.fieldUnits = 4;
+  cfg.trials = 1;
+  cfg.nodeCounts = {120};
+  bench::printHeader("T5", "mobility campaigns (policy x churn rate)", cfg);
+  std::cout << "# " << rounds << " rounds per cell, waypoint speed 20 m "
+            << "every 32 rounds, waves every 200 rounds, churn every 8\n"
+            << "# policy: 0 = incremental, 1 = rebuild, 2 = adaptive\n";
+
+  const std::vector<Cell> grid = {
+      {RepairPolicy::kIncremental, 0.15}, {RepairPolicy::kRebuild, 0.15},
+      {RepairPolicy::kAdaptive, 0.15},    {RepairPolicy::kIncremental, 0.45},
+      {RepairPolicy::kRebuild, 0.45},     {RepairPolicy::kAdaptive, 0.45},
+  };
+  std::vector<CampaignResult> results(grid.size());
+  exec::forEachIndex(grid.size(), jobs, [&](std::size_t i) {
+    // Same seed within a churn rate so policies face the same stream.
+    results[i] = runCell(grid[i], rounds,
+                         cfg.baseSeed ^ (grid[i].churn > 0.3 ? 0x45 : 0x15));
+  });
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const CampaignResult& r = results[i];
+    const ChurnTotals& t = r.churn;
+    rows.push_back({static_cast<double>(grid[i].policy == RepairPolicy::kIncremental
+                                            ? 0
+                                            : grid[i].policy == RepairPolicy::kRebuild
+                                                  ? 1
+                                                  : 2),
+                    grid[i].churn, static_cast<double>(r.waves),
+                    r.effectiveCoverage(), r.firstWaveCoverage(),
+                    static_cast<double>(t.moves),
+                    static_cast<double>(t.crashes + t.joins + t.leaves),
+                    static_cast<double>(t.repairs),
+                    static_cast<double>(t.rebuilds),
+                    static_cast<double>(t.incrementalCost + t.rebuildCost),
+                    static_cast<double>(t.validationFailures)});
+  }
+  bench::emitBench(
+      "tbl_mobility", "T5 — mobility campaigns (policy x churn rate)",
+      {"policy", "churn", "waves", "eff cov", "1st-wave cov", "moves",
+       "events", "repairs", "rebuilds", "maint cost", "val fails"},
+      rows, cfg, 3);
+
+  // Acceptance gates, enforced so a regression fails loudly.
+  bool ok = true;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const CampaignResult& r = results[i];
+    if (!r.validatorClean()) {
+      std::printf("[gate] FAIL: cell %zu not validator-clean (%zu failures)\n",
+                  i, r.churn.validationFailures);
+      ok = false;
+    }
+    if (r.effectiveCoverage() < 0.99) {
+      std::printf("[gate] FAIL: cell %zu coverage %.4f < 0.99\n", i,
+                  r.effectiveCoverage());
+      ok = false;
+    }
+  }
+  for (std::size_t base = 0; base < grid.size(); base += 3) {
+    const auto cost = [&](std::size_t i) {
+      return results[i].churn.incrementalCost + results[i].churn.rebuildCost;
+    };
+    const auto inc = cost(base), reb = cost(base + 1), ada = cost(base + 2);
+    std::printf(
+        "[gate] churn %.2f maintenance rounds: incremental %lld, rebuild "
+        "%lld, adaptive %lld\n",
+        grid[base].churn, static_cast<long long>(inc),
+        static_cast<long long>(reb), static_cast<long long>(ada));
+    if (inc >= reb) {
+      std::printf("[gate] FAIL: incremental cost not below rebuild\n");
+      ok = false;
+    }
+  }
+  std::printf("[gate] %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -314,6 +314,16 @@ bool ClusterNet::repairReceiver(NodeId v) {
   if (v == root_) return false;
 
   const NodeId w = know_[v].parent;
+  // Procedure 1 repairs v by recalculating the slot of v's PARENT, whose
+  // forbidden set ranges over its current graph neighbors — so the
+  // repair-restores-the-condition theorem (DSN_CHECK below) holds only
+  // while the tree edge is a live radio edge. On a stale structure (the
+  // parent crashed, §10) no local repair can succeed; the recovery pass
+  // that must follow will detach and re-home v, rebuilding its
+  // conditions through a fresh insertion. This arises in practice when a
+  // join lands between a crash and the batched repair of the same churn
+  // tick and promotes a member whose own parent is the dead node.
+  if (!graph_.hasEdge(v, w)) return false;
   bool repaired = false;
 
   if (know_[v].status == NodeStatus::kPureMember) {

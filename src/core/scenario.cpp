@@ -1,10 +1,12 @@
 #include "core/scenario.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <sstream>
 
 #include "broadcast/convergecast.hpp"
+#include "core/mobility.hpp"
 #include "obs/flight.hpp"
 #include "util/error.hpp"
 
@@ -197,6 +199,29 @@ std::vector<ScenarioEvent> parseScenario(std::istream& in) {
       }
     } else if (op == "repair") {
       e.kind = ScenarioEvent::Kind::kRepair;
+    } else if (op == "waypoint") {
+      e.kind = ScenarioEvent::Kind::kWaypoint;
+      if (!(ls >> a >> b)) parseFail(lineNo, "waypoint needs steps maxstep");
+      const double steps = parseNumber(lineNo, a, "a tick count");
+      if (steps <= 0 ||
+          steps != static_cast<double>(static_cast<int>(steps)))
+        parseFail(lineNo, "waypoint steps must be a positive integer");
+      e.steps = static_cast<int>(steps);
+      e.magnitude = parseNumber(lineNo, b, "a step distance");
+      if (e.magnitude <= 0.0)
+        parseFail(lineNo, "waypoint step distance must be positive");
+    } else if (op == "churn") {
+      e.kind = ScenarioEvent::Kind::kChurn;
+      if (!(ls >> a)) parseFail(lineNo, "churn needs a rate");
+      e.magnitude = parseNumber(lineNo, a, "an event rate");
+      if (e.magnitude < 0.0) parseFail(lineNo, "churn rate must be >= 0");
+      if (ls >> b) {
+        const double ticks = parseNumber(lineNo, b, "a tick count");
+        if (ticks <= 0 ||
+            ticks != static_cast<double>(static_cast<int>(ticks)))
+          parseFail(lineNo, "churn ticks must be a positive integer");
+        e.steps = static_cast<int>(ticks);
+      }
     } else {
       parseFail(lineNo, "unknown event '" + op + "'");
     }
@@ -318,6 +343,13 @@ std::string formatScenarioEvent(const ScenarioEvent& e) {
       break;
     case ScenarioEvent::Kind::kRepair:
       os << "repair";
+      break;
+    case ScenarioEvent::Kind::kWaypoint:
+      os << "waypoint " << e.steps << ' ' << fmtDouble(e.magnitude);
+      break;
+    case ScenarioEvent::Kind::kChurn:
+      os << "churn " << fmtDouble(e.magnitude);
+      if (e.steps != 1) os << ' ' << e.steps;
       break;
   }
   return os.str();
@@ -516,6 +548,69 @@ ScenarioOutcome runScenario(SensorNetwork& net,
            << report.reattached << " orphans " << report.orphaned
            << " rounds " << report.cost.total()
            << (report.rootReseeded ? " (root reseeded)" : "");
+        break;
+      }
+      case ScenarioEvent::Kind::kWaypoint: {
+        // The walk field is the deployment's bounding box (grown to at
+        // least one radio range) — self-contained and deterministic.
+        Field f{net.range(), net.range()};
+        for (NodeId v : net.graph().liveNodes()) {
+          if (!net.index().contains(v)) continue;
+          f.width = std::max(f.width, net.position(v).x);
+          f.height = std::max(f.height, net.position(v).y);
+        }
+        RandomWaypointMobility walker(f, e.magnitude, rng.next());
+        std::size_t moves = 0;
+        for (int s = 0; s < e.steps; ++s) {
+          for (NodeId v : net.clusterNet().netNodes()) {
+            if (!net.graph().isAlive(v)) continue;
+            net.moveSensor(v, walker.advance(v, net.position(v)));
+            ++moves;
+          }
+        }
+        os << "waypoint " << e.steps << " ticks -> " << moves << " moves";
+        break;
+      }
+      case ScenarioEvent::Kind::kChurn: {
+        Field f{net.range(), net.range()};
+        for (NodeId v : net.graph().liveNodes()) {
+          if (!net.index().contains(v)) continue;
+          f.width = std::max(f.width, net.position(v).x);
+          f.height = std::max(f.height, net.position(v).y);
+        }
+        std::size_t crashes = 0, joins = 0, leaves = 0;
+        for (int s = 0; s < e.steps; ++s) {
+          const double whole = std::floor(e.magnitude);
+          std::size_t k = static_cast<std::size_t>(whole);
+          if (rng.chance(e.magnitude - whole)) ++k;
+          for (std::size_t i = 0; i < k; ++i) {
+            const std::uint64_t pick = rng.uniform(3);
+            if (pick == 2) {
+              net.addSensor({rng.uniformReal(0.0, f.width),
+                             rng.uniformReal(0.0, f.height)});
+              ++joins;
+              continue;
+            }
+            if (net.size() <= 2) continue;
+            const NodeId v = net.randomNode(rng);
+            if (pick == 0) {
+              net.crashSensor(v);
+              ++crashes;
+            } else {
+              net.removeSensor(v);
+              ++leaves;
+            }
+          }
+          // Crashes are repaired per tick, so the event ends clean and
+          // implicit validation stays on.
+          if (net.hasStaleStructure()) {
+            net.repairAfterFailures();
+            ++out.repairs;
+          }
+        }
+        out.crashes += crashes;
+        os << "churn " << e.steps << " ticks -> " << crashes << " crashes "
+           << joins << " joins " << leaves << " leaves";
         break;
       }
     }

@@ -26,6 +26,9 @@
 //   faults jam 500 500 120      # jam disk (+ optional from to rounds)
 //   faults none                 # clear all fault regimes
 //   repair                      # heartbeat + prune + re-attach pass
+//   waypoint 5 25               # 5 random-waypoint ticks, 25 units/tick
+//   churn 2.5                   # one tick of ~2.5 crash/join/leave events
+//   churn 2.5 10                # ten such ticks (repaired per tick)
 //
 // While crashed nodes leave the structure stale, the implicit per-event
 // validation is suspended (an explicit `validate` line still reports the
@@ -57,6 +60,8 @@ struct ScenarioEvent {
     kCrash,
     kFaults,
     kRepair,
+    kWaypoint,
+    kChurn,
   };
 
   /// Which fault regime a kFaults event installs.
@@ -73,6 +78,10 @@ struct ScenarioEvent {
   Round round = 0;
   /// kReliableBroadcast: repair-round budget.
   int repairBudget = 8;
+  /// kWaypoint / kChurn: mobility ticks to run.
+  int steps = 1;
+  /// kWaypoint: per-tick step distance; kChurn: expected events per tick.
+  double magnitude = 0.0;
   // kFaults payload:
   FaultKind faultKind = FaultKind::kNone;
   double dropProbability = 0.0;

@@ -111,14 +111,15 @@ bool SensorNetwork::moveSensor(NodeId v, const Point2D& newPosition) {
 
   // 2. Re-wire the radio neighborhood. The node currently carries no
   //    slots (withdraw cleared them), so edge changes cannot invalidate
-  //    anyone's TDM conditions.
+  //    anyone's TDM conditions. The index keeps the id and migrates it
+  //    between grid cells in place; self-edges are skipped because the
+  //    query runs while v still sits at its old position.
   for (NodeId u : std::vector<NodeId>(graph_->neighbors(v)))
     graph_->removeEdge(v, u);
-  index_.remove(v);
+  index_.updatePosition(v, newPosition);
   for (NodeId u : index_.queryNeighbors(newPosition)) {
-    if (graph_->isAlive(u)) graph_->addEdge(v, u);
+    if (u != v && graph_->isAlive(u)) graph_->addEdge(v, u);
   }
-  index_.insert(v, newPosition);
 
   // 3. Re-join at the new spot when the net is reachable.
   bool canJoin = net_->netSize() == 0;
@@ -130,6 +131,55 @@ bool SensorNetwork::moveSensor(NodeId v, const Point2D& newPosition) {
   }
   if (canJoin) net_->moveIn(v);
   return canJoin;
+}
+
+RoundCost SensorNetwork::rebuildStructure() {
+  DSN_TIMED_PHASE("cnet.rebuild");
+  // Capture group memberships; the fresh structure starts without them.
+  std::vector<std::pair<NodeId, GroupId>> memberships;
+  for (NodeId v : net_->netNodes()) {
+    for (GroupId g : net_->groupsOf(v)) memberships.emplace_back(v, g);
+  }
+
+  auto fresh = std::make_unique<ClusterNet>(*graph_, net_->config());
+  // Progress-sweep self-construction over the live deployment, exactly
+  // like initial construction: a node enters once it can reach the net,
+  // sweeping until no progress (covers the component of the first
+  // attachable node).
+  std::vector<NodeId> pending;
+  for (NodeId v : graph_->liveNodes()) pending.push_back(v);
+  bool progress = true;
+  bool first = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    std::vector<NodeId> still;
+    for (NodeId v : pending) {
+      bool attachable = first;
+      first = false;
+      if (!attachable) {
+        for (NodeId u : graph_->neighbors(v)) {
+          if (fresh->contains(u)) {
+            attachable = true;
+            break;
+          }
+        }
+      }
+      if (attachable) {
+        fresh->moveIn(v);
+        progress = true;
+      } else {
+        still.push_back(v);
+      }
+    }
+    pending.swap(still);
+  }
+  for (const auto& [v, g] : memberships) {
+    if (fresh->contains(v)) fresh->joinGroup(v, g);
+  }
+  net_ = std::move(fresh);
+  if (obs::enabled())
+    obs::globalMetrics().counter("cluster.churn.rebuilds").increment();
+  return net_->costs();
 }
 
 MoveOutReport SensorNetwork::removeSensor(NodeId v) {

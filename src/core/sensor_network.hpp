@@ -115,6 +115,14 @@ class SensorNetwork {
   /// a move-in at the new location.
   bool moveSensor(NodeId v, const Point2D& newPosition);
 
+  /// Discards the cluster structure and re-runs self-construction over
+  /// the current deployment (progress-sweep move-in, covering the
+  /// component of the first attachable node). Group memberships are
+  /// re-applied. Returns the round cost of the rebuild — the number the
+  /// adaptive churn policy compares against accumulated incremental
+  /// repair cost (Gavalas-style full re-cluster).
+  RoundCost rebuildStructure();
+
   // ---- Communication ----
 
   BroadcastRun broadcast(BroadcastScheme scheme, NodeId source,
@@ -144,6 +152,8 @@ class SensorNetwork {
   ClusterNet& clusterNet() { return *net_; }
   const std::vector<Point2D>& initialPoints() const { return points_; }
   const Point2D& position(NodeId v) const { return index_.position(v); }
+  const UnitDiskIndex& index() const { return index_; }
+  double range() const { return range_; }
   std::size_t size() const { return net_->netSize(); }
 
   BackboneStats stats() const { return computeBackboneStats(*net_); }

@@ -74,6 +74,20 @@ void UnitDiskIndex::remove(NodeId id) {
   positions_.erase(it);
 }
 
+void UnitDiskIndex::updatePosition(NodeId id, const Point2D& p) {
+  const auto it = positions_.find(id);
+  DSN_REQUIRE(it != positions_.end(),
+              "UnitDiskIndex::updatePosition: unknown id");
+  const CellKey oldCell = cellOf(it->second);
+  const CellKey newCell = cellOf(p);
+  if (oldCell != newCell) {
+    auto& bucket = cells_[oldCell];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+    cells_[newCell].push_back(id);
+  }
+  it->second = p;
+}
+
 const Point2D& UnitDiskIndex::position(NodeId id) const {
   const auto it = positions_.find(id);
   DSN_REQUIRE(it != positions_.end(), "UnitDiskIndex::position: unknown id");

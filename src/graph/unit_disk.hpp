@@ -39,6 +39,13 @@ class UnitDiskIndex {
   /// Removes a previously inserted id. Precondition: it was inserted.
   void remove(NodeId id);
 
+  /// Moves a previously inserted id to `p` in place. When the new
+  /// position stays inside the same grid cell this is a single hash-map
+  /// overwrite; otherwise the id migrates between cell buckets. Behaves
+  /// exactly like remove(id) + insert(id, p) but without rehashing the
+  /// id or reallocating untouched buckets. Precondition: it was inserted.
+  void updatePosition(NodeId id, const Point2D& p);
+
   std::size_t size() const { return positions_.size(); }
   double range() const { return range_; }
 

@@ -1,0 +1,155 @@
+#include "mobility/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsn::mobility {
+
+namespace {
+
+/// Moves `from` toward `to` by at most `step`, arriving exactly when the
+/// remaining distance is within one step.
+Point2D stepToward(const Point2D& from, const Point2D& to, double step) {
+  const double dx = to.x - from.x;
+  const double dy = to.y - from.y;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  if (dist <= step || dist == 0.0) return to;
+  const double f = step / dist;
+  return Point2D{from.x + dx * f, from.y + dy * f};
+}
+
+Point2D clampToField(const Point2D& p, const Field& f) {
+  return Point2D{std::clamp(p.x, 0.0, f.width), std::clamp(p.y, 0.0, f.height)};
+}
+
+}  // namespace
+
+// ---- RandomWaypointModel ----
+
+RandomWaypointModel::RandomWaypointModel(const WaypointConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  DSN_REQUIRE(cfg_.speed > 0.0, "waypoint speed must be positive");
+  if (cfg_.period <= 0) cfg_.period = 1;
+}
+
+Point2D RandomWaypointModel::drawTarget() {
+  return Point2D{rng_.uniformReal(0.0, cfg_.field.width),
+                 rng_.uniformReal(0.0, cfg_.field.height)};
+}
+
+void RandomWaypointModel::track(NodeId v, const Point2D& at) {
+  if (state_.count(v) != 0) {
+    state_[v].at = at;
+    return;
+  }
+  ids_.push_back(v);
+  state_[v] = State{at, drawTarget()};
+}
+
+void RandomWaypointModel::forget(NodeId v) {
+  if (state_.erase(v) != 0)
+    ids_.erase(std::remove(ids_.begin(), ids_.end(), v), ids_.end());
+}
+
+void RandomWaypointModel::updates(Round now, std::vector<MobilityUpdate>& out) {
+  if (now % cfg_.period != 0) return;
+  for (NodeId v : ids_) {
+    State& s = state_[v];
+    if (s.at == s.target) s.target = drawTarget();
+    s.at = stepToward(s.at, s.target, cfg_.speed);
+    out.push_back(MobilityUpdate{v, s.at});
+  }
+}
+
+// ---- GroupMobilityModel ----
+
+GroupMobilityModel::GroupMobilityModel(const GroupMobilityConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  DSN_REQUIRE(cfg_.speed > 0.0, "group speed must be positive");
+  if (cfg_.period <= 0) cfg_.period = 1;
+}
+
+Point2D GroupMobilityModel::drawTarget() {
+  return Point2D{rng_.uniformReal(0.0, cfg_.field.width),
+                 rng_.uniformReal(0.0, cfg_.field.height)};
+}
+
+void GroupMobilityModel::addGroup(
+    const std::vector<std::pair<NodeId, Point2D>>& members) {
+  DSN_REQUIRE(!members.empty(), "addGroup: empty group");
+  Group g;
+  for (const auto& [v, p] : members) {
+    g.center.x += p.x;
+    g.center.y += p.y;
+  }
+  g.center.x /= static_cast<double>(members.size());
+  g.center.y /= static_cast<double>(members.size());
+  g.target = drawTarget();
+  for (const auto& [v, p] : members)
+    g.members.push_back(
+        Member{v, Point2D{p.x - g.center.x, p.y - g.center.y}});
+  groups_.push_back(std::move(g));
+}
+
+void GroupMobilityModel::forget(NodeId v) {
+  for (Group& g : groups_) {
+    g.members.erase(std::remove_if(g.members.begin(), g.members.end(),
+                                   [v](const Member& m) { return m.node == v; }),
+                    g.members.end());
+  }
+}
+
+void GroupMobilityModel::updates(Round now, std::vector<MobilityUpdate>& out) {
+  if (now % cfg_.period != 0) return;
+  for (Group& g : groups_) {
+    if (g.center == g.target) g.target = drawTarget();
+    g.center = stepToward(g.center, g.target, cfg_.speed);
+    for (const Member& m : g.members) {
+      // The jitter draw happens for every member every tick, dead or
+      // alive groups aside, purely in tracked order: the RNG stream is a
+      // function of the call sequence alone.
+      const double jx = rng_.uniformReal(-cfg_.jitter, cfg_.jitter);
+      const double jy = rng_.uniformReal(-cfg_.jitter, cfg_.jitter);
+      const Point2D p = clampToField(
+          Point2D{g.center.x + m.offset.x + jx, g.center.y + m.offset.y + jy},
+          cfg_.field);
+      out.push_back(MobilityUpdate{m.node, p});
+    }
+  }
+}
+
+// ---- ScriptedMobilityModel ----
+
+void ScriptedMobilityModel::schedule(Round r, NodeId v, const Point2D& to) {
+  if (!script_.empty() && r < script_.back().round) sorted_ = false;
+  script_.push_back(Entry{r, MobilityUpdate{v, to}});
+}
+
+void ScriptedMobilityModel::forget(NodeId v) {
+  // Drop every not-yet-emitted move of the departed node.
+  const auto begin = script_.begin() + static_cast<std::ptrdiff_t>(cursor_);
+  script_.erase(std::remove_if(begin, script_.end(),
+                               [v](const Entry& e) {
+                                 return e.update.node == v;
+                               }),
+                script_.end());
+}
+
+void ScriptedMobilityModel::updates(Round now,
+                                    std::vector<MobilityUpdate>& out) {
+  if (!sorted_) {
+    std::stable_sort(script_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                     script_.end(), [](const Entry& a, const Entry& b) {
+                       return a.round < b.round;
+                     });
+    sorted_ = true;
+  }
+  while (cursor_ < script_.size() && script_[cursor_].round <= now) {
+    if (script_[cursor_].round == now) out.push_back(script_[cursor_].update);
+    ++cursor_;
+  }
+}
+
+}  // namespace dsn::mobility

@@ -51,6 +51,12 @@ class EnergyMeter {
   const NodeEnergy& node(NodeId v) const { return nodes_.at(v); }
   std::size_t nodeCount() const { return nodes_.size(); }
 
+  /// Extends the meter to cover `nodeCount` ids (new counters start at
+  /// zero). Used when nodes join mid-run; never shrinks.
+  void growTo(std::size_t nodeCount) {
+    if (nodeCount > nodes_.size()) nodes_.resize(nodeCount);
+  }
+
   /// Largest awake-round count over all nodes (the paper's Fig. 9 metric).
   std::size_t maxAwakeRounds() const;
   double meanAwakeRounds() const;

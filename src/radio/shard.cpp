@@ -41,6 +41,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -106,10 +107,14 @@ struct P1Op {
 
 }  // namespace
 
-class ShardEngine {
+class ShardEngine : public SimEngine {
  public:
-  ShardEngine(RadioSimulator& sim) : sim_(sim) {}
-  SimResult run();
+  explicit ShardEngine(RadioSimulator& sim) : SimEngine(sim) { init(); }
+  ~ShardEngine() override { stopWorkers(); }
+
+  void advanceTo(Round stop) override;
+  void resync() override;
+  void finish() override;
 
  private:
   using WakeEntry = std::pair<Round, NodeId>;
@@ -141,6 +146,9 @@ class ShardEngine {
     std::vector<std::uint8_t> touchedFlag;
   };
 
+  void init();
+  void rebuildTiles();
+  void seed(Round from);
   void tileS1(Tile& t, Round r);
   void tileS2(std::uint32_t ti, Round r);
   void runPhase(int kind, Round r, bool parallel);
@@ -155,7 +163,6 @@ class ShardEngine {
   void mergeTileStreams(std::vector<Rec> Tile::* recs, KeyFn key,
                         EmitFn emit);
 
-  RadioSimulator& sim_;
   TilePartition tiles_;
   Channel k_ = 1;
   std::vector<Tile> tile_;
@@ -165,6 +172,22 @@ class ShardEngine {
   std::vector<std::uint8_t> resolved_;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> heads_;
   std::vector<std::size_t> cursors_;
+  std::size_t pending_ = 0;
+  std::vector<std::pair<Round, NodeId>> deaths_;
+  std::size_t deathIdx_ = 0;
+  // Serial-vs-parallel is decided from the PREVIOUS round's pop count —
+  // an output-invariant signal (both paths run the identical tile code).
+  std::size_t prevPopped_ = 0;
+
+  // Flight-recorder categories + profiler, coordinator-only (workers
+  // never record; order-sensitive streams are replayed at the barriers).
+  obs::FlightRecorder* frRound_ = nullptr;
+  obs::FlightRecorder* frSched_ = nullptr;
+  obs::FlightRecorder* frRadio_ = nullptr;
+  obs::FlightRecorder* frColl_ = nullptr;
+  obs::FlightRecorder* frFault_ = nullptr;
+  const obs::FlightRecorder* frAny_ = nullptr;
+  obs::RoundProfiler profiler_;
 
   // Worker pool. Claims are serialized through nextTile_: a worker reads
   // phaseKind_/round_ only after a successful claim, so a straggler from
@@ -460,13 +483,9 @@ void ShardEngine::mergeTileStreams(std::vector<Rec> Tile::* recs, KeyFn key,
   }
 }
 
-SimResult ShardEngine::run() {
-  RadioSimulator& sim = sim_;
-  SimResult result;
-  const CsrView& csr = sim.graph_.csrView();
-  const std::size_t n = sim.graph_.size();
-  const SimConfig& cfg = sim.config_;
-  k_ = cfg.channelCount;
+void ShardEngine::rebuildTiles() {
+  const std::size_t n = sim_.graph_.size();
+  const SimConfig& cfg = sim_.config_;
 
   // Tile partition: a pure function of topology inputs, NEVER of the
   // thread count — the per-tile buffers and their merge order must be
@@ -485,7 +504,7 @@ SimResult ShardEngine::run() {
   listenStamp_.assign(n, Round{-1});
   dropStamp_.assign(n, Round{-1});
   resolved_.assign(n, 0);
-  tile_.resize(tileCount);
+  tile_.assign(tileCount, Tile{});
   for (Tile& t : tile_) {
     t.destSeen.assign(tileCount, 0);
     t.count.assign(static_cast<std::size_t>(tiles_.maxTileSize()) * k_, 0);
@@ -495,37 +514,33 @@ SimResult ShardEngine::run() {
   }
   heads_.reserve(tileCount);
   cursors_.assign(tileCount, 0);
+}
 
-  // Flight-recorder categories + profiler, coordinator-only (workers
-  // never record; order-sensitive streams are replayed at the barriers).
-  obs::FlightRecorder* frRound = obs::recorderFor<obs::kFrCatRound>();
-  obs::FlightRecorder* frSched = obs::recorderFor<obs::kFrCatSched>();
-  obs::FlightRecorder* frRadio = obs::recorderFor<obs::kFrCatRadio>();
-  obs::FlightRecorder* frColl = obs::recorderFor<obs::kFrCatCollision>();
-  obs::FlightRecorder* frFault = obs::recorderFor<obs::kFrCatFault>();
-  const obs::FlightRecorder* frAny = frRound ? frRound
-                                     : frSched ? frSched
-                                     : frRadio ? frRadio
-                                     : frColl  ? frColl
-                                               : frFault;
-  obs::RoundProfiler profiler;
+void ShardEngine::seed(Round from) {
+  RadioSimulator& sim = sim_;
+  const std::size_t n = sim.graph_.size();
 
   // Seed the per-tile wake heaps + the pending count (same walk as the
-  // serial scheduler, split by tileOf).
-  std::size_t pending = 0;
+  // serial scheduler, split by tileOf). Nodes already dead at the seed
+  // round are quiesced: resolved, never queued.
+  pending_ = 0;
   for (NodeId v = 0; v < n; ++v) {
     if (!sim.nodePresent(v) || !sim.graph_.isAlive(v)) {
+      resolved_[v] = 1;
+      continue;
+    }
+    if (sim.failures_.isDead(v, from)) {
       resolved_[v] = 1;
       continue;
     }
     if (sim.nodeIsDone(v)) {
       resolved_[v] = 1;
     } else {
-      ++pending;
+      ++pending_;
     }
-    const Round nw = sim.nodeNextWake(v, -1);
+    const Round nw = sim.nodeNextWake(v, from - 1);
     if (nw != kNoWake) {
-      DSN_REQUIRE(nw >= 0, "nextWake(-1) must name a non-negative round");
+      DSN_REQUIRE(nw >= from, "nextWake must not name a past round");
       Tile& t = tile_[tiles_.tileOf(v)];
       t.heap.emplace_back(nw, v);
       std::push_heap(t.heap.begin(), t.heap.end(),
@@ -533,69 +548,116 @@ SimResult ShardEngine::run() {
     }
   }
 
-  std::vector<std::pair<Round, NodeId>> deaths;
+  deaths_.clear();
   for (const auto& [v, dr] : sim.failures_.deathSchedule()) {
-    if (v < n && sim.nodePresent(v) && sim.graph_.isAlive(v)) {
-      deaths.emplace_back(dr, v);
+    if (v < n && dr > from && sim.nodePresent(v) && sim.graph_.isAlive(v)) {
+      deaths_.emplace_back(dr, v);
     }
   }
-  std::sort(deaths.begin(), deaths.end());
-  std::size_t deathIdx = 0;
+  std::sort(deaths_.begin(), deaths_.end());
+  deathIdx_ = 0;
+}
+
+void ShardEngine::init() {
+  const SimConfig& cfg = sim_.config_;
+  k_ = cfg.channelCount;
+  // Build the CSR snapshot before any worker thread can race the
+  // double-checked cache.
+  sim_.graph_.csrView();
+  rebuildTiles();
+
+  frRound_ = obs::recorderFor<obs::kFrCatRound>();
+  frSched_ = obs::recorderFor<obs::kFrCatSched>();
+  frRadio_ = obs::recorderFor<obs::kFrCatRadio>();
+  frColl_ = obs::recorderFor<obs::kFrCatCollision>();
+  frFault_ = obs::recorderFor<obs::kFrCatFault>();
+  frAny_ = frRound_   ? frRound_
+           : frSched_ ? frSched_
+           : frRadio_ ? frRadio_
+           : frColl_  ? frColl_
+                      : frFault_;
+
+  seed(0);
+  prevPopped_ = sim_.graph_.size();
 
   // Spin up the pool. threads counts the coordinator; tiny runs and
-  // --threads 1 never pay for it.
+  // --threads 1 never pay for it. The pool persists across segments and
+  // is parked between phases, so resync() can mutate tile state freely.
   const int extra = std::min(cfg.threads, 256) - 1;
-  if (extra > 0 && tileCount > 1) {
+  if (extra > 0 && tiles_.tileCount() > 1) {
     gen_.store(0, std::memory_order_relaxed);  // workers baseline seen = 0
     phaseKind_.store(0, std::memory_order_relaxed);
     workers_.reserve(static_cast<std::size_t>(extra));
     for (int i = 0; i < extra; ++i)
       workers_.emplace_back([this] { workerLoop(); });
   }
+}
 
+void ShardEngine::resync() {
+  // Workers are parked between phases; only the coordinator runs here.
+  // The tile partition is a pure function of the (possibly moved or
+  // grown) positions, so it is rebuilt wholesale along with every
+  // per-tile buffer, then re-seeded at the paused cursor.
+  rebuildTiles();
+  seed(cursor_);
+  prevPopped_ = sim_.graph_.size();
+}
+
+void ShardEngine::finish() {
+  stopWorkers();
+  profiler_.flushTo(obs::globalMetrics());
+  flushRunMetrics(result_);
+}
+
+void ShardEngine::advanceTo(Round stop) {
+  RadioSimulator& sim = sim_;
+  SimResult& result = result_;
+  const CsrView& csr = sim.graph_.csrView();
+  const SimConfig& cfg = sim.config_;
   const bool hasLoss = sim.failures_.hasTransientLoss();
-  // Serial-vs-parallel is decided from the PREVIOUS round's pop count —
-  // an output-invariant signal (both paths run the identical tile code).
-  std::size_t prevPopped = n;
 
-  Round r = 0;
-  while (r < cfg.maxRounds) {
+  Round r = cursor_;
+  while (r < stop) {
     // S0: deaths, completion, idle fast-forward.
-    while (deathIdx < deaths.size() && deaths[deathIdx].first <= r) {
-      const NodeId v = deaths[deathIdx].second;
+    while (deathIdx_ < deaths_.size() && deaths_[deathIdx_].first <= r) {
+      const NodeId v = deaths_[deathIdx_].second;
       if (!resolved_[v]) {
         resolved_[v] = 1;
-        --pending;
+        --pending_;
       }
-      if (frFault)  // deaths are rare: recorded regardless of sampling
-        frFault->record(
-            frEvent(obs::FrType::kNodeDeath, deaths[deathIdx].first, v));
-      ++deathIdx;
+      if (frFault_)  // deaths are rare: recorded regardless of sampling
+        frFault_->record(
+            frEvent(obs::FrType::kNodeDeath, deaths_[deathIdx_].first, v));
+      ++deathIdx_;
     }
-    if (pending == 0) {
+    if (pending_ == 0) {
       result.completed = true;
       result.rounds = r;
-      break;
+      cursor_ = r;
+      done_ = true;
+      return;
     }
     Round nextEvent = cfg.maxRounds;
     for (const Tile& t : tile_) {
       if (!t.heap.empty())
         nextEvent = std::min(nextEvent, t.heap.front().first);
     }
-    if (deathIdx < deaths.size())
-      nextEvent = std::min(nextEvent, deaths[deathIdx].first);
+    if (deathIdx_ < deaths_.size())
+      nextEvent = std::min(nextEvent, deaths_[deathIdx_].first);
     if (nextEvent > r) {
-      if (frSched && frSched->roundSampled(r))
-        frSched->record(frEvent(obs::FrType::kIdleSkip, r, 0,
-                                static_cast<std::uint32_t>(nextEvent)));
+      nextEvent = std::min(nextEvent, stop);
+      if (frSched_ && frSched_->roundSampled(r))
+        frSched_->record(frEvent(obs::FrType::kIdleSkip, r, 0,
+                                 static_cast<std::uint32_t>(nextEvent)));
       result.rounds = nextEvent;
       r = nextEvent;
+      cursor_ = r;
       continue;
     }
 
-    const bool frSampled = frAny != nullptr && frAny->roundSampled(r);
-    profiler.beginRound();
-    const bool parallel = prevPopped >= cfg.shardSerialThreshold;
+    const bool frSampled = frAny_ != nullptr && frAny_->roundSampled(r);
+    profiler_.beginRound();
+    const bool parallel = prevPopped_ >= cfg.shardSerialThreshold;
 
     // S1: phase 1 per tile.
     runPhase(1, r, parallel);
@@ -605,20 +667,20 @@ SimResult ShardEngine::run() {
     // confirmation.
     std::size_t poppedTotal = 0;
     for (const Tile& t : tile_) poppedTotal += t.popped;
-    prevPopped = poppedTotal;
-    if (frRound && frSampled)
-      frRound->record(frEvent(obs::FrType::kRoundBegin, r, 0,
-                              static_cast<std::uint32_t>(poppedTotal)));
+    prevPopped_ = poppedTotal;
+    if (frRound_ && frSampled)
+      frRound_->record(frEvent(obs::FrType::kRoundBegin, r, 0,
+                               static_cast<std::uint32_t>(poppedTotal)));
     std::size_t confirmedTx = 0;
     std::uint64_t resolveWork = 0;
-    const bool needWork = profiler.active() || (frRound && frSampled);
+    const bool needWork = profiler_.active() || (frRound_ && frSampled);
     mergeTileStreams(
         &Tile::ops,
         [](const P1Op& op) { return static_cast<std::uint64_t>(op.v); },
         [&](const P1Op& op) {
           const NodeId v = op.v;
-          if (frSched && frSampled)
-            frSched->record(frEvent(obs::FrType::kWakePop, r, v));
+          if (frSched_ && frSampled)
+            frSched_->record(frEvent(obs::FrType::kWakePop, r, v));
           switch (op.kind) {
             case P1Kind::kTxJammed:
               ++result.jammedLosses;
@@ -626,10 +688,10 @@ SimResult ShardEngine::run() {
                                            r, v, kInvalidNode,
                                            actions_[v].channel,
                                            actions_[v].message.kind});
-              if (frFault && frSampled)
-                frFault->record(frEvent(obs::FrType::kJammedTransmit, r, v,
-                                        0, actions_[v].channel,
-                                        frKind(actions_[v].message.kind)));
+              if (frFault_ && frSampled)
+                frFault_->record(frEvent(obs::FrType::kJammedTransmit, r, v,
+                                         0, actions_[v].channel,
+                                         frKind(actions_[v].message.kind)));
               break;
             case P1Kind::kTxCandidate:
               if (hasLoss && sim.failures_.dropsTransmission()) {
@@ -639,8 +701,8 @@ SimResult ShardEngine::run() {
                     TraceEvent{TraceEventType::kDroppedTransmit, r, v,
                                kInvalidNode, actions_[v].channel,
                                actions_[v].message.kind});
-                if (frFault && frSampled)
-                  frFault->record(
+                if (frFault_ && frSampled)
+                  frFault_->record(
                       frEvent(obs::FrType::kDroppedTransmit, r, v, 0,
                               actions_[v].channel,
                               frKind(actions_[v].message.kind)));
@@ -651,8 +713,8 @@ SimResult ShardEngine::run() {
                                              v, kInvalidNode,
                                              actions_[v].channel,
                                              actions_[v].message.kind});
-                if (frRadio && frSampled)
-                  frRadio->record(
+                if (frRadio_ && frSampled)
+                  frRadio_->record(
                       frEvent(obs::FrType::kTransmit, r, v, 0,
                               actions_[v].channel,
                               frKind(actions_[v].message.kind)));
@@ -679,9 +741,9 @@ SimResult ShardEngine::run() {
           sim.trace_.record(TraceEvent{TraceEventType::kCollision, r,
                                        site.listener, kInvalidNode,
                                        site.channel, MsgKind::kData});
-          if (frColl && frSampled)
-            frColl->record(frEvent(obs::FrType::kCollision, r,
-                                   site.listener, 0, site.channel));
+          if (frColl_ && frSampled)
+            frColl_->record(frEvent(obs::FrType::kCollision, r,
+                                    site.listener, 0, site.channel));
         });
     mergeTileStreams(
         &Tile::rx,
@@ -693,10 +755,10 @@ SimResult ShardEngine::run() {
           sim.trace_.record(TraceEvent{TraceEventType::kReceive, r,
                                        d.receiver, d.transmitter, d.channel,
                                        m.kind});
-          if (frRadio && frSampled)
-            frRadio->record(frEvent(obs::FrType::kDelivery, r, d.receiver,
-                                    d.transmitter, d.channel,
-                                    frKind(m.kind)));
+          if (frRadio_ && frSampled)
+            frRadio_->record(frEvent(obs::FrType::kDelivery, r, d.receiver,
+                                     d.transmitter, d.channel,
+                                     frKind(m.kind)));
         });
 
     std::uint32_t roundDeliveries = 0;
@@ -705,47 +767,43 @@ SimResult ShardEngine::run() {
       result.totalCollisions += t.collisionsEmitted;
       result.jammedLosses += t.jammedRx;
       roundDeliveries += t.performedRx;
-      pending -= t.newlyResolved;
+      pending_ -= t.newlyResolved;
     }
     result.totalTransmissions += confirmedTx;
 
-    if (frRound && frSampled)
-      frRound->record(frEvent(
+    if (frRound_ && frSampled)
+      frRound_->record(frEvent(
           obs::FrType::kRoundEnd, r, roundDeliveries,
           static_cast<std::uint32_t>(resolveWork), 0,
           static_cast<std::uint16_t>(
               std::min<std::size_t>(confirmedTx, 65535))));
-    profiler.endRound(poppedTotal, resolveWork);
+    profiler_.endRound(poppedTotal, resolveWork);
 
     result.rounds = r + 1;
     ++r;
+    cursor_ = r;
   }
 
-  stopWorkers();
+  if (stop < cfg.maxRounds) return;  // paused at a segment boundary
 
-  if (!result.completed) {
-    // Budget exhausted: mirror allDone(maxRounds), whose isDead excludes
-    // every death scheduled at or before the budget round.
-    while (deathIdx < deaths.size() &&
-           deaths[deathIdx].first <= cfg.maxRounds) {
-      const NodeId v = deaths[deathIdx].second;
-      if (!resolved_[v]) {
-        resolved_[v] = 1;
-        --pending;
-      }
-      ++deathIdx;
+  // Budget exhausted: mirror allDone(maxRounds), whose isDead excludes
+  // every death scheduled at or before the budget round.
+  while (deathIdx_ < deaths_.size() &&
+         deaths_[deathIdx_].first <= cfg.maxRounds) {
+    const NodeId v = deaths_[deathIdx_].second;
+    if (!resolved_[v]) {
+      resolved_[v] = 1;
+      --pending_;
     }
-    result.completed = pending == 0;
-    result.rounds = cfg.maxRounds;
+    ++deathIdx_;
   }
-  profiler.flushTo(obs::globalMetrics());
-  flushRunMetrics(result);
-  return result;
+  result.completed = pending_ == 0;
+  result.rounds = cfg.maxRounds;
+  done_ = true;
 }
 
-SimResult RadioSimulator::runSharded() {
-  ShardEngine engine(*this);
-  return engine.run();
+std::unique_ptr<SimEngine> makeShardEngine(RadioSimulator& sim) {
+  return std::make_unique<ShardEngine>(sim);
 }
 
 }  // namespace dsn

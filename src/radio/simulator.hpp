@@ -86,6 +86,48 @@ struct SimResult {
   std::size_t jammedLosses = 0;
 };
 
+class RadioSimulator;
+
+/// A resumable scheduling engine: executes rounds in [cursor, stop) and
+/// pauses at the segment boundary so callers can mutate the topology,
+/// failure schedule, or protocol state between segments (DESIGN.md §15).
+/// One engine instance spans the whole run; a classic run() is a single
+/// segment to maxRounds. Each SimScheduling mode provides one subclass,
+/// and all of them produce bit-identical segment results.
+class SimEngine {
+ public:
+  explicit SimEngine(RadioSimulator& sim) : sim_(sim) {}
+  virtual ~SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Executes rounds while cursor < stop, unless the run completes
+  /// first. A stop at maxRounds finishes the run, including the
+  /// budget-exhaustion accounting.
+  virtual void advanceTo(Round stop) = 0;
+  /// Re-reads topology and protocol state after an external mutation at
+  /// the current cursor: refreshed CSR snapshot, re-seeded wake queues
+  /// (nextWake is pure given protocol state), re-derived pending count,
+  /// stale (removed or already-dead) nodes quiesced.
+  virtual void resync() = 0;
+  /// End-of-run telemetry flush; called exactly once, after done().
+  virtual void finish() = 0;
+
+  const SimResult& result() const { return result_; }
+  /// The next round advanceTo would execute.
+  Round cursor() const { return cursor_; }
+  bool done() const { return done_; }
+
+ protected:
+  RadioSimulator& sim_;
+  SimResult result_;
+  Round cursor_ = 0;
+  bool done_ = false;
+};
+
+/// Factory for the kSharded engine (defined in shard.cpp).
+std::unique_ptr<SimEngine> makeShardEngine(RadioSimulator& sim);
+
 /// Owns the protocols and runs the round loop.
 class RadioSimulator {
  public:
@@ -111,8 +153,28 @@ class RadioSimulator {
   const FailureModel& failures() const { return failures_; }
 
   /// Runs rounds until all live protocols are done or maxRounds is hit.
-  /// Callable once per simulator instance.
+  /// Callable once per simulator instance (and not after runUntil).
   SimResult run();
+
+  /// Segmented execution: advances the round loop to `stop` (clamped to
+  /// maxRounds) and pauses there, returning the result so far. The first
+  /// call starts the run. Between segments the caller may mutate the
+  /// graph, failure schedule, or protocol completion state — it must
+  /// then call resyncTopology() before resuming. A run segmented at any
+  /// set of boundaries with no mutations is bit-identical to run(); with
+  /// mutations the outcome is still deterministic and identical across
+  /// all scheduling modes and thread counts (the reconfiguration seam's
+  /// contract — DESIGN.md §15).
+  SimResult runUntil(Round stop);
+  /// True once the run has finished (completed or budget-exhausted).
+  bool finished() const { return engine_ != nullptr && engine_->done(); }
+  /// The next round a paused run would execute.
+  Round cursor() const { return engine_ ? engine_->cursor() : 0; }
+  /// Re-syncs a paused run after external mutation: grows per-node state
+  /// for freshly added ids (which sleep forever unless they are swarm
+  /// members), refreshes the CSR snapshot on this thread, and re-seeds
+  /// the engine's wake structures from the protocols' nextWake hints.
+  void resyncTopology();
 
   const EnergyMeter& energy() const { return energy_; }
   const Trace& trace() const { return trace_; }
@@ -128,6 +190,7 @@ class RadioSimulator {
   EnergyMeter energy_;
   Trace trace_;
   bool ran_ = false;
+  std::unique_ptr<SimEngine> engine_;
 
   // Node dispatch: one seam over the two protocol representations so
   // every scheduler drives object-per-node and swarm nodes identically.
@@ -151,10 +214,9 @@ class RadioSimulator {
   }
 
   bool allDone(Round r) const;
-  SimResult runFullScan();
-  SimResult runActiveSet();
-  SimResult runSharded();
 
+  friend class ActiveSetEngine;
+  friend class FullScanEngine;
   friend class ShardEngine;
 };
 

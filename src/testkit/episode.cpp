@@ -158,6 +158,7 @@ class Episode {
       case OpKind::kBroadcast: doBroadcast(op); break;
       case OpKind::kReliableBroadcast: doReliableBroadcast(op); break;
       case OpKind::kMulticast: doMulticast(op); break;
+      case OpKind::kMove: doMove(op); break;
     }
   }
 
@@ -190,6 +191,25 @@ class Episode {
     record(e);
     fold(3);
     fold(v);
+    fold(net_->clusterNet().netSize());
+    checkStructure();
+  }
+
+  void doMove(const FuzzOp& op) {
+    if (net_->hasStaleStructure()) return skip();
+    if (net_->clusterNet().netSize() <= 1) return skip();
+    const NodeId v = resolve(op.pick);
+    if (v == kInvalidNode) return skip();
+    const bool inNet = net_->moveSensor(v, op.position);
+    ++result_.opsExecuted;
+    ScenarioEvent e;
+    e.kind = ScenarioEvent::Kind::kMove;
+    e.node = v;
+    e.position = op.position;
+    record(e);
+    fold(7);
+    fold(v);
+    fold(inNet ? 1 : 2);
     fold(net_->clusterNet().netSize());
     checkStructure();
   }

@@ -15,6 +15,7 @@ const char* toString(OpKind k) {
     case OpKind::kBroadcast: return "broadcast";
     case OpKind::kReliableBroadcast: return "rbroadcast";
     case OpKind::kMulticast: return "multicast";
+    case OpKind::kMove: return "move";
   }
   return "?";
 }
@@ -106,19 +107,24 @@ FuzzProgram generateProgram(const GeneratorKnobs& knobs,
         op = makeFaultFlip(rng, fieldMeters, knobs.range);
       }
     } else {
-      if (w < 15) {
+      if (w < 13) {
         op.kind = OpKind::kJoin;
         op.position = {rng.uniformReal(0.0, fieldMeters),
                        rng.uniformReal(0.0, fieldMeters)};
-      } else if (w < 27) {
+      } else if (w < 24) {
         op.kind = OpKind::kLeave;
         op.pick = rng.next();
-      } else if (w < 37) {
+      } else if (w < 33) {
         op.kind = OpKind::kCrash;
         op.pick = rng.next();
         stale = true;
-      } else if (w < 47) {
+      } else if (w < 43) {
         op = makeFaultFlip(rng, fieldMeters, knobs.range);
+      } else if (w < 51) {
+        op.kind = OpKind::kMove;
+        op.pick = rng.next();
+        op.position = {rng.uniformReal(0.0, fieldMeters),
+                       rng.uniformReal(0.0, fieldMeters)};
       } else if (w < 72) {
         op.kind = OpKind::kBroadcast;
         op.pick = rng.next();

@@ -28,6 +28,7 @@ enum class OpKind : std::uint8_t {
   kBroadcast,          ///< broadcast request (run differentially)
   kReliableBroadcast,  ///< reliable broadcast vs its own plain wave
   kMulticast,          ///< multicast request (flood vs pruned)
+  kMove,               ///< relocate a random net node (withdraw+re-join)
 };
 
 const char* toString(OpKind k);
@@ -37,7 +38,7 @@ struct FuzzOp {
   OpKind kind{};
   /// Node selector: resolved against the alive net nodes at execution.
   std::uint64_t pick = 0;
-  Point2D position{};  ///< kJoin
+  Point2D position{};  ///< kJoin / kMove
   BroadcastScheme scheme = BroadcastScheme::kImprovedCff;
   /// kFaultFlip: 0 = none, 1 = drop, 2 = burst, 3 = jam.
   int faultRegime = 0;

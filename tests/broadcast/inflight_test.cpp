@@ -1,0 +1,220 @@
+// InFlightBroadcast: resumable CFF/iCFF waves over a reconfiguring
+// network (DESIGN.md §15).
+//
+// The two load-bearing contracts:
+//   1. Segmenting alone changes nothing — a wave advanced in arbitrary
+//      chunks (with no topology mutation between them) is bit-identical
+//      to the one-shot runner, per scheme and per scheduling mode.
+//   2. Mid-wave reconfiguration is scheduler-invariant — the same
+//      interleaved move/crash/join program produces the same finish
+//      report and per-node delivery set at every thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "broadcast/inflight.hpp"
+#include "broadcast/runner.hpp"
+#include "core/sensor_network.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+namespace {
+
+constexpr std::uint64_t kPayload = 0xFEED;
+
+NetworkConfig paperNetwork(std::size_t n, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.nodeCount = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ProtocolOptions shardedOptions(const SensorNetwork& net, int threads) {
+  ProtocolOptions opts;
+  opts.threads = threads;
+  opts.shardSerialThreshold = 0;  // force the parallel tile path
+  if (threads > 0) {
+    opts.nodePositions.resize(net.graph().size());
+    for (NodeId v = 0; v < net.graph().size(); ++v)
+      if (net.index().contains(v)) opts.nodePositions[v] = net.index().position(v);
+    opts.tileMinEdge = net.range();
+  }
+  return opts;
+}
+
+void expectSameReport(const InFlightReport& a, const InFlightReport& b) {
+  EXPECT_EQ(a.sim.rounds, b.sim.rounds);
+  EXPECT_EQ(a.sim.totalTransmissions, b.sim.totalTransmissions);
+  EXPECT_EQ(a.sim.totalDeliveries, b.sim.totalDeliveries);
+  EXPECT_EQ(a.sim.totalCollisions, b.sim.totalCollisions);
+  EXPECT_EQ(a.scheduleLength, b.scheduleLength);
+  EXPECT_EQ(a.intended, b.intended);
+  EXPECT_EQ(a.departed, b.departed);
+  EXPECT_EQ(a.displaced, b.displaced);
+  EXPECT_EQ(a.settled, b.settled);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.deliveredSettled, b.deliveredSettled);
+  EXPECT_EQ(a.lastDeliveryRound, b.lastDeliveryRound);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.collisions, b.collisions);
+}
+
+TEST(InFlightBroadcastTest, SegmentedRunMatchesOneShotRunner) {
+  const SensorNetwork net(paperNetwork(140, 0x1F117));
+  const NodeId source = net.clusterNet().root();
+  const ProtocolOptions opts;
+  for (const BroadcastScheme scheme :
+       {BroadcastScheme::kCff, BroadcastScheme::kImprovedCff}) {
+    SCOPED_TRACE(toString(scheme));
+    const BroadcastRun ref = net.broadcast(scheme, source, kPayload, opts);
+
+    InFlightBroadcast wave(net.clusterNet(), scheme, source, kPayload, opts);
+    EXPECT_FALSE(wave.finished());
+    // Ragged segment sizes, deliberately not divisors of anything.
+    for (Round stop = 3; !wave.finished(); stop += 7) wave.advanceTo(stop);
+    const InFlightReport rep = wave.finish();
+
+    EXPECT_EQ(rep.sim.rounds, ref.sim.rounds);
+    EXPECT_EQ(rep.sim.totalTransmissions, ref.sim.totalTransmissions);
+    EXPECT_EQ(rep.sim.totalDeliveries, ref.sim.totalDeliveries);
+    EXPECT_EQ(rep.sim.totalCollisions, ref.sim.totalCollisions);
+    EXPECT_EQ(rep.scheduleLength, ref.scheduleLength);
+    EXPECT_EQ(rep.intended, ref.intended);
+    EXPECT_EQ(rep.delivered, ref.delivered);
+    EXPECT_EQ(rep.lastDeliveryRound, ref.lastDeliveryRound);
+    // No mutation => nobody departed or displaced.
+    EXPECT_EQ(rep.departed, 0u);
+    EXPECT_EQ(rep.displaced, 0u);
+    EXPECT_EQ(rep.settled, rep.intended);
+    EXPECT_EQ(rep.deliveredSettled, rep.delivered);
+    EXPECT_DOUBLE_EQ(rep.effectiveCoverage(), 1.0);
+  }
+}
+
+TEST(InFlightBroadcastTest, TokenTourRejected) {
+  const SensorNetwork net(paperNetwork(60, 0x1F118));
+  EXPECT_THROW(InFlightBroadcast(net.clusterNet(), BroadcastScheme::kDfo,
+                                 net.clusterNet().root(), kPayload, {}),
+               PreconditionError);
+}
+
+TEST(InFlightBroadcastTest, CrashMidWaveCountsAsDeparted) {
+  SensorNetwork net(paperNetwork(120, 0x1F119));
+  const NodeId source = net.clusterNet().root();
+  // A node far from the source so it is not the source itself.
+  const NodeId victim = source == 5 ? 6 : 5;
+
+  InFlightBroadcast wave(net.clusterNet(), BroadcastScheme::kImprovedCff,
+                         source, kPayload, {});
+  wave.advanceTo(2);
+  net.crashSensor(victim);
+  net.repairAfterFailures();
+  wave.noteDisplaced(victim);
+  wave.onTopologyChanged();
+  wave.runToCompletion();
+
+  const InFlightReport rep = wave.finish();
+  EXPECT_EQ(rep.departed, 1u);  // dead beats displaced in the accounting
+  EXPECT_EQ(rep.intended, rep.departed + rep.displaced + rep.settled);
+}
+
+TEST(InFlightBroadcastTest, MoveMidWaveCountsAsDisplaced) {
+  SensorNetwork net(paperNetwork(120, 0x1F11A));
+  const NodeId source = net.clusterNet().root();
+  const NodeId mover = source == 7 ? 8 : 7;
+
+  InFlightBroadcast wave(net.clusterNet(), BroadcastScheme::kCff, source,
+                         kPayload, {});
+  wave.advanceTo(4);
+  const Point2D p = net.position(mover);
+  net.moveSensor(mover, {p.x + 30.0, p.y + 30.0});
+  wave.noteDisplaced(mover);
+  wave.onTopologyChanged();
+  wave.runToCompletion();
+
+  const InFlightReport rep = wave.finish();
+  EXPECT_TRUE(wave.wasDisplaced(mover));
+  EXPECT_EQ(rep.displaced, 1u);
+  EXPECT_EQ(rep.intended, rep.departed + rep.displaced + rep.settled);
+  // The settled class never counts the displaced node's delivery.
+  EXPECT_LE(rep.deliveredSettled, rep.settled);
+}
+
+// The interleaved program all scheduler variants must agree on. Builds
+// its own network (the program mutates it), runs the wave under the
+// given thread count, and returns (report, per-node delivery flags).
+struct ProgramOutcome {
+  InFlightReport report;
+  std::vector<std::uint8_t> deliveredFlags;
+};
+
+ProgramOutcome runInterleavedProgram(BroadcastScheme scheme, int threads) {
+  SensorNetwork net(paperNetwork(140, 0x1F1B0));
+  const NodeId source = net.clusterNet().root();
+  ProtocolOptions opts = shardedOptions(net, threads);
+
+  InFlightBroadcast wave(net.clusterNet(), scheme, source, 0xAB, opts);
+
+  const auto resync = [&](std::initializer_list<NodeId> disturbed) {
+    for (NodeId v : disturbed) wave.noteDisplaced(v);
+    wave.refreshPositions(net.index());
+    wave.onTopologyChanged();
+  };
+
+  // Segment 1: a drift plus a crash under the wave.
+  wave.advanceTo(3);
+  const NodeId mover = source == 11 ? 12 : 11;
+  const NodeId victim = source == 23 ? 24 : 23;
+  const Point2D mp = net.position(mover);
+  net.moveSensor(mover, {mp.x + 40.0, mp.y - 25.0});
+  net.crashSensor(victim);
+  net.repairAfterFailures();
+  resync({mover, victim});
+
+  // Segment 2: membership churn — a join and a voluntary departure.
+  wave.advanceTo(9);
+  net.addSensor({net.position(source).x + 20.0, net.position(source).y});
+  const NodeId leaver = source == 37 ? 38 : 37;
+  if (net.clusterNet().contains(leaver)) {
+    net.removeSensor(leaver);
+    resync({leaver});
+  } else {
+    resync({});
+  }
+
+  // Segment 3: another drift, then run out.
+  wave.advanceTo(15);
+  const NodeId drifter = source == 53 ? 54 : 53;
+  if (net.graph().isAlive(drifter)) {
+    const Point2D dp = net.position(drifter);
+    net.moveSensor(drifter, {dp.x - 35.0, dp.y + 15.0});
+    resync({drifter});
+  }
+  wave.runToCompletion();
+
+  ProgramOutcome out;
+  out.report = wave.finish();
+  out.deliveredFlags.reserve(wave.intended().size());
+  for (NodeId v : wave.intended())
+    out.deliveredFlags.push_back(wave.deliveredTo(v) ? 1 : 0);
+  return out;
+}
+
+TEST(InFlightBroadcastTest, InterleavedChurnBitIdenticalAcrossThreadCounts) {
+  for (const BroadcastScheme scheme :
+       {BroadcastScheme::kCff, BroadcastScheme::kImprovedCff}) {
+    const ProgramOutcome ref = runInterleavedProgram(scheme, /*threads=*/0);
+    EXPECT_EQ(ref.report.intended,
+              ref.report.departed + ref.report.displaced + ref.report.settled);
+    for (const int threads : {1, 2, 8}) {
+      SCOPED_TRACE(std::string(toString(scheme)) + " threads=" +
+                   std::to_string(threads));
+      const ProgramOutcome got = runInterleavedProgram(scheme, threads);
+      expectSameReport(got.report, ref.report);
+      EXPECT_EQ(got.deliveredFlags, ref.deliveredFlags);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsn

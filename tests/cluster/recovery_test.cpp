@@ -66,6 +66,43 @@ TEST(RecoveryTest, RepairIsIdempotent) {
   EXPECT_TRUE(net.validate().ok());
 }
 
+// Regression: a join that lands while the structure is stale (after a
+// crash, before the batched repair — the exact shape of a churn tick)
+// may promote a pure member whose own parent is the dead node. The
+// promoted node's Procedure-1 repair then has no live parent to
+// recalculate and must defer to the recovery pass instead of aborting.
+TEST(RecoveryTest, JoinDuringStaleStructureToleratesDeadGrandparent) {
+  NetworkConfig cfg;
+  cfg.nodeCount = 0;
+  SensorNetwork net(cfg);
+  // A path 0 - 1 - 2 - 3 (spacing 40 < range 50): 0 root head, 1 member
+  // promoted to gateway when 2 joined, 2 head, 3 pure member under 2.
+  for (double x : {0.0, 40.0, 80.0, 120.0}) net.addSensor({x, 0.0});
+  ASSERT_EQ(net.clusterNet().knowledge(3).status, NodeStatus::kPureMember);
+  ASSERT_EQ(net.clusterNet().parent(3), NodeId{2});
+
+  net.crashSensor(2);
+  ASSERT_TRUE(net.hasStaleStructure());
+
+  // The joiner hears only member 3 (in range of 3, out of range of the
+  // rest): Definition-1 rule (c) promotes 3 to gateway, and 3's repair
+  // runs against its dead parent. Before the stale-edge guard this threw
+  // out of repairReceiver.
+  bool joined = false;
+  const NodeId j = net.addSensor({120.0, 45.0}, &joined);
+  EXPECT_TRUE(joined);
+  EXPECT_TRUE(net.clusterNet().contains(j));
+  EXPECT_EQ(net.clusterNet().knowledge(3).status, NodeStatus::kGateway);
+
+  // The recovery pass then owns the deferred repair; here it finds 3 and
+  // j cut off from the root's component and orphans them cleanly.
+  net.repairAfterFailures();
+  EXPECT_FALSE(net.hasStaleStructure());
+  EXPECT_TRUE(net.validate().ok());
+  for (NodeId v : net.clusterNet().netNodes())
+    EXPECT_TRUE(net.graph().isAlive(v));
+}
+
 TEST(RecoveryTest, RootCrashReseeds) {
   SensorNetwork net(smallConfig(9004));
   const NodeId oldRoot = net.clusterNet().root();

@@ -265,5 +265,108 @@ TEST(ScenarioRunnerTest, CrashOfUndeployedNodeThrows) {
                PreconditionError);
 }
 
+// ---- mobility events ----
+
+TEST(ScenarioParserTest, ParsesMobilityEvents) {
+  const auto events = parseScenario(
+      "waypoint 5 25\n"
+      "waypoint 1 12.5\n"
+      "churn 2.5\n"
+      "churn 0.75 10\n"
+      "churn 0\n");
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, ScenarioEvent::Kind::kWaypoint);
+  EXPECT_EQ(events[0].steps, 5);
+  EXPECT_DOUBLE_EQ(events[0].magnitude, 25.0);
+  EXPECT_EQ(events[1].steps, 1);
+  EXPECT_DOUBLE_EQ(events[1].magnitude, 12.5);
+  EXPECT_EQ(events[2].kind, ScenarioEvent::Kind::kChurn);
+  EXPECT_EQ(events[2].steps, 1);  // default tick count
+  EXPECT_DOUBLE_EQ(events[2].magnitude, 2.5);
+  EXPECT_EQ(events[3].steps, 10);
+  EXPECT_DOUBLE_EQ(events[3].magnitude, 0.75);
+  EXPECT_DOUBLE_EQ(events[4].magnitude, 0.0);
+}
+
+TEST(ScenarioParserTest, MobilityEventErrorsRejected) {
+  EXPECT_THROW(parseScenario("waypoint\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("waypoint 5\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("waypoint 0 25\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("waypoint 1.5 25\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("waypoint 5 0\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("waypoint 5 -3\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("waypoint 5 25 9\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("churn\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("churn -1\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("churn 2 0\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("churn 2 2.5\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("churn 2 3 4\n"), PreconditionError);
+}
+
+TEST(ScenarioParserTest, MobilityEventsRoundTripThroughFormat) {
+  const std::string script =
+      "waypoint 5 25\n"
+      "waypoint 3 0.10000000000000001\n"
+      "churn 2.5\n"
+      "churn 0.75 10\n";
+  const auto events = parseScenario(script);
+  EXPECT_EQ(formatScenario(events), script);
+  // Value-exact through a second parse.
+  const auto again = parseScenario(formatScenario(events));
+  ASSERT_EQ(again.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].kind, events[i].kind);
+    EXPECT_EQ(again[i].steps, events[i].steps);
+    EXPECT_DOUBLE_EQ(again[i].magnitude, events[i].magnitude);
+  }
+}
+
+TEST(ScenarioRunnerTest, WaypointMovesNetNodesAndStaysValid) {
+  auto net = makeNet();
+  std::vector<Point2D> before;
+  for (NodeId v = 0; v < net.size(); ++v) before.push_back(net.position(v));
+  const auto outcome =
+      runScenario(net, parseScenario("waypoint 3 20\nvalidate\n"));
+  EXPECT_TRUE(outcome.valid) << outcome.firstViolation;
+  std::size_t moved = 0;
+  for (NodeId v = 0; v < before.size(); ++v) {
+    if (net.graph().isAlive(v) && !(net.position(v) == before[v])) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_NE(outcome.log[0].find("waypoint 3 ticks"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, WaypointIsSeedStable) {
+  auto netA = makeNet();
+  auto netB = makeNet();
+  const auto events = parseScenario("waypoint 4 15\nbroadcast 0 icff\n");
+  ScenarioOptions opts;
+  opts.seed = 99;
+  const auto a = runScenario(netA, events, opts);
+  const auto b = runScenario(netB, events, opts);
+  EXPECT_EQ(a.log, b.log);
+  for (NodeId v = 0; v < netA.size(); ++v)
+    EXPECT_TRUE(netA.position(v) == netB.position(v)) << "node " << v;
+}
+
+TEST(ScenarioRunnerTest, ChurnTicksEndCleanAndRepaired) {
+  auto net = makeNet();
+  const auto outcome =
+      runScenario(net,
+                  parseScenario("churn 3 8\nvalidate\nbroadcast random icff\n"));
+  EXPECT_TRUE(outcome.valid) << outcome.firstViolation;
+  EXPECT_FALSE(net.hasStaleStructure());
+  EXPECT_NE(outcome.log[0].find("churn 8 ticks"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, ZeroRateChurnIsANoOp) {
+  auto net = makeNet();
+  const std::size_t before = net.size();
+  const auto outcome = runScenario(net, parseScenario("churn 0 5\n"));
+  EXPECT_TRUE(outcome.valid);
+  EXPECT_EQ(net.size(), before);
+  EXPECT_EQ(outcome.crashes, 0u);
+}
+
 }  // namespace
 }  // namespace dsn

@@ -102,5 +102,70 @@ TEST(UnitDiskPropertyTest, IndexMatchesBruteForceUnderChurn) {
   }
 }
 
+TEST(UnitDiskPropertyTest, UpdatePositionMatchesBruteForceUnderMotion) {
+  // The in-place move fast path must be observationally identical to
+  // remove + insert. The motion mix deliberately covers both branches:
+  // small jitters that stay inside one grid cell and long jumps that
+  // migrate between cell buckets (plus moves landing exactly on cell
+  // boundaries, the classic off-by-one surface).
+  Rng rng(0xD15C2);
+  const double range = 50.0;
+  UnitDiskIndex index(range);
+  std::vector<Point2D> pos;
+  const std::size_t n = 60;
+  for (NodeId v = 0; v < n; ++v) {
+    pos.push_back({rng.uniformReal(0.0, 400.0), rng.uniformReal(0.0, 400.0)});
+    index.insert(v, pos.back());
+  }
+
+  for (int step = 0; step < 500; ++step) {
+    const NodeId v = static_cast<NodeId>(rng.uniform(n));
+    Point2D p;
+    switch (rng.uniform(3)) {
+      case 0:  // same-cell jitter
+        p = {pos[v].x + rng.uniformReal(-1.0, 1.0),
+             pos[v].y + rng.uniformReal(-1.0, 1.0)};
+        break;
+      case 1:  // long jump across cells
+        p = {rng.uniformReal(0.0, 400.0), rng.uniformReal(0.0, 400.0)};
+        break;
+      default:  // snap onto a cell-boundary multiple of the range
+        p = {range * static_cast<double>(rng.uniform(9)),
+             range * static_cast<double>(rng.uniform(9))};
+        break;
+    }
+    index.updatePosition(v, p);
+    pos[v] = p;
+    ASSERT_EQ(index.size(), n);
+    EXPECT_EQ(index.position(v), p);
+
+    // Neighborhood queries match the O(n) definition...
+    const NodeId probeId = static_cast<NodeId>(rng.uniform(n));
+    std::vector<NodeId> expected;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u != probeId && inRange(pos[probeId], pos[u], range))
+        expected.push_back(u);
+    }
+    std::vector<NodeId> got = index.queryNeighbors(pos[probeId]);
+    got.erase(std::remove(got.begin(), got.end(), probeId), got.end());
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "step " << step;
+  }
+
+  // ...and the final state is identical to an index rebuilt from scratch.
+  UnitDiskIndex fresh(range);
+  for (NodeId v = 0; v < n; ++v) fresh.insert(v, pos[v]);
+  for (int probe = 0; probe < 50; ++probe) {
+    const Point2D q{rng.uniformReal(-20.0, 420.0),
+                    rng.uniformReal(-20.0, 420.0)};
+    std::vector<NodeId> a = index.queryNeighbors(q);
+    std::vector<NodeId> b = fresh.queryNeighbors(q);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "probe " << probe;
+  }
+}
+
 }  // namespace
 }  // namespace dsn

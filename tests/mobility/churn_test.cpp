@@ -1,0 +1,116 @@
+// ChurnEngine: sustained churn ends every tick validator-clean, and the
+// adaptive policy trades incremental repairs for rebuilds as configured.
+#include <gtest/gtest.h>
+
+#include "core/sensor_network.hpp"
+#include "mobility/churn.hpp"
+#include "mobility/model.hpp"
+
+namespace dsn::mobility {
+namespace {
+
+NetworkConfig denseNetwork(std::size_t n, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.field = Field::squareUnits(4);  // 400 m x 400 m at 50 m range
+  cfg.nodeCount = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ChurnConfig churnConfig(RepairPolicy policy) {
+  ChurnConfig cfg;
+  cfg.crashRate = 0.4;
+  cfg.joinRate = 0.4;
+  cfg.leaveRate = 0.2;
+  cfg.policy = policy;
+  cfg.field = Field::squareUnits(4);
+  return cfg;
+}
+
+TEST(ChurnEngineTest, SustainedChurnStaysValidatorClean) {
+  SensorNetwork net(denseNetwork(70, 0xC1));
+  WaypointConfig wc;
+  wc.field = Field::squareUnits(4);
+  wc.speed = 15.0;
+  wc.period = 4;
+  RandomWaypointModel model(wc);
+  for (NodeId v : net.clusterNet().netNodes()) model.track(v, net.position(v));
+
+  ChurnEngine engine(net, &model, churnConfig(RepairPolicy::kIncremental));
+  for (Round r = 0; r < 300; ++r) engine.tick(r);
+
+  const ChurnTotals& t = engine.totals();
+  EXPECT_EQ(t.ticks, 300u);
+  EXPECT_GT(t.moves, 0u);
+  EXPECT_GT(t.crashes, 0u);
+  EXPECT_GT(t.joins, 0u);
+  EXPECT_GT(t.leaves, 0u);
+  EXPECT_GT(t.repairs, 0u);
+  EXPECT_GT(t.validations, 0u);
+  EXPECT_EQ(t.validationFailures, 0u);
+  EXPECT_FALSE(net.hasStaleStructure());
+  EXPECT_TRUE(net.validate().ok());
+}
+
+TEST(ChurnEngineTest, IncrementalPolicyNeverRebuilds) {
+  SensorNetwork net(denseNetwork(60, 0xC2));
+  ChurnEngine engine(net, nullptr, churnConfig(RepairPolicy::kIncremental));
+  for (Round r = 0; r < 200; ++r) engine.tick(r);
+  EXPECT_EQ(engine.totals().rebuilds, 0u);
+  EXPECT_EQ(engine.totals().rebuildCost, 0);
+  EXPECT_GT(engine.totals().incrementalCost, 0);
+}
+
+TEST(ChurnEngineTest, RebuildPolicyRebuildsOnStructuralTicks) {
+  SensorNetwork net(denseNetwork(60, 0xC3));
+  ChurnConfig cfg = churnConfig(RepairPolicy::kRebuild);
+  cfg.crashRate = 1.0;  // every tick is structural
+  cfg.joinRate = 1.0;
+  ChurnEngine engine(net, nullptr, cfg);
+  for (Round r = 0; r < 20; ++r) engine.tick(r);
+  EXPECT_EQ(engine.totals().rebuilds, 20u);
+  EXPECT_GT(engine.totals().rebuildCost, 0);
+  EXPECT_EQ(engine.totals().validationFailures, 0u);
+}
+
+TEST(ChurnEngineTest, AdaptivePolicyRebuildsWhenDebtExceedsThreshold) {
+  SensorNetwork net(denseNetwork(60, 0xC4));
+  ChurnConfig cfg = churnConfig(RepairPolicy::kAdaptive);
+  cfg.debtFactor = 0.05;  // tiny threshold: debt trips quickly
+  ChurnEngine engine(net, nullptr, cfg);
+  for (Round r = 0; r < 300; ++r) engine.tick(r);
+  EXPECT_GT(engine.totals().rebuilds, 0u);
+  EXPECT_EQ(engine.totals().validationFailures, 0u);
+}
+
+TEST(ChurnEngineTest, AdaptiveWithHugeThresholdStaysIncremental) {
+  SensorNetwork net(denseNetwork(60, 0xC5));
+  ChurnConfig cfg = churnConfig(RepairPolicy::kAdaptive);
+  cfg.debtFactor = 1e9;
+  ChurnEngine engine(net, nullptr, cfg);
+  for (Round r = 0; r < 200; ++r) engine.tick(r);
+  EXPECT_EQ(engine.totals().rebuilds, 0u);
+  EXPECT_GT(engine.debt(), 0.0);
+}
+
+TEST(ChurnEngineTest, DeterministicReplay) {
+  const auto run = [] {
+    SensorNetwork net(denseNetwork(50, 0xC6));
+    ChurnEngine engine(net, nullptr, churnConfig(RepairPolicy::kAdaptive));
+    for (Round r = 0; r < 150; ++r) engine.tick(r);
+    return engine.totals();
+  };
+  const ChurnTotals a = run();
+  const ChurnTotals b = run();
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.leaves, b.leaves);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.rebuilds, b.rebuilds);
+  EXPECT_EQ(a.incrementalCost, b.incrementalCost);
+  EXPECT_EQ(a.rebuildCost, b.rebuildCost);
+}
+
+}  // namespace
+}  // namespace dsn::mobility

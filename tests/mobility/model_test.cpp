@@ -1,0 +1,174 @@
+// Mobility models: deterministic replay, kinematics, bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mobility/model.hpp"
+
+namespace dsn::mobility {
+namespace {
+
+double dist(const Point2D& a, const Point2D& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+bool inField(const Point2D& p, const Field& f) {
+  return p.x >= 0.0 && p.x <= f.width && p.y >= 0.0 && p.y <= f.height;
+}
+
+WaypointConfig waypointConfig() {
+  WaypointConfig cfg;
+  cfg.field = Field{400.0, 400.0};
+  cfg.speed = 12.0;
+  return cfg;
+}
+
+TEST(RandomWaypointModelTest, ReplaysBitIdentically) {
+  RandomWaypointModel a(waypointConfig());
+  RandomWaypointModel b(waypointConfig());
+  for (NodeId v = 0; v < 10; ++v) {
+    a.track(v, {10.0 * v, 5.0 * v});
+    b.track(v, {10.0 * v, 5.0 * v});
+  }
+  std::vector<MobilityUpdate> ua, ub;
+  for (Round r = 0; r < 50; ++r) {
+    ua.clear();
+    ub.clear();
+    a.updates(r, ua);
+    b.updates(r, ub);
+    ASSERT_EQ(ua.size(), ub.size()) << "round " << r;
+    for (std::size_t i = 0; i < ua.size(); ++i) {
+      EXPECT_EQ(ua[i].node, ub[i].node);
+      EXPECT_EQ(ua[i].to, ub[i].to);
+    }
+  }
+}
+
+TEST(RandomWaypointModelTest, StepsAreSpeedBoundedAndInField) {
+  const WaypointConfig cfg = waypointConfig();
+  RandomWaypointModel m(cfg);
+  std::vector<Point2D> at;
+  for (NodeId v = 0; v < 8; ++v) {
+    at.push_back({50.0 + 30.0 * v, 200.0});
+    m.track(v, at.back());
+  }
+  std::vector<MobilityUpdate> out;
+  for (Round r = 0; r < 200; ++r) {
+    out.clear();
+    m.updates(r, out);
+    ASSERT_EQ(out.size(), 8u);
+    for (const MobilityUpdate& u : out) {
+      EXPECT_LE(dist(at[u.node], u.to), cfg.speed + 1e-9);
+      EXPECT_TRUE(inField(u.to, cfg.field));
+      at[u.node] = u.to;
+    }
+  }
+}
+
+TEST(RandomWaypointModelTest, PeriodGatesEmission) {
+  WaypointConfig cfg = waypointConfig();
+  cfg.period = 4;
+  RandomWaypointModel m(cfg);
+  m.track(0, {100.0, 100.0});
+  std::vector<MobilityUpdate> out;
+  for (Round r = 0; r < 16; ++r) {
+    out.clear();
+    m.updates(r, out);
+    EXPECT_EQ(out.size(), r % 4 == 0 ? 1u : 0u) << "round " << r;
+  }
+}
+
+TEST(RandomWaypointModelTest, ForgetDropsTheNode) {
+  RandomWaypointModel m(waypointConfig());
+  m.track(3, {10.0, 10.0});
+  m.track(7, {20.0, 20.0});
+  EXPECT_EQ(m.trackedCount(), 2u);
+  m.forget(3);
+  EXPECT_EQ(m.trackedCount(), 1u);
+  std::vector<MobilityUpdate> out;
+  m.updates(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].node, 7u);
+}
+
+TEST(GroupMobilityModelTest, MembersTravelTogether) {
+  GroupMobilityConfig cfg;
+  cfg.field = Field{500.0, 500.0};
+  cfg.speed = 10.0;
+  cfg.jitter = 2.0;
+  GroupMobilityModel m(cfg);
+  m.addGroup({{0, {100.0, 100.0}}, {1, {110.0, 100.0}}, {2, {105.0, 110.0}}});
+
+  std::vector<MobilityUpdate> out;
+  for (Round r = 0; r < 100; ++r) {
+    out.clear();
+    m.updates(r, out);
+    ASSERT_EQ(out.size(), 3u);
+    // Pairwise spread stays near the initial offsets: at most the
+    // original separation plus jitter on both ends.
+    for (std::size_t i = 0; i < out.size(); ++i)
+      for (std::size_t j = i + 1; j < out.size(); ++j)
+        EXPECT_LE(dist(out[i].to, out[j].to), 20.0 + 2.0 * cfg.jitter + 1e-9);
+    for (const MobilityUpdate& u : out)
+      EXPECT_TRUE(inField(u.to, cfg.field));
+  }
+}
+
+TEST(GroupMobilityModelTest, ReplaysBitIdentically) {
+  GroupMobilityConfig cfg;
+  cfg.field = Field{300.0, 300.0};
+  const auto members = std::vector<std::pair<NodeId, Point2D>>{
+      {4, {40.0, 60.0}}, {9, {60.0, 60.0}}};
+  GroupMobilityModel a(cfg);
+  GroupMobilityModel b(cfg);
+  a.addGroup(members);
+  b.addGroup(members);
+  std::vector<MobilityUpdate> ua, ub;
+  for (Round r = 0; r < 40; ++r) {
+    ua.clear();
+    ub.clear();
+    a.updates(r, ua);
+    b.updates(r, ub);
+    ASSERT_EQ(ua.size(), ub.size());
+    for (std::size_t i = 0; i < ua.size(); ++i) EXPECT_EQ(ua[i].to, ub[i].to);
+  }
+}
+
+TEST(ScriptedMobilityModelTest, EmitsInRoundOrderAfterOutOfOrderSchedule) {
+  ScriptedMobilityModel m;
+  m.schedule(5, 1, {10.0, 10.0});
+  m.schedule(2, 2, {20.0, 20.0});
+  m.schedule(5, 3, {30.0, 30.0});
+  m.schedule(2, 4, {40.0, 40.0});
+  EXPECT_EQ(m.pendingCount(), 4u);
+
+  std::vector<MobilityUpdate> out;
+  m.updates(2, out);
+  ASSERT_EQ(out.size(), 2u);
+  // Stable sort: same-round entries keep schedule order.
+  EXPECT_EQ(out[0].node, 2u);
+  EXPECT_EQ(out[1].node, 4u);
+
+  out.clear();
+  m.updates(5, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].node, 1u);
+  EXPECT_EQ(out[1].node, 3u);
+  EXPECT_EQ(m.pendingCount(), 0u);
+}
+
+TEST(ScriptedMobilityModelTest, SkipsPastRoundsAndForgetsNodes) {
+  ScriptedMobilityModel m;
+  m.schedule(1, 1, {1.0, 1.0});
+  m.schedule(3, 2, {2.0, 2.0});
+  m.schedule(4, 2, {3.0, 3.0});
+  m.forget(2);
+  std::vector<MobilityUpdate> out;
+  m.updates(3, out);  // round 1's entry is in the past, node 2 forgotten
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(m.pendingCount(), 0u);
+}
+
+}  // namespace
+}  // namespace dsn::mobility

@@ -11,11 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "broadcast/flooding_baseline.hpp"
+#include "broadcast/inflight.hpp"
 #include "broadcast/reliable.hpp"
 #include "broadcast/runner.hpp"
 #include "core/sensor_network.hpp"
+#include "util/rng.hpp"
 
 namespace dsn {
 namespace {
@@ -199,6 +202,92 @@ TEST(ShardedDifferentialTest, ExplicitTileKnobsDoNotChangeResults) {
     o.tileTarget = tiles;
     const auto sharded = net.broadcast(BroadcastScheme::kCff, source, 23, o);
     expectSameRun(sharded, reference);
+  }
+}
+
+// ---- interleaved move/broadcast programs ----
+//
+// The sharded engine must stay order-exact through the reconfiguration
+// seam too: a wave paused mid-flight while nodes move (and the position
+// partition is refreshed under it) replays bit-identically at every
+// worker count. Each run rebuilds the network from the same seed and
+// replays the same mutation script, so only the scheduler varies.
+
+struct InterleavedOutcome {
+  std::size_t rounds = 0;
+  std::size_t transmissions = 0;
+  std::size_t deliveries = 0;
+  std::size_t collisions = 0;
+  std::size_t delivered = 0;
+  std::vector<std::uint8_t> payloadByNode;
+};
+
+InterleavedOutcome runInterleavedMoves(BroadcastScheme scheme, int threads,
+                                       std::uint64_t seed) {
+  SensorNetwork net(paperNetwork(130, seed));
+  ProtocolOptions opts;
+  opts.threads = threads;
+  opts.shardSerialThreshold = 0;
+  if (threads > 0) {
+    opts.nodePositions.resize(net.graph().size());
+    for (NodeId v = 0; v < net.graph().size(); ++v)
+      if (net.index().contains(v)) opts.nodePositions[v] = net.index().position(v);
+    opts.tileMinEdge = net.range();
+  }
+
+  const NodeId source = net.clusterNet().root();
+  InFlightBroadcast wave(net.clusterNet(), scheme, source, 0x5E6, opts);
+
+  // Three segments; between them a deterministic drift of a few nodes —
+  // enough to migrate ids across tile boundaries mid-wave.
+  Rng rng(seed ^ 0xD1FF);
+  for (int segment = 0; segment < 3; ++segment) {
+    wave.advanceTo(wave.cursor() + 4);
+    if (wave.finished()) break;
+    for (int k = 0; k < 4; ++k) {
+      const NodeId v = net.randomNode(rng);
+      if (v == source) continue;
+      const Point2D p = net.position(v);
+      net.moveSensor(v, {p.x + rng.uniformReal(-60.0, 60.0),
+                         p.y + rng.uniformReal(-60.0, 60.0)});
+      wave.noteDisplaced(v);
+    }
+    wave.refreshPositions(net.index());
+    wave.onTopologyChanged();
+  }
+  wave.runToCompletion();
+
+  const InFlightReport r = wave.finish();
+  InterleavedOutcome out;
+  out.rounds = static_cast<std::size_t>(r.sim.rounds);
+  out.transmissions = r.sim.totalTransmissions;
+  out.deliveries = r.sim.totalDeliveries;
+  out.collisions = r.sim.totalCollisions;
+  out.delivered = r.delivered;
+  out.payloadByNode.reserve(wave.intended().size());
+  for (NodeId v : wave.intended())
+    out.payloadByNode.push_back(wave.deliveredTo(v) ? 1 : 0);
+  return out;
+}
+
+TEST(ShardedDifferentialTest, InterleavedMoveBroadcastPrograms) {
+  for (const BroadcastScheme scheme :
+       {BroadcastScheme::kCff, BroadcastScheme::kImprovedCff}) {
+    for (const std::uint64_t seed : {0xD1FF10ull, 0xD1FF11ull}) {
+      const auto reference = runInterleavedMoves(scheme, /*threads=*/0, seed);
+      for (const int threads : kThreadCounts) {
+        SCOPED_TRACE(std::string(toString(scheme)) + " seed=" +
+                     std::to_string(seed) + " threads=" +
+                     std::to_string(threads));
+        const auto sharded = runInterleavedMoves(scheme, threads, seed);
+        EXPECT_EQ(sharded.rounds, reference.rounds);
+        EXPECT_EQ(sharded.transmissions, reference.transmissions);
+        EXPECT_EQ(sharded.deliveries, reference.deliveries);
+        EXPECT_EQ(sharded.collisions, reference.collisions);
+        EXPECT_EQ(sharded.delivered, reference.delivered);
+        EXPECT_EQ(sharded.payloadByNode, reference.payloadByNode);
+      }
+    }
   }
 }
 

@@ -76,10 +76,10 @@ TEST(DeterminismTest, PinnedCampaignDigest) {
   config.jobs = 2;
   config.shrinkFailures = false;
   const FuzzReport report = runFuzz(config);
-  EXPECT_EQ(report.digest, 0xd808f53a9cf3ce78ULL);
+  EXPECT_EQ(report.digest, 0xBC93F534E1B3C4BEULL);
   EXPECT_EQ(report.failed, 0u);
-  EXPECT_EQ(report.opsExecuted, 546u);
-  EXPECT_EQ(report.simRuns, 634u);
+  EXPECT_EQ(report.opsExecuted, 544u);
+  EXPECT_EQ(report.simRuns, 574u);
 }
 
 TEST(DeterminismTest, PinnedCampaignDigestUnderShardedScheduler) {
@@ -96,10 +96,10 @@ TEST(DeterminismTest, PinnedCampaignDigestUnderShardedScheduler) {
   config.episode.threads = 4;
   config.episode.shardSerialThreshold = 0;
   const FuzzReport report = runFuzz(config);
-  EXPECT_EQ(report.digest, 0xd808f53a9cf3ce78ULL);
+  EXPECT_EQ(report.digest, 0xBC93F534E1B3C4BEULL);
   EXPECT_EQ(report.failed, 0u);
-  EXPECT_EQ(report.opsExecuted, 546u);
-  EXPECT_EQ(report.simRuns, 634u);
+  EXPECT_EQ(report.opsExecuted, 544u);
+  EXPECT_EQ(report.simRuns, 574u);
 }
 
 TEST(DeterminismTest, EpisodeDigestsActuallyDiffer) {
