@@ -1,0 +1,148 @@
+// T11 (DESIGN.md §16) — the broadcast arena: every scheme in the
+// roster (the paper's DFO/CFF/iCFF plus the six flat-graph rivals:
+// blind flooding, fixed/adaptive gossip, counter- and distance-based
+// suppression, RLNC) races from the structure root across fault regimes
+// and densities. One row per (regime, n, scheme) cell.
+//
+// Regimes (first column):
+//   0 clean  — no faults
+//   1 drop   — i.i.d. loss p = 0.1
+//   2 burst  — Gilbert-Elliott (enter .05, exit .3, good .02, burst .9)
+//   3 jam    — 150 m jam disk at the field center, always on
+//   4 crash  — ~5% of non-root nodes crash before the wave; structure
+//              repaired, so every scheme races the same survivor graph
+//
+// Schemes (third column, roster order):
+//   0=DFO 1=CFF 2=ICFF 3=FLOOD 4=GOSSIP 5=AGOSSIP 6=COUNTER
+//   7=DISTANCE 8=RLNC
+//
+// Expected shape: in the clean regime iCFF finishes in fewer rounds
+// than every flat rival at every density (the collision-free slot
+// schedule against contention backoff) — CI's arena-smoke job gates on
+// that claim against the committed baseline. The rivals' advantage is
+// needing no structure: they keep partial coverage under regime 4
+// before the repair finishes, which the in-flight engine (§15) studies.
+//
+// `--tiny` shrinks the grid to n = 80 for smoke runs; `-j N` selects
+// sweep workers (bit-identical output at every N).
+#include <cstring>
+
+#include "bench/bench_common.hpp"
+#include "broadcast/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  const int jobs = bench::jobsArg(argc, argv);
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  cfg.nodeCounts = tiny ? std::vector<std::size_t>{80}
+                        : std::vector<std::size_t>{150, 300, 450};
+
+  bench::printHeader(
+      "T11", "broadcast arena: all schemes x fault regimes x density", cfg);
+  std::cout << "# regimes: 0=clean 1=drop(0.1) 2=burst 3=jam(center,150m) "
+               "4=crash(5%)\n"
+            << "# schemes: 0=DFO 1=CFF 2=ICFF 3=FLOOD 4=GOSSIP 5=AGOSSIP "
+               "6=COUNTER 7=DISTANCE 8=RLNC\n";
+
+  struct Regime {
+    double id;
+    void (*apply)(SensorNetwork&, Rng&, ProtocolOptions&,
+                  const ExperimentConfig&);
+  };
+  const Regime regimes[] = {
+      {0.0,
+       [](SensorNetwork&, Rng&, ProtocolOptions&, const ExperimentConfig&) {
+       }},
+      {1.0,
+       [](SensorNetwork&, Rng&, ProtocolOptions& o,
+          const ExperimentConfig&) { o.dropProbability = 0.1; }},
+      {2.0,
+       [](SensorNetwork&, Rng&, ProtocolOptions& o,
+          const ExperimentConfig&) {
+         o.burst.pEnterBurst = 0.05;
+         o.burst.pExitBurst = 0.3;
+         o.burst.dropGood = 0.02;
+         o.burst.dropBurst = 0.9;
+       }},
+      {3.0,
+       [](SensorNetwork&, Rng&, ProtocolOptions& o,
+          const ExperimentConfig& c) {
+         JamZone z;
+         const double side = c.fieldUnits * c.unitMeters;
+         z.center = {side / 2.0, side / 2.0};
+         z.radius = 150.0;
+         o.jamZones.push_back(z);
+       }},
+      {4.0,
+       [](SensorNetwork& net, Rng& rng, ProtocolOptions&,
+          const ExperimentConfig&) {
+         std::vector<NodeId> victims = net.clusterNet().netNodes();
+         std::erase(victims, net.clusterNet().root());
+         const std::size_t kills =
+             std::max<std::size_t>(1, victims.size() * 5 / 100);
+         for (std::size_t i = 0; i < kills && !victims.empty(); ++i) {
+           const std::size_t pick = rng.pickIndex(victims);
+           net.crashSensor(victims[pick]);
+           victims.erase(victims.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+         }
+         net.repairAfterFailures();
+       }},
+  };
+
+  std::vector<std::vector<double>> rows;
+  for (const Regime& regime : regimes) {
+    const auto sweep = exec::runSweep(
+        cfg,
+        [&cfg, &regime](SensorNetwork& net, Rng& rng, MetricTable& t) {
+          ProtocolOptions opts;
+          regime.apply(net, rng, opts, cfg);
+          opts.failureSeed = rng.next();
+          opts.arena.seed = rng.next();
+
+          const NodeId source = net.clusterNet().root();
+          for (const BroadcastScheme scheme : kAllBroadcastSchemes) {
+            const std::string tag(toString(scheme));
+            const auto run = net.broadcast(scheme, source, 1, opts);
+            t.add("cov_" + tag, run.coverage());
+            // The Fig. 8 race metric: rounds until the broadcast
+            // *completes*. A run that never reaches every intended node
+            // has not completed — charging it only up to its last lucky
+            // delivery would reward giving up early, so it is charged the
+            // full simulated span instead.
+            t.add("done_" + tag,
+                  static_cast<double>(run.allDelivered()
+                                          ? run.lastDeliveryRound + 1
+                                          : run.sim.rounds));
+            t.add("rounds_" + tag, static_cast<double>(run.sim.rounds));
+            t.add("tx_" + tag, static_cast<double>(run.transmissions));
+            t.add("coll_" + tag, static_cast<double>(run.collisions));
+            t.add("awake_" + tag, run.meanAwakeRounds);
+            t.add("decfail_" + tag,
+                  static_cast<double>(run.decodeFailures));
+          }
+        },
+        jobs);
+    for (const std::size_t n : cfg.nodeCounts) {
+      const MetricTable& t = sweep.at(n);
+      for (std::size_t s = 0; s < kAllBroadcastSchemes.size(); ++s) {
+        const std::string tag(toString(kAllBroadcastSchemes[s]));
+        rows.push_back({regime.id, static_cast<double>(n),
+                        static_cast<double>(s), t.mean("cov_" + tag),
+                        t.mean("done_" + tag), t.mean("rounds_" + tag),
+                        t.mean("tx_" + tag), t.mean("coll_" + tag),
+                        t.mean("awake_" + tag), t.mean("decfail_" + tag)});
+      }
+    }
+  }
+  bench::emitBench(
+      "tbl_arena",
+      "T11 — broadcast arena: scheme x fault regime x density",
+      {"regime", "n", "scheme", "coverage", "broadcast rounds",
+       "sim rounds", "tx", "collisions", "mean awake", "decode fail"},
+      rows, cfg, 3);
+  return 0;
+}

@@ -1,0 +1,168 @@
+// GF(2^8) field arithmetic and online Gaussian elimination for the RLNC
+// broadcast rival (Haas & Nikolov, "Towards Optimal Broadcast").
+//
+// The field is GF(2)[x]/(x^8 + x^4 + x^3 + x + 1) — the AES polynomial
+// 0x11B — with log/exp tables built at compile time from the generator 3.
+// Coded symbols are 64-bit words treated as 8 parallel field elements
+// (byte-wise scaling), so one u64 carries a whole payload word through
+// the linear combinations.
+//
+// `Decoder` keeps received coding vectors in normalized row-echelon form
+// (one pivot per source-symbol column) so each insert answers "was that
+// packet innovative?" in O(G^2) and decoding is a back-substitution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace dsn::gf256 {
+
+/// Upper bound on RLNC generation size supported by Decoder (one
+/// coefficient byte per source symbol must fit a Message::sequence when
+/// the generation is 4; the decoder itself handles up to 8).
+inline constexpr int kMaxGeneration = 8;
+
+namespace detail {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+};
+
+constexpr Tables makeTables() {
+  Tables t{};
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    // x *= 3 over GF(2^8): xtime(x) ^ x, reduced by 0x11B.
+    std::uint16_t doubled = static_cast<std::uint16_t>(x << 1);
+    if (doubled & 0x100) doubled = static_cast<std::uint16_t>(doubled ^ 0x11B);
+    x = static_cast<std::uint16_t>(doubled ^ x);
+  }
+  // Mirror the exp table so mul can index log[a]+log[b] without a mod.
+  for (int i = 255; i < 512; ++i)
+    t.exp[static_cast<std::size_t>(i)] =
+        t.exp[static_cast<std::size_t>(i - 255)];
+  return t;
+}
+
+inline constexpr Tables kTables = makeTables();
+
+}  // namespace detail
+
+/// Addition = subtraction = XOR in characteristic 2.
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables
+      .exp[static_cast<std::size_t>(detail::kTables.log[a]) +
+           static_cast<std::size_t>(detail::kTables.log[b])];
+}
+
+inline std::uint8_t inv(std::uint8_t a) {
+  DSN_REQUIRE(a != 0, "gf256: zero has no multiplicative inverse");
+  return detail::kTables.exp[255 - detail::kTables.log[a]];
+}
+
+/// Scales a 64-bit symbol byte-wise: each of its 8 bytes is one field
+/// element multiplied by `c`.
+constexpr std::uint64_t scaleSymbol(std::uint64_t s, std::uint8_t c) {
+  if (c == 0) return 0;
+  if (c == 1) return s;
+  std::uint64_t out = 0;
+  for (int b = 0; b < 8; ++b) {
+    const auto byte = static_cast<std::uint8_t>((s >> (8 * b)) & 0xFF);
+    out |= static_cast<std::uint64_t>(mul(byte, c)) << (8 * b);
+  }
+  return out;
+}
+
+/// One coding vector over the source basis.
+using CoefRow = std::array<std::uint8_t, kMaxGeneration>;
+
+/// Online Gaussian elimination over GF(2^8). Rows arrive one at a time
+/// as (coding vector, coded symbol); the decoder keeps at most one
+/// normalized row per pivot column, eliminating incoming rows against
+/// the basis. Rank invariants (tested property-style):
+///   - rank never exceeds min(#inserts, generation);
+///   - a row in the span of prior rows is never innovative;
+///   - once rank == generation, solve() recovers the source symbols.
+class Decoder {
+ public:
+  explicit Decoder(int generation) : generation_(generation) {
+    DSN_REQUIRE(generation >= 1 && generation <= kMaxGeneration,
+                "gf256::Decoder generation out of range");
+  }
+
+  int generation() const { return generation_; }
+  int rank() const { return rank_; }
+  bool complete() const { return rank_ == generation_; }
+
+  /// Reduces (coef, symbol) against the stored basis. Returns true iff
+  /// the row was innovative (rank grew) and was absorbed as a new pivot.
+  bool insert(CoefRow coef, std::uint64_t symbol) {
+    for (int col = 0; col < generation_; ++col) {
+      const std::uint8_t c = coef[static_cast<std::size_t>(col)];
+      if (c == 0) continue;
+      if (!used_[static_cast<std::size_t>(col)]) {
+        // New pivot: normalize so the leading coefficient is 1.
+        const std::uint8_t scale = inv(c);
+        for (int j = col; j < generation_; ++j)
+          coef[static_cast<std::size_t>(j)] =
+              mul(coef[static_cast<std::size_t>(j)], scale);
+        rows_[static_cast<std::size_t>(col)] = coef;
+        symbols_[static_cast<std::size_t>(col)] = scaleSymbol(symbol, scale);
+        used_[static_cast<std::size_t>(col)] = true;
+        ++rank_;
+        return true;
+      }
+      // Eliminate against the existing (normalized) pivot row.
+      const CoefRow& pivot = rows_[static_cast<std::size_t>(col)];
+      for (int j = col; j < generation_; ++j)
+        coef[static_cast<std::size_t>(j)] = add(
+            coef[static_cast<std::size_t>(j)],
+            mul(pivot[static_cast<std::size_t>(j)], c));
+      symbol ^= scaleSymbol(symbols_[static_cast<std::size_t>(col)], c);
+    }
+    return false;  // fully eliminated: the row was in the span
+  }
+
+  bool pivotUsed(int col) const {
+    return used_[static_cast<std::size_t>(col)];
+  }
+  const CoefRow& pivotCoef(int col) const {
+    return rows_[static_cast<std::size_t>(col)];
+  }
+  std::uint64_t pivotSymbol(int col) const {
+    return symbols_[static_cast<std::size_t>(col)];
+  }
+
+  /// Back-substitutes the echelon form into source symbols. Requires
+  /// complete(); out[i] = source symbol i for i < generation().
+  void solve(std::array<std::uint64_t, kMaxGeneration>& out) const {
+    DSN_REQUIRE(complete(), "gf256::Decoder::solve before full rank");
+    for (int col = generation_ - 1; col >= 0; --col) {
+      std::uint64_t s = symbols_[static_cast<std::size_t>(col)];
+      const CoefRow& row = rows_[static_cast<std::size_t>(col)];
+      for (int j = col + 1; j < generation_; ++j)
+        s ^= scaleSymbol(out[static_cast<std::size_t>(j)],
+                         row[static_cast<std::size_t>(j)]);
+      out[static_cast<std::size_t>(col)] = s;  // pivot coefficient is 1
+    }
+  }
+
+ private:
+  int generation_;
+  int rank_ = 0;
+  std::array<bool, kMaxGeneration> used_{};
+  std::array<CoefRow, kMaxGeneration> rows_{};
+  std::array<std::uint64_t, kMaxGeneration> symbols_{};
+};
+
+}  // namespace dsn::gf256

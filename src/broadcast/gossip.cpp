@@ -1,0 +1,118 @@
+#include "broadcast/gossip.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "broadcast/runner_detail.hpp"
+#include "graph/algorithms.hpp"
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+GossipNodeProtocol::GossipNodeProtocol(NodeId self, bool isSource,
+                                       double relayProbability,
+                                       const GossipConfig& cfg,
+                                       std::uint64_t payload,
+                                       Round maxListenRounds)
+    : self_(self),
+      relayProbability_(relayProbability),
+      contentionWindow_(cfg.contentionWindow),
+      rng_(cfg.seed ^ (static_cast<std::uint64_t>(self) * 0xA24BAED4963EE407ull)),
+      hasPayload_(isSource),
+      payloadRound_(isSource ? 0 : -1),
+      maxListenRounds_(maxListenRounds),
+      payload_(payload) {
+  DSN_REQUIRE(cfg.contentionWindow >= 1, "contention window must be >= 1");
+  if (isSource) relayRound_ = 0;  // the source always transmits, at round 0
+}
+
+Action GossipNodeProtocol::onRound(Round r) {
+  if (relayRound_ >= 0 && r == relayRound_ && !relayed_) {
+    relayed_ = true;
+    Message m;
+    m.kind = MsgKind::kData;
+    m.sender = self_;
+    m.payload = payload_;
+    return Action::transmit(m);
+  }
+  if (!hasPayload_)
+    return r >= maxListenRounds_ ? Action::sleep() : Action::listen();
+  return Action::sleep();  // served: backoff (if any) is slept out
+}
+
+void GossipNodeProtocol::onReceive(const Message& m, Round r, Channel) {
+  if (m.kind != MsgKind::kData) return;
+  if (hasPayload_) return;  // duplicate: the coin was already flipped
+  hasPayload_ = true;
+  payloadRound_ = r;
+  payload_ = m.payload;
+  if (rng_.chance(relayProbability_)) {
+    relayRound_ =
+        r + 1 + static_cast<Round>(rng_.uniform(
+                    static_cast<std::uint64_t>(contentionWindow_)));
+  }
+}
+
+bool GossipNodeProtocol::isDone() const {
+  if (!hasPayload_) return false;
+  return relayRound_ < 0 || relayed_;
+}
+
+Round GossipNodeProtocol::nextWake(Round now) const {
+  if (relayRound_ >= 0 && !relayed_)
+    return relayRound_ > now ? relayRound_ : now + 1;
+  if (!hasPayload_)
+    return now + 1 < maxListenRounds_ ? now + 1 : kNoWake;
+  return kNoWake;
+}
+
+BroadcastRun runGossipBroadcast(const Graph& g, NodeId source,
+                                std::uint64_t payload,
+                                const GossipConfig& config,
+                                const ProtocolOptions& options) {
+  DSN_REQUIRE(g.isAlive(source), "gossip source must be live");
+  DSN_REQUIRE(config.probability >= 0.0 && config.probability <= 1.0,
+              "gossip probability must be in [0,1]");
+  DSN_REQUIRE(!config.adaptive || config.fanout > 0.0,
+              "adaptive gossip fanout must be positive");
+
+  const auto intended = reachableFrom(g, source);
+  const Round maxListen =
+      options.maxRounds > 0
+          ? options.maxRounds
+          : static_cast<Round>(g.liveCount()) *
+                    (config.contentionWindow + 1) +
+                16;
+
+  SimConfig cfg;
+  cfg.channelCount = 1;
+  cfg.maxRounds = maxListen + 4;
+  cfg.traceCapacity = options.traceCapacity;
+  detail::applyScheduling(cfg, options);
+
+  RadioSimulator sim(g, cfg);
+  detail::applyFailures(sim, options);
+
+  std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  for (NodeId v : intended) {
+    double p = config.probability;
+    if (config.adaptive) {
+      const auto deg = static_cast<double>(
+          std::max<std::size_t>(1, g.degree(v)));
+      p = std::min(1.0, config.fanout / deg);
+    }
+    auto proto = std::make_unique<GossipNodeProtocol>(
+        v, v == source, p, config, payload, maxListen);
+    endpoints[v] = proto.get();
+    sim.setProtocol(v, std::move(proto));
+  }
+
+  BroadcastRun run;
+  run.scheduleLength = maxListen;
+  run.sim = sim.run();
+  detail::collectDeliveryStats(sim, intended, endpoints, run);
+  return run;
+}
+
+}  // namespace dsn

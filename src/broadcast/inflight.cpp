@@ -20,8 +20,10 @@ InFlightBroadcast::InFlightBroadcast(const ClusterNet& net,
     : graph_(net.graph()), options_(options) {
   DSN_REQUIRE(net.contains(source),
               "in-flight broadcast source must be in the net");
-  DSN_REQUIRE(scheme != BroadcastScheme::kDfo,
-              "in-flight waves require a flooding scheme (CFF/iCFF)");
+  DSN_REQUIRE(isSlottedScheme(scheme),
+              "in-flight waves require a slotted flooding scheme "
+              "(CFF/iCFF): resyncTopology re-admits via the depth-indexed "
+              "slot schedule, which DFO and the flat arena rivals lack");
   admitSize_ = graph_.size();
   displaced_.assign(admitSize_, 0);
   if (scheme == BroadcastScheme::kCff)

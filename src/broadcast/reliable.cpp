@@ -204,9 +204,11 @@ ReliableBroadcastRun runReliableBroadcast(BroadcastScheme scheme,
                                           NodeId source,
                                           std::uint64_t payload,
                                           const ReliableOptions& options) {
-  DSN_REQUIRE(scheme != BroadcastScheme::kDfo,
-              "reliable mode needs a slotted flooding scheme (CFF/iCFF), "
-              "not the DFO token tour");
+  DSN_REQUIRE(isSlottedScheme(scheme),
+              "reliable mode needs a slotted flooding scheme (CFF/iCFF): "
+              "the NACK repair waves reuse the depth-indexed slot "
+              "schedule, which the DFO token tour and the flat arena "
+              "rivals do not have");
   DSN_REQUIRE(options.maxRepairRounds >= 0,
               "maxRepairRounds must be non-negative");
   DSN_REQUIRE(options.responderKeepProbability > 0.0 &&

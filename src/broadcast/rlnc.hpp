@@ -1,0 +1,93 @@
+// Random linear network coding broadcast over GF(2^8) (Haas & Nikolov,
+// "Towards Optimal Broadcast in Wireless Networks").
+//
+// The source expands the 64-bit payload into a generation of
+// `kRlncGeneration` source symbols (s_0 = payload, s_i = splitmix(payload
+// ^ i), so a decode is self-verifying) and injects `sourceBudget` random
+// coded packets. Every relay that holds at least one innovative packet
+// re-codes: it transmits `relayBudget` fresh random combinations of its
+// own basis rows, spread over contention backoffs. A node is served once
+// its decoder reaches full rank and the recovered generation passes the
+// s_i = splitmix(s_0 ^ i) consistency check.
+//
+// Wire format: the 4 coding coefficients (over the source basis) ride in
+// Message::sequence, one byte per source symbol; the coded 64-bit symbol
+// rides in Message::payload. All coefficient and backoff draws come from
+// per-node RNGs seeded off the shared scheme seed, so a run is a pure
+// function of (graph, source, seed) — the seed-determinism oracle the
+// fuzz battery checks.
+#pragma once
+
+#include "broadcast/gf256.hpp"
+#include "broadcast/run_result.hpp"
+#include "graph/graph.hpp"
+#include "radio/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace dsn {
+
+/// Generation size: 4 coefficient bytes must fit Message::sequence.
+inline constexpr int kRlncGeneration = 4;
+
+struct RlncConfig {
+  /// Backoff window between consecutive coded transmissions.
+  int contentionWindow = 6;
+  /// Coded packets the source injects.
+  int sourceBudget = 12;
+  /// Recoded packets each relay transmits once it holds innovative rows.
+  int relayBudget = 6;
+  std::uint64_t seed = 0x271C0DE5ull;
+};
+
+/// Derives source symbol i from the payload (splitmix64 finalizer); the
+/// redundancy makes every decode internally verifiable.
+constexpr std::uint64_t rlncSourceSymbol(std::uint64_t payload, int i) {
+  if (i == 0) return payload;
+  std::uint64_t z = payload ^ static_cast<std::uint64_t>(i);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+class RlncNodeProtocol : public NodeProtocol, public BroadcastEndpoint {
+ public:
+  RlncNodeProtocol(NodeId self, bool isSource, const RlncConfig& cfg,
+                   std::uint64_t payload, Round maxListenRounds);
+
+  Action onRound(Round r) override;
+  void onReceive(const Message& m, Round r, Channel channel) override;
+  bool isDone() const override;
+  Round nextWake(Round now) const override;
+
+  bool hasPayload() const override { return decoded_; }
+  Round payloadRound() const override { return payloadRound_; }
+
+  /// Full rank reached but the generation failed the consistency check
+  /// (only a field/elimination bug can cause this).
+  bool decodeFailed() const { return decodeFailed_; }
+  std::uint64_t decodedPayload() const { return decodedPayload_; }
+  int rank() const { return decoder_.rank(); }
+
+ private:
+  Action transmitCoded(Round r);
+  void tryDecode(Round r);
+
+  NodeId self_;
+  RlncConfig cfg_;
+  Rng rng_;
+  gf256::Decoder decoder_{kRlncGeneration};
+  bool decoded_;
+  bool decodeFailed_ = false;
+  Round payloadRound_;
+  std::uint64_t decodedPayload_ = 0;
+  Round txRound_ = -1;  ///< next scheduled coded transmission (-1 = none)
+  int txRemaining_ = 0;
+  Round maxListenRounds_;
+};
+
+BroadcastRun runRlncBroadcast(const Graph& g, NodeId source,
+                              std::uint64_t payload,
+                              const RlncConfig& config = {},
+                              const ProtocolOptions& options = {});
+
+}  // namespace dsn

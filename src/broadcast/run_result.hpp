@@ -11,6 +11,29 @@
 
 namespace dsn {
 
+/// Tuning knobs of the competitor ("arena") schemes — the flat-graph
+/// rivals raced against CFF/iCFF/DFO (DESIGN.md §16). Grouped so the
+/// scenario/fuzz/CLI layers can thread one seed-stream value through
+/// every rival without enumerating per-scheme fields.
+struct ArenaTuning {
+  /// Fixed-p gossip relay probability.
+  double gossipProbability = 0.65;
+  /// Density-adaptive gossip: relay with min(1, fanout / degree).
+  double adaptiveFanout = 3.5;
+  /// Counter-based suppression threshold (copies heard => suppress).
+  int counterThreshold = 3;
+  /// Distance-based suppression radius (heard closer => suppress).
+  double suppressRadius = 25.0;
+  /// Contention backoff window shared by all rivals.
+  int contentionWindow = 8;
+  /// RLNC budgets: coded packets from the source / recoded per relay.
+  int rlncSourceBudget = 12;
+  int rlncRelayBudget = 6;
+  /// Seed of every rival's per-node RNGs (relay coins, backoffs, RLNC
+  /// coefficient draws). Runs are pure functions of it.
+  std::uint64_t seed = 0xA12E5Aull;
+};
+
 /// Knobs of one protocol run (failure injection + radio configuration).
 struct ProtocolOptions {
   /// Radio channels k (Theorem 1(3)).
@@ -50,6 +73,8 @@ struct ProtocolOptions {
   double tileMinEdge = 0.0;
   std::uint32_t tileTarget = 0;
   std::size_t shardSerialThreshold = 256;
+  /// Competitor-scheme knobs (ignored by the paper's cluster schemes).
+  ArenaTuning arena;
 };
 
 /// Measured outcome of one run.
@@ -69,6 +94,10 @@ struct BroadcastRun {
   double meanAwakeRounds = 0.0;
   std::size_t transmissions = 0;
   std::size_t collisions = 0;
+  /// RLNC only: full-rank decodes that failed the generation consistency
+  /// check or recovered the wrong payload. Always 0 unless the field or
+  /// elimination code is broken (decode-completeness oracle).
+  std::size_t decodeFailures = 0;
   /// Per-node first-delivery round, indexed by node id (-1 = never got
   /// the payload or had no endpoint). The source reports round 0.
   std::vector<Round> deliveryRound;

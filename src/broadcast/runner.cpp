@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <string>
 
+#include "broadcast/flooding_baseline.hpp"
+#include "broadcast/gossip.hpp"
+#include "broadcast/rlnc.hpp"
+#include "broadcast/suppression.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -28,6 +32,8 @@ void flushBroadcastMetrics(BroadcastScheme scheme,
   m.counter(prefix + "intended").increment(run.intended);
   m.counter(prefix + "delivered").increment(run.delivered);
   if (!run.allDelivered()) m.counter(prefix + "incomplete").increment();
+  if (run.decodeFailures > 0)
+    m.counter(prefix + "decode_failures").increment(run.decodeFailures);
 
   auto& latency = m.histogram(prefix + "delivery_latency",
                               obs::Histogram::exponentialBounds(16));
@@ -54,6 +60,18 @@ constexpr obs::FrRunKind runKind(BroadcastScheme s) {
       return obs::FrRunKind::kCff;
     case BroadcastScheme::kImprovedCff:
       return obs::FrRunKind::kIcff;
+    case BroadcastScheme::kFlooding:
+      return obs::FrRunKind::kFlooding;
+    case BroadcastScheme::kGossip:
+      return obs::FrRunKind::kGossip;
+    case BroadcastScheme::kGossipAdaptive:
+      return obs::FrRunKind::kGossipAdaptive;
+    case BroadcastScheme::kCounter:
+      return obs::FrRunKind::kCounter;
+    case BroadcastScheme::kDistance:
+      return obs::FrRunKind::kDistance;
+    case BroadcastScheme::kRlnc:
+      return obs::FrRunKind::kRlnc;
   }
   return obs::FrRunKind::kDfo;
 }
@@ -66,11 +84,90 @@ constexpr std::string_view phaseName(BroadcastScheme s) {
       return "broadcast.CFF";
     case BroadcastScheme::kImprovedCff:
       return "broadcast.ICFF";
+    case BroadcastScheme::kFlooding:
+      return "broadcast.FLOOD";
+    case BroadcastScheme::kGossip:
+      return "broadcast.GOSSIP";
+    case BroadcastScheme::kGossipAdaptive:
+      return "broadcast.AGOSSIP";
+    case BroadcastScheme::kCounter:
+      return "broadcast.COUNTER";
+    case BroadcastScheme::kDistance:
+      return "broadcast.DISTANCE";
+    case BroadcastScheme::kRlnc:
+      return "broadcast.RLNC";
   }
   return "broadcast.?";
 }
 
+/// Dispatches a flat-graph rival with configs derived from
+/// `options.arena`.
+BroadcastRun runRival(BroadcastScheme scheme, const Graph& g, NodeId source,
+                      std::uint64_t payload,
+                      const ProtocolOptions& options) {
+  const ArenaTuning& a = options.arena;
+  switch (scheme) {
+    case BroadcastScheme::kFlooding: {
+      FloodingConfig fc;
+      fc.gossipProbability = 1.0;
+      fc.contentionWindow = a.contentionWindow;
+      fc.seed = a.seed;
+      return runFloodingBroadcast(g, source, payload, fc, options);
+    }
+    case BroadcastScheme::kGossip:
+    case BroadcastScheme::kGossipAdaptive: {
+      GossipConfig gc;
+      gc.probability = a.gossipProbability;
+      gc.adaptive = scheme == BroadcastScheme::kGossipAdaptive;
+      gc.fanout = a.adaptiveFanout;
+      gc.contentionWindow = a.contentionWindow;
+      gc.seed = a.seed;
+      return runGossipBroadcast(g, source, payload, gc, options);
+    }
+    case BroadcastScheme::kCounter: {
+      CounterConfig cc;
+      cc.counterThreshold = a.counterThreshold;
+      cc.contentionWindow = a.contentionWindow;
+      cc.seed = a.seed;
+      return runCounterBroadcast(g, source, payload, cc, options);
+    }
+    case BroadcastScheme::kDistance: {
+      DistanceConfig dc;
+      dc.suppressRadius = a.suppressRadius;
+      dc.contentionWindow = a.contentionWindow;
+      dc.seed = a.seed;
+      return runDistanceBroadcast(g, source, payload, dc, options);
+    }
+    case BroadcastScheme::kRlnc: {
+      RlncConfig rc;
+      rc.contentionWindow = a.contentionWindow;
+      rc.sourceBudget = a.rlncSourceBudget;
+      rc.relayBudget = a.rlncRelayBudget;
+      rc.seed = a.seed;
+      return runRlncBroadcast(g, source, payload, rc, options);
+    }
+    default:
+      DSN_CHECK(false, "runRival called with a cluster scheme");
+  }
+  BroadcastRun empty;
+  return empty;
+}
+
 }  // namespace
+
+bool parseBroadcastScheme(std::string_view word, BroadcastScheme& out) {
+  if (word == "dfo") out = BroadcastScheme::kDfo;
+  else if (word == "cff") out = BroadcastScheme::kCff;
+  else if (word == "icff") out = BroadcastScheme::kImprovedCff;
+  else if (word == "flood") out = BroadcastScheme::kFlooding;
+  else if (word == "gossip") out = BroadcastScheme::kGossip;
+  else if (word == "agossip") out = BroadcastScheme::kGossipAdaptive;
+  else if (word == "counter") out = BroadcastScheme::kCounter;
+  else if (word == "distance") out = BroadcastScheme::kDistance;
+  else if (word == "rlnc") out = BroadcastScheme::kRlnc;
+  else return false;
+  return true;
+}
 
 BroadcastRun runBroadcast(BroadcastScheme scheme, const ClusterNet& net,
                           NodeId source, std::uint64_t payload,
@@ -89,7 +186,9 @@ BroadcastRun runBroadcast(BroadcastScheme scheme, const ClusterNet& net,
       run = runImprovedCffBroadcast(net, source, payload, options);
       break;
     default:
-      DSN_CHECK(false, "unknown broadcast scheme");
+      DSN_CHECK(isRandomizedScheme(scheme), "unknown broadcast scheme");
+      run = runRival(scheme, net.graph(), source, payload, options);
+      break;
   }
   obs::recordRunEnd(runKind(scheme),
                     static_cast<std::uint32_t>(run.delivered),

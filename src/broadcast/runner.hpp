@@ -1,6 +1,7 @@
 // Umbrella header + protocol dispatch for the broadcast family.
 #pragma once
 
+#include <array>
 #include <string_view>
 
 #include "broadcast/cff_flooding.hpp"
@@ -10,11 +11,20 @@
 
 namespace dsn {
 
-/// The three broadcast schemes the paper evaluates against each other.
+/// The paper's three structured schemes plus the classic rivals they are
+/// raced against in the arena (DESIGN.md §16). The first three need a
+/// ClusterNet (TDM slots over the cluster structure); the rest run on
+/// the flat graph with randomized relay decisions.
 enum class BroadcastScheme : std::uint8_t {
   kDfo,          ///< depth-first-order Eulerian tour ([19], baseline)
   kCff,          ///< Algorithm 1: flood the whole CNet
   kImprovedCff,  ///< Algorithm 2: backbone flood + leaf window
+  kFlooding,        ///< blind flooding (relay probability 1)
+  kGossip,          ///< fixed-p probabilistic gossip
+  kGossipAdaptive,  ///< density-adaptive gossip (p = fanout/degree)
+  kCounter,         ///< counter-based suppression (Ni et al.)
+  kDistance,        ///< distance-based suppression (needs positions)
+  kRlnc,            ///< random linear network coding over GF(2^8)
 };
 
 constexpr std::string_view toString(BroadcastScheme s) {
@@ -25,11 +35,61 @@ constexpr std::string_view toString(BroadcastScheme s) {
       return "CFF";
     case BroadcastScheme::kImprovedCff:
       return "ICFF";
+    case BroadcastScheme::kFlooding:
+      return "FLOOD";
+    case BroadcastScheme::kGossip:
+      return "GOSSIP";
+    case BroadcastScheme::kGossipAdaptive:
+      return "AGOSSIP";
+    case BroadcastScheme::kCounter:
+      return "COUNTER";
+    case BroadcastScheme::kDistance:
+      return "DISTANCE";
+    case BroadcastScheme::kRlnc:
+      return "RLNC";
   }
   return "?";
 }
 
-/// Uniform entry point used by benches and examples.
+/// True for the paper's structured schemes: they consume the ClusterNet
+/// and drive the TDM slot machinery. The rivals only need the graph.
+constexpr bool isClusterScheme(BroadcastScheme s) {
+  return s == BroadcastScheme::kDfo || s == BroadcastScheme::kCff ||
+         s == BroadcastScheme::kImprovedCff;
+}
+
+/// True for the schemes with a depth-indexed slot schedule — the only
+/// ones the NACK-repair (reliable) and in-flight wave machinery can
+/// drive. DFO's token tour and the flat rivals have no slot schedule.
+constexpr bool isSlottedScheme(BroadcastScheme s) {
+  return s == BroadcastScheme::kCff || s == BroadcastScheme::kImprovedCff;
+}
+
+/// True for schemes whose protocol draws randomized relay decisions
+/// (coins, backoffs, coefficients) from ArenaTuning::seed. These get
+/// seed-determinism + budget-superset oracles instead of exact-set
+/// differential equality in the testkit.
+constexpr bool isRandomizedScheme(BroadcastScheme s) {
+  return !isClusterScheme(s);
+}
+
+/// Every scheme, in arena roster order (the tbl_arena row order).
+inline constexpr std::array<BroadcastScheme, 9> kAllBroadcastSchemes = {
+    BroadcastScheme::kDfo,      BroadcastScheme::kCff,
+    BroadcastScheme::kImprovedCff, BroadcastScheme::kFlooding,
+    BroadcastScheme::kGossip,   BroadcastScheme::kGossipAdaptive,
+    BroadcastScheme::kCounter,  BroadcastScheme::kDistance,
+    BroadcastScheme::kRlnc,
+};
+
+/// Parses the scenario grammar's lowercase scheme word
+/// (dfo|cff|icff|flood|gossip|agossip|counter|distance|rlnc).
+bool parseBroadcastScheme(std::string_view word, BroadcastScheme& out);
+
+/// Uniform entry point used by benches and examples. Cluster schemes
+/// run over `net`; rivals run over `net.graph()` with the knobs in
+/// `options.arena` (kDistance additionally needs
+/// `options.nodePositions`, which SensorNetwork::broadcast fills).
 BroadcastRun runBroadcast(BroadcastScheme scheme, const ClusterNet& net,
                           NodeId source, std::uint64_t payload,
                           const ProtocolOptions& options = {});

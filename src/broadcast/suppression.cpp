@@ -1,0 +1,228 @@
+#include "broadcast/suppression.hpp"
+
+#include <memory>
+
+#include "broadcast/runner_detail.hpp"
+#include "graph/algorithms.hpp"
+#include "radio/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dsn {
+
+namespace {
+
+/// Shared listen-budget rule (matches the flooding baseline).
+Round listenBudget(const Graph& g, int window, const ProtocolOptions& o) {
+  if (o.maxRounds > 0) return o.maxRounds;
+  return static_cast<Round>(g.liveCount()) * (window + 1) + 16;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Counter-based suppression.
+
+CounterNodeProtocol::CounterNodeProtocol(NodeId self, bool isSource,
+                                         const CounterConfig& cfg,
+                                         std::uint64_t payload,
+                                         Round maxListenRounds)
+    : self_(self),
+      cfg_(cfg),
+      rng_(cfg.seed ^ (static_cast<std::uint64_t>(self) * 0x9FB21C651E98DF25ull)),
+      hasPayload_(isSource),
+      payloadRound_(isSource ? 0 : -1),
+      maxListenRounds_(maxListenRounds),
+      payload_(payload) {
+  DSN_REQUIRE(cfg.contentionWindow >= 1, "contention window must be >= 1");
+  DSN_REQUIRE(cfg.counterThreshold >= 1, "counter threshold must be >= 1");
+  if (isSource) relayRound_ = 0;  // the source transmits immediately
+}
+
+Action CounterNodeProtocol::onRound(Round r) {
+  if (relayRound_ >= 0 && r == relayRound_ && !decided_) {
+    decided_ = true;
+    if (copies_ < cfg_.counterThreshold) {
+      Message m;
+      m.kind = MsgKind::kData;
+      m.sender = self_;
+      m.payload = payload_;
+      return Action::transmit(m);
+    }
+    suppressed_ = true;
+    return Action::sleep();
+  }
+  if (!hasPayload_)
+    return r >= maxListenRounds_ ? Action::sleep() : Action::listen();
+  if (!decided_) return Action::listen();  // counting window: overhear
+  return Action::sleep();
+}
+
+void CounterNodeProtocol::onReceive(const Message& m, Round r, Channel) {
+  if (m.kind != MsgKind::kData) return;
+  if (!hasPayload_) {
+    hasPayload_ = true;
+    payloadRound_ = r;
+    payload_ = m.payload;
+    copies_ = 1;
+    relayRound_ =
+        r + 1 + static_cast<Round>(rng_.uniform(
+                    static_cast<std::uint64_t>(cfg_.contentionWindow)));
+    return;
+  }
+  if (!decided_) ++copies_;  // duplicate heard during the backoff
+}
+
+bool CounterNodeProtocol::isDone() const {
+  return hasPayload_ && decided_;
+}
+
+Round CounterNodeProtocol::nextWake(Round now) const {
+  if (hasPayload_ && !decided_) return now + 1;  // counting every round
+  if (!hasPayload_)
+    return now + 1 < maxListenRounds_ ? now + 1 : kNoWake;
+  return kNoWake;
+}
+
+BroadcastRun runCounterBroadcast(const Graph& g, NodeId source,
+                                 std::uint64_t payload,
+                                 const CounterConfig& config,
+                                 const ProtocolOptions& options) {
+  DSN_REQUIRE(g.isAlive(source), "counter-broadcast source must be live");
+
+  const auto intended = reachableFrom(g, source);
+  const Round maxListen = listenBudget(g, config.contentionWindow, options);
+
+  SimConfig cfg;
+  cfg.channelCount = 1;
+  cfg.maxRounds = maxListen + 4;
+  cfg.traceCapacity = options.traceCapacity;
+  detail::applyScheduling(cfg, options);
+
+  RadioSimulator sim(g, cfg);
+  detail::applyFailures(sim, options);
+
+  std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  for (NodeId v : intended) {
+    auto proto = std::make_unique<CounterNodeProtocol>(
+        v, v == source, config, payload, maxListen);
+    endpoints[v] = proto.get();
+    sim.setProtocol(v, std::move(proto));
+  }
+
+  BroadcastRun run;
+  run.scheduleLength = maxListen;
+  run.sim = sim.run();
+  detail::collectDeliveryStats(sim, intended, endpoints, run);
+  return run;
+}
+
+// ---------------------------------------------------------------------
+// Distance-based suppression.
+
+DistanceNodeProtocol::DistanceNodeProtocol(
+    NodeId self, bool isSource, const DistanceConfig& cfg,
+    std::uint64_t payload, Round maxListenRounds,
+    const std::vector<Point2D>* positions)
+    : self_(self),
+      cfg_(cfg),
+      rng_(cfg.seed ^ (static_cast<std::uint64_t>(self) * 0xE703C6EF372109E5ull)),
+      hasPayload_(isSource),
+      payloadRound_(isSource ? 0 : -1),
+      maxListenRounds_(maxListenRounds),
+      payload_(payload),
+      positions_(positions) {
+  DSN_REQUIRE(cfg.contentionWindow >= 1, "contention window must be >= 1");
+  DSN_REQUIRE(cfg.suppressRadius >= 0.0, "suppress radius must be >= 0");
+  DSN_REQUIRE(positions != nullptr, "distance protocol needs positions");
+  if (isSource) relayRound_ = 0;
+}
+
+Action DistanceNodeProtocol::onRound(Round r) {
+  if (relayRound_ >= 0 && r == relayRound_ && !decided_) {
+    decided_ = true;
+    if (!suppressed_) {
+      Message m;
+      m.kind = MsgKind::kData;
+      m.sender = self_;
+      m.payload = payload_;
+      return Action::transmit(m);
+    }
+    return Action::sleep();
+  }
+  if (!hasPayload_)
+    return r >= maxListenRounds_ ? Action::sleep() : Action::listen();
+  if (!decided_) return Action::listen();  // overhear for closer copies
+  return Action::sleep();
+}
+
+void DistanceNodeProtocol::onReceive(const Message& m, Round r, Channel) {
+  if (m.kind != MsgKind::kData) return;
+  const double d =
+      distance((*positions_)[self_], (*positions_)[m.sender]);
+  if (!hasPayload_) {
+    hasPayload_ = true;
+    payloadRound_ = r;
+    payload_ = m.payload;
+    if (d <= cfg_.suppressRadius) {
+      decided_ = true;  // already covered from close by: never relay
+      suppressed_ = true;
+      return;
+    }
+    relayRound_ =
+        r + 1 + static_cast<Round>(rng_.uniform(
+                    static_cast<std::uint64_t>(cfg_.contentionWindow)));
+    return;
+  }
+  if (!decided_ && d <= cfg_.suppressRadius) suppressed_ = true;
+}
+
+bool DistanceNodeProtocol::isDone() const {
+  return hasPayload_ && decided_;
+}
+
+Round DistanceNodeProtocol::nextWake(Round now) const {
+  if (hasPayload_ && !decided_) return now + 1;  // overhearing window
+  if (!hasPayload_)
+    return now + 1 < maxListenRounds_ ? now + 1 : kNoWake;
+  return kNoWake;
+}
+
+BroadcastRun runDistanceBroadcast(const Graph& g, NodeId source,
+                                  std::uint64_t payload,
+                                  const DistanceConfig& config,
+                                  const ProtocolOptions& options) {
+  DSN_REQUIRE(g.isAlive(source), "distance-broadcast source must be live");
+  DSN_REQUIRE(options.nodePositions.size() >= g.size(),
+              "distance-based suppression needs a position for every node "
+              "(SensorNetwork::broadcast fills ProtocolOptions::"
+              "nodePositions; direct graph callers must set it)");
+
+  const auto intended = reachableFrom(g, source);
+  const Round maxListen = listenBudget(g, config.contentionWindow, options);
+
+  SimConfig cfg;
+  cfg.channelCount = 1;
+  cfg.maxRounds = maxListen + 4;
+  cfg.traceCapacity = options.traceCapacity;
+  detail::applyScheduling(cfg, options);
+
+  RadioSimulator sim(g, cfg);
+  detail::applyFailures(sim, options);
+
+  std::vector<BroadcastEndpoint*> endpoints(g.size(), nullptr);
+  for (NodeId v : intended) {
+    auto proto = std::make_unique<DistanceNodeProtocol>(
+        v, v == source, config, payload, maxListen,
+        &options.nodePositions);
+    endpoints[v] = proto.get();
+    sim.setProtocol(v, std::move(proto));
+  }
+
+  BroadcastRun run;
+  run.scheduleLength = maxListen;
+  run.sim = sim.run();
+  detail::collectDeliveryStats(sim, intended, endpoints, run);
+  return run;
+}
+
+}  // namespace dsn

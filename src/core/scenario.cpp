@@ -20,10 +20,12 @@ namespace {
 }
 
 BroadcastScheme parseScheme(int line, const std::string& word) {
-  if (word.empty() || word == "icff") return BroadcastScheme::kImprovedCff;
-  if (word == "cff") return BroadcastScheme::kCff;
-  if (word == "dfo") return BroadcastScheme::kDfo;
-  parseFail(line, "unknown scheme '" + word + "'");
+  if (word.empty()) return BroadcastScheme::kImprovedCff;
+  BroadcastScheme s{};
+  if (parseBroadcastScheme(word, s)) return s;
+  parseFail(line, "unknown scheme '" + word +
+                      "' (dfo | cff | icff | flood | gossip | agossip | "
+                      "counter | distance | rlnc)");
 }
 
 MulticastMode parseMode(int line, const std::string& word) {
@@ -108,6 +110,10 @@ std::vector<ScenarioEvent> parseScenario(std::istream& in) {
       e.node = a == "random" ? kInvalidNode : parseNode(lineNo, a);
       ls >> b;
       e.scheme = parseScheme(lineNo, b);
+    } else if (op == "arena") {
+      e.kind = ScenarioEvent::Kind::kArena;
+      if (!(ls >> a)) parseFail(lineNo, "arena needs a source");
+      e.node = a == "random" ? kInvalidNode : parseNode(lineNo, a);
     } else if (op == "multicast") {
       e.kind = ScenarioEvent::Kind::kMulticast;
       if (!(ls >> a >> b)) parseFail(lineNo, "multicast needs source group");
@@ -122,8 +128,10 @@ std::vector<ScenarioEvent> parseScenario(std::istream& in) {
       e.node = a == "random" ? kInvalidNode : parseNode(lineNo, a);
       ls >> b;
       e.scheme = parseScheme(lineNo, b);
-      if (e.scheme == BroadcastScheme::kDfo)
-        parseFail(lineNo, "rbroadcast needs a slotted scheme (cff | icff)");
+      if (!isSlottedScheme(e.scheme))
+        parseFail(lineNo, "rbroadcast needs a slotted scheme (cff | icff): "
+                          "NACK repair drives the depth-indexed slot "
+                          "schedule, which '" + b + "' does not have");
       if (ls >> c) {
         const double budget = parseNumber(lineNo, c, "a repair budget");
         if (budget < 0 || budget != static_cast<double>(
@@ -253,6 +261,12 @@ const char* schemeWord(BroadcastScheme s) {
     case BroadcastScheme::kDfo: return "dfo";
     case BroadcastScheme::kCff: return "cff";
     case BroadcastScheme::kImprovedCff: return "icff";
+    case BroadcastScheme::kFlooding: return "flood";
+    case BroadcastScheme::kGossip: return "gossip";
+    case BroadcastScheme::kGossipAdaptive: return "agossip";
+    case BroadcastScheme::kCounter: return "counter";
+    case BroadcastScheme::kDistance: return "distance";
+    case BroadcastScheme::kRlnc: return "rlnc";
   }
   return "icff";
 }
@@ -286,6 +300,13 @@ std::string formatScenarioEvent(const ScenarioEvent& e) {
       else
         os << e.node;
       os << ' ' << schemeWord(e.scheme);
+      break;
+    case ScenarioEvent::Kind::kArena:
+      os << "arena ";
+      if (e.node == kInvalidNode)
+        os << "random";
+      else
+        os << e.node;
       break;
     case ScenarioEvent::Kind::kReliableBroadcast:
       os << "rbroadcast ";
@@ -429,14 +450,39 @@ ScenarioOutcome runScenario(SensorNetwork& net,
       case ScenarioEvent::Kind::kBroadcast: {
         const NodeId source =
             e.node == kInvalidNode ? net.randomNode(rng) : e.node;
+        const BroadcastScheme scheme =
+            options.forceScheme.value_or(e.scheme);
         const auto run =
-            net.broadcast(e.scheme, source, 0xB0CA57, effective);
+            net.broadcast(scheme, source, 0xB0CA57, effective);
         ++out.broadcasts;
         out.worstCoverage = std::min(out.worstCoverage, run.coverage());
         collectTrace(run.trace);
-        os << "broadcast " << toString(e.scheme) << " from " << source
+        os << "broadcast " << toString(scheme) << " from " << source
            << " -> coverage " << run.coverage() << " in "
            << run.sim.rounds << " rounds";
+        break;
+      }
+      case ScenarioEvent::Kind::kArena: {
+        // Race every scheme from the same source under the same
+        // effective fault regime. The comparison is the point, so the
+        // outcome folds the BEST coverage achieved (a rival losing
+        // nodes is an expected result, not a scenario failure).
+        const NodeId source =
+            e.node == kInvalidNode ? net.randomNode(rng) : e.node;
+        double best = 0.0;
+        bool any = false;
+        os << "arena from " << source << " ->";
+        for (const BroadcastScheme scheme : kAllBroadcastSchemes) {
+          const auto run =
+              net.broadcast(scheme, source, 0xB0CA57, effective);
+          best = std::max(best, run.coverage());
+          any = true;
+          collectTrace(run.trace);
+          os << ' ' << toString(scheme) << ' ' << run.coverage() << '@'
+             << run.completionRounds();
+        }
+        ++out.arenas;
+        if (any) out.worstCoverage = std::min(out.worstCoverage, best);
         break;
       }
       case ScenarioEvent::Kind::kMulticast: {

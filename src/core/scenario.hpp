@@ -12,9 +12,14 @@
 //   move 17 300 250             # relocate node 17
 //   group 17 3                  # node 17 joins multicast group 3
 //   ungroup 17 3
-//   broadcast 0 icff            # source 0; schemes: dfo | cff | icff
+//   broadcast 0 icff            # source 0; schemes: dfo | cff | icff |
+//                               #   flood | gossip | agossip | counter |
+//                               #   distance | rlnc (DESIGN.md §16)
 //   broadcast random dfo        # uniformly random source
-//   rbroadcast 0 icff 8         # reliable broadcast (budget optional)
+//   arena 0                     # race every scheme from one source
+//   arena random
+//   rbroadcast 0 icff 8         # reliable broadcast (budget optional;
+//                               #   slotted schemes only: cff | icff)
 //   multicast 0 3 pruned        # source, group, pruned | flood
 //   gather                      # convergecast wave (value = node id)
 //   compact                     # slot compaction sweep
@@ -52,6 +57,7 @@ struct ScenarioEvent {
     kJoinGroup,
     kLeaveGroup,
     kBroadcast,
+    kArena,  ///< one source, every scheme in kAllBroadcastSchemes
     kReliableBroadcast,
     kMulticast,
     kGather,
@@ -114,6 +120,8 @@ struct ScenarioOutcome {
   std::vector<std::string> log;
   std::size_t eventsExecuted = 0;
   std::size_t broadcasts = 0;
+  /// kArena events executed (each runs every scheme once).
+  std::size_t arenas = 0;
   std::size_t reliableBroadcasts = 0;
   std::size_t multicasts = 0;
   std::size_t gathers = 0;
@@ -142,6 +150,10 @@ struct ScenarioOptions {
   std::uint64_t seed = 0x5CEA;
   /// Radio options applied to every communication event.
   ProtocolOptions protocol;
+  /// When set, overrides the scheme of every kBroadcast event (the
+  /// `wsn_sim --protocol` plumbing). Reliable broadcasts keep their
+  /// scripted slotted scheme, and arena events still race everyone.
+  std::optional<BroadcastScheme> forceScheme;
 };
 
 /// Executes `events` against `net` in order.

@@ -218,11 +218,12 @@ bool SensorNetwork::rejoinSensor(NodeId v) {
 }
 
 ProtocolOptions SensorNetwork::withPositions(
-    const ProtocolOptions& options) const {
+    const ProtocolOptions& options, bool force) const {
   // Jam zones need positions for the radio model; the sharded scheduler
-  // (threads > 0) wants them for its spatial tile partition.
+  // (threads > 0) wants them for its spatial tile partition; the
+  // distance-based suppression rival needs them for its protocol logic.
   const bool needsPositions =
-      !options.jamZones.empty() || options.threads > 0;
+      force || !options.jamZones.empty() || options.threads > 0;
   if (!needsPositions || !options.nodePositions.empty()) return options;
   ProtocolOptions filled = options;
   filled.nodePositions.resize(graph_->size());
@@ -237,7 +238,9 @@ ProtocolOptions SensorNetwork::withPositions(
 BroadcastRun SensorNetwork::broadcast(BroadcastScheme scheme, NodeId source,
                                       std::uint64_t payload,
                                       const ProtocolOptions& options) const {
-  return runBroadcast(scheme, *net_, source, payload, withPositions(options));
+  return runBroadcast(
+      scheme, *net_, source, payload,
+      withPositions(options, scheme == BroadcastScheme::kDistance));
 }
 
 BroadcastRun SensorNetwork::multicast(NodeId source, GroupId group,

@@ -174,8 +174,10 @@ class SensorNetwork {
 
   void buildFromPoints(const ClusterNetConfig& clusterConfig);
   /// Copies `options`, filling nodePositions from the deployment when jam
-  /// zones are present but positions were not supplied.
-  ProtocolOptions withPositions(const ProtocolOptions& options) const;
+  /// zones are present (or `force` — used for the distance-based arena
+  /// rival) but positions were not supplied.
+  ProtocolOptions withPositions(const ProtocolOptions& options,
+                                bool force = false) const;
 };
 
 }  // namespace dsn

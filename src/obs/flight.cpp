@@ -90,6 +90,16 @@ std::string_view frRunKindName(FrRunKind k) {
       return "FLOODING";
     case FrRunKind::kDiscovery:
       return "DISCOVERY";
+    case FrRunKind::kGossip:
+      return "GOSSIP";
+    case FrRunKind::kGossipAdaptive:
+      return "AGOSSIP";
+    case FrRunKind::kCounter:
+      return "COUNTER";
+    case FrRunKind::kDistance:
+      return "DISTANCE";
+    case FrRunKind::kRlnc:
+      return "RLNC";
   }
   return "?";
 }

@@ -101,6 +101,11 @@ enum class FrRunKind : std::uint16_t {
   kGather = 5,
   kFlooding = 6,
   kDiscovery = 7,
+  kGossip = 8,
+  kGossipAdaptive = 9,
+  kCounter = 10,
+  kDistance = 11,
+  kRlnc = 12,
 };
 
 /// The category an event type belongs to.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "graph/algorithms.hpp"
 #include "testkit/reference_radio.hpp"
 #include "testkit/seeds.hpp"
 #include "testkit/spec_check.hpp"
@@ -102,6 +103,8 @@ class Episode {
     o.shardSerialThreshold = options_.shardSerialThreshold;
     o.failureSeed =
         failureSeed(program_.seed, static_cast<std::uint64_t>(opIndex_));
+    o.arena.seed =
+        arenaSeed(program_.seed, static_cast<std::uint64_t>(opIndex_));
     switch (faultRegime_) {
       case 1: o.dropProbability = dropProbability_; break;
       case 2: o.burst = burst_; break;
@@ -283,6 +286,10 @@ class Episode {
     record(e);
 
     const ProtocolOptions opts = baseOptions();
+    if (isRandomizedScheme(op.scheme)) {
+      rivalBroadcast(op.scheme, source, opts);
+      return;
+    }
     const bool clean = !faultsActive() && !net_->hasStaleStructure();
     if (!clean) {
       const BroadcastRun run =
@@ -292,6 +299,109 @@ class Episode {
       return;
     }
     differentialBroadcast(source, opts);
+  }
+
+  /// Oracle battery for the randomized flat-graph rivals (gossip,
+  /// suppression, RLNC). Exact-set differential equality does not apply
+  /// — relay decisions are coin flips and partial coverage is a
+  /// legitimate outcome — so the battery checks the properties that ARE
+  /// hard contracts of the randomized schemes:
+  ///   - seed-determinism: an identical re-run is bit-identical in every
+  ///     observable (delivery sets/rounds, tx, collisions, energy);
+  ///   - budget-superset (coverage monotonicity): doubling the listen
+  ///     budget only extends a run — rounds before the shorter budget
+  ///     replay identically, so every short-run delivery recurs in the
+  ///     long run at the same round, and coverage never shrinks;
+  ///   - no phantom deliveries: delivered ⊆ reachable(source), and the
+  ///     source reports round 0;
+  ///   - decode-completeness (RLNC): a full-rank decode never fails the
+  ///     generation consistency check.
+  void rivalBroadcast(BroadcastScheme scheme, NodeId source,
+                      const ProtocolOptions& opts) {
+    const std::uint64_t p = payload();
+    const char* name = toString(scheme).data();
+    const BroadcastRun run = net_->broadcast(scheme, source, p, opts);
+    foldRun(run);
+    checkTrace(run, name);
+    if (run.decodeFailures != 0) {
+      std::ostringstream os;
+      os << name << " had " << run.decodeFailures
+         << " inconsistent full-rank decodes";
+      fail("rlnc-decode", os.str());
+    }
+
+    // No phantom deliveries.
+    const auto reachable = reachableFrom(net_->graph(), source);
+    std::vector<char> mark(net_->graph().size(), 0);
+    for (NodeId v : reachable) mark[v] = 1;
+    for (std::size_t v = 0; v < run.deliveryRound.size(); ++v) {
+      if (run.deliveryRound[v] >= 0 && !mark[v]) {
+        std::ostringstream os;
+        os << name << " delivered to node " << v
+           << " which is unreachable from source " << source;
+        fail("rival-phantom-delivery", os.str());
+        break;
+      }
+    }
+    if (source < run.deliveryRound.size() &&
+        run.deliveryRound[source] != 0) {
+      std::ostringstream os;
+      os << name << " source " << source << " reports delivery round "
+         << run.deliveryRound[source] << " instead of 0";
+      fail("rival-phantom-delivery", os.str());
+    }
+
+    // Seed-determinism.
+    const BroadcastRun again = net_->broadcast(scheme, source, p, opts);
+    foldRun(again);
+    if (again.delivered != run.delivered ||
+        again.lastDeliveryRound != run.lastDeliveryRound ||
+        again.transmissions != run.transmissions ||
+        again.collisions != run.collisions ||
+        again.sim.rounds != run.sim.rounds ||
+        again.deliveryRound != run.deliveryRound ||
+        again.listenRounds != run.listenRounds ||
+        again.transmitRounds != run.transmitRounds) {
+      std::ostringstream os;
+      os << name << " re-run with identical seeds diverged: delivered "
+         << again.delivered << " vs " << run.delivered << ", tx "
+         << again.transmissions << " vs " << run.transmissions;
+      fail("rival-nondeterminism", os.str());
+    }
+
+    // Budget-superset. The runs replay identically up to the shorter
+    // budget, so use explicit budgets B and 2B (not the runner default).
+    ProtocolOptions shortOpts = opts;
+    shortOpts.maxRounds =
+        static_cast<Round>(net_->graph().liveCount()) + 8;
+    ProtocolOptions longOpts = opts;
+    longOpts.maxRounds = 2 * shortOpts.maxRounds;
+    const BroadcastRun shortRun =
+        net_->broadcast(scheme, source, p, shortOpts);
+    const BroadcastRun longRun =
+        net_->broadcast(scheme, source, p, longOpts);
+    foldRun(longRun);
+    if (longRun.delivered < shortRun.delivered) {
+      std::ostringstream os;
+      os << name << " with a doubled listen budget delivered "
+         << longRun.delivered << " < " << shortRun.delivered;
+      fail("rival-budget-superset", os.str());
+    }
+    const std::size_t n = std::min(shortRun.deliveryRound.size(),
+                                   longRun.deliveryRound.size());
+    for (std::size_t v = 0; v < n; ++v) {
+      if (shortRun.deliveryRound[v] >= 0 &&
+          longRun.deliveryRound[v] != shortRun.deliveryRound[v]) {
+        std::ostringstream os;
+        os << name << " budget prefix diverged at node " << v
+           << ": delivery round " << shortRun.deliveryRound[v]
+           << " with budget " << shortOpts.maxRounds << " vs "
+           << longRun.deliveryRound[v] << " with budget "
+           << longOpts.maxRounds;
+        fail("rival-budget-superset", os.str());
+        break;
+      }
+    }
   }
 
   /// Fault-free broadcast on a clean structure: the strongest oracle

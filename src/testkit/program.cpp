@@ -23,11 +23,10 @@ const char* toString(OpKind k) {
 namespace {
 
 BroadcastScheme pickScheme(Rng& rng) {
-  switch (rng.uniform(3)) {
-    case 0: return BroadcastScheme::kDfo;
-    case 1: return BroadcastScheme::kCff;
-    default: return BroadcastScheme::kImprovedCff;
-  }
+  // Uniform over the full arena roster: the paper's three structured
+  // schemes plus the six flat-graph rivals (which get the randomized-
+  // scheme oracle battery instead of exact differential equality).
+  return kAllBroadcastSchemes[rng.uniform(kAllBroadcastSchemes.size())];
 }
 
 FuzzOp makeFaultFlip(Rng& rng, double fieldMeters, double range) {

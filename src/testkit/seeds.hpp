@@ -24,6 +24,7 @@ inline constexpr std::uint64_t kEpisodeDomain = 0xF0225EED00000001ull;
 inline constexpr std::uint64_t kDeployDomain = 0xF0225EED00000002ull;
 inline constexpr std::uint64_t kOpsDomain = 0xF0225EED00000003ull;
 inline constexpr std::uint64_t kFailureDomain = 0xF0225EED00000004ull;
+inline constexpr std::uint64_t kArenaDomain = 0xF0225EED00000005ull;
 
 /// Root seed of episode `index` under fuzz base seed `base`.
 inline std::uint64_t episodeSeed(std::uint64_t base, std::uint64_t index) {
@@ -50,6 +51,14 @@ inline std::uint64_t failureSeed(std::uint64_t episode,
                                  std::uint64_t opIndex) {
   return ExperimentConfig::mix64(
       ExperimentConfig::mix64(episode ^ kFailureDomain) ^ opIndex);
+}
+
+/// Rival-scheme tuning stream (ArenaTuning::seed — relay coins, backoff
+/// and RLNC coefficient draws) of communication op `opIndex`.
+inline std::uint64_t arenaSeed(std::uint64_t episode,
+                               std::uint64_t opIndex) {
+  return ExperimentConfig::mix64(
+      ExperimentConfig::mix64(episode ^ kArenaDomain) ^ opIndex);
 }
 
 }  // namespace dsn::testkit

@@ -1,0 +1,184 @@
+// Property tests for the GF(2^8) field and the online RLNC decoder.
+// The field axioms run over every element (the field is small enough to
+// enumerate); the decoder properties run over randomized coefficient
+// matrices — rank invariants, span rejection, and the decode round-trip
+// that the RLNC decode-completeness oracle ultimately rests on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "broadcast/gf256.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsn::gf256 {
+namespace {
+
+TEST(Gf256Test, MultiplicationGroupAxioms) {
+  // Exhaustive over all 256x256 products: commutativity, identity, and
+  // the inverse law on the 255 nonzero elements.
+  for (int a = 0; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(ua, 1), ua);
+    EXPECT_EQ(mul(1, ua), ua);
+    EXPECT_EQ(mul(ua, 0), 0);
+    for (int b = a; b < 256; ++b) {
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(mul(ua, ub), mul(ub, ua));
+    }
+    if (a != 0) {
+      EXPECT_EQ(mul(ua, inv(ua)), 1) << "a=" << a;
+    }
+  }
+}
+
+TEST(Gf256Test, MultiplicationAssociativeAndDistributiveSampled) {
+  // The full triple product space is 2^24; a seeded sample is plenty to
+  // catch a bad table (any error corrupts a constant fraction of it).
+  Rng rng(0x6F256);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, GeneratorHasFullOrder) {
+  // The log/exp tables assume 3 generates the whole multiplicative
+  // group: its powers must visit all 255 nonzero elements.
+  std::array<bool, 256> seen{};
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]) << "power " << i << " repeats";
+    seen[x] = true;
+    x = mul(x, 3);
+  }
+  EXPECT_EQ(x, 1);  // order exactly 255
+}
+
+TEST(Gf256Test, ZeroHasNoInverse) {
+  EXPECT_THROW(inv(0), PreconditionError);
+}
+
+TEST(Gf256Test, ScaleSymbolIsBytewiseMul) {
+  Rng rng(0x5CA1E);
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t s = rng.next();
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    const std::uint64_t scaled = scaleSymbol(s, c);
+    for (int b = 0; b < 8; ++b) {
+      const auto sb = static_cast<std::uint8_t>((s >> (8 * b)) & 0xFF);
+      EXPECT_EQ(static_cast<std::uint8_t>((scaled >> (8 * b)) & 0xFF),
+                mul(sb, c));
+    }
+  }
+}
+
+CoefRow randomRow(Rng& rng, int generation) {
+  CoefRow row{};
+  for (int j = 0; j < generation; ++j)
+    row[static_cast<std::size_t>(j)] =
+        static_cast<std::uint8_t>(rng.uniform(256));
+  return row;
+}
+
+TEST(Gf256Test, DecoderRankInvariants) {
+  Rng rng(0xDEC0DE);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int generation = 1 + static_cast<int>(rng.uniform(kMaxGeneration));
+    Decoder dec(generation);
+    int inserts = 0;
+    while (!dec.complete() && inserts < 64) {
+      const int before = dec.rank();
+      const bool innovative = dec.insert(randomRow(rng, generation), rng.next());
+      ++inserts;
+      EXPECT_EQ(dec.rank(), before + (innovative ? 1 : 0));
+      EXPECT_LE(dec.rank(), generation);
+      EXPECT_LE(dec.rank(), inserts);
+    }
+    ASSERT_TRUE(dec.complete()) << "64 random rows failed to reach rank "
+                                << generation;
+    // At full rank every further row is in the span by definition.
+    for (int i = 0; i < 8; ++i)
+      EXPECT_FALSE(dec.insert(randomRow(rng, generation), rng.next()));
+  }
+}
+
+TEST(Gf256Test, DecoderRejectsSpanOfPriorRows) {
+  // Feed a row that is an explicit random combination of already
+  // inserted rows (tracked outside the decoder): never innovative.
+  Rng rng(0x5BA2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int generation = 2 + static_cast<int>(rng.uniform(kMaxGeneration - 1));
+    Decoder dec(generation);
+    std::vector<CoefRow> sent;
+    std::vector<std::uint64_t> sentSymbols;
+    while (dec.rank() < generation - 1) {
+      const CoefRow row = randomRow(rng, generation);
+      const std::uint64_t symbol = rng.next();
+      if (dec.insert(row, symbol)) {
+        sent.push_back(row);
+        sentSymbols.push_back(symbol);
+      }
+    }
+    CoefRow combo{};
+    std::uint64_t comboSymbol = 0;
+    for (std::size_t r = 0; r < sent.size(); ++r) {
+      const auto w = static_cast<std::uint8_t>(rng.uniform(256));
+      for (int j = 0; j < generation; ++j)
+        combo[static_cast<std::size_t>(j)] = add(
+            combo[static_cast<std::size_t>(j)],
+            mul(sent[r][static_cast<std::size_t>(j)], w));
+      comboSymbol ^= scaleSymbol(sentSymbols[r], w);
+    }
+    EXPECT_FALSE(dec.insert(combo, comboSymbol)) << "trial " << trial;
+  }
+}
+
+TEST(Gf256Test, DecodeRoundTripsRandomEncodings) {
+  // Encode random source symbols with random full-rank coefficient
+  // draws — exactly what the RLNC relays do — and require solve() to
+  // recover the sources bit-exactly.
+  Rng rng(0x2077);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int generation = 1 + static_cast<int>(rng.uniform(kMaxGeneration));
+    std::array<std::uint64_t, kMaxGeneration> source{};
+    for (int i = 0; i < generation; ++i)
+      source[static_cast<std::size_t>(i)] = rng.next();
+
+    Decoder dec(generation);
+    int packets = 0;
+    while (!dec.complete() && packets < 96) {
+      const CoefRow coef = randomRow(rng, generation);
+      std::uint64_t symbol = 0;
+      for (int j = 0; j < generation; ++j)
+        symbol ^= scaleSymbol(source[static_cast<std::size_t>(j)],
+                              coef[static_cast<std::size_t>(j)]);
+      dec.insert(coef, symbol);
+      ++packets;
+    }
+    ASSERT_TRUE(dec.complete());
+
+    std::array<std::uint64_t, kMaxGeneration> out{};
+    dec.solve(out);
+    for (int i = 0; i < generation; ++i)
+      EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                source[static_cast<std::size_t>(i)])
+          << "trial " << trial << " symbol " << i;
+  }
+}
+
+TEST(Gf256Test, SolveBeforeFullRankThrows) {
+  Decoder dec(4);
+  CoefRow row{};
+  row[0] = 1;
+  dec.insert(row, 42);
+  std::array<std::uint64_t, kMaxGeneration> out{};
+  EXPECT_THROW(dec.solve(out), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dsn::gf256

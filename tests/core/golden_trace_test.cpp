@@ -1,14 +1,17 @@
 // Golden-trace snapshot test: the demo scenario's radio-event stream
-// must stay byte-identical to the committed golden JSONL.
+// and a seeded gossip broadcast's stream must stay byte-identical to
+// the committed golden JSONL files.
 //
-// Any change to deployment, clustering, slot assignment, scheduling, or
-// collision resolution shows up here as a diff — which is the point: it
-// forces behaviour changes to be acknowledged. To accept a new golden
-// after an intentional change:
+// Any change to deployment, clustering, slot assignment, scheduling,
+// collision resolution — or, for the gossip golden, the rival's relay
+// coins and backoff draws — shows up here as a diff, which is the
+// point: it forces behaviour changes to be acknowledged. To accept new
+// goldens after an intentional change:
 //
 //   build/tests/golden_trace_test --update-golden
 //
-// and commit the rewritten tests/data/demo_trace.jsonl.
+// and commit the rewritten tests/data/demo_trace.jsonl and
+// tests/data/gossip_trace.jsonl.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,17 +27,13 @@ namespace {
 constexpr const char* kScenarioPath = DSN_SOURCE_DIR "/scenarios/demo.wsn";
 constexpr const char* kGoldenPath =
     DSN_SOURCE_DIR "/tests/data/demo_trace.jsonl";
+constexpr const char* kGossipGoldenPath =
+    DSN_SOURCE_DIR "/tests/data/gossip_trace.jsonl";
 
-std::string renderTrace() {
+std::string renderScenario(const std::vector<dsn::ScenarioEvent>& events) {
   dsn::NetworkConfig config;
   config.nodeCount = 60;  // smaller than the demo's 200 to keep it snappy
   config.seed = 2007;
-
-  std::ifstream in(kScenarioPath);
-  if (!in) {
-    throw std::runtime_error(std::string("cannot open ") + kScenarioPath);
-  }
-  const auto events = dsn::parseScenario(in);
 
   dsn::SensorNetwork net(config);
   dsn::ScenarioOptions options;
@@ -53,6 +52,21 @@ std::string renderTrace() {
   return os.str();
 }
 
+std::string renderDemoTrace() {
+  std::ifstream in(kScenarioPath);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open ") + kScenarioPath);
+  }
+  return renderScenario(dsn::parseScenario(in));
+}
+
+std::string renderGossipTrace() {
+  // One fixed-probability gossip wave from the root: pins the rival's
+  // per-node RNG streams (relay coin + backoff draw order) in addition
+  // to the radio layer the demo golden already covers.
+  return renderScenario(dsn::parseScenario("broadcast 0 gossip\n"));
+}
+
 /// 1-based line number of the first byte difference, for a usable
 /// failure message.
 std::size_t firstDiffLine(const std::string& a, const std::string& b) {
@@ -63,6 +77,44 @@ std::size_t firstDiffLine(const std::string& a, const std::string& b) {
     if (a[i] == '\n') ++line;
   }
   return line;
+}
+
+/// Returns 0 on match (or successful update), 1 on mismatch.
+int compareOrUpdate(const std::string& fresh, const char* path,
+                    bool update) {
+  if (update) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    out << fresh;
+    std::cout << "golden_trace_test: rewrote " << path << " ("
+              << fresh.size() << " bytes)\n";
+    return 0;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "golden_trace_test: missing golden file " << path
+              << "\n  generate it with: golden_trace_test --update-golden\n";
+    return 1;
+  }
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  if (fresh != golden.str()) {
+    std::cerr << "golden_trace_test: trace diverged from " << path
+              << "\n  first difference at line "
+              << firstDiffLine(fresh, golden.str()) << " (fresh "
+              << fresh.size() << " bytes, golden " << golden.str().size()
+              << " bytes)\n  if the behaviour change is intentional, rerun "
+                 "with --update-golden and commit the new golden\n";
+    return 1;
+  }
+  std::cout << "golden_trace_test: " << fresh.size()
+            << " bytes byte-identical to " << path << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -79,41 +131,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const std::string fresh = renderTrace();
-
-    if (update) {
-      std::ofstream out(kGoldenPath, std::ios::binary);
-      if (!out) {
-        std::cerr << "cannot write " << kGoldenPath << "\n";
-        return 1;
-      }
-      out << fresh;
-      std::cout << "golden_trace_test: rewrote " << kGoldenPath << " ("
-                << fresh.size() << " bytes)\n";
-      return 0;
-    }
-
-    std::ifstream in(kGoldenPath, std::ios::binary);
-    if (!in) {
-      std::cerr << "golden_trace_test: missing golden file " << kGoldenPath
-                << "\n  generate it with: golden_trace_test --update-golden\n";
-      return 1;
-    }
-    std::ostringstream golden;
-    golden << in.rdbuf();
-
-    if (fresh != golden.str()) {
-      std::cerr << "golden_trace_test: trace diverged from " << kGoldenPath
-                << "\n  first difference at line "
-                << firstDiffLine(fresh, golden.str()) << " (fresh "
-                << fresh.size() << " bytes, golden " << golden.str().size()
-                << " bytes)\n  if the behaviour change is intentional, rerun "
-                   "with --update-golden and commit the new golden\n";
-      return 1;
-    }
-    std::cout << "golden_trace_test: " << fresh.size()
-              << " bytes byte-identical to golden\n";
-    return 0;
+    int rc = compareOrUpdate(renderDemoTrace(), kGoldenPath, update);
+    rc |= compareOrUpdate(renderGossipTrace(), kGossipGoldenPath, update);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "golden_trace_test: " << e.what() << "\n";
     return 1;

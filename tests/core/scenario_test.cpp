@@ -368,5 +368,80 @@ TEST(ScenarioRunnerTest, ZeroRateChurnIsANoOp) {
   EXPECT_EQ(outcome.crashes, 0u);
 }
 
+// ---- arena rivals ----
+
+TEST(ScenarioParserTest, ParsesEveryRivalSchemeWord) {
+  const auto events = parseScenario(
+      "broadcast 0 flood\n"
+      "broadcast 0 gossip\n"
+      "broadcast 0 agossip\n"
+      "broadcast 0 counter\n"
+      "broadcast 0 distance\n"
+      "broadcast 0 rlnc\n");
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].scheme, BroadcastScheme::kFlooding);
+  EXPECT_EQ(events[1].scheme, BroadcastScheme::kGossip);
+  EXPECT_EQ(events[2].scheme, BroadcastScheme::kGossipAdaptive);
+  EXPECT_EQ(events[3].scheme, BroadcastScheme::kCounter);
+  EXPECT_EQ(events[4].scheme, BroadcastScheme::kDistance);
+  EXPECT_EQ(events[5].scheme, BroadcastScheme::kRlnc);
+}
+
+TEST(ScenarioParserTest, RivalAndArenaEventsRoundTripThroughFormat) {
+  const std::string script =
+      "broadcast random gossip\n"
+      "broadcast 4 rlnc\n"
+      "arena 3\n"
+      "arena random\n";
+  const auto events = parseScenario(script);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[2].kind, ScenarioEvent::Kind::kArena);
+  EXPECT_EQ(events[2].node, 3u);
+  EXPECT_EQ(events[3].kind, ScenarioEvent::Kind::kArena);
+  EXPECT_EQ(events[3].node, kInvalidNode);
+  const auto reparsed = parseScenario(formatScenario(events));
+  ASSERT_EQ(reparsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(reparsed[i].kind, events[i].kind) << "event " << i;
+    EXPECT_EQ(reparsed[i].node, events[i].node) << "event " << i;
+    EXPECT_EQ(reparsed[i].scheme, events[i].scheme) << "event " << i;
+  }
+}
+
+TEST(ScenarioParserTest, RbroadcastRejectsNonSlottedSchemes) {
+  // The NACK repair waves drive the depth-indexed slot schedule; only
+  // CFF/iCFF have one (latent-assumption audit, DESIGN.md §16).
+  EXPECT_THROW(parseScenario("rbroadcast 0 dfo\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("rbroadcast 0 flood\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("rbroadcast 0 gossip\n"), PreconditionError);
+  EXPECT_THROW(parseScenario("rbroadcast 0 rlnc\n"), PreconditionError);
+  EXPECT_NO_THROW(parseScenario("rbroadcast 0 cff\nrbroadcast 0 icff\n"));
+}
+
+TEST(ScenarioRunnerTest, ArenaRacesEveryScheme) {
+  auto net = makeNet();
+  const auto outcome = runScenario(net, parseScenario("arena 0\n"));
+  EXPECT_TRUE(outcome.valid) << outcome.firstViolation;
+  EXPECT_EQ(outcome.arenas, 1u);
+  EXPECT_EQ(outcome.broadcasts, 0u);  // arena legs are not broadcasts
+  ASSERT_EQ(outcome.log.size(), 1u);
+  for (const BroadcastScheme scheme : kAllBroadcastSchemes) {
+    EXPECT_NE(outcome.log[0].find(toString(scheme)), std::string::npos)
+        << toString(scheme);
+  }
+}
+
+TEST(ScenarioRunnerTest, ForceSchemeOverridesScriptedBroadcasts) {
+  auto net = makeNet();
+  ScenarioOptions opts;
+  opts.forceScheme = BroadcastScheme::kGossip;
+  const auto outcome =
+      runScenario(net, parseScenario("broadcast 0 icff\n"), opts);
+  EXPECT_TRUE(outcome.valid) << outcome.firstViolation;
+  ASSERT_EQ(outcome.log.size(), 1u);
+  EXPECT_NE(outcome.log[0].find("GOSSIP"), std::string::npos)
+      << outcome.log[0];
+}
+
 }  // namespace
 }  // namespace dsn

@@ -52,6 +52,8 @@ TEST(SeedStreamsTest, FuzzFamiliesCollisionFreeAndDisjoint) {
       draw(testkit::opsSeed(episode), "ops");
       draw(testkit::failureSeed(episode, 0), "failure[0]");
       draw(testkit::failureSeed(episode, 1), "failure[1]");
+      draw(testkit::arenaSeed(episode, 0), "arena[0]");
+      draw(testkit::arenaSeed(episode, 1), "arena[1]");
     }
   }
   EXPECT_GE(draws, 100'000u);

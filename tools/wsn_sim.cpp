@@ -5,7 +5,7 @@
 //
 //   wsn_sim [--nodes N] [--seed S] [--field UNITS] [--range METERS]
 //           [--drop P] [--channels K] [--threads N] [--deploy KIND]
-//           [--scenario FILE | -]
+//           [--protocol SCHEME] [--scenario FILE | -]
 //           [--trials T] [--jobs N] [--auto-repair]
 //           [--metrics-json FILE] [--trace-out FILE] [--trace-cap N]
 //           [--record-trace FILE] [--trace-categories LIST]
@@ -15,6 +15,12 @@
 // --auto-repair runs the crash-recovery pass immediately after every
 // `crash` scenario event instead of waiting for an explicit `repair`
 // line (see DESIGN.md §10).
+//
+// --protocol SCHEME overrides the scheme of every `broadcast` scenario
+// event (dfo|cff|icff|flood|gossip|agossip|counter|distance|rlnc), so
+// one script can race the whole arena roster without editing it.
+// `rbroadcast` events keep their scripted slotted scheme and `arena`
+// events still race everyone (DESIGN.md §16).
 //
 // --threads N routes every protocol run through the spatially sharded
 // round engine with N workers (DESIGN.md §14). Every observable output —
@@ -55,9 +61,11 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "broadcast/runner.hpp"
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "cluster/export.hpp"
@@ -82,6 +90,7 @@ struct CliOptions {
   dsn::Channel channels = 1;
   int threads = 0;  ///< > 0: sharded round engine with N workers
   dsn::DeploymentKind deploy = dsn::DeploymentKind::kIncrementalAttach;
+  std::optional<dsn::BroadcastScheme> protocol;  ///< broadcast override
   std::string scenarioPath;
   std::string dotPath;
   std::string metricsJsonPath;
@@ -102,6 +111,7 @@ void usage(std::ostream& os) {
   os << "usage: wsn_sim [--nodes N] [--seed S] [--field UNITS]\n"
         "               [--range METERS] [--drop P] [--channels K]\n"
         "               [--threads N] [--deploy KIND]\n"
+        "               [--protocol SCHEME]\n"
         "               [--scenario FILE|-] [--dot FILE]\n"
         "               [--trials T] [--jobs N] [--auto-repair]\n"
         "               [--metrics-json FILE] [--trace-out FILE]\n"
@@ -164,6 +174,15 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
         std::cerr << "bad --deploy (want attach|uniform|grid|line|star)\n";
         return false;
       }
+    } else if (arg == "--protocol") {
+      const char* v = next();
+      dsn::BroadcastScheme scheme{};
+      if (!v || !dsn::parseBroadcastScheme(v, scheme)) {
+        std::cerr << "bad --protocol (want dfo|cff|icff|flood|gossip|"
+                     "agossip|counter|distance|rlnc)\n";
+        return false;
+      }
+      opt.protocol = scheme;
     } else if (arg == "--scenario") {
       const char* v = next();
       if (!v) return false;
@@ -289,6 +308,7 @@ dsn::ScenarioOptions scenarioOptionsFor(const CliOptions& opt,
   sopt.protocol.dropProbability = opt.drop;
   sopt.protocol.channels = opt.channels;
   sopt.protocol.threads = opt.threads;
+  sopt.forceScheme = opt.protocol;
   if (!opt.traceOutPath.empty())
     sopt.protocol.traceCapacity = opt.traceCap;
   return sopt;
@@ -357,6 +377,7 @@ std::string runDocumentJson(const CliOptions& opt,
                    dsn::exec::resolveJobs(opt.jobs)));
   w.kv("scenario",
        opt.scenarioPath.empty() ? "<demo>" : opt.scenarioPath);
+  if (opt.protocol) w.kv("protocol", dsn::toString(*opt.protocol));
   w.endObject();
   w.key("outcome").beginObject();
   w.kv("events", static_cast<std::uint64_t>(outcome.eventsExecuted));
