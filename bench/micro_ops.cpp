@@ -4,6 +4,7 @@
 
 #include "broadcast/runner.hpp"
 #include "core/sensor_network.hpp"
+#include "exec/lease_pool.hpp"
 #include "graph/deploy.hpp"
 #include "graph/unit_disk.hpp"
 #include "obs/flight.hpp"
@@ -133,6 +134,52 @@ std::vector<Action> resolveActions(const Graph& g, std::vector<NodeId>* tx) {
   }
   return actions;
 }
+
+// Per-task vs pooled ResolveScratch: the serve engine's reason for
+// leasing scratch from an exec::LeasePool instead of letting every job
+// construct its own. Each iteration is one "job": an ICFF broadcast
+// whose active-set engine uses an externally supplied scratch
+// (ProtocolOptions::resolveScratch). The per-task variant pays
+// construction plus on-demand table growth inside the run; the pooled
+// variant leases a pre-prepared scratch and the run stays
+// allocation-free.
+void BM_ScratchPerTask(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  NetworkConfig cfg;
+  cfg.nodeCount = n;
+  cfg.seed = 21;
+  SensorNetwork net(cfg);
+  Rng rng(22);
+  for (auto _ : state) {
+    ResolveScratch scratch;
+    ProtocolOptions opts;
+    opts.resolveScratch = &scratch;
+    const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                   net.randomNode(rng), 1, opts);
+    benchmark::DoNotOptimize(run.delivered);
+  }
+}
+BENCHMARK(BM_ScratchPerTask)->Arg(100)->Arg(500);
+
+void BM_ScratchPooled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  NetworkConfig cfg;
+  cfg.nodeCount = n;
+  cfg.seed = 21;
+  SensorNetwork net(cfg);
+  Rng rng(22);
+  exec::LeasePool<ResolveScratch> pool;
+  pool.warmUp(1, [&](ResolveScratch& s) { s.prepare(n, 1); });
+  for (auto _ : state) {
+    auto lease = pool.acquire();
+    ProtocolOptions opts;
+    opts.resolveScratch = lease.get();
+    const auto run = net.broadcast(BroadcastScheme::kImprovedCff,
+                                   net.randomNode(rng), 1, opts);
+    benchmark::DoNotOptimize(run.delivered);
+  }
+}
+BENCHMARK(BM_ScratchPooled)->Arg(100)->Arg(500);
 
 void BM_ResolveFullScan(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,109 @@
+// PerfServe — batch-serving throughput: jobs/sec of the resident serve
+// engine over a 500-job mixed demo workload (10 deployments; light
+// slotted-broadcast / validation queries as the common case, a heavy
+// reliable / gather / rival-scheme request every 10th job, a mutating
+// churn job every 100th), warm-cache serving vs per-job cold setup.
+//
+// "cold" runs the same engine with cacheCapacity 0, so every job pays
+// deployment + clustering + CSR build before its scenario; "warm" is
+// the resident configuration, where read-only jobs share one prebuilt
+// snapshot per deployment fingerprint. Both modes emit byte-identical
+// records (construction telemetry is routed to the process registries
+// in both), so the ratio isolates setup cost — and being an in-process
+// ratio it cancels host speed, which lets CI gate it against the
+// committed baseline in bench/baselines/BENCH_perf_serve.json.
+//
+// Each mode does one untimed pass (for warm, that also populates the
+// cache — the resident steady state) and then a timed pass. Per-job
+// latency percentiles come from inter-emit gaps, meaningful at jobs 1
+// where records are emitted inline as each job finishes.
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "serve/engine.hpp"
+#include "serve/job.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measure {
+  double jobsPerSec = 0.0;
+  double p50Ms = 0.0;
+  double p95Ms = 0.0;
+};
+
+double percentile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+Measure measure(const std::vector<dsn::serve::ServeJob>& jobs, int workers,
+                std::size_t cacheCapacity) {
+  dsn::serve::ServeOptions options;
+  options.jobs = workers;
+  options.cacheCapacity = cacheCapacity;
+  dsn::serve::ServeEngine engine(options);
+
+  const auto discard = [](std::string_view) {};
+  engine.serveJobs(jobs, discard);  // untimed pass: allocator, cache, freq
+
+  std::vector<double> latenciesMs;
+  latenciesMs.reserve(jobs.size());
+  Clock::time_point last = Clock::now();
+  const auto t0 = last;
+  const auto report = engine.serveJobs(jobs, [&](std::string_view) {
+    const Clock::time_point now = Clock::now();
+    latenciesMs.push_back(
+        std::chrono::duration<double, std::milli>(now - last).count());
+    last = now;
+  });
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  Measure m;
+  m.jobsPerSec = static_cast<double>(report.jobsRun) / secs;
+  m.p50Ms = percentile(latenciesMs, 0.50);
+  m.p95Ms = percentile(latenciesMs, 0.95);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsn;
+  auto cfg = bench::defaultConfig(argc, argv);
+  bench::jobsArg(argc, argv);  // accepted for CI symmetry
+  constexpr std::size_t kJobs = 500;
+  cfg.nodeCounts = {kJobs};
+  bench::printHeader("PerfServe",
+                     "batch serving, warm snapshots vs per-job cold setup",
+                     cfg);
+
+  const auto jobs = serve::demoJobs(kJobs, 2007, /*nodes=*/200,
+                                    /*deployments=*/10,
+                                    /*mutatingEvery=*/100,
+                                    /*heavyEvery=*/10);
+
+  const Measure cold = measure(jobs, 1, /*cacheCapacity=*/0);
+  const Measure warm = measure(jobs, 1, /*cacheCapacity=*/64);
+  const Measure warm4 = measure(jobs, 4, /*cacheCapacity=*/64);
+
+  // mode: 0 = cold (cache bypass), 1 = warm cache. ratio is vs the
+  // cold single-worker row — the CI serve gate's calibration column.
+  std::vector<std::vector<double>> rows;
+  rows.push_back({0.0, 1.0, cold.jobsPerSec, cold.p50Ms, cold.p95Ms, 1.0});
+  rows.push_back({1.0, 1.0, warm.jobsPerSec, warm.p50Ms, warm.p95Ms,
+                  warm.jobsPerSec / cold.jobsPerSec});
+  rows.push_back({1.0, 4.0, warm4.jobsPerSec, warm4.p50Ms, warm4.p95Ms,
+                  warm4.jobsPerSec / cold.jobsPerSec});
+  bench::emitBench(
+      "perf_serve", "PerfServe — batch serving throughput (500 mixed jobs)",
+      {"mode", "jobs", "jobs/s", "p50 ms", "p95 ms", "ratio"}, rows, cfg, 3);
+  return 0;
+}

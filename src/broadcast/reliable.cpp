@@ -265,6 +265,7 @@ ReliableBroadcastRun runReliableBroadcast(BroadcastScheme scheme,
     cfg.channelCount = opts.channels;
     cfg.traceCapacity = 0;
     cfg.scheduling = opts.scheduling;
+    cfg.resolveScratch = opts.resolveScratch;
     cfg.maxRounds = 2 * static_cast<Round>(proto.subWindows) *
                     TdmMap(proto.window, proto.channels).windowLength();
 

@@ -73,6 +73,11 @@ struct ProtocolOptions {
   double tileMinEdge = 0.0;
   std::uint32_t tileTarget = 0;
   std::size_t shardSerialThreshold = 256;
+  /// External resolve-scratch lease (borrowed, must outlive the run;
+  /// see SimConfig::resolveScratch). The serve engine points every job
+  /// at its worker's pooled scratch so repeated runs stop reallocating
+  /// the O(V·k) resolve tables. Null = the engine's own scratch.
+  ResolveScratch* resolveScratch = nullptr;
   /// Competitor-scheme knobs (ignored by the paper's cluster schemes).
   ArenaTuning arena;
 };

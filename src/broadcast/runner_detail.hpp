@@ -23,6 +23,7 @@ inline void applyScheduling(SimConfig& cfg, const ProtocolOptions& options) {
   cfg.tileMinEdge = options.tileMinEdge;
   cfg.tileTarget = options.tileTarget;
   cfg.shardSerialThreshold = options.shardSerialThreshold;
+  cfg.resolveScratch = options.resolveScratch;
 }
 
 /// Installs the failure plan of `options` into the simulator.

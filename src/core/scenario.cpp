@@ -385,6 +385,37 @@ std::string formatScenario(const std::vector<ScenarioEvent>& events) {
   return out;
 }
 
+bool scenarioEventMutatesNetwork(const ScenarioEvent& event) {
+  switch (event.kind) {
+    case ScenarioEvent::Kind::kBroadcast:
+    case ScenarioEvent::Kind::kArena:
+    case ScenarioEvent::Kind::kReliableBroadcast:
+    case ScenarioEvent::Kind::kMulticast:
+    case ScenarioEvent::Kind::kGather:
+    case ScenarioEvent::Kind::kValidate:
+    case ScenarioEvent::Kind::kFaults:
+      return false;
+    case ScenarioEvent::Kind::kJoin:
+    case ScenarioEvent::Kind::kLeave:
+    case ScenarioEvent::Kind::kMove:
+    case ScenarioEvent::Kind::kJoinGroup:
+    case ScenarioEvent::Kind::kLeaveGroup:
+    case ScenarioEvent::Kind::kCompact:
+    case ScenarioEvent::Kind::kCrash:
+    case ScenarioEvent::Kind::kRepair:
+    case ScenarioEvent::Kind::kWaypoint:
+    case ScenarioEvent::Kind::kChurn:
+      return true;
+  }
+  return true;  // unreachable; default to the safe classification
+}
+
+bool scenarioMutatesNetwork(const std::vector<ScenarioEvent>& events) {
+  for (const ScenarioEvent& e : events)
+    if (scenarioEventMutatesNetwork(e)) return true;
+  return false;
+}
+
 ScenarioOutcome runScenario(SensorNetwork& net,
                             const std::vector<ScenarioEvent>& events,
                             const ScenarioOptions& options) {

@@ -156,6 +156,19 @@ struct ScenarioOptions {
   std::optional<BroadcastScheme> forceScheme;
 };
 
+/// True when running `event` can mutate the SensorNetwork itself —
+/// joins, departures, moves, group changes, crashes, repairs, mobility
+/// and churn ticks, slot compaction. Communication events (broadcast,
+/// arena, rbroadcast, multicast, gather), validation, and fault-regime
+/// changes only read the structure: faults accumulate into the run's
+/// local ProtocolOptions, never into the network. The serve engine uses
+/// this split to run read-only jobs concurrently over one shared warm
+/// deployment while mutating jobs get a private build.
+bool scenarioEventMutatesNetwork(const ScenarioEvent& event);
+
+/// True when any event of `events` mutates the network.
+bool scenarioMutatesNetwork(const std::vector<ScenarioEvent>& events);
+
 /// Executes `events` against `net` in order.
 ScenarioOutcome runScenario(SensorNetwork& net,
                             const std::vector<ScenarioEvent>& events,

@@ -1,5 +1,7 @@
 #include "core/sensor_network.hpp"
 
+#include <cstring>
+
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/error.hpp"
@@ -263,6 +265,40 @@ NodeId SensorNetwork::randomNode(Rng& rng) const {
   const auto nodes = net_->netNodes();
   DSN_REQUIRE(!nodes.empty(), "randomNode: empty network");
   return nodes[rng.pickIndex(nodes)];
+}
+
+std::uint64_t deploymentFingerprint(const NetworkConfig& config) {
+  DSN_REQUIRE(!config.cluster.score,
+              "deploymentFingerprint: score callbacks cannot be "
+              "fingerprinted — pass a config without one");
+  // SplitMix64 chaining (the ExperimentConfig::trialSeed rule): fold
+  // each field's raw bits through the finalizer so every field
+  // perturbs every output bit. Doubles go in by bit pattern — configs
+  // compare by exact value, not approximate geometry.
+  const auto mix = [](std::uint64_t z) {
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  const auto bits = [](double v) {
+    std::uint64_t out;
+    static_assert(sizeof(out) == sizeof(v));
+    std::memcpy(&out, &v, sizeof(out));
+    return out;
+  };
+  std::uint64_t h = mix(0xD5CE7F1A6B0A11ull);
+  h = mix(h ^ bits(config.field.width));
+  h = mix(h ^ bits(config.field.height));
+  h = mix(h ^ bits(config.range));
+  h = mix(h ^ static_cast<std::uint64_t>(config.nodeCount));
+  h = mix(h ^ config.seed);
+  h = mix(h ^ static_cast<std::uint64_t>(config.deployment));
+  h = mix(h ^ static_cast<std::uint64_t>(config.cluster.slotPolicy));
+  h = mix(h ^ static_cast<std::uint64_t>(config.cluster.attachPreference));
+  h = mix(h ^ config.cluster.attachSeed);
+  h = mix(h ^ static_cast<std::uint64_t>(config.autoRepair ? 1 : 0));
+  return h;
 }
 
 }  // namespace dsn

@@ -52,6 +52,16 @@ struct NetworkConfig {
   bool autoRepair = false;
 };
 
+/// 64-bit fingerprint over every NetworkConfig field that shapes the
+/// constructed SensorNetwork: field dimensions, range, node count, seed,
+/// deployment kind, cluster policy knobs, and autoRepair. Two configs
+/// with equal fingerprints build bit-identical networks (SplitMix64
+/// chaining over the raw field bits; collisions are as likely as a
+/// 64-bit hash collision). The warm-state serve cache keys on this.
+/// The cluster `score` callback cannot be fingerprinted and MUST be
+/// empty — callers that set one cannot share warm state.
+std::uint64_t deploymentFingerprint(const NetworkConfig& config);
+
 class SensorNetwork {
  public:
   /// Deploys `nodeCount` sensors and self-constructs the cluster net by

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace dsn {
 
 namespace {
@@ -122,6 +124,11 @@ const CsrView& Graph::csrView() const {
   if (csrEpoch_.load(std::memory_order_acquire) != epoch_) {
     std::lock_guard<std::mutex> lock(csrMutex_);
     if (csrEpoch_.load(std::memory_order_relaxed) != epoch_) {
+      // Rebuilds used to be invisible: a caller holding a stale graph
+      // (churn between runs) silently paid O(V+E) here. Meter them so
+      // the serve cache can assert its pre-warmed snapshots stay fresh.
+      if (obs::enabled())
+        obs::globalMetrics().counter("graph.csr.rebuild").increment();
       csr_.assign(adjacency_);
       csrEpoch_.store(epoch_, std::memory_order_release);
     }

@@ -1,0 +1,49 @@
+// Cache hit/miss/evict counter families.
+//
+// A CacheCounters bundles the three counters every cache in the suite
+// reports — `<prefix>.hit`, `<prefix>.miss`, `<prefix>.evict` — and
+// resolves them once at construction, so the hot path is three atomic
+// increments with no name lookups. The serve warm-state cache registers
+// `serve.cache.*` and `serve.csr.*` (CSR snapshot freshness) through
+// this; tests assert hit rates off the same counters.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace dsn::obs {
+
+class CacheCounters {
+ public:
+  /// Registers `<prefix>.hit|miss|evict` in `registry`. The registry
+  /// must outlive this object (instrument handles are stable for the
+  /// registry's lifetime).
+  CacheCounters(MetricsRegistry& registry, std::string_view prefix)
+      : hit_(&registry.counter(std::string(prefix) + ".hit")),
+        miss_(&registry.counter(std::string(prefix) + ".miss")),
+        evict_(&registry.counter(std::string(prefix) + ".evict")) {}
+
+  void hit() { hit_->increment(); }
+  void miss() { miss_->increment(); }
+  void evict() { evict_->increment(); }
+
+  std::uint64_t hits() const { return hit_->value(); }
+  std::uint64_t misses() const { return miss_->value(); }
+  std::uint64_t evictions() const { return evict_->value(); }
+
+  /// Hits over lookups; 0 when no lookups happened yet.
+  double hitRate() const {
+    const std::uint64_t total = hits() + misses();
+    return total == 0 ? 0.0 : static_cast<double>(hits()) /
+                                  static_cast<double>(total);
+  }
+
+ private:
+  Counter* hit_;
+  Counter* miss_;
+  Counter* evict_;
+};
+
+}  // namespace dsn::obs

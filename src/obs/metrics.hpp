@@ -163,6 +163,34 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, const Histogram*>> histograms() const;
   std::size_t size() const;
 
+  // ---- allocation-free iteration (sorted by name) ----
+  // The serve-loop record emitter exports every job's registry without
+  // touching the heap, so the snapshot vectors above are not an option
+  // there. Visitors run under the registry mutex; keep them short and
+  // never re-enter the registry from inside one.
+  template <typename F>
+  void visitCounters(F&& f) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_)
+      if (e.kind == Kind::kCounter)
+        f(std::string_view(e.name), e.counter->value());
+  }
+  template <typename F>
+  void visitGauges(F&& f) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_)
+      if (e.kind == Kind::kGauge)
+        f(std::string_view(e.name), e.gauge->value());
+  }
+  template <typename F>
+  void visitHistograms(F&& f) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_)
+      if (e.kind == Kind::kHistogram)
+        f(std::string_view(e.name),
+          static_cast<const Histogram&>(*e.histogram));
+  }
+
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
   struct Entry {

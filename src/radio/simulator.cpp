@@ -302,7 +302,10 @@ class ActiveSetEngine : public SimEngine {
   // the node from the pending count exactly when isDead starts holding.
   std::vector<std::pair<Round, NodeId>> deaths_;
   std::size_t deathIdx_ = 0;
+  // Own scratch, used only when SimConfig::resolveScratch is null;
+  // scr_ points at whichever is live for the current seed.
   ResolveScratch scratch_;
+  ResolveScratch* scr_ = &scratch_;
   std::vector<NodeId> active_;
   std::vector<NodeId> transmitters_;
   obs::FlightRecorder* frRound_ = nullptr;
@@ -357,7 +360,9 @@ void ActiveSetEngine::seed(Round from) {
   std::sort(deaths_.begin(), deaths_.end());
   deathIdx_ = 0;
 
-  scratch_.prepare(n_, sim.config_.channelCount);
+  scr_ = sim.config_.resolveScratch != nullptr ? sim.config_.resolveScratch
+                                               : &scratch_;
+  scr_->prepare(n_, sim.config_.channelCount);
   active_.reserve(n_);
   transmitters_.reserve(n_);
 }
@@ -485,7 +490,7 @@ void ActiveSetEngine::advanceTo(Round stop) {
 
     // Phase 2: resolve only around actual transmitters.
     const ChannelOutcome& outcome = resolveRoundActive(
-        csr, actions, transmitters, sim.config_.channelCount, scratch_);
+        csr, actions, transmitters, sim.config_.channelCount, *scr_);
     result.totalTransmissions += outcome.transmissions;
     result.totalDeliveries += outcome.deliveries.size();
     result.totalCollisions += outcome.collisions();

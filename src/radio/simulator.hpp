@@ -50,6 +50,15 @@ struct SimConfig {
   std::size_t traceCapacity = 0;
   /// Round-loop strategy; see SimScheduling.
   SimScheduling scheduling = SimScheduling::kActiveSet;
+  /// External resolve scratch lease (borrowed, must outlive the run).
+  /// When set, the active-set engine resolves rounds into this scratch
+  /// instead of its own member — a serve loop or parallel bench pools
+  /// one per worker so back-to-back runs reuse warm O(V·k) tables
+  /// instead of reallocating them per run. prepare() is called on it at
+  /// seed time (idempotent, never shrinks). Ignored by kFullScan;
+  /// kSharded keeps its per-tile scratch. Results are bit-identical
+  /// with or without it.
+  ResolveScratch* resolveScratch = nullptr;
 
   // ---- kSharded knobs (ignored by the serial modes). None of them
   // affect results, only how the identical work is laid out.

@@ -1,0 +1,121 @@
+#include "serve/warm_cache.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "obs/timer.hpp"
+
+namespace dsn::serve {
+
+namespace {
+
+std::mutex& processMergeMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ConstructionTelemetryScope::ConstructionTelemetryScope()
+    : metricsSink_(metrics_), timingSink_(timing_) {}
+
+ConstructionTelemetryScope::~ConstructionTelemetryScope() {
+  std::lock_guard<std::mutex> lock(processMergeMutex());
+  obs::processMetrics().mergeFrom(metrics_);
+  obs::processTiming().mergeFrom(timing_);
+}
+
+WarmStateCache::WarmStateCache(std::size_t capacity)
+    : WarmStateCache(capacity, obs::processMetrics()) {}
+
+WarmStateCache::WarmStateCache(std::size_t capacity,
+                               obs::MetricsRegistry& registry)
+    : capacity_(capacity),
+      cacheCounters_(registry, "serve.cache"),
+      csrCounters_(registry, "serve.csr") {}
+
+WarmStateCache::Lease WarmStateCache::lease(const NetworkConfig& config) {
+  const std::uint64_t fp = deploymentFingerprint(config);
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ > 0) {
+      const auto it = entries_.find(fp);
+      if (it != entries_.end()) {
+        cacheCounters_.hit();
+        entry = it->second;
+      } else {
+        cacheCounters_.miss();
+        entry = std::make_shared<Entry>();
+        entry->fingerprint = fp;
+        entries_.emplace(fp, entry);
+        evictOverflowLocked();
+      }
+      entry->lastUse = ++tick_;
+    } else {
+      // Bypass mode: every lease is a private cold build (the perf
+      // baseline). Still counted as a miss so hitRate reads 0.
+      cacheCounters_.miss();
+      entry = std::make_shared<Entry>();
+      entry->fingerprint = fp;
+    }
+  }
+
+  // Build outside the map lock: distinct fingerprints construct in
+  // parallel, same-fingerprint leases block on the entry's once_flag.
+  // Telemetry from deployment + clustering folds into the process
+  // registries — whichever job thread happens to build first must not
+  // have its record inflated by construction counters.
+  std::call_once(entry->built, [&] {
+    ConstructionTelemetryScope buildScope;
+    auto net = std::make_unique<SensorNetwork>(config);
+    // Pre-warm the CSR snapshot once, here, so no job ever pays the
+    // silent O(V+E) rebuild inside its own run.
+    net->graph().csrView();
+    entry->net = std::move(net);
+  });
+
+  // Freshness audit: a stale snapshot at lease time means something
+  // mutated the shared network or invalidated the pre-warm — the serve
+  // test asserts serve.csr.miss == 0.
+  if (entry->net->graph().csrViewIfFresh() != nullptr)
+    csrCounters_.hit();
+  else
+    csrCounters_.miss();
+
+  return Lease(std::move(entry));
+}
+
+void WarmStateCache::evictOverflowLocked() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.use_count() > 1) continue;  // on lease — not evictable
+      if (victim == entries_.end() ||
+          it->second->lastUse < victim->second->lastUse)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;  // everything leased; overflow
+    entries_.erase(victim);
+    cacheCounters_.evict();
+  }
+}
+
+std::size_t WarmStateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+WarmStateCache::Stats WarmStateCache::stats() const {
+  Stats s;
+  s.hits = cacheCounters_.hits();
+  s.misses = cacheCounters_.misses();
+  s.evictions = cacheCounters_.evictions();
+  s.csrFresh = csrCounters_.hits();
+  s.csrStale = csrCounters_.misses();
+  s.hitRate = cacheCounters_.hitRate();
+  return s;
+}
+
+}  // namespace dsn::serve

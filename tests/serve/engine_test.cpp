@@ -1,0 +1,187 @@
+// ServeEngine: record purity (solo == batched, any worker count, warm
+// or cold), stream-order emission, in-place error records, warm-cache
+// hit-rate and CSR freshness over a mixed stream, and the mutating-job
+// private-build rule.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+#include "serve/job.hpp"
+#include "serve/json_value.hpp"
+
+namespace dsn::serve {
+namespace {
+
+/// Engine records carry a telemetry section per job, so the purity
+/// tests run with observability on — the harder configuration, since a
+/// leaked instrument name or misattributed build counter would show up
+/// as a byte diff.
+class ServeEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::setEnabled(true); }
+  void TearDown() override { obs::setEnabled(false); }
+};
+
+std::vector<std::string> serveAll(const std::vector<ServeJob>& jobs,
+                                  int workers, std::size_t cacheCapacity,
+                                  ServeReport* report = nullptr) {
+  ServeOptions options;
+  options.jobs = workers;
+  options.cacheCapacity = cacheCapacity;
+  ServeEngine engine(options);
+  std::vector<std::string> records;
+  records.reserve(jobs.size());
+  const ServeReport r = engine.serveJobs(
+      jobs, [&](std::string_view rec) { records.emplace_back(rec); });
+  if (report != nullptr) *report = r;
+  return records;
+}
+
+TEST_F(ServeEngineTest, BatchIsByteIdenticalAcrossWorkerCounts) {
+  const auto jobs = demoJobs(40, 2007, 100, 6, 16, 4);
+  ServeReport r1;
+  const auto at1 = serveAll(jobs, 1, 64, &r1);
+  const auto at2 = serveAll(jobs, 2, 64);
+  const auto at8 = serveAll(jobs, 8, 64);
+  ASSERT_EQ(at1.size(), jobs.size());
+  EXPECT_TRUE(r1.ok());
+  EXPECT_EQ(r1.jobsRun, jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(at1[i], at2[i]) << "job " << i << " differs at --jobs 2";
+    EXPECT_EQ(at1[i], at8[i]) << "job " << i << " differs at --jobs 8";
+  }
+}
+
+TEST_F(ServeEngineTest, SoloRunMatchesBatchedRecordByteForByte) {
+  const auto jobs = demoJobs(100, 2007, 100, 6, 16, 4);
+  const auto batched = serveAll(jobs, 8, 64);
+  ASSERT_EQ(batched.size(), jobs.size());
+
+  // A light job, a heavy one, a mutating one, and the tail — each run
+  // alone on a fresh cold engine must reproduce its batch record
+  // exactly: the record is a pure function of the job line, not of
+  // batch position, worker count, or cache state.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{3},
+                              std::size_t{15}, std::size_t{57},
+                              std::size_t{99}}) {
+    ServeJob solo = jobs[i];
+    solo.index = 0;
+    const auto records = serveAll({solo}, 1, 64);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0], batched[i]) << "job " << i << " solo != batched";
+  }
+}
+
+TEST_F(ServeEngineTest, WarmAndColdCacheEmitIdenticalRecords) {
+  const auto jobs = demoJobs(30, 5, 80, 3, 10, 4);
+  const auto warm = serveAll(jobs, 1, 64);
+  const auto cold = serveAll(jobs, 1, 0);  // bypass: build per job
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i)
+    EXPECT_EQ(warm[i], cold[i]) << "job " << i << " warm != cold";
+}
+
+TEST_F(ServeEngineTest, WarmCacheHitRateOverReadOnlyStream) {
+  // Read-only stream (no mutating jobs): every deployment builds once,
+  // every revisit is a hit, and nothing ever invalidates the pre-warmed
+  // CSR snapshot.
+  const auto jobs = demoJobs(60, 2007, 80, 5, /*mutatingEvery=*/0, 4);
+  std::set<std::uint64_t> unique;
+  for (const auto& job : jobs) unique.insert(job.fingerprint);
+
+  ServeReport report;
+  serveAll(jobs, 1, 64, &report);
+  EXPECT_EQ(report.cache.misses, unique.size());
+  EXPECT_EQ(report.cache.hits, jobs.size() - unique.size());
+  EXPECT_GT(report.cache.hitRate, 0.8);
+  EXPECT_EQ(report.cache.csrStale, 0u)
+      << "a warm lease saw a stale CSR snapshot — something rebuilt or "
+         "mutated the shared network";
+  EXPECT_EQ(report.cache.evictions, 0u);
+}
+
+TEST_F(ServeEngineTest, MutatingJobsNeverTouchTheSharedCache) {
+  std::vector<ServeJob> jobs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ServeJob job;
+    job.index = i;
+    job.id = i;
+    job.nodes = 60;
+    job.seed = 9;  // same deployment every time
+    job.scenarioText = "churn 1.5 2\nrepair\nvalidate";
+    job.events = parseScenario(job.scenarioText);
+    job.mutates = scenarioMutatesNetwork(job.events);
+    ASSERT_TRUE(job.mutates);
+    job.fingerprint = deploymentFingerprint(jobNetworkConfig(job));
+    jobs.push_back(std::move(job));
+  }
+  ServeReport report;
+  const auto records = serveAll(jobs, 1, 64, &report);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cache.hits + report.cache.misses, 0u)
+      << "a mutating job leased the shared warm network";
+  // Same line, same record — private builds are still deterministic.
+  EXPECT_EQ(records[0].substr(records[0].find("\"config\"")),
+            records[3].substr(records[3].find("\"config\"")));
+}
+
+TEST_F(ServeEngineTest, ServeStreamEmitsInOrderWithInPlaceErrors) {
+  std::istringstream in(
+      "# a comment, then a blank line\n"
+      "\n"
+      R"({"schema":"dsnet-job-v1","id":3,"nodes":50,"scenario":"validate"})"
+      "\n"
+      "this line is not json\n"
+      R"({"schema":"dsnet-job-v1","id":7,"nodes":50,"scenario":"validate"})"
+      "\n"
+      R"({"schema":"dsnet-job-v1","id":5,"nodes":50,"scenario":"validate"})"
+      "\n");
+  std::ostringstream out;
+  ServeEngine engine({.jobs = 2, .cacheCapacity = 8});
+  const ServeReport report = engine.serveStream(in, out);
+
+  EXPECT_EQ(report.jobsRun, 4u);
+  EXPECT_EQ(report.parseErrors, 2u);  // bad json + non-increasing id 5
+  EXPECT_FALSE(report.ok());
+
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream result(out.str());
+  while (std::getline(result, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+
+  // Every line is valid JSON; order follows the stream.
+  for (const auto& l : lines) EXPECT_NO_THROW(parseJson(l)) << l;
+  EXPECT_NE(lines[0].find("\"schema\":\"dsnet-run-v1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"job\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"schema\":\"dsnet-error-v1\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"line\":2"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"job\":7"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"schema\":\"dsnet-error-v1\""),
+            std::string::npos);
+  EXPECT_NE(lines[3].find("strictly increasing"), std::string::npos);
+}
+
+TEST_F(ServeEngineTest, RecordsOmitTimingUnlessRequested) {
+  std::vector<ServeJob> jobs{parseJobLine(
+      R"({"schema":"dsnet-job-v1","nodes":50,"scenario":"validate"})", 0)};
+  ASSERT_FALSE(jobs[0].failed());
+  const auto plain = serveAll(jobs, 1, 8);
+  EXPECT_EQ(plain[0].find("\"timing\""), std::string::npos);
+
+  ServeOptions options;
+  options.includeTiming = true;
+  ServeEngine engine(options);
+  std::string withTiming;
+  engine.serveJobs(jobs, [&](std::string_view r) { withTiming = r; });
+  EXPECT_NE(withTiming.find("\"timing\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsn::serve

@@ -1,0 +1,120 @@
+// WarmStateCache: fingerprint-keyed hit/miss accounting, LRU eviction
+// that never evicts a leased entry, bypass mode, pre-warmed CSR
+// freshness, and one-build-per-fingerprint under concurrent leases.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/warm_cache.hpp"
+
+namespace dsn::serve {
+namespace {
+
+NetworkConfig config(std::uint64_t seed, std::size_t nodes = 60) {
+  NetworkConfig cfg;
+  cfg.nodeCount = nodes;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(WarmStateCache, HitMissAccounting) {
+  obs::MetricsRegistry reg;
+  WarmStateCache cache(4, reg);
+  EXPECT_EQ(cache.size(), 0u);
+
+  const auto a = cache.lease(config(1));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(a.network().size(), 60u);
+
+  const auto b = cache.lease(config(1));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(&a.network(), &b.network());  // same resident instance
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  const auto c = cache.lease(config(2));
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_NE(&a.network(), &c.network());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_DOUBLE_EQ(cache.stats().hitRate, 1.0 / 3.0);
+}
+
+TEST(WarmStateCache, CsrIsPreWarmed) {
+  obs::MetricsRegistry reg;
+  WarmStateCache cache(4, reg);
+  for (int i = 0; i < 3; ++i) {
+    const auto lease = cache.lease(config(7));
+    EXPECT_NE(lease.network().graph().csrViewIfFresh(), nullptr);
+  }
+  EXPECT_EQ(cache.stats().csrFresh, 3u);
+  EXPECT_EQ(cache.stats().csrStale, 0u);
+}
+
+TEST(WarmStateCache, EvictsLeastRecentlyUsed) {
+  obs::MetricsRegistry reg;
+  WarmStateCache cache(2, reg);
+  cache.lease(config(1));
+  cache.lease(config(2));
+  cache.lease(config(1));  // refresh 1 -> 2 is now the LRU
+  cache.lease(config(3));  // overflow: evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.lease(config(1));  // still resident
+  EXPECT_EQ(cache.stats().hits, 2u);
+  cache.lease(config(2));  // was evicted -> rebuild
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(WarmStateCache, NeverEvictsALeasedEntry) {
+  obs::MetricsRegistry reg;
+  WarmStateCache cache(1, reg);
+  const auto held = cache.lease(config(1));
+  const auto also = cache.lease(config(2));  // overflow, but both leased
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_GE(cache.size(), 2u);  // transiently above capacity
+  cache.lease(config(3));  // 3 evictable once its lease dies; 1 and 2 not
+  EXPECT_EQ(&held.network(), &cache.lease(config(1)).network());
+  EXPECT_EQ(&also.network(), &cache.lease(config(2)).network());
+}
+
+TEST(WarmStateCache, BypassModeAlwaysBuildsPrivately) {
+  obs::MetricsRegistry reg;
+  WarmStateCache cache(0, reg);
+  const auto a = cache.lease(config(1));
+  const auto b = cache.lease(config(1));
+  EXPECT_NE(&a.network(), &b.network());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_DOUBLE_EQ(cache.stats().hitRate, 0.0);
+}
+
+TEST(WarmStateCache, ConcurrentLeasesBuildOnce) {
+  obs::MetricsRegistry reg;
+  WarmStateCache cache(8, reg);
+  constexpr int kThreads = 8;
+  std::vector<const SensorNetwork*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &seen, t] {
+      // Everyone hammers two fingerprints; call_once must hand every
+      // thread the same fully built instance per fingerprint.
+      const auto lease = cache.lease(config(t % 2 == 0 ? 1 : 2));
+      seen[static_cast<std::size_t>(t)] = &lease.network();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 2; t < kThreads; ++t)
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)],
+              seen[static_cast<std::size_t>(t % 2)]);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, static_cast<std::uint64_t>(kThreads - 2));
+}
+
+}  // namespace
+}  // namespace dsn::serve

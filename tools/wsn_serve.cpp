@@ -1,0 +1,189 @@
+// wsn_serve — resident batch-serving engine over warm deployment
+// snapshots.
+//
+// Reads a stream of dsnet-job-v1 lines (stdin by default, or --batch
+// FILE), runs each scenario job on a worker pool over a warm-state
+// cache keyed by deployment fingerprint, and streams one dsnet-run-v1
+// (or dsnet-error-v1) record per job to stdout in job order. Output is
+// byte-identical at any --jobs count: every record is a pure function
+// of its own job line.
+//
+//   wsn_serve [--batch FILE] [--out FILE] [--jobs N]
+//             [--cache-capacity N] [--timing] [--quiet]
+//   wsn_serve --emit-demo N [--demo-seed S] [--demo-nodes N]
+//             [--demo-deployments K] [--demo-mutating M]
+//             [--demo-heavy H] [--out FILE]
+//
+// --emit-demo writes a deterministic mixed demo workload as job lines
+// instead of serving (feed it back in: the CI smoke and the nightly
+// serve campaign do exactly that).
+//
+// Exit status: 0 all jobs ok, 1 any parse error or failed job, 2 usage.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+#include "serve/job.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: wsn_serve [--batch FILE] [--out FILE] [--jobs N]\n"
+        "                 [--cache-capacity N] [--timing] [--quiet]\n"
+        "       wsn_serve --emit-demo N [--demo-seed S] [--demo-nodes N]\n"
+        "                 [--demo-deployments K] [--demo-mutating M]\n"
+        "                 [--demo-heavy H] [--out FILE]\n";
+}
+
+struct Cli {
+  std::string batchPath;
+  std::string outPath;
+  int jobs = 1;
+  std::size_t cacheCapacity = 64;
+  bool timing = false;
+  bool quiet = false;
+  std::size_t emitDemo = 0;
+  std::uint64_t demoSeed = 2007;
+  std::size_t demoNodes = 200;
+  std::size_t demoDeployments = 8;
+  std::size_t demoMutating = 16;
+  std::size_t demoHeavy = 4;
+};
+
+bool parseCli(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--batch") {
+      const char* v = next();
+      if (!v) return false;
+      cli.batchPath = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      cli.outPath = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      cli.jobs = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--cache-capacity") {
+      const char* v = next();
+      if (!v) return false;
+      cli.cacheCapacity = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--timing") {
+      cli.timing = true;
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--emit-demo") {
+      const char* v = next();
+      if (!v) return false;
+      cli.emitDemo = std::strtoull(v, nullptr, 10);
+      if (cli.emitDemo == 0) return false;
+    } else if (arg == "--demo-seed") {
+      const char* v = next();
+      if (!v) return false;
+      cli.demoSeed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--demo-nodes") {
+      const char* v = next();
+      if (!v) return false;
+      cli.demoNodes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--demo-deployments") {
+      const char* v = next();
+      if (!v) return false;
+      cli.demoDeployments = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--demo-mutating") {
+      const char* v = next();
+      if (!v) return false;
+      cli.demoMutating = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--demo-heavy") {
+      const char* v = next();
+      if (!v) return false;
+      cli.demoHeavy = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parseCli(argc, argv, cli)) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::ofstream outFile;
+  std::ostream* out = &std::cout;
+  if (!cli.outPath.empty()) {
+    outFile.open(cli.outPath);
+    if (!outFile) {
+      std::cerr << "wsn_serve: cannot open " << cli.outPath << "\n";
+      return 2;
+    }
+    out = &outFile;
+  }
+
+  if (cli.emitDemo > 0) {
+    const auto jobs =
+        dsn::serve::demoJobs(cli.emitDemo, cli.demoSeed, cli.demoNodes,
+                             cli.demoDeployments, cli.demoMutating,
+                             cli.demoHeavy);
+    for (const auto& job : jobs) *out << dsn::serve::formatJobLine(job) << '\n';
+    if (!cli.quiet)
+      std::cerr << "wsn_serve: emitted " << jobs.size() << " demo jobs\n";
+    return 0;
+  }
+
+  dsn::obs::setEnabled(true);
+  dsn::serve::ServeOptions options;
+  options.jobs = cli.jobs;
+  options.cacheCapacity = cli.cacheCapacity;
+  options.includeTiming = cli.timing;
+  dsn::serve::ServeEngine engine(options);
+
+  dsn::serve::ServeReport report;
+  if (!cli.batchPath.empty()) {
+    std::ifstream in(cli.batchPath);
+    if (!in) {
+      std::cerr << "wsn_serve: cannot open " << cli.batchPath << "\n";
+      return 2;
+    }
+    report = engine.serveStream(in, *out);
+  } else {
+    report = engine.serveStream(std::cin, *out);
+  }
+
+  if (!cli.quiet) {
+    const double secs = report.wallMs / 1000.0;
+    std::cerr << "wsn_serve: " << report.jobsRun << " jobs on "
+              << report.workers << " workers in " << report.wallMs << " ms";
+    if (secs > 0.0)
+      std::cerr << " (" << static_cast<double>(report.jobsRun) / secs
+                << " jobs/s)";
+    std::cerr << "\n  cache: " << report.cache.hits << " hits, "
+              << report.cache.misses << " misses, " << report.cache.evictions
+              << " evictions (hit rate " << report.cache.hitRate
+              << "); csr fresh " << report.cache.csrFresh << ", stale "
+              << report.cache.csrStale << "\n";
+    if (report.parseErrors > 0 || report.jobsFailed > 0 ||
+        report.invalidOutcomes > 0)
+      std::cerr << "  problems: " << report.parseErrors << " parse errors, "
+                << report.jobsFailed << " failed jobs, "
+                << report.invalidOutcomes << " invalid outcomes\n";
+  }
+  return report.ok() ? 0 : 1;
+}
